@@ -1,0 +1,116 @@
+// E7 — §5 / Fig 5: cost decomposition of the worker channel path. Compares
+// the three AMUSE channels (MPI, socket, Ibis-via-daemon) for RPC round
+// trips and bulk state transfers, exposing the extra loopback + proxy hops
+// of the Ibis design ("we expect very little performance issues rising from
+// this extra step in communication").
+#include <benchmark/benchmark.h>
+
+#include "amuse/clients.hpp"
+#include "amuse/daemon.hpp"
+#include "amuse/ic.hpp"
+#include "amuse/scenario.hpp"
+
+using namespace jungle;
+using namespace jungle::amuse;
+
+namespace {
+
+// Ping-pong and bulk-state costs over a given channel to a worker placed on
+// the client host itself (isolating channel overhead from compute).
+struct ChannelCost {
+  double rpc_rtt_us = 0;
+  double state_64k_ms = 0;  // get_state of 1000 particles (~56 KB)
+};
+
+ChannelCost measure_local(ChannelKind kind) {
+  scenario::JungleTestbed bed;
+  ChannelCost cost;
+  bed.simulation().spawn("script", [&] {
+    WorkerSpec spec;
+    spec.code = "phigrape";
+    GravityClient gravity(start_local_worker(
+        bed.sockets(), bed.network(), bed.desktop(), bed.desktop(), spec,
+        kind));
+    util::Rng rng(3);
+    auto model = ic::plummer_sphere(1000, rng);
+    gravity.add_particles(model.mass, model.position, model.velocity);
+    const int pings = 32;
+    double t0 = bed.simulation().now();
+    for (int i = 0; i < pings; ++i) gravity.model_time();
+    cost.rpc_rtt_us = (bed.simulation().now() - t0) / pings * 1e6;
+    double t1 = bed.simulation().now();
+    for (int i = 0; i < 8; ++i) gravity.get_state();
+    cost.state_64k_ms = (bed.simulation().now() - t1) / 8 * 1e3;
+    gravity.close();
+  });
+  bed.simulation().run();
+  return cost;
+}
+
+ChannelCost measure_ibis(const std::string& resource) {
+  scenario::JungleTestbed bed;
+  bed.daemon(bed.desktop());
+  ChannelCost cost;
+  bed.simulation().spawn("script", [&] {
+    DaemonClient client(bed.sockets(), bed.desktop());
+    WorkerSpec spec;
+    spec.code = "phigrape";
+    GravityClient gravity(client.start_worker(spec, resource));
+    util::Rng rng(3);
+    auto model = ic::plummer_sphere(1000, rng);
+    gravity.add_particles(model.mass, model.position, model.velocity);
+    const int pings = 32;
+    double t0 = bed.simulation().now();
+    for (int i = 0; i < pings; ++i) gravity.model_time();
+    cost.rpc_rtt_us = (bed.simulation().now() - t0) / pings * 1e6;
+    double t1 = bed.simulation().now();
+    for (int i = 0; i < 8; ++i) gravity.get_state();
+    cost.state_64k_ms = (bed.simulation().now() - t1) / 8 * 1e3;
+    gravity.close();
+  });
+  bed.simulation().run();
+  return cost;
+}
+
+void Channel_MpiLocal(benchmark::State& state) {
+  ChannelCost cost;
+  for (auto _ : state) cost = measure_local(ChannelKind::mpi);
+  state.counters["rpc_rtt_us"] = cost.rpc_rtt_us;
+  state.counters["get_state_ms"] = cost.state_64k_ms;
+  state.SetLabel("default MPI channel (local worker)");
+}
+
+void Channel_SocketLocal(benchmark::State& state) {
+  ChannelCost cost;
+  for (auto _ : state) cost = measure_local(ChannelKind::socket);
+  state.counters["rpc_rtt_us"] = cost.rpc_rtt_us;
+  state.counters["get_state_ms"] = cost.state_64k_ms;
+  state.SetLabel("socket channel (local worker)");
+}
+
+void Channel_IbisRemoteLgm(benchmark::State& state) {
+  ChannelCost cost;
+  for (auto _ : state) cost = measure_ibis("lgm");
+  state.counters["rpc_rtt_us"] = cost.rpc_rtt_us;
+  state.counters["get_state_ms"] = cost.state_64k_ms;
+  state.SetLabel("ibis channel: script->daemon->IPL->proxy->worker @leiden");
+}
+
+void Channel_IbisRemoteCampus(benchmark::State& state) {
+  ChannelCost cost;
+  for (auto _ : state) cost = measure_ibis("das4-vu");
+  state.counters["rpc_rtt_us"] = cost.rpc_rtt_us;
+  state.counters["get_state_ms"] = cost.state_64k_ms;
+  state.SetLabel("ibis channel: campus cluster (10G)");
+}
+
+}  // namespace
+
+BENCHMARK(Channel_MpiLocal)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(Channel_SocketLocal)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(Channel_IbisRemoteLgm)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(Channel_IbisRemoteCampus)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// E8 — §4.1: "All communication required between different models is done
+// through the AMUSE coupler ... it also introduces a potential bottleneck
+// when large-scale simulations are done." This ablation measures one
+// Fig-7 cross-kick as the gas particle count grows, for two coupling-kernel
+// placements: next to the script (data moves over loopback only) and on a
+// remote GPU cluster (every state array crosses the WAN through the central
+// coupler). The linear growth of the WAN bytes with N is the bottleneck the
+// paper's §7 distributed-coupler future work targets.
+#include <benchmark/benchmark.h>
+
+#include "amuse/clients.hpp"
+#include "amuse/daemon.hpp"
+#include "amuse/ic.hpp"
+#include "amuse/scenario.hpp"
+
+using namespace jungle;
+using namespace jungle::amuse;
+
+namespace {
+
+struct KickCost {
+  double seconds = 0;
+  double wan_mb = 0;
+};
+
+KickCost cross_kick(std::size_t n_gas, bool remote_coupler) {
+  scenario::JungleTestbed bed;
+  bed.daemon(bed.desktop());
+  KickCost cost;
+  bed.simulation().spawn("script", [&] {
+    DaemonClient client(bed.sockets(), bed.desktop());
+    WorkerSpec grav{.code = "phigrape-gpu"};
+    GravityClient stars(client.start_worker(grav, "lgm"));
+    WorkerSpec hydro{.code = "gadget", .nranks = 8, .ncores = 8};
+    HydroClient gas(client.start_worker(hydro, "das4-vu", 8));
+    std::unique_ptr<FieldClient> coupler;
+    if (remote_coupler) {
+      WorkerSpec field{.code = "octgrav"};
+      coupler = std::make_unique<FieldClient>(
+          client.start_worker(field, "das4-delft"));
+    } else {
+      WorkerSpec field{.code = "fi", .ncores = 4};
+      coupler = std::make_unique<FieldClient>(
+          start_local_worker(bed.sockets(), bed.network(), bed.desktop(),
+                             bed.desktop(), field, ChannelKind::mpi));
+    }
+
+    util::Rng rng(3);
+    auto model = ic::plummer_sphere(1000, rng);
+    stars.add_particles(model.mass, model.position, model.velocity);
+    auto cloud = ic::gas_sphere(n_gas, rng, 2.0, 1.5);
+    gas.add_gas(cloud.mass, cloud.position, cloud.velocity,
+                cloud.internal_energy);
+
+    bed.network().reset_traffic();
+    double t0 = bed.simulation().now();
+    // The Fig-7 'p-kick': gather states, ship sources, evaluate, kick.
+    auto star_state = stars.get_state();
+    auto gas_state = gas.get_state();
+    coupler->set_sources(gas_state.mass, gas_state.position);
+    auto on_stars = coupler->accel_at(star_state.position);
+    coupler->set_sources(star_state.mass, star_state.position);
+    auto on_gas = coupler->accel_at(gas_state.position);
+    std::vector<Vec3> kick_stars(on_stars.size());
+    std::vector<Vec3> kick_gas(on_gas.size());
+    for (std::size_t i = 0; i < on_stars.size(); ++i) {
+      kick_stars[i] = on_stars[i] * 0.01;
+    }
+    for (std::size_t i = 0; i < on_gas.size(); ++i) {
+      kick_gas[i] = on_gas[i] * 0.01;
+    }
+    stars.kick(kick_stars);
+    gas.kick(kick_gas);
+    cost.seconds = bed.simulation().now() - t0;
+    for (const auto& link : bed.network().traffic_report()) {
+      if (link.name == "starplane-uva" || link.name == "starplane-delft" ||
+          link.name == "lgm-lightpath" || link.name == "vu-campus") {
+        for (double bytes : link.bytes_by_class) cost.wan_mb += bytes / 1e6;
+      }
+    }
+    stars.close();
+    gas.close();
+    coupler->close();
+  });
+  bed.simulation().run();
+  return cost;
+}
+
+void Coupler_CentralBottleneck(benchmark::State& state) {
+  auto n_gas = static_cast<std::size_t>(state.range(0));
+  KickCost local_cost, remote_cost;
+  for (auto _ : state) {
+    local_cost = cross_kick(n_gas, /*remote_coupler=*/false);
+    remote_cost = cross_kick(n_gas, /*remote_coupler=*/true);
+  }
+  state.counters["local_coupler_ms"] = local_cost.seconds * 1e3;
+  state.counters["remote_coupler_ms"] = remote_cost.seconds * 1e3;
+  state.counters["local_wan_MB"] = local_cost.wan_mb;
+  state.counters["remote_wan_MB"] = remote_cost.wan_mb;
+}
+
+}  // namespace
+
+BENCHMARK(Coupler_CentralBottleneck)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Arg(24000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

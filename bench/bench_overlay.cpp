@@ -1,0 +1,158 @@
+// E4 + E10 — Figs 10/11 and the SmartSockets connectivity claims:
+// connection-setup strategies (direct / reverse / relayed) across firewall
+// configurations, their setup costs, and the per-link traffic report that
+// the IbisDeploy GUI visualizes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "smartsockets/smartsockets.hpp"
+#include "util/strings.hpp"
+
+using namespace jungle;
+using namespace jungle::sim;
+using namespace jungle::smartsockets;
+
+namespace {
+
+enum class FirewallCase { open, target_blocked, both_blocked };
+
+const char* case_name(FirewallCase c) {
+  switch (c) {
+    case FirewallCase::open: return "open->open (direct)";
+    case FirewallCase::target_blocked: return "open->firewalled (reverse)";
+    case FirewallCase::both_blocked: return "NAT->firewalled (relayed)";
+  }
+  return "?";
+}
+
+struct OverlayWorld {
+  Simulation sim;
+  Network net{sim};
+  SmartSockets sockets{net};
+
+  OverlayWorld(FirewallCase fw) {
+    net.add_site("vu");
+    net.add_site("leiden");
+    net.add_site("hub-site");
+    net.add_host("client", "vu", 4, 10);
+    net.add_host("server", "leiden", 8, 10);
+    net.add_host("hub-box", "hub-site", 4, 10);
+    net.add_link("vu", "hub-site", 0.3e-3, 1e9 / 8, "vu-hub");
+    net.add_link("hub-site", "leiden", 0.3e-3, 1e9 / 8, "hub-leiden");
+    net.add_link("vu", "leiden", 0.5e-3, 1e9 / 8, "vu-leiden");
+    if (fw == FirewallCase::target_blocked ||
+        fw == FirewallCase::both_blocked) {
+      net.host("server").firewall().allow_inbound = false;
+    }
+    if (fw == FirewallCase::both_blocked) {
+      net.host("client").firewall().nat = true;
+    }
+    sockets.start_hub(net.host("hub-box"));
+    sockets.start_hub(net.host("client"));
+    sockets.start_hub(net.host("server"));
+  }
+};
+
+void Overlay_ConnectionSetup(benchmark::State& state) {
+  auto fw = static_cast<FirewallCase>(state.range(0));
+  double setup_s = 0;
+  std::string kind;
+  double payload_s = 0;
+  for (auto _ : state) {
+    OverlayWorld world(fw);
+    auto& server = world.sockets.listen(world.net.host("server"), "svc");
+    double send_start = 0;
+    double drained_at = 0;
+    world.net.host("server").spawn("server", [&] {
+      auto conn = server.accept();
+      while (conn->recv()) {
+      }
+      drained_at = world.sim.now();  // all 1 MiB delivered
+    });
+    world.net.host("client").spawn("client", [&] {
+      double t0 = world.sim.now();
+      auto conn =
+          world.sockets.connect(world.net.host("client"),
+                                world.net.host("server"), "svc",
+                                TrafficClass::ipl);
+      setup_s = world.sim.now() - t0;
+      kind = connection_kind_name(conn->kind());
+      send_start = world.sim.now();
+      for (int i = 0; i < 16; ++i) {
+        conn->send(std::vector<std::uint8_t>(64 << 10, 1));
+      }
+      conn->close();
+    });
+    world.sim.run();
+    payload_s = drained_at - send_start;
+  }
+  state.counters["setup_ms"] = setup_s * 1e3;
+  state.counters["send_1MiB_ms"] = payload_s * 1e3;
+  state.SetLabel(std::string(case_name(fw)) + " -> " + kind);
+}
+
+}  // namespace
+
+BENCHMARK(Overlay_ConnectionSetup)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+class OverlayReporter : public benchmark::ConsoleReporter {
+ public:
+  void Finalize() override {
+    std::printf("\n=== E4/E10: overlay map + traffic (Figs 10/11 analog) "
+                "===\n");
+    OverlayWorld world(FirewallCase::both_blocked);
+    auto& server = world.sockets.listen(world.net.host("server"), "svc");
+    world.net.host("server").spawn("server", [&] {
+      auto conn = server.accept();
+      while (conn->recv()) {
+      }
+    });
+    world.net.host("client").spawn("client", [&] {
+      auto conn = world.sockets.connect(world.net.host("client"),
+                                        world.net.host("server"), "svc",
+                                        TrafficClass::ipl);
+      for (int i = 0; i < 8; ++i) {
+        conn->send(std::vector<std::uint8_t>(256 << 10, 1));
+      }
+      conn->close();
+    });
+    world.sim.run();
+    std::printf("-- overlay edges --\n");
+    for (const auto& edge : world.sockets.overlay_map()) {
+      const char* marker =
+          edge.kind == OverlayEdge::Kind::tunnel
+              ? "=tunnel="
+              : edge.kind == OverlayEdge::Kind::oneway ? "-oneway->"
+                                                       : "<------->";
+      std::printf("  %s %s %s\n", edge.hub_a.c_str(), marker,
+                  edge.hub_b.c_str());
+    }
+    std::printf("-- per-link traffic (relayed path crosses the hub) --\n");
+    for (const auto& link : world.net.traffic_report()) {
+      if (link.messages == 0) continue;
+      double total = 0;
+      for (double b : link.bytes_by_class) total += b;
+      std::printf("  %-12s %10s in %llu msgs\n", link.name.c_str(),
+                  util::format_bytes(total).c_str(),
+                  static_cast<unsigned long long>(link.messages));
+    }
+    auto stats = world.sockets.setup_stats();
+    std::printf("setups: direct=%d reverse=%d relayed=%d failed=%d\n",
+                stats.direct, stats.reverse, stats.relayed, stats.failed);
+    benchmark::ConsoleReporter::Finalize();
+  }
+};
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  OverlayReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E9 — §7: "we plan to scale up our experiment significantly, with at least
+// a factor 100". Scaling sweeps: (a) problem size N at fixed resources,
+// (b) Gadget rank count at fixed N (the substrate the scale-up relies on).
+#include <benchmark/benchmark.h>
+
+#include "amuse/scenario.hpp"
+
+using namespace jungle::amuse::scenario;
+
+namespace {
+
+void Scaling_ProblemSize(benchmark::State& state) {
+  Options options;
+  options.n_stars = static_cast<std::size_t>(state.range(0));
+  options.n_gas = options.n_stars * 10;
+  options.iterations = 1;
+  options.with_stellar_evolution = false;
+  Result result;
+  for (auto _ : state) {
+    result = run_scenario(Kind::jungle, options);
+  }
+  state.counters["virt_s_per_iter"] = result.seconds_per_iteration;
+  state.counters["wan_MB"] = result.wan_bytes / 1e6;
+  state.counters["n_stars"] = static_cast<double>(options.n_stars);
+  state.counters["n_gas"] = static_cast<double>(options.n_gas);
+}
+
+}  // namespace
+
+BENCHMARK(Scaling_ProblemSize)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Rank scaling of the parallel Gadget worker alone.
+#include "amuse/clients.hpp"
+#include "amuse/daemon.hpp"
+#include "amuse/ic.hpp"
+
+using namespace jungle;
+using namespace jungle::amuse;
+
+namespace {
+
+void Scaling_GadgetRanks(benchmark::State& state) {
+  int nranks = static_cast<int>(state.range(0));
+  double evolve_s = 0;
+  for (auto _ : state) {
+    scenario::JungleTestbed bed;
+    bed.daemon(bed.desktop());
+    bed.simulation().spawn("script", [&] {
+      DaemonClient client(bed.sockets(), bed.desktop());
+      WorkerSpec hydro{.code = "gadget", .nranks = nranks, .ncores = 8};
+      HydroClient gas(client.start_worker(hydro, "das4-vu", nranks));
+      util::Rng rng(3);
+      auto cloud = ic::gas_sphere(16000, rng, 2.0, 1.5);
+      gas.add_gas(cloud.mass, cloud.position, cloud.velocity,
+                  cloud.internal_energy);
+      double t0 = bed.simulation().now();
+      gas.evolve(1.0 / 32.0);
+      evolve_s = bed.simulation().now() - t0;
+      gas.close();
+    });
+    bed.simulation().run();
+  }
+  state.counters["evolve_virt_s"] = evolve_s;
+  state.counters["ranks"] = nranks;
+}
+
+}  // namespace
+
+BENCHMARK(Scaling_GadgetRanks)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

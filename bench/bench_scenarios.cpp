@@ -1,0 +1,82 @@
+// E1 — §6.2 lab scenarios: reproduces the paper's four-configuration
+// comparison (353 / 89 / 84 / 62.4 s per iteration). Absolute numbers come
+// from our calibrated jungle model; the *shape* (ordering, CPU->GPU factor,
+// remote-GPU crossover, jungle win) is what must match.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "amuse/scenario.hpp"
+
+using namespace jungle::amuse::scenario;
+
+namespace {
+
+Options bench_options() {
+  Options options;
+  options.n_stars = 1000;
+  options.n_gas = 10000;
+  options.iterations = 2;
+  return options;
+}
+
+void run_kind(benchmark::State& state, Kind kind) {
+  Result result;
+  for (auto _ : state) {
+    result = run_scenario(kind, bench_options());
+  }
+  state.counters["virt_s_per_iter"] = result.seconds_per_iteration;
+  state.counters["paper_s_per_iter"] = paper_seconds_per_iteration(kind);
+  state.counters["wan_MB"] = result.wan_bytes / 1e6;
+  state.counters["bound_gas"] = result.bound_gas_fraction;
+  state.SetLabel(kind_name(kind));
+}
+
+void Scenario_LocalCpu(benchmark::State& state) {
+  run_kind(state, Kind::local_cpu);
+}
+void Scenario_LocalGpu(benchmark::State& state) {
+  run_kind(state, Kind::local_gpu);
+}
+void Scenario_RemoteGpu(benchmark::State& state) {
+  run_kind(state, Kind::remote_gpu);
+}
+void Scenario_Jungle(benchmark::State& state) {
+  run_kind(state, Kind::jungle);
+}
+
+}  // namespace
+
+BENCHMARK(Scenario_LocalCpu)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(Scenario_LocalGpu)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(Scenario_RemoteGpu)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(Scenario_Jungle)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Print the paper-style summary table after the sweep.
+class ScenarioReporter : public benchmark::ConsoleReporter {
+ public:
+  void Finalize() override {
+    std::printf("\n=== E1: paper table (s/iteration) vs this reproduction "
+                "(virtual s/iteration) ===\n");
+    Options options = bench_options();
+    double previous = 0.0;
+    for (Kind kind : {Kind::local_cpu, Kind::local_gpu, Kind::remote_gpu,
+                      Kind::jungle}) {
+      Result result = run_scenario(kind, options);
+      std::printf("%-36s paper=%6.1f   ours=%8.3f   ratio-to-prev=%5.2fx\n",
+                  kind_name(kind), paper_seconds_per_iteration(kind),
+                  result.seconds_per_iteration,
+                  previous > 0 ? previous / result.seconds_per_iteration : 0.0);
+      previous = result.seconds_per_iteration;
+    }
+    benchmark::ConsoleReporter::Finalize();
+  }
+};
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ScenarioReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

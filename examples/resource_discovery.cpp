@@ -1,0 +1,81 @@
+// The paper's §4.3 requirement 5 / §7 future work, implemented: automatic
+// discovery of suitable resources. A Zorilla P2P overlay gossips
+// membership across a pile of unrelated machines; the resource selector
+// then picks a GPU node for a gravity worker — and a replacement when that
+// machine dies mid-run.
+#include <cstdio>
+
+#include "amuse/clients.hpp"
+#include "amuse/daemon.hpp"
+#include "amuse/ic.hpp"
+#include "zorilla/zorilla.hpp"
+
+using namespace jungle;
+using namespace jungle::amuse;
+
+int main() {
+  sim::Simulation simulation;
+  sim::Network net(simulation);
+  smartsockets::SmartSockets sockets(net);
+  net.add_site("internet", 20e-3, 100e6 / 8);
+  sim::Host& laptop = net.add_host("laptop", "internet", 2, 5);
+
+  // A pile of donated machines, only some of which carry GPUs.
+  zorilla::Overlay overlay(net, 4242);
+  auto& origin = overlay.add_node(laptop);
+  for (int i = 0; i < 12; ++i) {
+    sim::Host& host = net.add_host("peer" + std::to_string(i), "internet",
+                                   2 + i % 6, 5 + i % 3);
+    if (i % 4 == 0) host.set_gpu(sim::GpuSpec{"gtx580", 150});
+    overlay.add_node(host, &origin);
+  }
+  int rounds = overlay.gossip_until_converged();
+  std::printf("gossip converged in %d rounds; %zu peers known everywhere\n",
+              rounds, overlay.node_count());
+
+  zorilla::ResourceSelector selector(overlay);
+  zorilla::Requirements needs_gpu{.needs_gpu = true, .min_cores = 2};
+
+  laptop.spawn("script", [&] {
+    zorilla::ZorillaNode* chosen = selector.select(needs_gpu);
+    std::printf("selected %s (gpu=%s, %d cores) for the gravity worker\n",
+                chosen->host().name().c_str(),
+                chosen->host().gpu()->model.c_str(), chosen->host().cores());
+
+    WorkerSpec spec;
+    spec.code = "phigrape-gpu";
+    GravityClient gravity(start_local_worker(sockets, net, laptop,
+                                             chosen->host(), spec,
+                                             ChannelKind::socket));
+    util::Rng rng(7);
+    auto model = ic::plummer_sphere(256, rng);
+    gravity.add_particles(model.mass, model.position, model.velocity);
+    gravity.evolve(0.25);
+    auto save = gravity.get_state();
+
+    // The machine disappears (paper §5: "we cannot recover from this
+    // fault" — here, we can).
+    std::printf("crashing %s mid-run...\n", chosen->host().name().c_str());
+    chosen->host().crash();
+    try {
+      gravity.evolve(0.5);
+      gravity.get_state();
+    } catch (const CodeError&) {
+      zorilla::ZorillaNode* replacement =
+          selector.select(needs_gpu, {chosen->host().name()});
+      std::printf("worker died; selector found replacement %s\n",
+                  replacement->host().name().c_str());
+      GravityClient retry(start_local_worker(sockets, net, laptop,
+                                             replacement->host(), spec,
+                                             ChannelKind::socket));
+      retry.add_particles(save.mass, save.position, save.velocity);
+      retry.evolve(0.25);
+      auto [k, p] = retry.energies();
+      std::printf("restarted from checkpoint and continued: E=%.4f\n", k + p);
+      retry.close();
+    }
+  });
+  simulation.run();
+  simulation.shutdown();
+  return 0;
+}

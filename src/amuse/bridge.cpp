@@ -1,0 +1,143 @@
+#include "amuse/bridge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace jungle::amuse {
+
+Bridge::Bridge(GravityClient& stars, HydroClient& gas, FieldClient& coupler,
+               StellarClient* stellar, Config config)
+    : stars_(stars),
+      gas_(gas),
+      coupler_(coupler),
+      stellar_(stellar),
+      config_(config) {}
+
+void Bridge::cross_kick(double dt) {
+  // Gather current states through the coupler's host-side view.
+  stars_state_ = stars_.get_state();
+  gas_state_ = gas_.get_state();
+
+  // Gas pulls on stars ('p-kick' of the stars, Fig 7).
+  coupler_.set_sources(gas_state_.mass, gas_state_.position);
+  auto accel_on_stars = coupler_.accel_at(stars_state_.position);
+  std::vector<Vec3> star_kicks(accel_on_stars.size());
+  for (std::size_t i = 0; i < star_kicks.size(); ++i) {
+    star_kicks[i] = accel_on_stars[i] * dt;
+  }
+  trace_.push_back("kick:gas->stars");
+
+  // Stars pull on gas.
+  coupler_.set_sources(stars_state_.mass, stars_state_.position);
+  auto accel_on_gas = coupler_.accel_at(gas_state_.position);
+  std::vector<Vec3> gas_kicks(accel_on_gas.size());
+  for (std::size_t i = 0; i < gas_kicks.size(); ++i) {
+    gas_kicks[i] = accel_on_gas[i] * dt;
+  }
+  trace_.push_back("kick:stars->gas");
+
+  stars_.kick(star_kicks);
+  gas_.kick(gas_kicks);
+}
+
+void Bridge::step() {
+  double dt = config_.dt;
+  cross_kick(dt / 2.0);
+
+  // Parallel evolve: both models advance concurrently; total wall time is
+  // max(evolve_stars, evolve_gas) + messaging — the Jungle payoff.
+  Future stars_future = stars_.evolve_async(time_ + dt);
+  Future gas_future = gas_.evolve_async(time_ + dt);
+  trace_.push_back("evolve:parallel");
+  stars_future.get();
+  gas_future.get();
+
+  cross_kick(dt / 2.0);
+
+  time_ += dt;
+  ++steps_;
+
+  if (stellar_ != nullptr && steps_ % config_.se_every == 0) {
+    stellar_update();
+  }
+}
+
+void Bridge::stellar_update() {
+  // Stellar evolution runs at a slower rate, "only exchanging state every
+  // n-th time step" (paper §6 / Fig 7).
+  double age_myr = time_ * config_.myr_per_nbody_time;
+  stellar_->evolve_to(age_myr);
+  trace_.push_back("se:evolve");
+
+  // Mass update channel: SSE masses (MSun) -> gravity code. The masses
+  // must be rescaled into N-body units: the caller provides SSE masses in
+  // MSun, and the gravity code started from the same stars, so the ratio
+  // current/zams per star is applied to the dynamical masses.
+  auto se_masses = stellar_->masses();
+  stars_state_ = stars_.get_state();
+  if (se_masses.size() != stars_state_.mass.size()) {
+    throw CodeError("bridge: SE and gravity particle counts differ");
+  }
+  if (!zams_dynamical_.size()) {
+    // First update: remember the mapping MSun <-> N-body mass.
+    zams_se_ = se_masses;
+    zams_dynamical_ = stars_state_.mass;
+  }
+  std::vector<double> new_masses(se_masses.size());
+  double wind_mass_nbody = 0.0;
+  for (std::size_t i = 0; i < se_masses.size(); ++i) {
+    new_masses[i] = zams_dynamical_[i] * se_masses[i] / zams_se_[i];
+    wind_mass_nbody += std::max(0.0, stars_state_.mass[i] - new_masses[i]);
+  }
+  stars_.set_masses(new_masses);
+  trace_.push_back("se:masses->gravity");
+
+  if (config_.feedback_efficiency <= 0.0) return;
+
+  // Thermal feedback into the gas: winds (continuous) and supernovae
+  // (discrete). Energy goes to the gas particle nearest each massive star.
+  gas_state_ = gas_.get_state();
+  std::vector<std::int32_t> indices;
+  std::vector<double> delta_u;
+  auto nearest_gas = [&](const Vec3& where) {
+    std::size_t best = 0;
+    double best_r2 = std::numeric_limits<double>::max();
+    for (std::size_t g = 0; g < gas_state_.position.size(); ++g) {
+      double r2 = (gas_state_.position[g] - where).norm2();
+      if (r2 < best_r2) {
+        best_r2 = r2;
+        best = g;
+      }
+    }
+    return static_cast<std::int32_t>(best);
+  };
+  if (wind_mass_nbody > 0.0 && config_.wind_specific_energy > 0.0) {
+    // Deposit wind energy at the most massive star's location (the winds
+    // of the cluster's O stars dominate).
+    std::size_t heaviest = std::distance(
+        zams_se_.begin(), std::max_element(zams_se_.begin(), zams_se_.end()));
+    double energy = config_.feedback_efficiency * wind_mass_nbody *
+                    config_.wind_specific_energy;
+    std::int32_t target = nearest_gas(stars_state_.position[heaviest]);
+    indices.push_back(target);
+    delta_u.push_back(energy / gas_state_.mass[target]);
+  }
+  for (std::int32_t star : stellar_->supernovae()) {
+    double energy = config_.feedback_efficiency * config_.supernova_energy;
+    std::int32_t target = nearest_gas(stars_state_.position[star]);
+    indices.push_back(target);
+    delta_u.push_back(energy / gas_state_.mass[target]);
+    log::info("amuse") << "supernova of star " << star << " at t=" << time_
+                       << " heats gas particle " << target;
+  }
+  if (!indices.empty()) {
+    gas_.inject(indices, delta_u);
+    trace_.push_back("se:feedback->gas");
+  }
+}
+
+}  // namespace jungle::amuse

@@ -1,0 +1,172 @@
+#include "amuse/clients.hpp"
+
+namespace jungle::amuse {
+
+namespace {
+template <typename T>
+void put_span_of(util::ByteWriter& writer, std::span<const T> values) {
+  writer.put_span(values);
+}
+}  // namespace
+
+void GravityClient::set_params(double eps2, double eta) {
+  util::ByteWriter args;
+  args.put<double>(eps2);
+  args.put<double>(eta);
+  rpc_->call_sync(Fn::grav_set_params, std::move(args));
+}
+
+void GravityClient::add_particles(std::span<const double> masses,
+                                  std::span<const Vec3> positions,
+                                  std::span<const Vec3> velocities) {
+  util::ByteWriter args;
+  put_span_of(args, masses);
+  put_span_of(args, positions);
+  put_span_of(args, velocities);
+  rpc_->call_sync(Fn::grav_add_particles, std::move(args));
+}
+
+Future GravityClient::evolve_async(double t_end) {
+  util::ByteWriter args;
+  args.put<double>(t_end);
+  return rpc_->call(Fn::grav_evolve, std::move(args));
+}
+
+GravityState GravityClient::get_state() {
+  auto reader = rpc_->call_sync(Fn::grav_get_state, {});
+  GravityState state;
+  state.mass = reader.get_vector<double>();
+  state.position = reader.get_vector<Vec3>();
+  state.velocity = reader.get_vector<Vec3>();
+  return state;
+}
+
+std::pair<double, double> GravityClient::energies() {
+  auto reader = rpc_->call_sync(Fn::grav_get_energies, {});
+  double kinetic = reader.get<double>();
+  double potential = reader.get<double>();
+  return {kinetic, potential};
+}
+
+void GravityClient::kick(std::span<const Vec3> delta_v) {
+  util::ByteWriter args;
+  put_span_of(args, delta_v);
+  rpc_->call_sync(Fn::grav_kick_all, std::move(args));
+}
+
+void GravityClient::set_masses(std::span<const double> masses) {
+  util::ByteWriter args;
+  put_span_of(args, masses);
+  rpc_->call_sync(Fn::grav_set_masses, std::move(args));
+}
+
+double GravityClient::model_time() {
+  return rpc_->call_sync(Fn::grav_get_time, {}).get<double>();
+}
+
+void FieldClient::set_sources(std::span<const double> masses,
+                              std::span<const Vec3> positions) {
+  util::ByteWriter args;
+  put_span_of(args, masses);
+  put_span_of(args, positions);
+  rpc_->call_sync(Fn::field_set_sources, std::move(args));
+}
+
+Future FieldClient::accel_at_async(std::span<const Vec3> points) {
+  util::ByteWriter args;
+  put_span_of(args, points);
+  return rpc_->call(Fn::field_accel_at, std::move(args));
+}
+
+std::vector<Vec3> FieldClient::decode_accel(util::ByteReader reader) {
+  return reader.get_vector<Vec3>();
+}
+
+void HydroClient::set_params(double eps2, double theta) {
+  util::ByteWriter args;
+  args.put<double>(eps2);
+  args.put<double>(theta);
+  rpc_->call_sync(Fn::hydro_set_params, std::move(args));
+}
+
+void HydroClient::add_gas(std::span<const double> masses,
+                          std::span<const Vec3> positions,
+                          std::span<const Vec3> velocities,
+                          std::span<const double> internal_energies) {
+  util::ByteWriter args;
+  put_span_of(args, masses);
+  put_span_of(args, positions);
+  put_span_of(args, velocities);
+  put_span_of(args, internal_energies);
+  rpc_->call_sync(Fn::hydro_add_gas, std::move(args));
+}
+
+Future HydroClient::evolve_async(double t_end) {
+  util::ByteWriter args;
+  args.put<double>(t_end);
+  return rpc_->call(Fn::hydro_evolve, std::move(args));
+}
+
+HydroState HydroClient::get_state() {
+  auto reader = rpc_->call_sync(Fn::hydro_get_state, {});
+  HydroState state;
+  state.mass = reader.get_vector<double>();
+  state.position = reader.get_vector<Vec3>();
+  state.velocity = reader.get_vector<Vec3>();
+  state.internal_energy = reader.get_vector<double>();
+  state.density = reader.get_vector<double>();
+  return state;
+}
+
+std::tuple<double, double, double> HydroClient::energies() {
+  auto reader = rpc_->call_sync(Fn::hydro_get_energies, {});
+  double kinetic = reader.get<double>();
+  double thermal = reader.get<double>();
+  double potential = reader.get<double>();
+  return {kinetic, thermal, potential};
+}
+
+void HydroClient::kick(std::span<const Vec3> delta_v) {
+  util::ByteWriter args;
+  put_span_of(args, delta_v);
+  rpc_->call_sync(Fn::hydro_kick_all, std::move(args));
+}
+
+void HydroClient::inject(std::span<const std::int32_t> indices,
+                         std::span<const double> delta_u) {
+  util::ByteWriter args;
+  put_span_of(args, indices);
+  put_span_of(args, delta_u);
+  rpc_->call_sync(Fn::hydro_inject, std::move(args));
+}
+
+void StellarClient::add_stars(std::span<const double> zams_masses) {
+  util::ByteWriter args;
+  put_span_of(args, zams_masses);
+  rpc_->call_sync(Fn::se_add_stars, std::move(args));
+}
+
+void StellarClient::evolve_to(double age_myr) {
+  util::ByteWriter args;
+  args.put<double>(age_myr);
+  rpc_->call_sync(Fn::se_evolve_to, std::move(args));
+}
+
+std::vector<double> StellarClient::masses() {
+  return rpc_->call_sync(Fn::se_get_masses, {}).get_vector<double>();
+}
+
+std::vector<double> StellarClient::luminosities() {
+  return rpc_->call_sync(Fn::se_get_luminosities, {}).get_vector<double>();
+}
+
+std::vector<std::int32_t> StellarClient::supernovae() {
+  return rpc_->call_sync(Fn::se_get_supernovae, {})
+      .get_vector<std::int32_t>();
+}
+
+double StellarClient::mass_loss() {
+  return rpc_->call_sync(Fn::se_get_mass_loss, {}).get<double>();
+}
+
+}  // namespace jungle::amuse

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "amuse/rpc.hpp"
+#include "kernels/vec3.hpp"
+
+namespace jungle::amuse {
+
+using kernels::Vec3;
+
+/// Typed client-side proxies over the RPC protocol — what an AMUSE script
+/// holds instead of raw channels. All bulk state moves as flat arrays (the
+/// real AMUSE does the same for performance).
+
+struct GravityState {
+  std::vector<double> mass;
+  std::vector<Vec3> position;
+  std::vector<Vec3> velocity;
+};
+
+struct HydroState {
+  std::vector<double> mass;
+  std::vector<Vec3> position;
+  std::vector<Vec3> velocity;
+  std::vector<double> internal_energy;
+  std::vector<double> density;
+};
+
+/// GravitationalDynamics interface (phiGRAPE worker).
+class GravityClient {
+ public:
+  explicit GravityClient(std::unique_ptr<RpcClient> rpc)
+      : rpc_(std::move(rpc)) {}
+
+  void set_params(double eps2, double eta);
+  void add_particles(std::span<const double> masses,
+                     std::span<const Vec3> positions,
+                     std::span<const Vec3> velocities);
+  void evolve(double t_end) { evolve_async(t_end).get(); }
+  Future evolve_async(double t_end);
+  GravityState get_state();
+  /// (kinetic, potential) in N-body units.
+  std::pair<double, double> energies();
+  void kick(std::span<const Vec3> delta_v);
+  void set_masses(std::span<const double> masses);
+  double model_time();
+
+  RpcClient& rpc() noexcept { return *rpc_; }
+  void close() { rpc_->close(); }
+
+ private:
+  std::unique_ptr<RpcClient> rpc_;
+};
+
+/// GravityField interface (Octgrav / Fi worker) — the coupling kernel.
+class FieldClient {
+ public:
+  explicit FieldClient(std::unique_ptr<RpcClient> rpc) : rpc_(std::move(rpc)) {}
+
+  void set_sources(std::span<const double> masses,
+                   std::span<const Vec3> positions);
+  std::vector<Vec3> accel_at(std::span<const Vec3> points) {
+    return decode_accel(accel_at_async(points).get());
+  }
+  Future accel_at_async(std::span<const Vec3> points);
+  static std::vector<Vec3> decode_accel(util::ByteReader reader);
+
+  RpcClient& rpc() noexcept { return *rpc_; }
+  void close() { rpc_->close(); }
+
+ private:
+  std::unique_ptr<RpcClient> rpc_;
+};
+
+/// Hydrodynamics interface (Gadget worker).
+class HydroClient {
+ public:
+  explicit HydroClient(std::unique_ptr<RpcClient> rpc) : rpc_(std::move(rpc)) {}
+
+  void set_params(double eps2, double theta);
+  void add_gas(std::span<const double> masses,
+               std::span<const Vec3> positions,
+               std::span<const Vec3> velocities,
+               std::span<const double> internal_energies);
+  void evolve(double t_end) { evolve_async(t_end).get(); }
+  Future evolve_async(double t_end);
+  HydroState get_state();
+  /// (kinetic, thermal, potential) in N-body units.
+  std::tuple<double, double, double> energies();
+  void kick(std::span<const Vec3> delta_v);
+  void inject(std::span<const std::int32_t> indices,
+              std::span<const double> delta_u);
+
+  RpcClient& rpc() noexcept { return *rpc_; }
+  void close() { rpc_->close(); }
+
+ private:
+  std::unique_ptr<RpcClient> rpc_;
+};
+
+/// StellarEvolution interface (SSE worker).
+class StellarClient {
+ public:
+  explicit StellarClient(std::unique_ptr<RpcClient> rpc)
+      : rpc_(std::move(rpc)) {}
+
+  void add_stars(std::span<const double> zams_masses);
+  void evolve_to(double age_myr);
+  std::vector<double> masses();
+  std::vector<double> luminosities();
+  /// Stars that exploded during the last evolve_to.
+  std::vector<std::int32_t> supernovae();
+  double mass_loss();
+
+  RpcClient& rpc() noexcept { return *rpc_; }
+  void close() { rpc_->close(); }
+
+ private:
+  std::unique_ptr<RpcClient> rpc_;
+};
+
+}  // namespace jungle::amuse

@@ -1,0 +1,327 @@
+#include "amuse/daemon.hpp"
+
+#include "util/logging.hpp"
+
+namespace jungle::amuse {
+
+namespace {
+
+/// Serialize a WorkerSpec onto the daemon wire.
+void put_spec(util::ByteWriter& writer, const WorkerSpec& spec) {
+  writer.put_string(spec.code);
+  writer.put<std::int32_t>(spec.nranks);
+  writer.put<std::int32_t>(spec.ncores);
+  writer.put<double>(spec.eps2);
+  writer.put<double>(spec.eta);
+  writer.put<double>(spec.theta);
+}
+
+WorkerSpec get_spec(util::ByteReader& reader) {
+  WorkerSpec spec;
+  spec.code = reader.get_string();
+  spec.nranks = reader.get<std::int32_t>();
+  spec.ncores = reader.get<std::int32_t>();
+  spec.eps2 = reader.get<double>();
+  spec.eta = reader.get<double>();
+  spec.theta = reader.get<double>();
+  return spec;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- local channels
+
+std::unique_ptr<RpcClient> start_local_worker(
+    smartsockets::SmartSockets& sockets, sim::Network& net, sim::Host& home,
+    sim::Host& host, const WorkerSpec& spec, ChannelKind kind) {
+  static std::uint64_t sequence = 0;
+  std::string service = "amuse-worker-" + std::to_string(++sequence);
+  auto& listener = sockets.listen(host, service);
+  host.spawn("worker:" + spec.code, [&listener, &sockets, &host, &net, spec,
+                                     service] {
+    auto connection = listener.accept();
+    sockets.unlisten(host, service);
+    run_worker(std::make_unique<ConnectionPipe>(std::move(connection)), spec,
+               {&host}, net);
+  });
+  // The "MPI" channel is the in-process default; the socket channel is a
+  // plain TCP loopback. Both reduce to a connection with the matching
+  // traffic class so the Fig-11 accounting distinguishes them.
+  auto cls = kind == ChannelKind::mpi ? sim::TrafficClass::mpi
+                                      : sim::TrafficClass::control;
+  auto connection = sockets.connect(home, host, service, cls);
+  return std::make_unique<RpcClient>(
+      home, std::make_unique<ConnectionPipe>(std::move(connection)),
+      spec.code);
+}
+
+// --------------------------------------------------------------- daemon
+
+IbisDaemon::IbisDaemon(deploy::Deployer& deployer, sim::Network& net,
+                       smartsockets::SmartSockets& sockets, sim::Host& local)
+    : deployer_(deployer), net_(net), sockets_(sockets), local_(local) {
+  deployer_.start_hubs();
+  registry_ = std::make_unique<ipl::RegistryServer>(sockets_, local_);
+  ibis_ = std::make_unique<ipl::Ibis>(sockets_, local_, "amuse-daemon",
+                                      local_);
+  listener_ = &sockets_.listen(local_, kService);
+  pids_.push_back(local_.spawn("amuse-daemon", [this] { accept_loop(); }));
+}
+
+IbisDaemon::~IbisDaemon() {
+  sim::Simulation& sim = local_.simulation();
+  for (sim::ProcessId pid : pids_) sim.kill(pid);
+  // The served processes hold ReceivePorts that reference our Ibis
+  // instance; let their kills unwind *now*, while ibis_ is still alive.
+  // (Only possible outside the event loop; inside a process the kills
+  // drain at the next scheduling point, before any reuse.)
+  if (!sim::Simulation::in_process()) {
+    sim.run_until(sim.now());
+  }
+  sockets_.unlisten(local_, kService);
+}
+
+void IbisDaemon::accept_loop() {
+  while (true) {
+    auto connection = listener_->accept();
+    pids_.push_back(local_.spawn(
+        "amuse-daemon-client",
+        [this, connection] { serve_client(connection); }));
+  }
+}
+
+void IbisDaemon::serve_client(
+    std::shared_ptr<smartsockets::ConnectionEnd> connection) {
+  // One worker per client connection: read START, deploy, then relay.
+  WorkerSpec spec;
+  std::string resource_name;
+  int nodes = 1;
+  try {
+    auto bytes = connection->recv();
+    if (!bytes) return;
+    util::ByteReader reader(std::move(*bytes));
+    auto op = static_cast<daemon_wire::Op>(reader.get<std::uint8_t>());
+    if (op != daemon_wire::Op::start) {
+      throw WireError("daemon: expected START");
+    }
+    spec = get_spec(reader);
+    resource_name = reader.get_string();
+    nodes = reader.get<std::int32_t>();
+  } catch (const ConnectError&) {
+    return;
+  }
+
+  std::uint32_t worker_id = next_worker_id_++;
+  std::string proxy_name = "proxy-" + std::to_string(worker_id);
+  std::string reply_port = "rep-" + std::to_string(worker_id);
+
+  auto fail = [&](const std::string& reason) {
+    log::warn("amuse") << "daemon: worker " << spec.code << " on "
+                       << resource_name << " failed: " << reason;
+    try {
+      util::ByteWriter frame;
+      frame.put<std::uint8_t>(static_cast<std::uint8_t>(daemon_wire::Op::fail));
+      frame.put_string(reason);
+      connection->send(std::move(frame).take());
+      connection->close();
+    } catch (const ConnectError&) {
+    }
+  };
+
+  // Deploy the worker job through IbisDeploy/JavaGAT.
+  gat::JobDescription desc;
+  desc.name = spec.code + "-" + std::to_string(worker_id);
+  desc.node_count = nodes;
+  desc.needs_gpu = spec.needs_gpu();
+  // Worker startup ships the model's input data set (rough size: the spec
+  // is tiny, but the paper stages input files; give it a nominal 1 MB).
+  desc.stage_in_bytes = 1e6;
+  sim::Host* daemon_host = &local_;
+  sim::Network* net = &net_;
+  smartsockets::SmartSockets* sockets = &sockets_;
+  desc.main = [spec, daemon_host, net, sockets, proxy_name,
+               reply_port](gat::JobContext& context) {
+    // == proxy process (runs on the allocated node) ==
+    sim::Host& node = *context.hosts.front();
+    ipl::Ibis proxy_ibis(*sockets, node, proxy_name, *daemon_host);
+    auto request_port = proxy_ibis.create_receive_port("req");
+
+    // Start the native worker process and connect over node-local loopback
+    // (paper: "the proxy communicates using a loopback connection with the
+    // worker process", because mixing Java and MPI is not advisable).
+    std::string service = "worker-local-" + proxy_name;
+    smartsockets::ServerSocket* listener = &sockets->listen(node, service);
+    std::vector<sim::Host*> hosts = context.hosts;
+    sim::Host* node_ptr = &node;
+    node.spawn("worker:" + spec.code, [listener, sockets, node_ptr, net, spec,
+                                       hosts, service] {
+      auto conn = listener->accept();
+      sockets->unlisten(*node_ptr, service);
+      run_worker(std::make_unique<ConnectionPipe>(std::move(conn)), spec,
+                 hosts, *net);
+    });
+    auto worker_conn =
+        sockets->connect(node, node, service, sim::TrafficClass::control);
+
+    // Reply path: worker -> proxy -> daemon (IPL).
+    auto daemon_id = proxy_ibis.wait_for_member("amuse-daemon");
+    auto reply_sender = proxy_ibis.create_send_port("rep-out");
+    reply_sender->connect(daemon_id, reply_port);
+    sim::ProcessId upstream = node.spawn(
+        "proxy-upstream:" + proxy_name, [&worker_conn, &reply_sender] {
+          try {
+            while (auto bytes = worker_conn->recv()) {
+              util::ByteWriter frame;
+              frame.put_vector(*bytes);
+              reply_sender->send(std::move(frame));
+            }
+          } catch (const ConnectError&) {
+          }
+        });
+
+    // Request path: daemon (IPL) -> proxy -> worker. Runs in this process;
+    // ends when the daemon closes the port (worker stop) or dies.
+    try {
+      while (true) {
+        auto message = request_port->receive();
+        auto payload = message.reader.get_vector<std::uint8_t>();
+        if (payload.empty()) break;  // orderly shutdown marker
+        worker_conn->send(std::move(payload));
+      }
+    } catch (const ConnectError&) {
+    }
+    worker_conn->close();
+    node.simulation().kill(upstream);
+  };
+
+  std::shared_ptr<gat::Job> job;
+  try {
+    job = deployer_.submit(desc, resource_name);
+  } catch (const Error& failure) {
+    fail(failure.what());
+    return;
+  }
+
+  // Wait for the proxy to join the pool (or the job to die trying).
+  auto reply_receiver = ibis_->create_receive_port(reply_port);
+  ipl::IbisIdentifier proxy_id;
+  bool proxy_up = false;
+  try {
+    // Watch both: job state errors and registry joins.
+    while (!proxy_up) {
+      if (job->state() == gat::JobState::error) {
+        fail(job->error_message());
+        return;
+      }
+      for (const auto& member : ibis_->members()) {
+        if (member.name == proxy_name) {
+          proxy_id = member;
+          proxy_up = true;
+          break;
+        }
+      }
+      if (!proxy_up) local_.simulation().sleep(0.05);
+    }
+  } catch (const Error& failure) {
+    fail(failure.what());
+    return;
+  }
+
+  auto request_sender = ibis_->create_send_port("req-" +
+                                                std::to_string(worker_id));
+  try {
+    request_sender->connect(proxy_id, "req");
+  } catch (const ConnectError& failure) {
+    fail(failure.what());
+    return;
+  }
+
+  // Tell the script the worker is ready.
+  {
+    util::ByteWriter frame;
+    frame.put<std::uint8_t>(static_cast<std::uint8_t>(daemon_wire::Op::ready));
+    connection->send(std::move(frame).take());
+  }
+
+  // If the worker's host crashes, the registry broadcasts `died`; breaking
+  // the script connection poisons all outstanding futures upstream.
+  // shared_ptr: the listener stays registered after this frame unwinds.
+  auto worker_dead = std::make_shared<bool>(false);
+  ibis_->on_event([worker_dead, proxy_name, connection](
+                      const ipl::RegistryEvent& event) {
+    if (event.type == ipl::RegistryEventType::died &&
+        event.id.name == proxy_name) {
+      *worker_dead = true;
+      connection->close();  // poisons the script's outstanding futures
+    }
+  });
+
+  // Upstream pump: proxy replies -> script.
+  ipl::ReceivePort* replies = reply_receiver.get();
+  sim::ProcessId upstream_pid = local_.spawn(
+      "daemon-upstream:" + std::to_string(worker_id),
+      [replies, connection] {
+        try {
+          while (true) {
+            auto message = replies->receive();
+            auto payload = message.reader.get_vector<std::uint8_t>();
+            connection->send(std::move(payload));
+          }
+        } catch (const ConnectError&) {
+        }
+      });
+  pids_.push_back(upstream_pid);
+
+  // Downstream pump: script frames -> proxy. Runs in this process.
+  try {
+    while (true) {
+      if (*worker_dead) break;
+      auto bytes = connection->recv();
+      if (!bytes) {  // script closed: tell the proxy to shut down
+        util::ByteWriter frame;
+        frame.put_vector(std::vector<std::uint8_t>{});
+        try {
+          request_sender->send(std::move(frame));
+        } catch (const ConnectError&) {
+        }
+        break;
+      }
+      util::ByteWriter frame;
+      frame.put_vector(*bytes);
+      request_sender->send(std::move(frame));
+    }
+  } catch (const ConnectError&) {
+    // Script side or proxy side went away.
+  }
+  local_.simulation().kill(upstream_pid);
+}
+
+// -------------------------------------------------------- script client
+
+std::unique_ptr<RpcClient> DaemonClient::start_worker(
+    const WorkerSpec& spec, const std::string& resource, int nodes) {
+  auto connection = sockets_.connect(local_, local_, IbisDaemon::kService,
+                                     sim::TrafficClass::control);
+  util::ByteWriter start;
+  start.put<std::uint8_t>(static_cast<std::uint8_t>(daemon_wire::Op::start));
+  put_spec(start, spec);
+  start.put_string(resource);
+  start.put<std::int32_t>(nodes);
+  connection->send(std::move(start).take());
+
+  auto response = connection->recv();
+  if (!response) throw CodeError("daemon closed during worker startup");
+  util::ByteReader reader(std::move(*response));
+  auto op = static_cast<daemon_wire::Op>(reader.get<std::uint8_t>());
+  if (op == daemon_wire::Op::fail) {
+    throw CodeError("worker startup failed: " + reader.get_string());
+  }
+  if (op != daemon_wire::Op::ready) {
+    throw WireError("daemon: unexpected startup reply");
+  }
+  return std::make_unique<RpcClient>(
+      local_, std::make_unique<ConnectionPipe>(std::move(connection)),
+      spec.code + "@" + resource);
+}
+
+}  // namespace jungle::amuse

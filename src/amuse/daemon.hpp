@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "amuse/rpc.hpp"
+#include "amuse/workers.hpp"
+#include "deploy/deploy.hpp"
+#include "ipl/ipl.hpp"
+
+namespace jungle::amuse {
+
+/// The AMUSE worker channels (paper §4.1/§5): the default MPI channel and
+/// the socket channel run the worker locally; the Ibis channel goes through
+/// the daemon to any resource in the Jungle.
+enum class ChannelKind { mpi, socket, ibis };
+
+/// Start a worker on `host` and return the RPC client for it, using the
+/// local MPI or socket channel. `home` is the script's machine (the client
+/// side of the pipe; usually the same host).
+std::unique_ptr<RpcClient> start_local_worker(
+    smartsockets::SmartSockets& sockets, sim::Network& net, sim::Host& home,
+    sim::Host& host, const WorkerSpec& spec, ChannelKind kind);
+
+/// The Ibis daemon (Fig 5): a process on the user's machine that the
+/// coupling script talks to over a local loopback socket. For every worker
+/// request it deploys a job in the Jungle through IbisDeploy/JavaGAT,
+/// waits for the worker's proxy to join the IPL pool, and then relays
+/// request/reply frames between script and proxy over IPL.
+class IbisDaemon {
+ public:
+  static constexpr const char* kService = "amuse-daemon";
+
+  /// Starts the registry server, the daemon's Ibis instance and the
+  /// loopback accept loop, and bootstraps the hub overlay.
+  IbisDaemon(deploy::Deployer& deployer, sim::Network& net,
+             smartsockets::SmartSockets& sockets, sim::Host& local);
+  ~IbisDaemon();
+  IbisDaemon(const IbisDaemon&) = delete;
+  IbisDaemon& operator=(const IbisDaemon&) = delete;
+
+  sim::Host& host() noexcept { return local_; }
+  int workers_started() const noexcept { return next_worker_id_ - 1; }
+
+ private:
+  void accept_loop();
+  void serve_client(std::shared_ptr<smartsockets::ConnectionEnd> connection);
+
+  deploy::Deployer& deployer_;
+  sim::Network& net_;
+  smartsockets::SmartSockets& sockets_;
+  sim::Host& local_;
+  std::unique_ptr<ipl::RegistryServer> registry_;
+  std::unique_ptr<ipl::Ibis> ibis_;
+  smartsockets::ServerSocket* listener_ = nullptr;
+  std::uint32_t next_worker_id_ = 1;
+  std::vector<sim::ProcessId> pids_;
+};
+
+/// Script-side access to the daemon. start_worker blocks until the remote
+/// worker is up (job submitted, proxy joined, ports connected) and returns
+/// the RPC client whose frames flow through the daemon.
+class DaemonClient {
+ public:
+  DaemonClient(smartsockets::SmartSockets& sockets, sim::Host& local)
+      : sockets_(sockets), local_(local) {}
+
+  /// Throws CodeError when the daemon reports a startup failure (e.g. the
+  /// resource has no GPU or the middleware is unreachable).
+  std::unique_ptr<RpcClient> start_worker(const WorkerSpec& spec,
+                                          const std::string& resource,
+                                          int nodes = 1);
+
+ private:
+  smartsockets::SmartSockets& sockets_;
+  sim::Host& local_;
+};
+
+/// Wire opcodes on the script<->daemon loopback connection.
+namespace daemon_wire {
+enum class Op : std::uint8_t { start = 1, ready = 2, fail = 3, frame = 4 };
+}
+
+}  // namespace jungle::amuse

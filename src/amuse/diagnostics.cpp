@@ -1,0 +1,90 @@
+#include "amuse/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/bhtree.hpp"
+
+namespace jungle::amuse::diagnostics {
+
+Vec3 centre_of_mass(std::span<const double> mass, std::span<const Vec3> pos) {
+  Vec3 com{};
+  double total = 0.0;
+  for (std::size_t i = 0; i < mass.size(); ++i) {
+    com += mass[i] * pos[i];
+    total += mass[i];
+  }
+  if (total > 0) com *= 1.0 / total;
+  return com;
+}
+
+std::vector<double> lagrangian_radii(std::span<const double> mass,
+                                     std::span<const Vec3> pos,
+                                     std::span<const double> fractions) {
+  Vec3 com = centre_of_mass(mass, pos);
+  std::vector<std::pair<double, double>> radius_mass(mass.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < mass.size(); ++i) {
+    radius_mass[i] = {(pos[i] - com).norm(), mass[i]};
+    total += mass[i];
+  }
+  std::sort(radius_mass.begin(), radius_mass.end());
+  std::vector<double> radii;
+  radii.reserve(fractions.size());
+  std::size_t cursor = 0;
+  double cumulative = 0.0;
+  for (double fraction : fractions) {
+    double target = fraction * total;
+    while (cursor < radius_mass.size() && cumulative < target) {
+      cumulative += radius_mass[cursor].second;
+      ++cursor;
+    }
+    radii.push_back(cursor == 0 ? 0.0 : radius_mass[cursor - 1].first);
+  }
+  return radii;
+}
+
+double bound_gas_fraction(std::span<const double> gas_mass,
+                          std::span<const Vec3> gas_pos,
+                          std::span<const Vec3> gas_vel,
+                          std::span<const double> gas_u,
+                          std::span<const double> star_mass,
+                          std::span<const Vec3> star_pos, double eps2) {
+  // One tree over everything (stars + gas).
+  std::vector<Vec3> all_pos(gas_pos.begin(), gas_pos.end());
+  all_pos.insert(all_pos.end(), star_pos.begin(), star_pos.end());
+  std::vector<double> all_mass(gas_mass.begin(), gas_mass.end());
+  all_mass.insert(all_mass.end(), star_mass.begin(), star_mass.end());
+  kernels::BarnesHutTree tree(0.6, eps2);
+  tree.build(all_pos, all_mass);
+
+  double bound = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < gas_mass.size(); ++i) {
+    double phi = tree.potential_at(gas_pos[i]);
+    // Remove rough self-contribution (softened).
+    phi += gas_mass[i] / std::sqrt(eps2);
+    double specific = 0.5 * gas_vel[i].norm2() + gas_u[i] + phi;
+    total += gas_mass[i];
+    if (specific < 0.0) bound += gas_mass[i];
+  }
+  return total > 0 ? bound / total : 0.0;
+}
+
+double virial_ratio(std::span<const double> mass, std::span<const Vec3> pos,
+                    std::span<const Vec3> vel, double eps2) {
+  double kinetic = 0.0;
+  for (std::size_t i = 0; i < mass.size(); ++i) {
+    kinetic += 0.5 * mass[i] * vel[i].norm2();
+  }
+  double potential = 0.0;
+  for (std::size_t i = 0; i < mass.size(); ++i) {
+    for (std::size_t j = i + 1; j < mass.size(); ++j) {
+      potential -=
+          mass[i] * mass[j] / std::sqrt((pos[j] - pos[i]).norm2() + eps2);
+    }
+  }
+  return potential != 0.0 ? -2.0 * kinetic / potential : 0.0;
+}
+
+}  // namespace jungle::amuse::diagnostics

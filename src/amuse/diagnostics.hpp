@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "kernels/vec3.hpp"
+
+namespace jungle::amuse::diagnostics {
+
+using kernels::Vec3;
+
+/// Mass-weighted centre of mass.
+Vec3 centre_of_mass(std::span<const double> mass, std::span<const Vec3> pos);
+
+/// Radii containing the given mass fractions, about the centre of mass —
+/// the standard way to quantify the cluster expansion visible in Fig 6.
+std::vector<double> lagrangian_radii(std::span<const double> mass,
+                                     std::span<const Vec3> pos,
+                                     std::span<const double> fractions);
+
+/// Fraction of the gas mass that is gravitationally bound to the combined
+/// (stars + gas) system: 0.5 v^2 + u + phi < 0, with phi from a BH tree
+/// over everything. This is the Fig-6 observable: it starts near 1 and
+/// falls as feedback drives the gas out.
+double bound_gas_fraction(std::span<const double> gas_mass,
+                          std::span<const Vec3> gas_pos,
+                          std::span<const Vec3> gas_vel,
+                          std::span<const double> gas_u,
+                          std::span<const double> star_mass,
+                          std::span<const Vec3> star_pos, double eps2 = 1e-4);
+
+/// Virial ratio -2T/W of a self-gravitating set (1 = equilibrium).
+double virial_ratio(std::span<const double> mass, std::span<const Vec3> pos,
+                    std::span<const Vec3> vel, double eps2 = 1e-4);
+
+}  // namespace jungle::amuse::diagnostics

@@ -1,0 +1,34 @@
+#include "amuse/faults.hpp"
+
+#include "util/logging.hpp"
+
+namespace jungle::amuse {
+
+GravityCheckpoint checkpoint_gravity(GravityClient& gravity) {
+  GravityCheckpoint save;
+  save.state = gravity.get_state();
+  save.model_time = gravity.model_time();
+  return save;
+}
+
+std::unique_ptr<GravityClient> restart_gravity(DaemonClient& daemon,
+                                               const WorkerSpec& spec,
+                                               const std::string& resource,
+                                               const GravityCheckpoint& save,
+                                               int nodes) {
+  log::warn("amuse") << "restarting " << spec.code << " on " << resource
+                     << " from checkpoint at t=" << save.model_time;
+  auto client = std::make_unique<GravityClient>(
+      daemon.start_worker(spec, resource, nodes));
+  client->set_params(save.eps2, save.eta);
+  client->add_particles(save.state.mass, save.state.position,
+                        save.state.velocity);
+  // A fresh integrator starts at t=0; evolve it forward to the checkpoint
+  // time is wrong (it would integrate). The restart convention instead
+  // shifts the script's clock: callers track the offset. We evolve by 0 to
+  // prime forces only.
+  client->evolve(0.0);
+  return client;
+}
+
+}  // namespace jungle::amuse

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "amuse/clients.hpp"
+#include "amuse/daemon.hpp"
+
+namespace jungle::amuse {
+
+/// Fault-tolerance extension (the paper's §7 future work: "In theory it
+/// should be possible to transparently find a replacement machine"). The
+/// script checkpoints worker state after each bridge step; when a worker
+/// dies (CodeError with worker_died from the RPC layer), it starts a
+/// replacement on another resource and reloads the checkpoint.
+
+struct GravityCheckpoint {
+  GravityState state;
+  double model_time = 0.0;
+  double eps2 = 1e-4;
+  double eta = 0.02;
+};
+
+/// Snapshot a live gravity worker.
+GravityCheckpoint checkpoint_gravity(GravityClient& gravity);
+
+/// Start a replacement worker through the daemon and restore the
+/// checkpoint into it. The returned client continues from the snapshot.
+std::unique_ptr<GravityClient> restart_gravity(DaemonClient& daemon,
+                                               const WorkerSpec& spec,
+                                               const std::string& resource,
+                                               const GravityCheckpoint& save,
+                                               int nodes = 1);
+
+}  // namespace jungle::amuse

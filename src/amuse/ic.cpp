@@ -1,0 +1,94 @@
+#include "amuse/ic.hpp"
+
+#include <cmath>
+
+namespace jungle::amuse::ic {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+Vec3 random_direction(util::Rng& rng) {
+  // Uniform on the unit sphere.
+  double z = rng.uniform(-1.0, 1.0);
+  double phi = rng.uniform(0.0, 2.0 * kPi);
+  double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+  return {r * std::cos(phi), r * std::sin(phi), z};
+}
+}  // namespace
+
+NBodyModel plummer_sphere(std::size_t n, util::Rng& rng) {
+  NBodyModel model;
+  model.mass.assign(n, 1.0 / static_cast<double>(n));
+  model.position.resize(n);
+  model.velocity.resize(n);
+  // Standard N-body units: Plummer scale a = 3*pi/16 gives virial radius 1.
+  const double a = 3.0 * kPi / 16.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Radius from the cumulative mass profile (capped to avoid outliers).
+    double x = rng.uniform(0.0, 1.0);
+    x = std::min(x, 0.999);
+    double r = a / std::sqrt(std::pow(x, -2.0 / 3.0) - 1.0);
+    model.position[i] = r * random_direction(rng);
+    // Velocity by von Neumann rejection from g(q) = q^2 (1-q^2)^3.5.
+    double q, g;
+    do {
+      q = rng.uniform(0.0, 1.0);
+      g = rng.uniform(0.0, 0.1);
+    } while (g > q * q * std::pow(1.0 - q * q, 3.5));
+    double v_escape = std::sqrt(2.0) * std::pow(r * r + a * a, -0.25);
+    model.velocity[i] = q * v_escape * random_direction(rng);
+  }
+  centre(model);
+  return model;
+}
+
+std::vector<double> salpeter_masses(std::size_t n, util::Rng& rng,
+                                    double min_mass, double max_mass) {
+  // Inverse-CDF sampling of m^-alpha on [min, max], alpha = 2.35.
+  const double alpha = 2.35;
+  const double one_minus = 1.0 - alpha;
+  double lo = std::pow(min_mass, one_minus);
+  double hi = std::pow(max_mass, one_minus);
+  std::vector<double> masses(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double u = rng.uniform(0.0, 1.0);
+    masses[i] = std::pow(lo + u * (hi - lo), 1.0 / one_minus);
+  }
+  return masses;
+}
+
+GasModel gas_sphere(std::size_t n, util::Rng& rng, double total_mass,
+                    double radius, double u_frac) {
+  GasModel model;
+  model.mass.assign(n, total_mass / static_cast<double>(n));
+  model.position.resize(n);
+  model.velocity.assign(n, Vec3{});
+  // Homogeneous sphere: r ~ R u^(1/3).
+  for (std::size_t i = 0; i < n; ++i) {
+    double r = radius * std::cbrt(rng.uniform(0.0, 1.0));
+    model.position[i] = r * random_direction(rng);
+  }
+  // |E_bind| of a homogeneous sphere = 3/5 GM^2/R; per unit mass.
+  double specific_binding = 0.6 * total_mass / radius;
+  model.internal_energy.assign(n, u_frac * specific_binding);
+  return model;
+}
+
+void centre(NBodyModel& model) {
+  Vec3 com{}, cov{};
+  double total = 0.0;
+  for (std::size_t i = 0; i < model.mass.size(); ++i) {
+    com += model.mass[i] * model.position[i];
+    cov += model.mass[i] * model.velocity[i];
+    total += model.mass[i];
+  }
+  if (total <= 0) return;
+  com *= 1.0 / total;
+  cov *= 1.0 / total;
+  for (std::size_t i = 0; i < model.mass.size(); ++i) {
+    model.position[i] -= com;
+    model.velocity[i] -= cov;
+  }
+}
+
+}  // namespace jungle::amuse::ic

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "kernels/vec3.hpp"
+#include "util/rng.hpp"
+
+namespace jungle::amuse::ic {
+
+using kernels::Vec3;
+
+/// Initial-condition generators (AMUSE ships these as part of "generating
+/// initial conditions", paper §4.1). All output is in standard N-body
+/// units: total mass 1, virial radius 1, G 1, virial equilibrium.
+
+struct NBodyModel {
+  std::vector<double> mass;
+  std::vector<Vec3> position;
+  std::vector<Vec3> velocity;
+};
+
+/// Plummer sphere (Aarseth, Henon & Wielen 1974 sampling), equal masses.
+NBodyModel plummer_sphere(std::size_t n, util::Rng& rng);
+
+/// Salpeter IMF: dN/dm ~ m^-2.35 on [min_mass, max_mass] (MSun). Returned
+/// masses are in MSun (not N-body units).
+std::vector<double> salpeter_masses(std::size_t n, util::Rng& rng,
+                                    double min_mass = 0.3,
+                                    double max_mass = 25.0);
+
+struct GasModel {
+  std::vector<double> mass;
+  std::vector<Vec3> position;
+  std::vector<Vec3> velocity;
+  std::vector<double> internal_energy;
+};
+
+/// Homogeneous gas sphere at rest: `total_mass` (N-body units) spread over
+/// `n` particles inside `radius`, with internal energy a fraction `u_frac`
+/// of |binding energy|/mass — the embedded cluster's natal cloud.
+GasModel gas_sphere(std::size_t n, util::Rng& rng, double total_mass,
+                    double radius, double u_frac = 0.05);
+
+/// Recentre to the centre of mass (positions and velocities).
+void centre(NBodyModel& model);
+
+}  // namespace jungle::amuse::ic

@@ -1,0 +1,99 @@
+#include "amuse/particles.hpp"
+
+namespace jungle::amuse {
+
+std::vector<double> Column::values_in(const Unit& target) const {
+  if (!unit_.same_dimensions(target)) {
+    throw UnitError("column in " + unit_.symbol + " asked for as " +
+                    target.symbol);
+  }
+  double factor = unit_.si_factor / target.si_factor;
+  std::vector<double> converted(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    converted[i] = values_[i] * factor;
+  }
+  return converted;
+}
+
+Column& ParticleSet::add_attribute(const std::string& name, const Unit& unit) {
+  auto [it, inserted] = columns_.try_emplace(name, size_, unit);
+  if (inserted) order_.push_back(name);
+  return it->second;
+}
+
+bool ParticleSet::has_attribute(const std::string& name) const {
+  return columns_.count(name) != 0;
+}
+
+Column& ParticleSet::attribute(const std::string& name) {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) {
+    throw ConfigError("particle set has no attribute '" + name + "'");
+  }
+  return it->second;
+}
+
+const Column& ParticleSet::attribute(const std::string& name) const {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) {
+    throw ConfigError("particle set has no attribute '" + name + "'");
+  }
+  return it->second;
+}
+
+void ParticleSet::add_rows(std::size_t count) {
+  size_ += count;
+  for (auto& [name, column] : columns_) {
+    column.raw().resize(size_, 0.0);
+  }
+}
+
+void ParticleSet::copy_attributes_to(
+    ParticleSet& target, const std::vector<std::string>& names) const {
+  if (target.size() != size_) {
+    throw CodeError("channel between particle sets of different sizes (" +
+                    std::to_string(size_) + " vs " +
+                    std::to_string(target.size()) + ")");
+  }
+  for (const std::string& name : names) {
+    const Column& source = attribute(name);
+    Column& sink = target.has_attribute(name)
+                       ? target.attribute(name)
+                       : target.add_attribute(name, source.unit());
+    // Unit-checked copy: convert into the target column's unit.
+    sink.raw() = source.values_in(sink.unit());
+  }
+}
+
+std::vector<kernels::Vec3> ParticleSet::gather_vec3(const std::string& x,
+                                                    const std::string& y,
+                                                    const std::string& z,
+                                                    const Unit& unit) const {
+  auto xs = attribute(x).values_in(unit);
+  auto ys = attribute(y).values_in(unit);
+  auto zs = attribute(z).values_in(unit);
+  std::vector<kernels::Vec3> result(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    result[i] = {xs[i], ys[i], zs[i]};
+  }
+  return result;
+}
+
+void ParticleSet::scatter_vec3(const std::string& x, const std::string& y,
+                               const std::string& z,
+                               const std::vector<kernels::Vec3>& values,
+                               const Unit& unit) {
+  if (values.size() != size_) {
+    throw CodeError("scatter_vec3 size mismatch");
+  }
+  Column& cx = attribute(x);
+  Column& cy = attribute(y);
+  Column& cz = attribute(z);
+  for (std::size_t i = 0; i < size_; ++i) {
+    cx.set(i, Quantity(values[i].x, unit));
+    cy.set(i, Quantity(values[i].y, unit));
+    cz.set(i, Quantity(values[i].z, unit));
+  }
+}
+
+}  // namespace jungle::amuse

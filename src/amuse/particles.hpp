@@ -1,0 +1,83 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "amuse/units.hpp"
+#include "kernels/vec3.hpp"
+
+namespace jungle::amuse {
+
+/// A named, unit-tagged column of a particle set.
+class Column {
+ public:
+  Column() = default;
+  Column(std::size_t n, Unit unit) : values_(n, 0.0), unit_(std::move(unit)) {}
+
+  std::size_t size() const noexcept { return values_.size(); }
+  const Unit& unit() const noexcept { return unit_; }
+
+  Quantity at(std::size_t index) const {
+    return Quantity(values_.at(index), unit_);
+  }
+  /// Checked: `value` must be dimensionally compatible with the column.
+  void set(std::size_t index, const Quantity& value) {
+    values_.at(index) = value.value_in(unit_);
+  }
+
+  /// Raw values in the column's own unit.
+  const std::vector<double>& raw() const noexcept { return values_; }
+  std::vector<double>& raw() noexcept { return values_; }
+
+  /// All values converted to `target` (checked).
+  std::vector<double> values_in(const Unit& target) const;
+
+ private:
+  std::vector<double> values_;
+  Unit unit_;
+};
+
+/// AMUSE-style particle set: rows of particles, unit-tagged attribute
+/// columns, and checked channels that copy attributes between sets. This is
+/// the script-facing data model; kernels get flat N-body arrays via the
+/// converter.
+class ParticleSet {
+ public:
+  ParticleSet() = default;
+
+  std::size_t size() const noexcept { return size_; }
+
+  /// Add an attribute column (zero-filled).
+  Column& add_attribute(const std::string& name, const Unit& unit);
+  bool has_attribute(const std::string& name) const;
+  Column& attribute(const std::string& name);
+  const Column& attribute(const std::string& name) const;
+  std::vector<std::string> attribute_names() const { return order_; }
+
+  /// Grow by `count` rows (zero-filled in all columns).
+  void add_rows(std::size_t count);
+
+  /// Copy the named attributes to `target` (sizes must match; units are
+  /// converted, incompatible dimensions throw) — AMUSE's
+  /// `new_channel_to(...).copy_attributes(...)`.
+  void copy_attributes_to(ParticleSet& target,
+                          const std::vector<std::string>& names) const;
+
+  /// Convenience vector-of-Vec3 access for columns named e.g. "x","y","z".
+  std::vector<kernels::Vec3> gather_vec3(const std::string& x,
+                                         const std::string& y,
+                                         const std::string& z,
+                                         const Unit& unit) const;
+  void scatter_vec3(const std::string& x, const std::string& y,
+                    const std::string& z,
+                    const std::vector<kernels::Vec3>& values,
+                    const Unit& unit);
+
+ private:
+  std::size_t size_ = 0;
+  std::map<std::string, Column> columns_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace jungle::amuse

@@ -1,0 +1,157 @@
+#include "amuse/rpc.hpp"
+
+#include "util/logging.hpp"
+
+namespace jungle::amuse {
+
+util::ByteReader Future::get() {
+  RpcReply reply = state_->box.get();
+  if (reply.status == RpcStatus::ok) {
+    return util::ByteReader(std::move(reply.payload));
+  }
+  std::string message(reply.payload.begin(), reply.payload.end());
+  if (reply.status == RpcStatus::worker_died) {
+    throw CodeError("worker died: " + message);
+  }
+  throw CodeError(message);
+}
+
+RpcClient::RpcClient(sim::Host& home, std::unique_ptr<MessagePipe> pipe,
+                     std::string label)
+    : home_(home), pipe_(std::move(pipe)), label_(std::move(label)) {
+  pump_pid_ = home_.spawn("rpc-pump:" + label_, [this] { pump(); });
+}
+
+RpcClient::~RpcClient() {
+  home_.simulation().kill(pump_pid_);
+  if (!closed_) {
+    try {
+      // Even after poisoning, closing tells a still-alive peer (e.g. the
+      // daemon's relay loop) to wind down.
+      pipe_->close();
+    } catch (const Error&) {
+      // already gone; nothing to release
+    }
+  }
+}
+
+void RpcClient::pump() {
+  try {
+    while (true) {
+      auto bytes = pipe_->recv_bytes();
+      if (!bytes) {
+        poison("worker closed the connection");
+        return;
+      }
+      util::ByteReader reader(std::move(*bytes));
+      auto request_id = reader.get<std::uint32_t>();
+      auto status = static_cast<RpcStatus>(reader.get<std::uint8_t>());
+      auto payload = reader.get_vector<std::uint8_t>();
+      auto it = pending_.find(request_id);
+      if (it == pending_.end()) {
+        log::warn("amuse") << label_ << ": reply for unknown request "
+                           << request_id;
+        continue;
+      }
+      it->second->box.put(RpcReply{status, std::move(payload)});
+      pending_.erase(it);
+    }
+  } catch (const ConnectError& failure) {
+    poison(failure.what());
+  }
+}
+
+void RpcClient::poison(const std::string& reason) {
+  dead_ = true;
+  death_reason_ = reason;
+  for (auto& [id, state] : pending_) {
+    std::vector<std::uint8_t> text(reason.begin(), reason.end());
+    state->box.put(RpcReply{RpcStatus::worker_died, text});
+  }
+  pending_.clear();
+}
+
+Future RpcClient::call(Fn fn, util::ByteWriter arguments) {
+  auto state = std::make_shared<Future::State>(home_.simulation());
+  if (dead_) {
+    std::vector<std::uint8_t> text(death_reason_.begin(),
+                                   death_reason_.end());
+    state->box.put(RpcReply{RpcStatus::worker_died, std::move(text)});
+    return Future(state);
+  }
+  std::uint32_t request_id = next_request_++;
+  pending_[request_id] = state;
+  util::ByteWriter frame;
+  frame.put<std::uint32_t>(request_id);
+  frame.put<std::uint16_t>(static_cast<std::uint16_t>(fn));
+  frame.put_vector(std::move(arguments).take());
+  try {
+    pipe_->send_bytes(std::move(frame).take());
+  } catch (const ConnectError& failure) {
+    pending_.erase(request_id);
+    poison(failure.what());
+    std::vector<std::uint8_t> text(death_reason_.begin(),
+                                   death_reason_.end());
+    state->box.put(RpcReply{RpcStatus::worker_died, std::move(text)});
+  }
+  return Future(state);
+}
+
+util::ByteReader RpcClient::call_sync(Fn fn, util::ByteWriter arguments) {
+  return call(fn, std::move(arguments)).get();
+}
+
+void RpcClient::close() {
+  if (closed_ || dead_) return;
+  closed_ = true;
+  try {
+    util::ByteWriter frame;
+    frame.put<std::uint32_t>(0);
+    frame.put<std::uint16_t>(static_cast<std::uint16_t>(Fn::stop));
+    frame.put_vector(std::vector<std::uint8_t>{});
+    pipe_->send_bytes(std::move(frame).take());
+    pipe_->close();
+  } catch (const ConnectError&) {
+    // Worker already unreachable.
+  }
+  home_.simulation().kill(pump_pid_);
+}
+
+void WorkerServer::run() {
+  try {
+    while (true) {
+      auto bytes = pipe_->recv_bytes();
+      if (!bytes) return;  // client closed
+      util::ByteReader reader(std::move(*bytes));
+      auto request_id = reader.get<std::uint32_t>();
+      auto fn = static_cast<Fn>(reader.get<std::uint16_t>());
+      auto arguments = reader.get_vector<std::uint8_t>();
+      if (fn == Fn::stop) return;
+      util::ByteWriter reply_frame;
+      reply_frame.put<std::uint32_t>(request_id);
+      if (fn == Fn::ping) {
+        reply_frame.put<std::uint8_t>(static_cast<std::uint8_t>(RpcStatus::ok));
+        reply_frame.put_vector(std::vector<std::uint8_t>{});
+      } else {
+        try {
+          util::ByteReader args(std::move(arguments));
+          util::ByteWriter result = dispatcher_(fn, args);
+          reply_frame.put<std::uint8_t>(
+              static_cast<std::uint8_t>(RpcStatus::ok));
+          reply_frame.put_vector(std::move(result).take());
+        } catch (const Error& failure) {
+          std::string what = failure.what();
+          reply_frame.put<std::uint8_t>(
+              static_cast<std::uint8_t>(RpcStatus::code_error));
+          reply_frame.put_vector(
+              std::vector<std::uint8_t>(what.begin(), what.end()));
+        }
+      }
+      pipe_->send_bytes(std::move(reply_frame).take());
+    }
+  } catch (const ConnectError&) {
+    // Client side vanished; worker just exits.
+  }
+}
+
+}  // namespace jungle::amuse

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/mailbox.hpp"
+#include "smartsockets/connection.hpp"
+#include "util/bytebuffer.hpp"
+
+namespace jungle::amuse {
+
+/// AMUSE communicates with workers "in an RPC-like method. Both synchronous
+/// and asynchronous calls are supported" (paper §4.1). This is that layer:
+/// framed request/reply with correlation ids, futures for async calls, and
+/// a worker-side dispatch loop.
+
+/// Function ids. Ranges per interface keep dispatch tables readable.
+enum class Fn : std::uint16_t {
+  ping = 0,
+  stop = 1,
+
+  // GravitationalDynamics (phiGRAPE)
+  grav_set_params = 10,
+  grav_add_particles = 11,
+  grav_evolve = 12,
+  grav_get_state = 13,
+  grav_get_energies = 14,
+  grav_kick_all = 15,
+  grav_set_masses = 16,
+  grav_get_time = 17,
+
+  // GravityField (Octgrav / Fi)
+  field_set_sources = 30,
+  field_accel_at = 31,
+
+  // Hydrodynamics (Gadget)
+  hydro_set_params = 50,
+  hydro_add_gas = 51,
+  hydro_evolve = 52,
+  hydro_get_state = 53,
+  hydro_get_energies = 54,
+  hydro_kick_all = 55,
+  hydro_inject = 56,
+
+  // StellarEvolution (SSE)
+  se_add_stars = 70,
+  se_evolve_to = 71,
+  se_get_masses = 72,
+  se_get_supernovae = 73,
+  se_get_mass_loss = 74,
+  se_get_luminosities = 75,
+};
+
+/// Reply status on the wire.
+enum class RpcStatus : std::uint8_t { ok = 0, code_error = 1, worker_died = 2 };
+
+struct RpcReply {
+  RpcStatus status = RpcStatus::ok;
+  std::vector<std::uint8_t> payload;  // result bytes or error text
+};
+
+/// Abstract bidirectional message transport the RPC layer runs over. The
+/// three AMUSE channels (MPI, socket, Ibis-via-daemon) all reduce to this.
+class MessagePipe {
+ public:
+  virtual ~MessagePipe() = default;
+  virtual void send_bytes(std::vector<std::uint8_t> bytes) = 0;
+  /// Blocking; nullopt on orderly close. Throws ConnectError when broken.
+  virtual std::optional<std::vector<std::uint8_t>> recv_bytes() = 0;
+  virtual void close() = 0;
+};
+
+/// MessagePipe over a SmartSockets connection.
+class ConnectionPipe : public MessagePipe {
+ public:
+  explicit ConnectionPipe(std::shared_ptr<smartsockets::ConnectionEnd> conn)
+      : conn_(std::move(conn)) {}
+  void send_bytes(std::vector<std::uint8_t> bytes) override {
+    conn_->send(std::move(bytes));
+  }
+  std::optional<std::vector<std::uint8_t>> recv_bytes() override {
+    return conn_->recv();
+  }
+  void close() override { conn_->close(); }
+
+ private:
+  std::shared_ptr<smartsockets::ConnectionEnd> conn_;
+};
+
+/// Client-side future (CP.60). get() blocks the calling process until the
+/// reply lands; throws CodeError when the worker reported an error or died.
+class Future {
+ public:
+  struct State {
+    explicit State(sim::Simulation& sim) : box(sim) {}
+    sim::Mailbox<RpcReply> box;
+  };
+
+  explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  util::ByteReader get();
+  bool ready() const noexcept { return !state_->box.empty(); }
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+/// Client endpoint: correlates replies with requests and hands out futures.
+/// A pump process (spawned on `home`) drains the pipe. Multiple calls may be
+/// outstanding — that is what makes the bridge's parallel evolve work.
+class RpcClient {
+ public:
+  RpcClient(sim::Host& home, std::unique_ptr<MessagePipe> pipe,
+            std::string label);
+  ~RpcClient();
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  Future call(Fn fn, util::ByteWriter arguments);
+  util::ByteReader call_sync(Fn fn, util::ByteWriter arguments);
+
+  /// Send the stop function and close the pipe.
+  void close();
+  bool alive() const noexcept { return !dead_; }
+  const std::string& label() const noexcept { return label_; }
+
+  /// Fail every outstanding and future call (used by the daemon client when
+  /// the registry reports the worker died).
+  void poison(const std::string& reason);
+
+ private:
+  void pump();
+
+  sim::Host& home_;
+  std::unique_ptr<MessagePipe> pipe_;
+  std::string label_;
+  std::uint32_t next_request_ = 1;
+  std::map<std::uint32_t, std::shared_ptr<Future::State>> pending_;
+  bool dead_ = false;
+  std::string death_reason_;
+  sim::ProcessId pump_pid_ = 0;
+  bool closed_ = false;
+};
+
+/// Worker-side dispatcher: maps a function id + argument reader to a result.
+/// Throwing CodeError inside produces an error reply (not a crash).
+using Dispatcher =
+    std::function<util::ByteWriter(Fn, util::ByteReader&)>;
+
+/// Worker-side request loop. Runs on the worker's own process until the
+/// client sends `stop` or the pipe closes/breaks.
+class WorkerServer {
+ public:
+  WorkerServer(std::unique_ptr<MessagePipe> pipe, Dispatcher dispatcher)
+      : pipe_(std::move(pipe)), dispatcher_(std::move(dispatcher)) {}
+
+  /// Blocking; returns when the worker is told to stop.
+  void run();
+
+ private:
+  std::unique_ptr<MessagePipe> pipe_;
+  Dispatcher dispatcher_;
+};
+
+}  // namespace jungle::amuse

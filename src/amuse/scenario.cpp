@@ -1,0 +1,261 @@
+#include "amuse/scenario.hpp"
+
+#include <cmath>
+
+#include "amuse/diagnostics.hpp"
+#include "amuse/ic.hpp"
+#include "util/logging.hpp"
+
+namespace jungle::amuse::scenario {
+
+const char* kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::local_cpu: return "local-cpu(Fi+phiGRAPE-CPU)";
+    case Kind::local_gpu: return "local-gpu(Octgrav+phiGRAPE-GPU)";
+    case Kind::remote_gpu: return "remote-gpu(Octgrav@LGM)";
+    case Kind::jungle: return "jungle(4 sites)";
+    case Kind::sc11: return "sc11(coupler@Seattle)";
+  }
+  return "?";
+}
+
+double paper_seconds_per_iteration(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::local_cpu: return 353.0;
+    case Kind::local_gpu: return 89.0;
+    case Kind::remote_gpu: return 84.0;
+    case Kind::jungle: return 62.4;
+    case Kind::sc11: return std::nan("");  // demonstrated, not timed
+  }
+  return std::nan("");
+}
+
+JungleTestbed::JungleTestbed(bool verbose) {
+  using sim::net::gbit;
+  using sim::net::ms;
+  if (verbose) log::set_threshold(log::Level::info);
+
+  // Effective per-core/GPU rates for irregular tree/N-body/SPH kernels
+  // (a few percent of peak — see DESIGN.md calibration notes).
+  net_.add_site("vu", 0.1 * ms, 1 * gbit);
+  net_.add_site("seattle", 0.1 * ms, 1 * gbit);
+  net_.add_site("uva", 0.05 * ms, 10 * gbit);
+  net_.add_site("delft", 0.05 * ms, 10 * gbit);
+  net_.add_site("leiden", 0.1 * ms, 1 * gbit);
+  net_.add_site("das-vu", 2e-6, 32 * gbit);  // cluster interconnect
+
+  sim::Host& desktop = net_.add_host("desktop", "vu", 4, 0.15);
+  desktop.set_gpu(sim::GpuSpec{"geforce-9600gt", 1.2});
+  net_.add_host("laptop", "seattle", 2, 0.12);
+
+  sim::Host& lgm_fs = net_.add_host("fs-lgm", "leiden", 8, 0.3);
+  lgm_fs.firewall().allow_inbound = false;  // ssh only, hub tunnels
+  sim::Host& lgm_node = net_.add_host("lgm-node", "leiden", 8, 0.3);
+  lgm_node.set_gpu(sim::GpuSpec{"tesla-c2050", 6.0});
+
+  net_.add_host("fs-uva", "uva", 8, 0.3);
+  net_.add_host("uva-node", "uva", 8, 0.3);
+
+  net_.add_host("fs-delft", "delft", 8, 0.3);
+  for (int i = 0; i < 2; ++i) {
+    sim::Host& node =
+        net_.add_host("delft-gpu" + std::to_string(i), "delft", 8, 0.3);
+    node.set_gpu(sim::GpuSpec{"gtx480", 2.4});
+  }
+
+  net_.add_host("fs-dasvu", "das-vu", 8, 0.3);
+  for (int i = 0; i < 8; ++i) {
+    net_.add_host("dasvu" + std::to_string(i), "das-vu", 8, 0.3);
+  }
+
+  // Lightpaths of Figs 9/12.
+  net_.add_link("vu", "uva", 0.2 * ms, 10 * gbit, "starplane-uva");
+  net_.add_link("vu", "delft", 0.5 * ms, 10 * gbit, "starplane-delft");
+  net_.add_link("vu", "leiden", 0.5 * ms, 1 * gbit, "lgm-lightpath");
+  net_.add_link("vu", "das-vu", 0.05 * ms, 10 * gbit, "vu-campus");
+  net_.add_link("seattle", "vu", 45 * ms, 1 * gbit, "transatlantic");
+  net_.set_loopback(5e-6, 10 * gbit);
+
+  deployer_ = std::make_unique<deploy::Deployer>(net_, sockets_, desktop);
+  auto cluster = [&](const std::string& name, const std::string& frontend,
+                     std::vector<std::string> node_names) {
+    gat::Resource resource;
+    resource.name = name;
+    resource.middleware = "sge";
+    resource.frontend = &net_.host(frontend);
+    for (const auto& node : node_names) {
+      resource.nodes.push_back(&net_.host(node));
+    }
+    resource.queue_base_delay = 1.0;
+    resource.queue = std::make_shared<gat::ClusterQueue>(sim_);
+    resource.queue->set_nodes(resource.nodes);
+    deployer_->add_resource(resource);
+  };
+  cluster("lgm", "fs-lgm", {"lgm-node"});
+  cluster("das4-uva", "fs-uva", {"uva-node"});
+  cluster("das4-delft", "fs-delft", {"delft-gpu0", "delft-gpu1"});
+  cluster("das4-vu", "fs-dasvu",
+          {"dasvu0", "dasvu1", "dasvu2", "dasvu3", "dasvu4", "dasvu5",
+           "dasvu6", "dasvu7"});
+}
+
+IbisDaemon& JungleTestbed::daemon(sim::Host& client) {
+  if (!daemon_) {
+    daemon_ = std::make_unique<IbisDaemon>(*deployer_, net_, sockets_, client);
+  }
+  return *daemon_;
+}
+
+namespace {
+
+struct Workers {
+  std::unique_ptr<GravityClient> stars;
+  std::unique_ptr<HydroClient> gas;
+  std::unique_ptr<FieldClient> coupler;
+  std::unique_ptr<StellarClient> se;
+};
+
+Workers place_workers(JungleTestbed& bed, Kind kind, sim::Host& client,
+                      const Options& options) {
+  Workers workers;
+  auto local = [&](const WorkerSpec& spec) {
+    return start_local_worker(bed.sockets(), bed.network(), client, client,
+                              spec, ChannelKind::mpi);
+  };
+  DaemonClient daemon_client(bed.sockets(), client);
+  auto remote = [&](const WorkerSpec& spec, const std::string& resource,
+                    int nodes = 1) {
+    return daemon_client.start_worker(spec, resource, nodes);
+  };
+
+  WorkerSpec grav_cpu{.code = "phigrape", .ncores = 2};
+  WorkerSpec grav_gpu{.code = "phigrape-gpu"};
+  WorkerSpec fi{.code = "fi", .ncores = 2};
+  WorkerSpec octgrav{.code = "octgrav"};
+  WorkerSpec gadget_local{.code = "gadget", .nranks = 2, .ncores = 1};
+  WorkerSpec gadget_cluster{.code = "gadget", .nranks = 8, .ncores = 2};
+  WorkerSpec sse{.code = "sse"};
+
+  switch (kind) {
+    case Kind::local_cpu:
+      workers.stars = std::make_unique<GravityClient>(local(grav_cpu));
+      workers.coupler = std::make_unique<FieldClient>(local(fi));
+      workers.gas = std::make_unique<HydroClient>(local(gadget_local));
+      workers.se = std::make_unique<StellarClient>(local(sse));
+      break;
+    case Kind::local_gpu:
+      workers.stars = std::make_unique<GravityClient>(local(grav_gpu));
+      workers.coupler = std::make_unique<FieldClient>(local(octgrav));
+      workers.gas = std::make_unique<HydroClient>(local(gadget_local));
+      workers.se = std::make_unique<StellarClient>(local(sse));
+      break;
+    case Kind::remote_gpu:
+      workers.stars = std::make_unique<GravityClient>(local(grav_gpu));
+      workers.coupler =
+          std::make_unique<FieldClient>(remote(octgrav, "lgm"));
+      workers.gas = std::make_unique<HydroClient>(local(gadget_local));
+      workers.se = std::make_unique<StellarClient>(local(sse));
+      break;
+    case Kind::jungle:
+    case Kind::sc11:
+      workers.stars =
+          std::make_unique<GravityClient>(remote(grav_gpu, "lgm"));
+      workers.coupler =
+          std::make_unique<FieldClient>(remote(octgrav, "das4-delft"));
+      workers.gas = std::make_unique<HydroClient>(
+          remote(gadget_cluster, "das4-vu", 8));
+      workers.se = std::make_unique<StellarClient>(remote(sse, "das4-uva"));
+      break;
+  }
+  (void)options;
+  return workers;
+}
+
+}  // namespace
+
+Result run_scenario(Kind kind, const Options& options) {
+  JungleTestbed bed;
+  sim::Host& client =
+      kind == Kind::sc11 ? bed.laptop() : bed.desktop();
+  bed.daemon(client);  // paper step 3: "start the Ibis-Daemon"
+
+  Result result;
+  result.kind = kind;
+  result.iterations = options.iterations;
+
+  bed.simulation().spawn("amuse-script", [&] {
+    Workers workers = place_workers(bed, kind, client, options);
+
+    // Initial conditions: the embedded star cluster of [11].
+    util::Rng rng(options.seed);
+    auto model = ic::plummer_sphere(options.n_stars, rng);
+    workers.stars->add_particles(model.mass, model.position, model.velocity);
+    auto cloud = ic::gas_sphere(options.n_gas, rng, 2.0, 1.5);
+    workers.gas->add_gas(cloud.mass, cloud.position, cloud.velocity,
+                         cloud.internal_energy);
+    auto zams = ic::salpeter_masses(options.n_stars, rng);
+    zams[0] = 20.0;  // at least one star that will go off
+    workers.se->add_stars(zams);
+
+    Bridge::Config config;
+    config.dt = options.dt;
+    config.se_every = options.se_every;
+    // time scale: ~0.47 Myr per N-body time for 1000 MSun / 1 pc; SN energy
+    // scaled into N-body units for a 2 M_cluster gas cloud.
+    config.myr_per_nbody_time = 0.47;
+    config.feedback_efficiency = 0.1;
+    config.wind_specific_energy = 5.0;
+    config.supernova_energy = 40.0;
+    Bridge bridge(*workers.stars, *workers.gas, *workers.coupler,
+                  options.with_stellar_evolution ? workers.se.get() : nullptr,
+                  config);
+
+    bed.network().reset_traffic();
+    double wall_start = bed.simulation().now();
+    double coupling_time = 0.0;
+    double evolve_time = 0.0;
+    for (int i = 0; i < options.iterations; ++i) {
+      std::size_t trace_before = bridge.trace().size();
+      double t0 = bed.simulation().now();
+      bridge.step();
+      double t1 = bed.simulation().now();
+      (void)trace_before;
+      (void)t0;
+      (void)t1;
+    }
+    double wall = bed.simulation().now() - wall_start;
+    result.seconds_per_iteration = wall / options.iterations;
+    result.coupling_seconds_per_iteration = coupling_time;
+    result.evolve_seconds_per_iteration = evolve_time;
+
+    // Fig-6 observable after the run.
+    const auto& gas_state = bridge.gas_state();
+    const auto& star_state = bridge.star_state();
+    if (!gas_state.mass.empty()) {
+      result.bound_gas_fraction = diagnostics::bound_gas_fraction(
+          gas_state.mass, gas_state.position, gas_state.velocity,
+          gas_state.internal_energy, star_state.mass, star_state.position);
+    }
+
+    workers.stars->close();
+    workers.gas->close();
+    workers.coupler->close();
+    workers.se->close();
+  });
+  bed.simulation().run();
+
+  for (const auto& link : bed.network().traffic_report()) {
+    bool wan = link.name == "starplane-uva" || link.name == "starplane-delft" ||
+               link.name == "lgm-lightpath" || link.name == "transatlantic" ||
+               link.name == "vu-campus";
+    if (!wan) continue;
+    result.wan_bytes += link.bytes_by_class[0] + link.bytes_by_class[1] +
+                        link.bytes_by_class[2] + link.bytes_by_class[3];
+    result.wan_ipl_bytes +=
+        link.bytes_by_class[static_cast<int>(sim::TrafficClass::ipl)];
+  }
+  result.dashboard = bed.deployer().dashboard();
+  return result;
+}
+
+}  // namespace jungle::amuse::scenario

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "amuse/bridge.hpp"
+#include "amuse/clients.hpp"
+#include "amuse/daemon.hpp"
+#include "deploy/deploy.hpp"
+
+namespace jungle::amuse::scenario {
+
+/// The evaluation configurations of §6 (Figs 9 and 12):
+///   local_cpu  — desktop only, Fi + phiGRAPE(CPU)           (353 s/iter)
+///   local_gpu  — desktop GPU, Octgrav + phiGRAPE(GPU)       ( 89 s/iter)
+///   remote_gpu — Octgrav moved to an LGM Tesla, 30 km away  ( 84 s/iter)
+///   jungle     — all four models on four sites (Fig 12)     (62.4 s/iter)
+///   sc11       — jungle placement, coupler in Seattle (Fig 9)
+enum class Kind { local_cpu, local_gpu, remote_gpu, jungle, sc11 };
+
+const char* kind_name(Kind kind) noexcept;
+double paper_seconds_per_iteration(Kind kind) noexcept;  // NaN for sc11
+
+struct Options {
+  std::size_t n_stars = 1000;   // the embedded cluster of [11]
+  std::size_t n_gas = 10000;
+  int iterations = 2;
+  double dt = 1.0 / 32.0;
+  bool with_stellar_evolution = true;
+  int se_every = 4;
+  std::uint64_t seed = 20120301;
+};
+
+struct Result {
+  Kind kind;
+  int iterations = 0;
+  double seconds_per_iteration = 0.0;   // virtual
+  double coupling_seconds_per_iteration = 0.0;
+  double evolve_seconds_per_iteration = 0.0;
+  double wan_bytes = 0.0;               // bytes that crossed any WAN link
+  double wan_ipl_bytes = 0.0;
+  double bound_gas_fraction = 1.0;      // after the run
+  std::string dashboard;                // Figs 10/11 text analog
+};
+
+/// The Jungle of Figs 9/12: Seattle laptop, VU desktop + DAS-4 VU cluster,
+/// DAS-4 UvA node, DAS-4 Delft GPU nodes, LGM in Leiden; lightpaths
+/// between them. Owned by the caller via this handle.
+class JungleTestbed {
+ public:
+  explicit JungleTestbed(bool verbose = false);
+  /// Unwind all simulated processes before the network/sockets they touch.
+  ~JungleTestbed() { sim_.shutdown(); }
+  JungleTestbed(const JungleTestbed&) = delete;
+  JungleTestbed& operator=(const JungleTestbed&) = delete;
+
+  sim::Simulation& simulation() noexcept { return sim_; }
+  sim::Network& network() noexcept { return net_; }
+  smartsockets::SmartSockets& sockets() noexcept { return sockets_; }
+  deploy::Deployer& deployer() noexcept { return *deployer_; }
+  IbisDaemon& daemon(sim::Host& client);
+
+  sim::Host& desktop() { return net_.host("desktop"); }
+  sim::Host& laptop() { return net_.host("laptop"); }
+
+ private:
+  sim::Simulation sim_;
+  sim::Network net_{sim_};
+  smartsockets::SmartSockets sockets_{net_};
+  std::unique_ptr<deploy::Deployer> deployer_;
+  std::unique_ptr<IbisDaemon> daemon_;
+};
+
+/// Run the embedded-cluster simulation in one configuration and report the
+/// per-iteration timings + traffic. Deterministic for fixed options.
+Result run_scenario(Kind kind, const Options& options);
+
+}  // namespace jungle::amuse::scenario

@@ -1,0 +1,420 @@
+#include "amuse/workers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace jungle::amuse {
+
+using kernels::Vec3;
+
+namespace {
+
+// Charge `flops` to the worker's host/device, blocking its process for the
+// modelled duration. Small trivial calls stay cheap via a floor of zero.
+void charge(const WorkerCost& cost, double flops) {
+  if (flops <= 0.0 || cost.host == nullptr) return;
+  cost.host->compute(flops, cost.device, cost.ncores);
+}
+
+std::vector<Vec3> read_vec3s(util::ByteReader& reader) {
+  return reader.get_vector<Vec3>();
+}
+
+}  // namespace
+
+Dispatcher make_gravity_dispatcher(
+    std::shared_ptr<kernels::HermiteIntegrator> integrator, WorkerCost cost) {
+  return [integrator, cost](Fn fn, util::ByteReader& args) -> util::ByteWriter {
+    util::ByteWriter result;
+    switch (fn) {
+      case Fn::grav_set_params: {
+        integrator->params().eps2 = args.get<double>();
+        integrator->params().eta = args.get<double>();
+        return result;
+      }
+      case Fn::grav_add_particles: {
+        auto masses = args.get_vector<double>();
+        auto positions = read_vec3s(args);
+        auto velocities = read_vec3s(args);
+        for (std::size_t i = 0; i < masses.size(); ++i) {
+          integrator->add_particle(masses[i], positions[i], velocities[i]);
+        }
+        return result;
+      }
+      case Fn::grav_evolve: {
+        double t_end = args.get<double>();
+        auto before = integrator->pair_evaluations();
+        integrator->evolve(t_end);
+        charge(cost, static_cast<double>(integrator->pair_evaluations() -
+                                         before) *
+                         kernels::HermiteIntegrator::kFlopsPerPair);
+        return result;
+      }
+      case Fn::grav_get_state: {
+        result.put_vector(integrator->masses());
+        result.put_vector(integrator->positions());
+        result.put_vector(integrator->velocities());
+        return result;
+      }
+      case Fn::grav_get_energies: {
+        // Energies cost one O(N^2) potential pass.
+        double n = static_cast<double>(integrator->size());
+        charge(cost, n * n * 12.0);
+        result.put<double>(integrator->kinetic_energy());
+        result.put<double>(integrator->potential_energy());
+        return result;
+      }
+      case Fn::grav_kick_all: {
+        auto kicks = read_vec3s(args);
+        for (std::size_t i = 0; i < kicks.size(); ++i) {
+          integrator->kick(static_cast<int>(i), kicks[i]);
+        }
+        return result;
+      }
+      case Fn::grav_set_masses: {
+        auto masses = args.get_vector<double>();
+        for (std::size_t i = 0; i < masses.size(); ++i) {
+          integrator->set_mass(static_cast<int>(i), masses[i]);
+        }
+        return result;
+      }
+      case Fn::grav_get_time: {
+        result.put<double>(integrator->time());
+        return result;
+      }
+      default:
+        throw CodeError("phigrape: unsupported function id " +
+                        std::to_string(static_cast<int>(fn)));
+    }
+  };
+}
+
+Dispatcher make_field_dispatcher(std::shared_ptr<kernels::TreeField> field,
+                                 WorkerCost cost) {
+  return [field, cost](Fn fn, util::ByteReader& args) -> util::ByteWriter {
+    util::ByteWriter result;
+    switch (fn) {
+      case Fn::field_set_sources: {
+        auto masses = args.get_vector<double>();
+        auto positions = read_vec3s(args);
+        field->set_sources(masses, positions);
+        charge(cost, static_cast<double>(positions.size()) *
+                         kernels::BarnesHutTree::kBuildFlopsPerParticle);
+        return result;
+      }
+      case Fn::field_accel_at: {
+        auto points = read_vec3s(args);
+        auto before = field->interactions();
+        auto accel = field->accel_at(points);
+        charge(cost, static_cast<double>(field->interactions() - before) *
+                         kernels::BarnesHutTree::kFlopsPerInteraction);
+        result.put_vector(accel);
+        return result;
+      }
+      default:
+        throw CodeError("field: unsupported function id " +
+                        std::to_string(static_cast<int>(fn)));
+    }
+  };
+}
+
+Dispatcher make_se_dispatcher(
+    std::shared_ptr<kernels::StellarEvolution> stellar, WorkerCost cost) {
+  return [stellar, cost](Fn fn, util::ByteReader& args) -> util::ByteWriter {
+    util::ByteWriter result;
+    switch (fn) {
+      case Fn::se_add_stars: {
+        auto masses = args.get_vector<double>();
+        for (double mass : masses) stellar->add_star(mass);
+        return result;
+      }
+      case Fn::se_evolve_to: {
+        double age = args.get<double>();
+        stellar->evolve_to(age);
+        // "nearly trivial" lookups: ~500 flops per star.
+        charge(cost, static_cast<double>(stellar->size()) * 500.0);
+        return result;
+      }
+      case Fn::se_get_masses: {
+        result.put_vector(stellar->masses());
+        return result;
+      }
+      case Fn::se_get_supernovae: {
+        std::vector<std::int32_t> indices(
+            stellar->recent_supernovae().begin(),
+            stellar->recent_supernovae().end());
+        result.put_vector(indices);
+        return result;
+      }
+      case Fn::se_get_mass_loss: {
+        result.put<double>(stellar->recent_mass_loss());
+        return result;
+      }
+      case Fn::se_get_luminosities: {
+        result.put_vector(stellar->luminosities());
+        return result;
+      }
+      default:
+        throw CodeError("sse: unsupported function id " +
+                        std::to_string(static_cast<int>(fn)));
+    }
+  };
+}
+
+namespace {
+
+// Shared by the serial and parallel hydro dispatchers: everything except
+// evolve, which differs.
+util::ByteWriter hydro_common(kernels::SphSystem& sph, Fn fn,
+                              util::ByteReader& args, const WorkerCost& cost) {
+  util::ByteWriter result;
+  switch (fn) {
+    case Fn::hydro_set_params: {
+      sph.params().eps2 = args.get<double>();
+      sph.params().theta = args.get<double>();
+      return result;
+    }
+    case Fn::hydro_add_gas: {
+      auto masses = args.get_vector<double>();
+      auto positions = args.get_vector<Vec3>();
+      auto velocities = args.get_vector<Vec3>();
+      auto energies = args.get_vector<double>();
+      for (std::size_t i = 0; i < masses.size(); ++i) {
+        sph.add_particle(masses[i], positions[i], velocities[i], energies[i]);
+      }
+      return result;
+    }
+    case Fn::hydro_get_state: {
+      result.put_vector(sph.masses());
+      result.put_vector(sph.positions());
+      result.put_vector(sph.velocities());
+      result.put_vector(sph.internal_energies());
+      result.put_vector(sph.densities());
+      return result;
+    }
+    case Fn::hydro_get_energies: {
+      double n = static_cast<double>(sph.size());
+      charge(cost, n * std::max(1.0, std::log2(std::max(2.0, n))) * 100.0);
+      result.put<double>(sph.kinetic_energy());
+      result.put<double>(sph.thermal_energy());
+      result.put<double>(sph.potential_energy());
+      return result;
+    }
+    case Fn::hydro_kick_all: {
+      auto kicks = args.get_vector<Vec3>();
+      for (std::size_t i = 0; i < kicks.size(); ++i) {
+        sph.kick(static_cast<int>(i), kicks[i]);
+      }
+      return result;
+    }
+    case Fn::hydro_inject: {
+      auto indices = args.get_vector<std::int32_t>();
+      auto amounts = args.get_vector<double>();
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        sph.inject_energy(indices[i], amounts[i]);
+      }
+      return result;
+    }
+    default:
+      throw CodeError("gadget: unsupported function id " +
+                      std::to_string(static_cast<int>(fn)));
+  }
+}
+
+}  // namespace
+
+Dispatcher make_hydro_dispatcher(std::shared_ptr<kernels::SphSystem> sph,
+                                 WorkerCost cost) {
+  return [sph, cost](Fn fn, util::ByteReader& args) -> util::ByteWriter {
+    if (fn == Fn::hydro_evolve) {
+      util::ByteWriter result;
+      double t_end = args.get<double>();
+      auto ngb_before = sph->neighbour_interactions();
+      auto tree_before = sph->tree_interactions();
+      sph->evolve(t_end);
+      charge(cost,
+             static_cast<double>(sph->neighbour_interactions() - ngb_before) *
+                     kernels::SphSystem::kFlopsPerNeighbour +
+                 static_cast<double>(sph->tree_interactions() - tree_before) *
+                     kernels::SphSystem::kFlopsPerTreeInteraction);
+      return result;
+    }
+    return hydro_common(*sph, fn, args, cost);
+  };
+}
+
+// ---------------------------------------------------------- parallel SPH
+
+ParallelSph::ParallelSph(sim::Network& net, std::vector<sim::Host*> hosts,
+                         int nranks, kernels::SphSystem::Params params,
+                         int ncores_per_rank)
+    : sph_(params),
+      world_(net, std::move(hosts), nranks),
+      ncores_per_rank_(ncores_per_rank) {
+  // Ranks 1..n-1 are persistent helpers waiting for broadcast commands;
+  // rank 0 is driven inline by the worker server process.
+  world_.launch_from(1, "gadget", [this](mpi::Comm& comm) { rank_loop(comm); });
+}
+
+std::pair<std::size_t, std::size_t> ParallelSph::slice(int rank) const {
+  std::size_t n = sph_.size();
+  std::size_t per = (n + world_.size() - 1) / world_.size();
+  std::size_t lo = std::min(n, per * static_cast<std::size_t>(rank));
+  std::size_t hi = std::min(n, lo + per);
+  return {lo, hi};
+}
+
+void ParallelSph::rank_loop(mpi::Comm& comm) {
+  while (true) {
+    auto command = comm.bcast({}, 0);
+    util::ByteReader reader(std::move(command));
+    auto opcode = reader.get<std::uint8_t>();
+    if (opcode == 0) return;  // stop
+    double t_end = reader.get<double>();
+    parallel_steps(comm, t_end);
+  }
+}
+
+void ParallelSph::evolve(double t_end) {
+  util::ByteWriter command;
+  command.put<std::uint8_t>(1);
+  command.put<double>(t_end);
+  world_.comm(0).bcast(std::move(command).take(), 0);
+  parallel_steps(world_.comm(0), t_end);
+  sph_.advance_time(t_end - sph_.time());
+}
+
+void ParallelSph::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  util::ByteWriter command;
+  command.put<std::uint8_t>(0);
+  world_.comm(0).bcast(std::move(command).take(), 0);
+}
+
+void ParallelSph::parallel_steps(mpi::Comm& comm, double t_end) {
+  // Replicated-data parallel SPH: every rank sees the full particle set,
+  // computes its slice, and slice results travel over the (simulated)
+  // interconnect. Identical structure to small-scale Gadget runs.
+  sim::Host& my_host = comm.host();
+  auto flatten = [](std::span<const Vec3> values, std::size_t lo,
+                    std::size_t hi) {
+    std::vector<double> flat;
+    flat.reserve((hi - lo) * 3);
+    for (std::size_t i = lo; i < hi; ++i) {
+      flat.push_back(values[i].x);
+      flat.push_back(values[i].y);
+      flat.push_back(values[i].z);
+    }
+    return flat;
+  };
+  double t = sph_.time();
+  while (t < t_end - 1e-15) {
+    auto [lo, hi] = slice(comm.rank());
+    // Tree + grid build: rank 0 builds the real structures (shared memory);
+    // every rank pays the build cost, as in a replicated tree code.
+    if (comm.rank() == 0) sph_.prepare_step();
+    my_host.compute(static_cast<double>(sph_.size()) *
+                        kernels::BarnesHutTree::kBuildFlopsPerParticle,
+                    sim::DeviceKind::cpu, ncores_per_rank_);
+    comm.barrier();
+
+    auto ngb0 = sph_.neighbour_interactions();
+    sph_.compute_density(lo, hi);
+    my_host.compute(
+        static_cast<double>(sph_.neighbour_interactions() - ngb0) *
+            kernels::SphSystem::kFlopsPerNeighbour,
+        sim::DeviceKind::cpu, ncores_per_rank_);
+    // Exchange the density/smoothing slices (real values, real bytes).
+    std::vector<double> rho_slice(sph_.densities().begin() + lo,
+                                  sph_.densities().begin() + hi);
+    comm.allgatherv(rho_slice);
+
+    auto ngb1 = sph_.neighbour_interactions();
+    auto tree1 = sph_.tree_interactions();
+    sph_.compute_forces(lo, hi);
+    my_host.compute(
+        static_cast<double>(sph_.neighbour_interactions() - ngb1) *
+                kernels::SphSystem::kFlopsPerNeighbour +
+            static_cast<double>(sph_.tree_interactions() - tree1) *
+                kernels::SphSystem::kFlopsPerTreeInteraction,
+        sim::DeviceKind::cpu, ncores_per_rank_);
+
+    double dt = comm.allreduce_min(sph_.timestep(lo, hi));
+    dt = std::min(dt, t_end - t);
+    sph_.integrate(lo, hi, dt);
+    comm.allgatherv(flatten(sph_.positions(), lo, hi));
+    comm.allgatherv(flatten(sph_.velocities(), lo, hi));
+    t += dt;
+    if (comm.rank() == 0) sph_.advance_time(dt);
+  }
+}
+
+Dispatcher make_parallel_hydro_dispatcher(std::shared_ptr<ParallelSph> sph,
+                                          WorkerCost cost) {
+  return [sph, cost](Fn fn, util::ByteReader& args) -> util::ByteWriter {
+    if (fn == Fn::hydro_evolve) {
+      util::ByteWriter result;
+      double t_end = args.get<double>();
+      sph->evolve(t_end);  // cost charged per rank inside
+      return result;
+    }
+    return hydro_common(sph->sph(), fn, args, cost);
+  };
+}
+
+// -------------------------------------------------------------- factory
+
+void run_worker(std::unique_ptr<MessagePipe> pipe, const WorkerSpec& spec,
+                std::vector<sim::Host*> hosts, sim::Network& net) {
+  sim::Host* primary = hosts.front();
+  WorkerCost cost;
+  cost.host = primary;
+  cost.ncores = spec.ncores;
+  cost.device = spec.needs_gpu() ? sim::DeviceKind::gpu : sim::DeviceKind::cpu;
+
+  Dispatcher dispatcher;
+  std::shared_ptr<ParallelSph> parallel;  // kept alive for stop()
+  if (spec.code == "phigrape" || spec.code == "phigrape-gpu") {
+    kernels::HermiteIntegrator::Params params;
+    params.eps2 = spec.eps2;
+    params.eta = spec.eta;
+    dispatcher = make_gravity_dispatcher(
+        std::make_shared<kernels::HermiteIntegrator>(params), cost);
+  } else if (spec.code == "octgrav" || spec.code == "fi") {
+    dispatcher = make_field_dispatcher(
+        std::make_shared<kernels::TreeField>(spec.theta, spec.eps2), cost);
+  } else if (spec.code == "sse") {
+    dispatcher =
+        make_se_dispatcher(std::make_shared<kernels::StellarEvolution>(), cost);
+  } else if (spec.code == "gadget") {
+    kernels::SphSystem::Params params;
+    params.eps2 = spec.eps2;
+    params.theta = spec.theta;
+    if (spec.nranks <= 1) {
+      dispatcher = make_hydro_dispatcher(
+          std::make_shared<kernels::SphSystem>(params), cost);
+    } else {
+      parallel = std::make_shared<ParallelSph>(net, hosts, spec.nranks,
+                                               params, spec.ncores);
+      dispatcher = make_parallel_hydro_dispatcher(parallel, cost);
+    }
+  } else {
+    throw CodeError("unknown worker code '" + spec.code + "'");
+  }
+
+  log::info("amuse") << "worker " << spec.code << " serving on "
+                     << primary->name();
+  WorkerServer server(std::move(pipe), std::move(dispatcher));
+  server.run();
+  if (parallel) {
+    parallel->stop();
+    // The rank processes reference MpiWorld state; let them drain the stop
+    // broadcast before this frame (and ParallelSph with it) unwinds.
+    parallel->world().wait();
+  }
+}
+
+}  // namespace jungle::amuse

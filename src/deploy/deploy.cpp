@@ -1,0 +1,185 @@
+#include "deploy/deploy.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace jungle::deploy {
+
+void build_topology(const util::Config& config, sim::Network& net) {
+  using sim::net::gbit;
+  using sim::net::ms;
+  // Sites first so LAN parameters apply before hosts attach.
+  for (const std::string& section : config.sections()) {
+    auto fields = util::split(section, ' ');
+    if (fields.size() == 2 && fields[0] == "site") {
+      net.add_site(fields[1],
+                   config.get_double_or(section, "lan_latency_ms", 0.1) * ms,
+                   config.get_double_or(section, "lan_gbit", 1.0) * gbit);
+    }
+  }
+  for (const std::string& section : config.sections()) {
+    auto fields = util::split(section, ' ');
+    if (fields.size() == 2 && fields[0] == "host") {
+      sim::Host& host = net.add_host(
+          fields[1], config.get(section, "site"),
+          static_cast<int>(config.get_int_or(section, "cores", 1)),
+          config.get_double_or(section, "gflops", 10.0));
+      if (config.has_key(section, "gpu_model")) {
+        host.set_gpu(sim::GpuSpec{
+            config.get(section, "gpu_model"),
+            config.get_double(section, "gpu_gflops")});
+      }
+      host.firewall().allow_inbound =
+          config.get_bool_or(section, "inbound", true);
+      host.firewall().nat = config.get_bool_or(section, "nat", false);
+    } else if (fields.size() == 3 && fields[0] == "link") {
+      net.add_link(fields[1], fields[2],
+                   config.get_double_or(section, "latency_ms", 1.0) * ms,
+                   config.get_double_or(section, "gbit", 1.0) * gbit,
+                   config.get_or(section, "name", ""));
+    }
+  }
+}
+
+std::vector<gat::Resource> resources_from_config(const util::Config& config,
+                                                 sim::Network& net) {
+  std::vector<gat::Resource> resources;
+  for (const std::string& section : config.sections()) {
+    auto fields = util::split(section, ' ');
+    if (fields.size() != 2 || fields[0] != "resource") continue;
+    gat::Resource resource;
+    resource.name = fields[1];
+    resource.middleware = config.get(section, "middleware");
+    resource.frontend = &net.host(config.get(section, "frontend"));
+    if (config.has_key(section, "nodes")) {
+      for (const std::string& node :
+           util::split(config.get(section, "nodes"), ',')) {
+        resource.nodes.push_back(&net.host(util::trim(node)));
+      }
+    }
+    resource.queue_base_delay =
+        config.get_double_or(section, "queue_delay", 0.0);
+    resource.gatekeeper_cert = config.get_or(section, "cert", "");
+    if (resource.middleware == "sge" || resource.middleware == "pbs" ||
+        resource.middleware == "globus") {
+      resource.queue =
+          std::make_shared<gat::ClusterQueue>(net.simulation());
+      resource.queue->set_nodes(resource.compute_hosts());
+    }
+    resources.push_back(std::move(resource));
+  }
+  return resources;
+}
+
+Deployer::Deployer(sim::Network& net, smartsockets::SmartSockets& sockets,
+                   sim::Host& client)
+    : net_(net),
+      sockets_(sockets),
+      client_(client),
+      broker_(net, sockets, client) {
+  broker_.register_default_adapters();
+}
+
+void Deployer::add_resource(gat::Resource resource) {
+  resources_.push_back(std::move(resource));
+}
+
+void Deployer::add_resources(std::vector<gat::Resource> resources) {
+  for (auto& resource : resources) add_resource(std::move(resource));
+}
+
+gat::Resource& Deployer::resource(const std::string& name) {
+  for (auto& resource : resources_) {
+    if (resource.name == name) return resource;
+  }
+  throw ConfigError("unknown resource " + name);
+}
+
+std::vector<std::string> Deployer::resource_names() const {
+  std::vector<std::string> names;
+  for (const auto& resource : resources_) names.push_back(resource.name);
+  return names;
+}
+
+void Deployer::start_hubs() {
+  if (hubs_started_) return;
+  hubs_started_ = true;
+  sockets_.start_hub(client_);
+  for (auto& resource : resources_) {
+    if (resource.frontend == nullptr) continue;
+    // A front-end we can only reach outbound gets its hub through an
+    // ssh tunnel (the red edges of Fig 10).
+    bool tunneled = !net_.can_connect(client_, *resource.frontend);
+    sockets_.start_hub(*resource.frontend, tunneled);
+  }
+}
+
+std::shared_ptr<gat::Job> Deployer::submit(const gat::JobDescription& desc,
+                                           const std::string& resource_name) {
+  start_hubs();
+  auto job = broker_.submit(desc, resource(resource_name));
+  jobs_.push_back(TrackedJob{desc.name, resource_name, job});
+  return job;
+}
+
+std::string Deployer::dashboard() const {
+  std::ostringstream out;
+  out << "=== ibis-deploy dashboard (t=" << net_.simulation().now()
+      << " s) ===\n";
+  out << "-- resources --\n";
+  for (const auto& resource : resources_) {
+    out << "  " << resource.name << " [" << resource.middleware << "] front="
+        << (resource.frontend ? resource.frontend->name() : "-");
+    out << " nodes=" << resource.compute_hosts().size();
+    if (resource.queue) {
+      out << " busy=" << resource.queue->busy_nodes() << "/"
+          << resource.queue->total_nodes();
+    }
+    out << "\n";
+  }
+  out << "-- jobs --\n";
+  for (const auto& tracked : jobs_) {
+    out << "  " << tracked.name << " @ " << tracked.resource << " : "
+        << gat::job_state_name(tracked.job->state());
+    if (tracked.job->state() == gat::JobState::error) {
+      out << " (" << tracked.job->error_message() << ")";
+    }
+    out << " via " << tracked.job->adapter() << "\n";
+  }
+  out << "-- overlay (fig 10) --\n";
+  for (const auto& edge : sockets_.overlay_map()) {
+    const char* marker = edge.kind == smartsockets::OverlayEdge::Kind::tunnel
+                             ? "=tunnel="
+                             : edge.kind ==
+                                       smartsockets::OverlayEdge::Kind::oneway
+                                   ? "-oneway->"
+                                   : "<------->";
+    out << "  " << edge.hub_a << " " << marker << " " << edge.hub_b << "\n";
+  }
+  out << "-- traffic (fig 11) --\n";
+  for (const auto& link : net_.traffic_report()) {
+    if (link.messages == 0) continue;
+    out << "  " << link.name << ": ";
+    for (int cls = 0; cls < sim::kTrafficClasses; ++cls) {
+      if (link.bytes_by_class[cls] <= 0) continue;
+      out << sim::traffic_class_name(static_cast<sim::TrafficClass>(cls))
+          << "=" << util::format_bytes(link.bytes_by_class[cls]) << " ";
+    }
+    out << "(" << link.messages << " msgs)\n";
+  }
+  out << "-- load --\n";
+  for (const std::string& name : net_.host_names()) {
+    const sim::Host& host = net_.host(name);
+    if (host.busy_core_seconds() <= 0 && host.gpu_busy_seconds() <= 0) {
+      continue;
+    }
+    out << "  " << name << ": cpu=" << host.busy_core_seconds()
+        << " core-s, gpu=" << host.gpu_busy_seconds() << " s\n";
+  }
+  return out.str();
+}
+
+}  // namespace jungle::deploy

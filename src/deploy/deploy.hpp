@@ -1,0 +1,82 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gat/gat.hpp"
+#include "sim/network.hpp"
+#include "smartsockets/smartsockets.hpp"
+#include "util/config.hpp"
+
+namespace jungle::deploy {
+
+/// Build hosts/sites/links from an INI description — the "small number of
+/// simple configuration files" of IbisDeploy (paper §3/§5). Sections:
+///
+///   [site amsterdam]        lan_latency_ms=0.1  lan_gbit=1
+///   [host fs0]              site=amsterdam cores=8 gflops=10
+///                           gpu_model=c2050 gpu_gflops=500
+///                           inbound=false nat=false
+///   [link amsterdam leiden] latency_ms=0.5 gbit=1 name=starplane
+void build_topology(const util::Config& config, sim::Network& net);
+
+/// Build GAT resources from `[resource NAME]` sections:
+///
+///   [resource das4-vu]
+///   middleware = sge
+///   frontend = fs0
+///   nodes = node001,node002,node003
+///   queue_delay = 2.0
+///   cert = das4-grid-cert      ; globus only
+std::vector<gat::Resource> resources_from_config(const util::Config& config,
+                                                 sim::Network& net);
+
+/// IbisDeploy analog: owns the resource table, bootstraps the SmartSockets
+/// hub overlay (one hub per resource front-end plus the client), stages
+/// files, submits jobs through the GAT broker and tracks them — and renders
+/// the monitoring dashboard the paper shows as Figs 10/11.
+class Deployer {
+ public:
+  Deployer(sim::Network& net, smartsockets::SmartSockets& sockets,
+           sim::Host& client);
+
+  void add_resource(gat::Resource resource);
+  void add_resources(std::vector<gat::Resource> resources);
+  gat::Resource& resource(const std::string& name);
+  std::vector<std::string> resource_names() const;
+
+  /// Start a hub on every resource front-end + the client machine
+  /// ("IbisDeploy automatically starts the hubs required by SmartSockets on
+  /// each resource used").
+  void start_hubs();
+
+  /// Submit a job to a named resource. Tracks it for the dashboard.
+  std::shared_ptr<gat::Job> submit(const gat::JobDescription& desc,
+                                   const std::string& resource_name);
+
+  gat::Broker& broker() noexcept { return broker_; }
+  smartsockets::SmartSockets& sockets() noexcept { return sockets_; }
+  sim::Host& client() noexcept { return client_; }
+
+  /// Text analog of the IbisDeploy GUI: resource map, job grid, overlay
+  /// edges (Fig 10) and per-link traffic with IPL/MPI split (Fig 11).
+  std::string dashboard() const;
+
+ private:
+  sim::Network& net_;
+  smartsockets::SmartSockets& sockets_;
+  sim::Host& client_;
+  gat::Broker broker_;
+  std::vector<gat::Resource> resources_;
+  struct TrackedJob {
+    std::string name;
+    std::string resource;
+    std::shared_ptr<gat::Job> job;
+  };
+  std::vector<TrackedJob> jobs_;
+  bool hubs_started_ = false;
+};
+
+}  // namespace jungle::deploy

@@ -1,0 +1,150 @@
+#include "gat/adapters.hpp"
+
+#include "util/logging.hpp"
+
+namespace jungle::gat {
+
+namespace {
+constexpr double kSshHandshake = 0.3;      // seconds
+constexpr double kGatekeeperDelay = 2.0;   // globus certificate dance
+}  // namespace
+
+void run_allocated_job(Broker& broker, std::shared_ptr<Job> job,
+                       const JobDescription& desc, Resource& resource,
+                       double submit_delay) {
+  // The submission itself happens asynchronously on the resource's
+  // front-end: the submit() call returns once the description is handed
+  // over, like a real qsub.
+  sim::Host* frontend = resource.frontend;
+  if (frontend == nullptr) throw GatError("resource has no frontend");
+  if (!frontend->is_up()) throw GatError("frontend is down");
+  if (desc.node_count > static_cast<int>(resource.compute_hosts().size())) {
+    throw GatError("resource " + resource.name + " has only " +
+                   std::to_string(resource.compute_hosts().size()) +
+                   " nodes");
+  }
+  if (desc.needs_gpu) {
+    bool any_gpu = false;
+    for (sim::Host* node : resource.compute_hosts()) {
+      if (node->gpu()) any_gpu = true;
+    }
+    if (!any_gpu) throw GatError("resource " + resource.name + " has no GPU");
+  }
+
+  frontend->spawn("gat-submit:" + desc.name, [&broker, job, desc, &resource,
+                                              submit_delay] {
+    sim::Simulation& sim = broker.network().simulation();
+    try {
+      // Stage input files from the client to the front-end.
+      if (desc.stage_in_bytes > 0) {
+        job->set_state(JobState::preStaging);
+        FileService files(broker.network());
+        files.copy(broker.client(), *resource.frontend, desc.stage_in_bytes);
+      }
+      job->set_state(JobState::scheduled);
+      sim.sleep(submit_delay);
+
+      std::vector<sim::Host*> allocated;
+      if (resource.queue) {
+        allocated = resource.queue->acquire(desc.node_count, desc.needs_gpu);
+      } else {
+        allocated = resource.compute_hosts();
+        allocated.resize(desc.node_count);
+      }
+      if (job->state() == JobState::stopped ||
+          job->state() == JobState::error) {
+        // Cancelled while queued: hand the nodes straight back.
+        if (resource.queue) resource.queue->release(allocated);
+        return;
+      }
+      auto context = std::make_shared<JobContext>();
+      context->hosts = allocated;
+      context->resource = &resource;
+      context->job = job.get();
+
+      auto release = [&resource, allocated] {
+        if (resource.queue) resource.queue->release(allocated);
+      };
+      job->set_release(release);
+
+      sim::ProcessId main_pid = allocated.front()->spawn(
+          "job:" + desc.name, [job, desc, context, release] {
+            try {
+              desc.main(*context);
+              release();
+              job->set_state(JobState::stopped);
+            } catch (const Error& failure) {
+              release();
+              job->set_state(JobState::error, failure.what());
+            }
+          });
+      job->set_allocation(allocated, main_pid);
+      job->set_state(JobState::running);
+    } catch (const Error& failure) {
+      job->set_state(JobState::error, failure.what());
+    }
+  });
+}
+
+void LocalAdapter::submit(std::shared_ptr<Job> job, const JobDescription& desc,
+                          Resource& resource) {
+  if (resource.frontend != &broker().client()) {
+    throw GatError("local adapter only runs on the client machine");
+  }
+  run_allocated_job(broker(), std::move(job), desc, resource, 0.0);
+}
+
+void SshAdapter::submit(std::shared_ptr<Job> job, const JobDescription& desc,
+                        Resource& resource) {
+  sim::Network& net = broker().network();
+  if (resource.frontend == nullptr) throw GatError("no frontend host");
+  if (!net.can_ssh(broker().client(), *resource.frontend)) {
+    throw GatError("ssh: cannot reach " + resource.frontend->name() +
+                   " from " + broker().client().name());
+  }
+  double delay =
+      net.rtt(broker().client(), *resource.frontend) * 1.5 + kSshHandshake;
+  run_allocated_job(broker(), std::move(job), desc, resource, delay);
+}
+
+void BatchQueueAdapter::submit(std::shared_ptr<Job> job,
+                               const JobDescription& desc,
+                               Resource& resource) {
+  sim::Network& net = broker().network();
+  if (resource.frontend == nullptr) throw GatError("no frontend host");
+  if (!net.can_ssh(broker().client(), *resource.frontend)) {
+    throw GatError(middleware_ + ": cannot reach " +
+                   resource.frontend->name());
+  }
+  if (!resource.queue) {
+    throw GatError(middleware_ + ": resource has no batch queue");
+  }
+  double queue_delay = resource.queue_base_delay > 0
+                           ? resource.queue_base_delay
+                           : default_queue_delay_;
+  double delay = net.rtt(broker().client(), *resource.frontend) * 1.5 +
+                 kSshHandshake + queue_delay;
+  run_allocated_job(broker(), std::move(job), desc, resource, delay);
+}
+
+void GlobusAdapter::submit(std::shared_ptr<Job> job,
+                           const JobDescription& desc, Resource& resource) {
+  sim::Network& net = broker().network();
+  if (resource.frontend == nullptr) throw GatError("no frontend host");
+  if (!net.can_ssh(broker().client(), *resource.frontend)) {
+    throw GatError("globus: cannot reach gatekeeper on " +
+                   resource.frontend->name());
+  }
+  if (!resource.gatekeeper_cert.empty() &&
+      !broker().has_credential(resource.gatekeeper_cert)) {
+    throw GatError("globus: missing credential '" + resource.gatekeeper_cert +
+                   "'");
+  }
+  double queue_delay =
+      resource.queue_base_delay > 0 ? resource.queue_base_delay : 4.0;
+  double delay = net.rtt(broker().client(), *resource.frontend) * 2 +
+                 kGatekeeperDelay + queue_delay;
+  run_allocated_job(broker(), std::move(job), desc, resource, delay);
+}
+
+}  // namespace jungle::gat

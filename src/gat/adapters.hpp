@@ -1,0 +1,70 @@
+#pragma once
+
+#include "gat/gat.hpp"
+
+namespace jungle::gat {
+
+/// Runs the job immediately on the client machine itself.
+class LocalAdapter : public Adapter {
+ public:
+  std::string name() const override { return "local"; }
+  bool supports(const Resource& resource) const override {
+    return resource.middleware == "local";
+  }
+  void submit(std::shared_ptr<Job> job, const JobDescription& desc,
+              Resource& resource) override;
+};
+
+/// Starts the job on the resource's front-end over an ssh-like channel.
+/// Requires a *direct outbound* route from the client to the front-end
+/// (ssh cannot use the hub overlay).
+class SshAdapter : public Adapter {
+ public:
+  std::string name() const override { return "ssh"; }
+  bool supports(const Resource& resource) const override {
+    return resource.middleware == "ssh";
+  }
+  void submit(std::shared_ptr<Job> job, const JobDescription& desc,
+              Resource& resource) override;
+};
+
+/// Batch-queue adapters: submit over ssh to the front-end, then wait in the
+/// cluster's FIFO queue for nodes. SGE and PBS differ only in their
+/// middleware tag and default scheduler latency — exactly the "different
+/// middleware interfaces" JavaGAT papers over.
+class BatchQueueAdapter : public Adapter {
+ public:
+  BatchQueueAdapter(std::string middleware, double default_queue_delay)
+      : middleware_(std::move(middleware)),
+        default_queue_delay_(default_queue_delay) {}
+  std::string name() const override { return middleware_; }
+  bool supports(const Resource& resource) const override {
+    return resource.middleware == middleware_;
+  }
+  void submit(std::shared_ptr<Job> job, const JobDescription& desc,
+              Resource& resource) override;
+
+ private:
+  std::string middleware_;
+  double default_queue_delay_;
+};
+
+/// Grid middleware: certificate handshake with a gatekeeper on the
+/// front-end, then batch scheduling. Fails without the right credential.
+class GlobusAdapter : public Adapter {
+ public:
+  std::string name() const override { return "globus"; }
+  bool supports(const Resource& resource) const override {
+    return resource.middleware == "globus";
+  }
+  void submit(std::shared_ptr<Job> job, const JobDescription& desc,
+              Resource& resource) override;
+};
+
+/// Shared machinery: stage input, allocate via the cluster queue, spawn the
+/// job main on the first allocated node, release on completion.
+void run_allocated_job(Broker& broker, std::shared_ptr<Job> job,
+                       const JobDescription& desc, Resource& resource,
+                       double submit_delay);
+
+}  // namespace jungle::gat

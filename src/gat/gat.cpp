@@ -1,0 +1,169 @@
+#include "gat/gat.hpp"
+
+#include <algorithm>
+
+#include "gat/adapters.hpp"
+#include "util/logging.hpp"
+
+namespace jungle::gat {
+
+const char* job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::initial: return "INITIAL";
+    case JobState::preStaging: return "PRE_STAGING";
+    case JobState::scheduled: return "SCHEDULED";
+    case JobState::running: return "RUNNING";
+    case JobState::stopped: return "STOPPED";
+    case JobState::error: return "ERROR";
+  }
+  return "?";
+}
+
+JobState Job::wait_until_terminal() {
+  while (state_ != JobState::stopped && state_ != JobState::error) {
+    state_changed_.wait();
+  }
+  return state_;
+}
+
+JobState Job::wait_until_running() {
+  while (state_ != JobState::running && state_ != JobState::stopped &&
+         state_ != JobState::error) {
+    state_changed_.wait();
+  }
+  return state_;
+}
+
+void Job::cancel() {
+  if (state_ == JobState::stopped || state_ == JobState::error) return;
+  if (has_main_) sim_.kill(main_pid_);
+  if (release_) {
+    release_();
+    release_ = nullptr;
+  }
+  set_state(JobState::stopped, "cancelled");
+}
+
+void Job::set_state(JobState state, const std::string& error) {
+  if (state_ == JobState::stopped || state_ == JobState::error) return;
+  state_ = state;
+  if (!error.empty()) error_ = error;
+  for (auto& listener : listeners_) listener(state);
+  state_changed_.notify_all();
+}
+
+void Job::set_allocation(std::vector<sim::Host*> hosts,
+                         sim::ProcessId main_pid) {
+  hosts_ = std::move(hosts);
+  main_pid_ = main_pid;
+  has_main_ = true;
+}
+
+std::vector<sim::Host*> ClusterQueue::free_matching(int count,
+                                                    bool needs_gpu) const {
+  std::vector<sim::Host*> matching;
+  for (sim::Host* node : nodes_) {
+    if (!node->is_up()) continue;
+    if (needs_gpu && !node->gpu()) continue;
+    if (std::find(busy_.begin(), busy_.end(), node) != busy_.end()) continue;
+    matching.push_back(node);
+    if (static_cast<int>(matching.size()) == count) break;
+  }
+  return matching;
+}
+
+std::vector<sim::Host*> ClusterQueue::acquire(int count, bool needs_gpu) {
+  // Fail fast when the cluster can never satisfy the request.
+  int capable = 0;
+  for (sim::Host* node : nodes_) {
+    if (!needs_gpu || node->gpu()) ++capable;
+  }
+  if (capable < count) {
+    throw GatError("cluster cannot satisfy request for " +
+                   std::to_string(count) +
+                   (needs_gpu ? " GPU nodes" : " nodes"));
+  }
+  while (true) {
+    auto taken = free_matching(count, needs_gpu);
+    if (static_cast<int>(taken.size()) == count) {
+      busy_.insert(busy_.end(), taken.begin(), taken.end());
+      return taken;
+    }
+    node_freed_.wait();
+  }
+}
+
+void ClusterQueue::release(const std::vector<sim::Host*>& taken) {
+  for (sim::Host* node : taken) {
+    busy_.erase(std::remove(busy_.begin(), busy_.end(), node), busy_.end());
+  }
+  node_freed_.notify_all();
+}
+
+Broker::Broker(sim::Network& net, smartsockets::SmartSockets& sockets,
+               sim::Host& client)
+    : net_(net), sockets_(sockets), client_(client) {}
+
+void Broker::register_default_adapters() {
+  register_adapter(std::make_unique<LocalAdapter>());
+  register_adapter(std::make_unique<SshAdapter>());
+  register_adapter(std::make_unique<BatchQueueAdapter>("sge", 2.0));
+  register_adapter(std::make_unique<BatchQueueAdapter>("pbs", 4.0));
+  register_adapter(std::make_unique<GlobusAdapter>());
+}
+
+void Broker::register_adapter(std::unique_ptr<Adapter> adapter) {
+  adapter->attach(*this);
+  adapters_.push_back(std::move(adapter));
+}
+
+bool Broker::has_credential(const std::string& cert) const {
+  return std::find(credentials_.begin(), credentials_.end(), cert) !=
+         credentials_.end();
+}
+
+std::shared_ptr<Job> Broker::submit(const JobDescription& desc,
+                                    Resource& resource) {
+  trace_.clear();
+  std::string failures;
+  for (auto& adapter : adapters_) {
+    if (!adapter->supports(resource)) continue;
+    trace_.push_back(adapter->name());
+    auto job = std::make_shared<Job>(net_.simulation());
+    job->set_adapter(adapter->name());
+    try {
+      adapter->submit(job, desc, resource);
+      log::info("gat") << "job " << desc.name << " submitted to "
+                       << resource.name << " via " << adapter->name();
+      return job;
+    } catch (const GatError& failure) {
+      failures += std::string(" [") + adapter->name() + ": " +
+                  failure.what() + "]";
+    }
+  }
+  throw GatError("no adapter could submit " + desc.name + " to " +
+                 resource.name + (failures.empty() ? " (none support it)"
+                                                   : failures));
+}
+
+double FileService::copy(sim::Host& from, sim::Host& to, double bytes) {
+  sim::Simulation& sim = net_.simulation();
+  double start = sim.now();
+  sim::Signal done(sim);
+  bool delivered = false;
+  while (!delivered) {
+    auto arrival =
+        net_.send(from, to, bytes, sim::TrafficClass::file, [&] {
+          delivered = true;
+          done.notify_all();
+        });
+    if (!arrival) {
+      sim.sleep(0.5);  // link down: retry the copy
+      continue;
+    }
+    while (!delivered) done.wait();
+  }
+  return sim.now() - start;
+}
+
+}  // namespace jungle::gat

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/vec3.hpp"
+
+namespace jungle::kernels {
+
+/// Barnes-Hut octree gravity, the shared engine behind the Octgrav
+/// (GPU-costed) and Fi (CPU) coupling kernels and the SPH self-gravity.
+/// Monopole cells with an opening-angle criterion; Plummer softening;
+/// works in N-body units (G = 1).
+///
+/// The traversal counts node interactions, which feeds the cost model:
+/// flops = interactions * kFlopsPerInteraction. That makes the simulated
+/// cost track the *actual* O(N log N) behaviour instead of a guess.
+class BarnesHutTree {
+ public:
+  explicit BarnesHutTree(double theta = 0.6, double eps2 = 1e-4)
+      : theta2_(theta * theta), eps2_(eps2) {}
+
+  /// (Re)build over the given sources. Positions/masses are copied.
+  void build(std::span<const Vec3> positions, std::span<const double> masses);
+
+  std::size_t source_count() const noexcept { return src_pos_.size(); }
+
+  /// Acceleration at one point.
+  Vec3 accel_at(const Vec3& point) const;
+  /// Potential at one point (for diagnostics / boundness checks).
+  double potential_at(const Vec3& point) const;
+  /// Batch acceleration at many points.
+  std::vector<Vec3> accel_at(std::span<const Vec3> points) const;
+
+  double theta() const noexcept { return std::sqrt(theta2_); }
+  double eps2() const noexcept { return eps2_; }
+
+  /// Cell/particle interactions evaluated since construction.
+  std::uint64_t interactions() const noexcept { return interactions_; }
+  static constexpr double kFlopsPerInteraction = 24.0;
+  /// Cost of a build, per particle (sorting/insertion work).
+  static constexpr double kBuildFlopsPerParticle = 80.0;
+
+ private:
+  struct Node {
+    Vec3 center;          // geometric center of the cell
+    double half = 0.0;    // half edge length
+    double mass = 0.0;
+    Vec3 com;             // center of mass
+    int children[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+    int body = -1;        // leaf: index into src arrays; -1 for internal
+    bool leaf = true;
+  };
+
+  void insert(int node_index, int body_index, int depth);
+  void finalize(int node_index);
+  int child_slot(const Node& node, const Vec3& p) const;
+  int make_child(int node_index, int slot);
+
+  double theta2_;
+  double eps2_;
+  std::vector<Node> nodes_;
+  std::vector<Vec3> src_pos_;
+  std::vector<double> src_mass_;
+  mutable std::uint64_t interactions_ = 0;
+};
+
+}  // namespace jungle::kernels

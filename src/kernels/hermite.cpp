@@ -1,0 +1,117 @@
+#include "kernels/hermite.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace jungle::kernels {
+
+HermiteIntegrator::HermiteIntegrator() : HermiteIntegrator(Params{}) {}
+HermiteIntegrator::HermiteIntegrator(Params params) : params_(params) {}
+
+int HermiteIntegrator::add_particle(double mass, Vec3 position, Vec3 velocity) {
+  mass_.push_back(mass);
+  pos_.push_back(position);
+  vel_.push_back(velocity);
+  acc_.push_back({});
+  jerk_.push_back({});
+  dirty_ = true;
+  return static_cast<int>(mass_.size()) - 1;
+}
+
+void HermiteIntegrator::compute_forces(const std::vector<Vec3>& positions,
+                                       const std::vector<Vec3>& velocities,
+                                       std::vector<Vec3>& acc,
+                                       std::vector<Vec3>& jerk) {
+  const std::size_t n = mass_.size();
+  acc.assign(n, {});
+  jerk.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      Vec3 dr = positions[j] - positions[i];
+      Vec3 dv = velocities[j] - velocities[i];
+      double r2 = dr.norm2() + params_.eps2;
+      double r = std::sqrt(r2);
+      double r3 = r2 * r;
+      double rv = dr.dot(dv);
+      // acc_i += m_j dr / r^3 ; jerk_i += m_j (dv/r^3 - 3 rv dr / r^5)
+      double inv_r3 = 1.0 / r3;
+      double alpha = 3.0 * rv / r2;
+      Vec3 jpart = (dv - alpha * dr) * inv_r3;
+      acc[i] += mass_[j] * inv_r3 * dr;
+      jerk[i] += mass_[j] * jpart;
+      acc[j] -= mass_[i] * inv_r3 * dr;
+      jerk[j] -= mass_[i] * jpart;
+    }
+  }
+  pairs_ += static_cast<std::uint64_t>(n) * (n - 1) / 2 * 2;  // i-j and j-i
+}
+
+double HermiteIntegrator::shared_timestep() const {
+  double dt = params_.dt_max;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    double a = acc_[i].norm();
+    double j = jerk_[i].norm();
+    if (j > 0.0 && a > 0.0) {
+      dt = std::min(dt, params_.eta * a / j);
+    }
+  }
+  return dt;
+}
+
+void HermiteIntegrator::evolve(double t_end) {
+  const std::size_t n = mass_.size();
+  if (n == 0) {
+    time_ = t_end;
+    return;
+  }
+  if (dirty_) {
+    compute_forces(pos_, vel_, acc_, jerk_);
+    dirty_ = false;
+  }
+  std::vector<Vec3> pred_pos(n), pred_vel(n), new_acc(n), new_jerk(n);
+  while (time_ < t_end - 1e-15) {
+    double dt = std::min(shared_timestep(), t_end - time_);
+    double dt2 = dt * dt / 2.0;
+    double dt3 = dt2 * dt / 3.0;
+    // Predictor (Taylor expansion to 3rd order in position).
+    for (std::size_t i = 0; i < n; ++i) {
+      pred_pos[i] = pos_[i] + dt * vel_[i] + dt2 * acc_[i] + dt3 * jerk_[i];
+      pred_vel[i] = vel_[i] + dt * acc_[i] + dt2 * jerk_[i];
+    }
+    compute_forces(pred_pos, pred_vel, new_acc, new_jerk);
+    // Hermite corrector.
+    for (std::size_t i = 0; i < n; ++i) {
+      Vec3 vel_corr = vel_[i] + dt / 2.0 * (acc_[i] + new_acc[i]) +
+                      dt * dt / 12.0 * (jerk_[i] - new_jerk[i]);
+      Vec3 pos_corr = pos_[i] + dt / 2.0 * (vel_[i] + vel_corr) +
+                      dt * dt / 12.0 * (acc_[i] - new_acc[i]);
+      pos_[i] = pos_corr;
+      vel_[i] = vel_corr;
+      acc_[i] = new_acc[i];
+      jerk_[i] = new_jerk[i];
+    }
+    time_ += dt;
+  }
+  time_ = t_end;
+}
+
+double HermiteIntegrator::kinetic_energy() const {
+  double energy = 0.0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    energy += 0.5 * mass_[i] * vel_[i].norm2();
+  }
+  return energy;
+}
+
+double HermiteIntegrator::potential_energy() const {
+  double energy = 0.0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    for (std::size_t j = i + 1; j < mass_.size(); ++j) {
+      double r = std::sqrt((pos_[j] - pos_[i]).norm2() + params_.eps2);
+      energy -= mass_[i] * mass_[j] / r;
+    }
+  }
+  return energy;
+}
+
+}  // namespace jungle::kernels

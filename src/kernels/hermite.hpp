@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/vec3.hpp"
+
+namespace jungle::kernels {
+
+/// Direct-summation gravitational N-body integrator, the phiGRAPE analog
+/// (Harfst et al. 2006): 4th-order Hermite predictor-corrector with a
+/// shared adaptive timestep and Plummer softening. Works in N-body units
+/// (G = 1). O(N^2) per force evaluation — the regime where GRAPE/GPU
+/// hardware shines, which is what the E1/E11 experiments exercise.
+class HermiteIntegrator {
+ public:
+  struct Params {
+    double eps2 = 1e-4;     // softening^2
+    double eta = 0.02;      // accuracy parameter for the shared timestep
+    double dt_max = 0.0625; // upper bound on a step
+  };
+
+  HermiteIntegrator();
+  explicit HermiteIntegrator(Params params);
+
+  /// Returns the particle's index.
+  int add_particle(double mass, Vec3 position, Vec3 velocity);
+  std::size_t size() const noexcept { return mass_.size(); }
+
+  /// Advance to `t_end` (exactly; the last step is clipped).
+  void evolve(double t_end);
+  double time() const noexcept { return time_; }
+
+  double kinetic_energy() const;
+  double potential_energy() const;
+
+  // Bulk state access (the worker protocol moves arrays, not particles).
+  const std::vector<double>& masses() const noexcept { return mass_; }
+  const std::vector<Vec3>& positions() const noexcept { return pos_; }
+  const std::vector<Vec3>& velocities() const noexcept { return vel_; }
+  void set_mass(int index, double mass) { mass_.at(index) = mass; dirty_ = true; }
+  void set_position(int index, Vec3 p) { pos_.at(index) = p; dirty_ = true; }
+  void set_velocity(int index, Vec3 v) { vel_.at(index) = v; dirty_ = true; }
+
+  /// Velocity kick (bridge coupling applies cross-forces this way).
+  void kick(int index, Vec3 delta_v) { vel_.at(index) += delta_v; }
+
+  Params& params() noexcept { return params_; }
+
+  /// Pair force evaluations since construction — the honest input to the
+  /// compute-cost model (flops = pairs * kFlopsPerPair).
+  std::uint64_t pair_evaluations() const noexcept { return pairs_; }
+  static constexpr double kFlopsPerPair = 60.0;  // acc + jerk, incl. sqrt
+
+ private:
+  void compute_forces(const std::vector<Vec3>& positions,
+                      const std::vector<Vec3>& velocities,
+                      std::vector<Vec3>& acc, std::vector<Vec3>& jerk);
+  double shared_timestep() const;
+
+  Params params_;
+  double time_ = 0.0;
+  std::vector<double> mass_;
+  std::vector<Vec3> pos_, vel_, acc_, jerk_;
+  bool dirty_ = true;  // forces need a fresh evaluation
+  std::uint64_t pairs_ = 0;
+};
+
+}  // namespace jungle::kernels

@@ -1,0 +1,292 @@
+#include "kernels/sph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace jungle::kernels {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+SphSystem::SphSystem() : SphSystem(Params{}) {}
+SphSystem::SphSystem(Params params) : params_(params) {}
+
+int SphSystem::add_particle(double mass, Vec3 position, Vec3 velocity,
+                            double internal_energy) {
+  mass_.push_back(mass);
+  pos_.push_back(position);
+  vel_.push_back(velocity);
+  acc_.push_back({});
+  // Entropy from u: u = A rho^(gamma-1) / (gamma-1); rho is unknown until
+  // the first density pass, so stash u and convert lazily with rho=1; the
+  // first prepare/density/convert cycle fixes the scale consistently
+  // because we recompute A from u after the first density pass.
+  entropy_.push_back(internal_energy * (params_.gamma - 1.0));
+  pending_u_.push_back(internal_energy);
+  h_.push_back(0.1);
+  rho_.push_back(1.0);
+  return static_cast<int>(mass_.size()) - 1;
+}
+
+double SphSystem::kernel_w(double r, double h) const {
+  // Cubic spline (Monaghan & Lattanzio 1985), support 2h, 3D normalization.
+  double q = r / h;
+  double sigma = 1.0 / (kPi * h * h * h);
+  if (q < 1.0) {
+    return sigma * (1.0 - 1.5 * q * q + 0.75 * q * q * q);
+  }
+  if (q < 2.0) {
+    double t = 2.0 - q;
+    return sigma * 0.25 * t * t * t;
+  }
+  return 0.0;
+}
+
+double SphSystem::kernel_dw(double r, double h) const {
+  double q = r / h;
+  double sigma = 1.0 / (kPi * h * h * h * h);
+  if (q < 1.0) {
+    return sigma * (-3.0 * q + 2.25 * q * q);
+  }
+  if (q < 2.0) {
+    double t = 2.0 - q;
+    return sigma * (-0.75 * t * t);
+  }
+  return 0.0;
+}
+
+void SphSystem::build_grid() {
+  const std::size_t n = mass_.size();
+  // Cell size tracks the typical smoothing length; support radius is 2h.
+  double h_sum = 0.0;
+  for (double h : h_) h_sum += h;
+  cell_size_ = std::max(1e-6, 2.0 * h_sum / static_cast<double>(n));
+  Vec3 lo = pos_[0], hi = pos_[0];
+  for (const Vec3& p : pos_) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  grid_origin_ = lo;
+  for (int d = 0; d < 3; ++d) {
+    double extent = d == 0 ? hi.x - lo.x : d == 1 ? hi.y - lo.y : hi.z - lo.z;
+    grid_dim_[d] =
+        std::max(1, std::min(128, static_cast<int>(extent / cell_size_) + 1));
+  }
+  cells_.assign(static_cast<std::size_t>(grid_dim_[0]) * grid_dim_[1] *
+                    grid_dim_[2],
+                {});
+  for (int i = 0; i < static_cast<int>(n); ++i) {
+    int cx = std::min(grid_dim_[0] - 1,
+                      std::max(0, static_cast<int>((pos_[i].x - lo.x) /
+                                                   cell_size_)));
+    int cy = std::min(grid_dim_[1] - 1,
+                      std::max(0, static_cast<int>((pos_[i].y - lo.y) /
+                                                   cell_size_)));
+    int cz = std::min(grid_dim_[2] - 1,
+                      std::max(0, static_cast<int>((pos_[i].z - lo.z) /
+                                                   cell_size_)));
+    cells_[(static_cast<std::size_t>(cz) * grid_dim_[1] + cy) * grid_dim_[0] +
+           cx]
+        .push_back(i);
+  }
+}
+
+std::vector<int> SphSystem::neighbours(int i, double radius) const {
+  std::vector<int> found;
+  const Vec3& p = pos_[i];
+  int span = static_cast<int>(radius / cell_size_) + 1;
+  int cx = static_cast<int>((p.x - grid_origin_.x) / cell_size_);
+  int cy = static_cast<int>((p.y - grid_origin_.y) / cell_size_);
+  int cz = static_cast<int>((p.z - grid_origin_.z) / cell_size_);
+  double r2 = radius * radius;
+  for (int z = std::max(0, cz - span);
+       z <= std::min(grid_dim_[2] - 1, cz + span); ++z) {
+    for (int y = std::max(0, cy - span);
+         y <= std::min(grid_dim_[1] - 1, cy + span); ++y) {
+      for (int x = std::max(0, cx - span);
+           x <= std::min(grid_dim_[0] - 1, cx + span); ++x) {
+        const auto& cell =
+            cells_[(static_cast<std::size_t>(z) * grid_dim_[1] + y) *
+                       grid_dim_[0] +
+                   x];
+        for (int j : cell) {
+          if ((pos_[j] - p).norm2() <= r2) found.push_back(j);
+        }
+      }
+    }
+  }
+  return found;
+}
+
+void SphSystem::prepare_step() {
+  build_grid();
+  if (params_.self_gravity) {
+    tree_ = BarnesHutTree(params_.theta, params_.eps2);
+    tree_.build(pos_, mass_);
+  }
+}
+
+void SphSystem::compute_density(std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    // Fixed-point iteration coupling h and rho: h = eta (m/rho)^{1/3}.
+    for (int iteration = 0; iteration < 2; ++iteration) {
+      double rho = 0.0;
+      auto ngb = neighbours(static_cast<int>(i), 2.0 * h_[i]);
+      ngb_count_ += ngb.size();
+      for (int j : ngb) {
+        double r = (pos_[j] - pos_[i]).norm();
+        rho += mass_[j] * kernel_w(r, h_[i]);
+      }
+      rho_[i] = std::max(rho, 1e-12);
+      h_[i] = params_.eta_h * std::cbrt(mass_[i] / rho_[i]);
+    }
+    if (!pending_u_.empty() && pending_u_[i] >= 0.0) {
+      // First density known: fix the entropy constant from the stored u.
+      entropy_[i] = pending_u_[i] * (params_.gamma - 1.0) /
+                    std::pow(rho_[i], params_.gamma - 1.0);
+      pending_u_[i] = -1.0;
+    }
+  }
+}
+
+void SphSystem::compute_forces(std::size_t lo, std::size_t hi) {
+  const double gamma = params_.gamma;
+  // Symmetric pair rule: i and j interact iff r < h_i + h_j (the support
+  // of W(r, h_mean)). Using 2 h_i here would drop one direction of a pair
+  // with unequal h and break momentum conservation; the search radius must
+  // therefore reach out to h_i + max_j h_j.
+  double h_max = 0.0;
+  for (double h : h_) h_max = std::max(h_max, h);
+  for (std::size_t i = lo; i < hi; ++i) {
+    Vec3 accel{};
+    double p_i = entropy_[i] * std::pow(rho_[i], gamma);
+    double c_i = std::sqrt(gamma * p_i / rho_[i]);
+    auto ngb = neighbours(static_cast<int>(i), h_[i] + h_max);
+    ngb_count_ += ngb.size();
+    for (int j : ngb) {
+      if (j == static_cast<int>(i)) continue;
+      Vec3 dr = pos_[i] - pos_[j];
+      double r = dr.norm();
+      if (r <= 0.0) continue;
+      if (r >= 0.5 * (h_[i] + h_[j]) * 2.0) continue;  // outside W support
+      double p_j = entropy_[j] * std::pow(rho_[j], gamma);
+      double h_mean = 0.5 * (h_[i] + h_[j]);
+      double dw = kernel_dw(r, h_mean);
+      // Artificial viscosity (Monaghan 1992).
+      Vec3 dv = vel_[i] - vel_[j];
+      double visc = 0.0;
+      double rv = dv.dot(dr);
+      if (rv < 0.0) {
+        double c_j = std::sqrt(gamma * p_j / rho_[j]);
+        double mu = h_mean * rv / (r * r + 0.01 * h_mean * h_mean);
+        double rho_mean = 0.5 * (rho_[i] + rho_[j]);
+        visc = (-params_.alpha_visc * 0.5 * (c_i + c_j) * mu +
+                params_.beta_visc * mu * mu) /
+               rho_mean;
+      }
+      double term = p_i / (rho_[i] * rho_[i]) + p_j / (rho_[j] * rho_[j]) +
+                    visc;
+      accel -= mass_[j] * term * dw * (1.0 / r) * dr;
+    }
+    if (params_.self_gravity) {
+      std::uint64_t before = tree_.interactions();
+      accel += tree_.accel_at(pos_[i]);
+      tree_count_ += tree_.interactions() - before;
+    }
+    acc_[i] = accel;
+  }
+}
+
+double SphSystem::timestep(std::size_t lo, std::size_t hi) const {
+  double dt = params_.dt_max;
+  const double gamma = params_.gamma;
+  for (std::size_t i = lo; i < hi; ++i) {
+    double p_i = entropy_[i] * std::pow(rho_[i], gamma);
+    double c_i = std::sqrt(gamma * p_i / rho_[i]);
+    double v = vel_[i].norm();
+    dt = std::min(dt, params_.cfl * h_[i] / (c_i + v + 1e-12));
+    double a = acc_[i].norm();
+    if (a > 0) dt = std::min(dt, 0.25 * std::sqrt(h_[i] / a));
+  }
+  return dt;
+}
+
+void SphSystem::integrate(std::size_t lo, std::size_t hi, double dt) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    vel_[i] += acc_[i] * dt;
+    pos_[i] += vel_[i] * dt;
+  }
+}
+
+void SphSystem::evolve(double t_end) {
+  if (mass_.empty()) {
+    time_ = t_end;
+    return;
+  }
+  while (time_ < t_end - 1e-15) {
+    prepare_step();
+    compute_density(0, size());
+    compute_forces(0, size());
+    double dt = std::min(timestep(0, size()), t_end - time_);
+    integrate(0, size(), dt);
+    time_ += dt;
+  }
+  time_ = t_end;
+}
+
+void SphSystem::inject_energy(int index, double delta_internal_energy) {
+  if (pending_u_.at(index) >= 0.0) {
+    // Density not known yet: fold into the pending internal energy so the
+    // first density pass converts the sum consistently.
+    pending_u_[index] += delta_internal_energy;
+    return;
+  }
+  // u = A rho^(gamma-1)/(gamma-1)  =>  dA = du (gamma-1) / rho^(gamma-1)
+  entropy_.at(index) += delta_internal_energy * (params_.gamma - 1.0) /
+                        std::pow(rho_.at(index), params_.gamma - 1.0);
+}
+
+std::vector<double> SphSystem::internal_energies() const {
+  std::vector<double> result(mass_.size());
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    result[i] = entropy_[i] * std::pow(rho_[i], params_.gamma - 1.0) /
+                (params_.gamma - 1.0);
+  }
+  return result;
+}
+
+double SphSystem::kinetic_energy() const {
+  double energy = 0.0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    energy += 0.5 * mass_[i] * vel_[i].norm2();
+  }
+  return energy;
+}
+
+double SphSystem::thermal_energy() const {
+  double energy = 0.0;
+  auto u = internal_energies();
+  for (std::size_t i = 0; i < mass_.size(); ++i) energy += mass_[i] * u[i];
+  return energy;
+}
+
+double SphSystem::potential_energy() const {
+  // Tree-based estimate, adequate for diagnostics.
+  BarnesHutTree tree(params_.theta, params_.eps2);
+  tree.build(pos_, mass_);
+  double energy = 0.0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    energy += 0.5 * mass_[i] * tree.potential_at(pos_[i]);
+  }
+  return energy;
+}
+
+}  // namespace jungle::kernels

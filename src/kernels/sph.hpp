@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/bhtree.hpp"
+#include "kernels/vec3.hpp"
+
+namespace jungle::kernels {
+
+/// Smoothed-particle hydrodynamics with tree self-gravity — the Gadget-2
+/// analog (Springel 2005): cubic-spline kernel, adaptive smoothing lengths,
+/// entropy formulation (P = A rho^gamma), Monaghan artificial viscosity,
+/// leapfrog KDK with a global CFL timestep. N-body units, G = 1.
+///
+/// The `compute_*` methods take an index range so the parallel (MPI) worker
+/// can partition the work across ranks exactly like a replicated-data
+/// parallel SPH code; the serial path uses the full range.
+class SphSystem {
+ public:
+  struct Params {
+    double gamma = 5.0 / 3.0;   // adiabatic index
+    double alpha_visc = 1.0;    // Monaghan viscosity
+    double beta_visc = 2.0;
+    double cfl = 0.25;
+    double eps2 = 1e-4;         // gravitational softening^2
+    double eta_h = 1.3;         // h = eta_h * (m/rho)^(1/3)
+    double theta = 0.6;         // tree opening angle
+    double dt_max = 0.01;
+    bool self_gravity = true;
+  };
+
+  SphSystem();
+  explicit SphSystem(Params params);
+
+  int add_particle(double mass, Vec3 position, Vec3 velocity,
+                   double internal_energy);
+  std::size_t size() const noexcept { return mass_.size(); }
+
+  /// Advance to t_end with global adaptive steps.
+  void evolve(double t_end);
+  double time() const noexcept { return time_; }
+
+  // -- phase pieces, exposed for the parallel worker --
+  /// Rebuild neighbor structures + gravity tree for the current positions.
+  void prepare_step();
+  /// Density & smoothing length for particles [lo, hi).
+  void compute_density(std::size_t lo, std::size_t hi);
+  /// Hydro + gravity accelerations and entropy rate for [lo, hi).
+  /// Requires densities for *all* particles.
+  void compute_forces(std::size_t lo, std::size_t hi);
+  /// Global timestep from the CFL criterion over [lo, hi) (min-reduce the
+  /// per-rank results before integrate()).
+  double timestep(std::size_t lo, std::size_t hi) const;
+  /// Kick-drift positions/velocities for [lo, hi).
+  void integrate(std::size_t lo, std::size_t hi, double dt);
+  void advance_time(double dt) { time_ += dt; }
+
+  // -- state access --
+  const std::vector<double>& masses() const noexcept { return mass_; }
+  const std::vector<Vec3>& positions() const noexcept { return pos_; }
+  const std::vector<Vec3>& velocities() const noexcept { return vel_; }
+  const std::vector<double>& densities() const noexcept { return rho_; }
+  const std::vector<double>& smoothing() const noexcept { return h_; }
+  std::vector<double> internal_energies() const;
+  void set_position(int index, Vec3 p) { pos_.at(index) = p; }
+  void set_velocity(int index, Vec3 v) { vel_.at(index) = v; }
+  void kick(int index, Vec3 delta_v) { vel_.at(index) += delta_v; }
+
+  /// Thermal feedback: add internal energy (entropy at fixed density) to a
+  /// particle — how stellar winds and supernovae couple into the gas.
+  void inject_energy(int index, double delta_internal_energy);
+
+  double kinetic_energy() const;
+  double thermal_energy() const;
+  double potential_energy() const;
+
+  Params& params() noexcept { return params_; }
+
+  /// Neighbour-pair and tree interaction counts (cost model input).
+  std::uint64_t neighbour_interactions() const noexcept { return ngb_count_; }
+  std::uint64_t tree_interactions() const noexcept { return tree_count_; }
+  static constexpr double kFlopsPerNeighbour = 60.0;
+  static constexpr double kFlopsPerTreeInteraction = 24.0;
+
+ private:
+  struct Grid;
+  double kernel_w(double r, double h) const;
+  double kernel_dw(double r, double h) const;  // dW/dr
+  std::vector<int> neighbours(int i, double radius) const;
+  void build_grid();
+
+  Params params_;
+  double time_ = 0.0;
+  std::vector<double> mass_;
+  std::vector<Vec3> pos_, vel_, acc_;
+  std::vector<double> entropy_;  // A in P = A rho^gamma
+  std::vector<double> pending_u_;  // u awaiting first density (-1 = done)
+  std::vector<double> h_, rho_;
+  BarnesHutTree tree_;
+
+  // Uniform grid for neighbour search.
+  double cell_size_ = 0.0;
+  Vec3 grid_origin_{};
+  int grid_dim_[3] = {0, 0, 0};
+  std::vector<std::vector<int>> cells_;
+
+  std::uint64_t ngb_count_ = 0;
+  std::uint64_t tree_count_ = 0;
+};
+
+}  // namespace jungle::kernels

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "kernels/bhtree.hpp"
+
+namespace jungle::kernels {
+
+/// Gravity-field solver used as the bridge *coupling* kernel: load source
+/// particles, evaluate the acceleration they exert at arbitrary points.
+/// This is the role Octgrav (GPU) and Fi (CPU) play in the paper's
+/// embedded-cluster run — "a model to couple the gravity interactions
+/// between stars and gas".
+class TreeField {
+ public:
+  explicit TreeField(double theta = 0.6, double eps2 = 1e-4)
+      : tree_(theta, eps2) {}
+
+  void set_sources(std::span<const double> masses,
+                   std::span<const Vec3> positions) {
+    tree_.build(positions, masses);
+    builds_ += 1;
+    built_particles_ += positions.size();
+  }
+
+  std::vector<Vec3> accel_at(std::span<const Vec3> points) const {
+    return tree_.accel_at(points);
+  }
+
+  std::size_t source_count() const noexcept { return tree_.source_count(); }
+  std::uint64_t interactions() const noexcept { return tree_.interactions(); }
+  std::uint64_t built_particles() const noexcept { return built_particles_; }
+
+ private:
+  BarnesHutTree tree_;
+  std::uint64_t builds_ = 0;
+  std::uint64_t built_particles_ = 0;
+};
+
+}  // namespace jungle::kernels

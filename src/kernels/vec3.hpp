@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cmath>
+
+namespace jungle::kernels {
+
+/// Plain 3-vector for the kernels' inner loops. Kept trivially copyable so
+/// particle state can be serialized as raw spans.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double k) noexcept {
+    x *= k;
+    y *= k;
+    z *= k;
+    return *this;
+  }
+
+  friend Vec3 operator+(Vec3 a, const Vec3& b) noexcept { return a += b; }
+  friend Vec3 operator-(Vec3 a, const Vec3& b) noexcept { return a -= b; }
+  friend Vec3 operator*(Vec3 a, double k) noexcept { return a *= k; }
+  friend Vec3 operator*(double k, Vec3 a) noexcept { return a *= k; }
+
+  double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  double norm2() const noexcept { return dot(*this); }
+  double norm() const noexcept { return std::sqrt(norm2()); }
+};
+
+}  // namespace jungle::kernels

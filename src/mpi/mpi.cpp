@@ -1,0 +1,205 @@
+#include "mpi/mpi.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace jungle::mpi {
+
+namespace {
+// Internal collective tags live below user space.
+constexpr int kBarrierTag = -10;
+constexpr int kBarrierRelease = -11;
+constexpr int kBcastTag = -12;
+constexpr int kReduceTag = -13;
+constexpr int kGatherTag = -14;
+// Per-message envelope overhead on the wire.
+constexpr double kHeaderBytes = 48.0;
+}  // namespace
+
+MpiWorld::MpiWorld(sim::Network& net, std::vector<sim::Host*> hosts,
+                   int nranks)
+    : net_(net),
+      hosts_(std::move(hosts)),
+      nranks_(nranks),
+      all_done_(net.simulation()) {
+  if (hosts_.empty()) throw Error("MpiWorld needs at least one host");
+  if (nranks_ <= 0) throw Error("MpiWorld needs at least one rank");
+  for (int r = 0; r < nranks_; ++r) {
+    ranks_.push_back(std::make_unique<RankState>(net_.simulation()));
+    comms_.push_back(std::unique_ptr<Comm>(new Comm(this, r)));
+  }
+}
+
+void MpiWorld::launch(const std::string& name,
+                      std::function<void(Comm&)> rank_main) {
+  launch_from(0, name, std::move(rank_main));
+}
+
+void MpiWorld::launch_from(int first_rank, const std::string& name,
+                           std::function<void(Comm&)> rank_main) {
+  for (int r = first_rank; r < nranks_; ++r) {
+    Comm* comm = comms_[r].get();
+    ++launched_;
+    host_of(r).spawn(name + ".r" + std::to_string(r),
+                     [this, comm, rank_main] {
+                       rank_main(*comm);
+                       ++finished_;
+                       if (finished_ == launched_) all_done_.notify_all();
+                     });
+  }
+}
+
+void MpiWorld::wait() {
+  while (finished_ < launched_) all_done_.wait();
+}
+
+void MpiWorld::transfer(int src, int dst, int tag,
+                        std::vector<std::uint8_t> bytes) {
+  bytes_sent_ += static_cast<double>(bytes.size());
+  RankState* state = ranks_[dst].get();
+  auto payload = std::make_shared<Envelope>(
+      Envelope{src, tag, std::move(bytes)});
+  double wire = static_cast<double>(payload->bytes.size()) + kHeaderBytes;
+  auto arrival = net_.send(host_of(src), host_of(dst), wire,
+                           sim::TrafficClass::mpi, [state, payload] {
+                             state->inbox.put(std::move(*payload));
+                           });
+  if (!arrival) {
+    // Cluster interconnects in the model don't go down mid-job; losing an
+    // MPI message means a topology bug — fail loudly.
+    throw ConnectError("MPI message lost between ranks " +
+                       std::to_string(src) + " and " + std::to_string(dst));
+  }
+}
+
+util::ByteReader MpiWorld::match(int self, int src, int tag) {
+  RankState& state = *ranks_[self];
+  while (true) {
+    for (auto it = state.unmatched.begin(); it != state.unmatched.end(); ++it) {
+      if ((src == kAnySource || it->src == src) && it->tag == tag) {
+        std::vector<std::uint8_t> bytes = std::move(it->bytes);
+        state.unmatched.erase(it);
+        return util::ByteReader(std::move(bytes));
+      }
+    }
+    Envelope next = state.inbox.get();
+    state.unmatched.push_back(std::move(next));
+  }
+}
+
+int Comm::size() const noexcept { return world_->size(); }
+
+sim::Host& Comm::host() { return world_->host_of(rank_); }
+
+void Comm::send(int dst, int tag, util::ByteWriter message) {
+  if (dst < 0 || dst >= size()) throw Error("send to invalid rank");
+  world_->transfer(rank_, dst, tag, std::move(message).take());
+}
+
+util::ByteReader Comm::recv(int src, int tag) {
+  return world_->match(rank_, src, tag);
+}
+
+void Comm::send_doubles(int dst, int tag, std::span<const double> values) {
+  util::ByteWriter writer;
+  writer.put_span(values);
+  send(dst, tag, std::move(writer));
+}
+
+std::vector<double> Comm::recv_doubles(int src, int tag) {
+  return recv(src, tag).get_vector<double>();
+}
+
+void Comm::barrier() {
+  util::ByteWriter token;
+  token.put<std::uint8_t>(1);
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) recv(kAnySource, kBarrierTag);
+    for (int r = 1; r < size(); ++r) {
+      util::ByteWriter release;
+      release.put<std::uint8_t>(1);
+      send(r, kBarrierRelease, std::move(release));
+    }
+  } else {
+    send(0, kBarrierTag, std::move(token));
+    recv(0, kBarrierRelease);
+  }
+}
+
+std::vector<std::uint8_t> Comm::bcast(std::vector<std::uint8_t> data,
+                                      int root) {
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      util::ByteWriter writer;
+      writer.put_vector(data);
+      send(r, kBcastTag, std::move(writer));
+    }
+    return data;
+  }
+  return recv(root, kBcastTag).get_vector<std::uint8_t>();
+}
+
+double Comm::reduce_generic(double value, double (*op)(double, double)) {
+  if (rank_ == 0) {
+    double accumulated = value;
+    for (int r = 1; r < size(); ++r) {
+      auto reader = recv(kAnySource, kReduceTag);
+      accumulated = op(accumulated, reader.get<double>());
+    }
+    for (int r = 1; r < size(); ++r) {
+      util::ByteWriter writer;
+      writer.put<double>(accumulated);
+      send(r, kReduceTag, std::move(writer));
+    }
+    return accumulated;
+  }
+  util::ByteWriter writer;
+  writer.put<double>(value);
+  send(0, kReduceTag, std::move(writer));
+  return recv(0, kReduceTag).get<double>();
+}
+
+double Comm::allreduce_sum(double value) {
+  return reduce_generic(value, [](double a, double b) { return a + b; });
+}
+
+double Comm::allreduce_min(double value) {
+  return reduce_generic(value,
+                        [](double a, double b) { return std::min(a, b); });
+}
+
+double Comm::allreduce_max(double value) {
+  return reduce_generic(value,
+                        [](double a, double b) { return std::max(a, b); });
+}
+
+std::vector<double> Comm::gatherv(std::span<const double> local, int root) {
+  if (rank_ == root) {
+    std::vector<std::vector<double>> parts(size());
+    parts[rank_] = std::vector<double>(local.begin(), local.end());
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      parts[r] = recv_doubles(r, kGatherTag);
+    }
+    std::vector<double> all;
+    for (auto& part : parts) all.insert(all.end(), part.begin(), part.end());
+    return all;
+  }
+  send_doubles(root, kGatherTag, local);
+  return {};
+}
+
+std::vector<double> Comm::allgatherv(std::span<const double> local) {
+  std::vector<double> gathered = gatherv(local, 0);
+  util::ByteWriter writer;
+  if (rank_ == 0) writer.put_vector(gathered);
+  std::vector<std::uint8_t> payload =
+      rank_ == 0 ? std::move(writer).take() : std::vector<std::uint8_t>{};
+  payload = bcast(std::move(payload), 0);
+  if (rank_ == 0) return gathered;
+  return util::ByteReader(std::move(payload)).get_vector<double>();
+}
+
+}  // namespace jungle::mpi

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/mailbox.hpp"
+#include "sim/network.hpp"
+#include "util/bytebuffer.hpp"
+
+namespace jungle::mpi {
+
+/// Match any sender in recv().
+constexpr int kAnySource = -1;
+
+/// In-simulator MPI subset following the message-passing model of the LLNL
+/// MPI tutorial: explicit cooperative sends/receives between ranks, plus the
+/// collectives the kernels need. Payload bytes cross the simulated network
+/// (TrafficClass::mpi), so MPI traffic shows up separately in the Fig-11
+/// style monitoring, exactly like the paper's orange edges.
+class MpiWorld;
+
+/// Per-rank communicator handle. Methods must be called from the rank's own
+/// process. Sends are asynchronous (buffered); receives block.
+class Comm {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Point-to-point. Tags must be >= 0 for user messages.
+  void send(int dst, int tag, util::ByteWriter message);
+  util::ByteReader recv(int src, int tag);
+
+  /// Typed convenience used heavily by the kernels.
+  void send_doubles(int dst, int tag, std::span<const double> values);
+  std::vector<double> recv_doubles(int src, int tag);
+
+  /// Collectives (deterministic linear algorithms rooted at rank 0).
+  void barrier();
+  std::vector<std::uint8_t> bcast(std::vector<std::uint8_t> data, int root);
+  double allreduce_sum(double value);
+  double allreduce_min(double value);
+  double allreduce_max(double value);
+  /// Concatenation of every rank's `local` in rank order, on all ranks.
+  std::vector<double> allgatherv(std::span<const double> local);
+  /// Concatenation on root only (empty elsewhere).
+  std::vector<double> gatherv(std::span<const double> local, int root);
+
+  sim::Host& host();
+
+ private:
+  friend class MpiWorld;
+  Comm(MpiWorld* world, int rank) : world_(world), rank_(rank) {}
+
+  double reduce_generic(double value, double (*op)(double, double));
+
+  MpiWorld* world_;
+  int rank_;
+};
+
+/// A launched parallel job: `nranks` processes placed round-robin over the
+/// given hosts (the paper's Gadget worker: "8 nodes, C/MPI").
+class MpiWorld {
+ public:
+  MpiWorld(sim::Network& net, std::vector<sim::Host*> hosts, int nranks);
+
+  /// Spawn all rank processes. Each runs `rank_main(comm)`.
+  void launch(const std::string& name, std::function<void(Comm&)> rank_main);
+
+  /// Spawn only ranks [first_rank, nranks). Used when rank 0 is driven
+  /// inline by an existing process (e.g. an RPC worker server that doubles
+  /// as MPI rank 0 — the paper's Gadget worker layout).
+  void launch_from(int first_rank, const std::string& name,
+                   std::function<void(Comm&)> rank_main);
+
+  /// Communicator handle for direct use by an existing process.
+  Comm& comm(int rank) { return *comms_.at(rank); }
+
+  /// Block the calling process until every rank returned.
+  void wait();
+
+  int size() const noexcept { return nranks_; }
+  sim::Host& host_of(int rank) { return *hosts_[rank % hosts_.size()]; }
+  bool done() const noexcept { return finished_ == launched_; }
+
+  /// Sum of user payload bytes sent (monitoring / tests).
+  double bytes_sent() const noexcept { return bytes_sent_; }
+
+ private:
+  friend class Comm;
+
+  struct Envelope {
+    int src;
+    int tag;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  struct RankState {
+    explicit RankState(sim::Simulation& sim) : inbox(sim) {}
+    sim::Mailbox<Envelope> inbox;
+    std::list<Envelope> unmatched;
+  };
+
+  void transfer(int src, int dst, int tag, std::vector<std::uint8_t> bytes);
+  util::ByteReader match(int self, int src, int tag);
+
+  sim::Network& net_;
+  std::vector<sim::Host*> hosts_;
+  int nranks_;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+  std::vector<std::unique_ptr<Comm>> comms_;
+  int finished_ = 0;
+  int launched_ = 0;
+  sim::Signal all_done_;
+  double bytes_sent_ = 0;
+};
+
+}  // namespace jungle::mpi

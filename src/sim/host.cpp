@@ -1,0 +1,67 @@
+#include "sim/host.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace jungle::sim {
+
+Host::Host(Simulation& sim, std::string name, std::string site, int cores,
+           double cpu_gflops_per_core)
+    : sim_(sim),
+      name_(std::move(name)),
+      site_(std::move(site)),
+      cores_(cores),
+      cpu_gflops_per_core_(cpu_gflops_per_core) {}
+
+double Host::compute_time(double flops, DeviceKind kind, int ncores) const {
+  if (kind == DeviceKind::gpu) {
+    if (!gpu_) {
+      throw CodeError("host " + name_ + " has no GPU");
+    }
+    return flops / (gpu_->gflops * 1e9);
+  }
+  int used = std::clamp(ncores, 1, cores_);
+  return flops / (cpu_gflops_per_core_ * 1e9 * used);
+}
+
+void Host::compute(double flops, DeviceKind kind, int ncores) {
+  if (!up_) throw CodeError("host " + name_ + " is down");
+  double duration = compute_time(flops, kind, ncores);
+  if (kind == DeviceKind::gpu) {
+    gpu_busy_seconds_ += duration;
+  } else {
+    busy_core_seconds_ += duration * std::clamp(ncores, 1, cores_);
+  }
+  sim_.sleep(duration);
+}
+
+ProcessId Host::spawn(std::string process_name, std::function<void()> body) {
+  if (!up_) throw CodeError("host " + name_ + " is down; cannot start " +
+                            process_name);
+  ProcessId pid = sim_.spawn(name_ + "/" + std::move(process_name),
+                             std::move(body));
+  pids_.push_back(pid);
+  return pid;
+}
+
+void Host::crash() {
+  if (!up_) return;
+  up_ = false;
+  log::warn("sim") << "host " << name_ << " crashed at t=" << sim_.now();
+  for (auto& callback : crash_callbacks_) callback();
+  // Kill our processes. If the caller *is* one of them, Simulation::kill
+  // throws ProcessKilled for self — so defer self to the very end.
+  std::optional<ProcessId> self;
+  bool in_proc = Simulation::in_process();
+  for (ProcessId pid : pids_) {
+    if (in_proc && pid == sim_.current_pid()) {
+      self = pid;
+      continue;
+    }
+    sim_.kill(pid);
+  }
+  if (self) sim_.kill(*self);  // throws ProcessKilled
+}
+
+}  // namespace jungle::sim

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace jungle::sim {
+
+class Network;
+
+/// Where a computation runs. GPU compute requires the host to carry a GPU.
+enum class DeviceKind { cpu, gpu };
+
+/// An accelerator attached to a host (paper: GeForce 9600GT, Tesla C2050).
+/// `gflops` is the *effective* rate for the kernels under study, not a peak.
+struct GpuSpec {
+  std::string model;
+  double gflops = 0.0;
+};
+
+/// Connectivity restrictions of a machine (paper §2: firewalls, NATs,
+/// non-routed networks). Outbound traffic is always possible — the common
+/// real-world case the paper describes ("firewalls in general only block
+/// traffic in one direction").
+struct FirewallPolicy {
+  bool allow_inbound = true;
+  /// Cluster front-ends usually keep ssh reachable even when everything
+  /// else is filtered — which is why job submission works where ordinary
+  /// connections need the hub overlay.
+  bool allow_ssh_inbound = true;
+  bool nat = false;  // behind NAT: unreachable from outside even if open
+};
+
+/// A machine in the Jungle: compute rates, optional GPU, firewall, and a
+/// crash switch for fault-injection. Hosts are owned by the Network.
+class Host {
+ public:
+  Host(Simulation& sim, std::string name, std::string site, int cores,
+       double cpu_gflops_per_core);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& site() const noexcept { return site_; }
+  int cores() const noexcept { return cores_; }
+  double cpu_gflops_per_core() const noexcept { return cpu_gflops_per_core_; }
+
+  void set_gpu(GpuSpec gpu) { gpu_ = std::move(gpu); }
+  const std::optional<GpuSpec>& gpu() const noexcept { return gpu_; }
+
+  FirewallPolicy& firewall() noexcept { return firewall_; }
+  const FirewallPolicy& firewall() const noexcept { return firewall_; }
+
+  /// Blocks the calling process while `flops` of work execute on this host.
+  /// CPU work may use up to `ncores` cores (capped at the host's count);
+  /// GPU work requires a GPU and ignores `ncores`. Throws CodeError if the
+  /// device is absent. Accounts busy time for the load monitor.
+  void compute(double flops, DeviceKind kind, int ncores = 1);
+
+  /// Duration the above would block for, without blocking (cost queries).
+  double compute_time(double flops, DeviceKind kind, int ncores = 1) const;
+
+  /// Spawn a process that belongs to this host; it is killed if the host
+  /// crashes, and refuses to start if the host is down.
+  ProcessId spawn(std::string process_name, std::function<void()> body);
+
+  bool is_up() const noexcept { return up_; }
+
+  /// Fault injection: kill every process on this host and notify observers.
+  /// If called from one of the host's own processes, that process dies last.
+  void crash();
+  void restart() noexcept { up_ = true; }
+  void on_crash(std::function<void()> callback) {
+    crash_callbacks_.push_back(std::move(callback));
+  }
+
+  /// Accumulated core-seconds / GPU-seconds of compute (Fig-11 load bars).
+  double busy_core_seconds() const noexcept { return busy_core_seconds_; }
+  double gpu_busy_seconds() const noexcept { return gpu_busy_seconds_; }
+
+  Simulation& simulation() noexcept { return sim_; }
+
+ private:
+  Simulation& sim_;
+  std::string name_;
+  std::string site_;
+  int cores_;
+  double cpu_gflops_per_core_;
+  std::optional<GpuSpec> gpu_;
+  FirewallPolicy firewall_;
+  bool up_ = true;
+  std::vector<ProcessId> pids_;
+  std::vector<std::function<void()>> crash_callbacks_;
+  double busy_core_seconds_ = 0.0;
+  double gpu_busy_seconds_ = 0.0;
+};
+
+}  // namespace jungle::sim

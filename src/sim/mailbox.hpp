@@ -1,0 +1,63 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulation.hpp"
+
+namespace jungle::sim {
+
+/// Typed producer/consumer queue in virtual time. The universal building
+/// block for blocking protocols on top of the event simulator: deliveries
+/// `put` from event callbacks, processes `get` with blocking semantics.
+/// Values are moved through by value (CP.31).
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulation& sim) : sim_(sim), signal_(sim) {}
+
+  void put(T item) {
+    items_.push_back(std::move(item));
+    signal_.notify_one();
+  }
+
+  /// Blocks the calling process until an item is available.
+  T get() {
+    while (items_.empty()) signal_.wait();
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Blocks up to `timeout_s` virtual seconds; empty optional on timeout.
+  std::optional<T> get_for(double timeout_s) {
+    double deadline = sim_.now() + timeout_s;
+    while (items_.empty()) {
+      double budget = deadline - sim_.now();
+      if (budget <= 0.0) return std::nullopt;
+      signal_.wait_for(budget);
+      if (items_.empty() && sim_.now() >= deadline) return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  std::optional<T> try_get() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t size() const noexcept { return items_.size(); }
+
+ private:
+  Simulation& sim_;
+  Signal signal_;
+  std::deque<T> items_;
+};
+
+}  // namespace jungle::sim

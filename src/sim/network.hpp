@@ -1,0 +1,142 @@
+#pragma once
+
+#include <array>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/host.hpp"
+#include "sim/simulation.hpp"
+
+namespace jungle::sim {
+
+/// Units for link parameters: bandwidths are stored in bytes/second.
+namespace net {
+constexpr double kbit = 1e3 / 8.0;
+constexpr double mbit = 1e6 / 8.0;
+constexpr double gbit = 1e9 / 8.0;
+constexpr double us = 1e-6;
+constexpr double ms = 1e-3;
+}  // namespace net
+
+/// Category of traffic for per-link accounting — reproduces the Fig-11
+/// visualization where IPL traffic (blue) and MPI traffic (orange) are shown
+/// separately per connection.
+enum class TrafficClass : int { control = 0, ipl = 1, mpi = 2, file = 3 };
+constexpr int kTrafficClasses = 4;
+const char* traffic_class_name(TrafficClass cls) noexcept;
+
+/// One directed hop (we model links as symmetric, shared in both
+/// directions). Serialization on a link is FIFO: a transfer occupies the
+/// link for bytes/bandwidth starting when the link frees up, which is what
+/// makes a busy coupler uplink an honest bottleneck (paper §4.1).
+struct Link {
+  std::string name;
+  std::string site_a;
+  std::string site_b;
+  double latency_s;
+  double bandwidth_Bps;
+  double busy_until = 0.0;
+  bool down = false;
+  std::array<double, kTrafficClasses> bytes_by_class{};
+  std::uint64_t messages = 0;
+
+  double total_bytes() const noexcept {
+    double sum = 0;
+    for (double b : bytes_by_class) sum += b;
+    return sum;
+  }
+};
+
+/// The Jungle's wires: sites connected by WAN links, hosts attached to
+/// sites by LAN links, plus a loopback path on every host. Owns all Hosts.
+class Network {
+ public:
+  explicit Network(Simulation& sim);
+
+  /// Create a site with given intra-site (LAN) characteristics. Implicitly
+  /// created by add_host with defaults if absent.
+  void add_site(const std::string& site, double lan_latency_s = 0.1 * net::ms,
+                double lan_bandwidth_Bps = 1.0 * net::gbit);
+
+  Host& add_host(const std::string& name, const std::string& site, int cores,
+                 double cpu_gflops_per_core);
+
+  /// WAN link between two sites (e.g. the transatlantic 1G lightpath).
+  Link& add_link(const std::string& site_a, const std::string& site_b,
+                 double latency_s, double bandwidth_Bps,
+                 const std::string& name = "");
+
+  Host& host(const std::string& name);
+  const Host& host(const std::string& name) const;
+  Host* find_host(const std::string& name);
+  std::vector<std::string> host_names() const;
+
+  /// Loopback characteristics (paper §5: ">8 Gbit/second even on a modest
+  /// laptop ... extremely small latency").
+  void set_loopback(double latency_s, double bandwidth_Bps);
+  double loopback_bandwidth() const noexcept { return loopback_bw_; }
+  double loopback_latency() const noexcept { return loopback_lat_; }
+
+  /// Firewall check for a *new inbound connection* at `to` from `from`.
+  /// Same-site traffic is unrestricted (clusters trust their own LAN).
+  bool can_connect(const Host& from, const Host& to) const;
+
+  /// Like can_connect but for ssh: front-ends often admit ssh while
+  /// filtering everything else. NAT still blocks it.
+  bool can_ssh(const Host& from, const Host& to) const;
+
+  /// Round-trip time along the routed path (connection setup cost).
+  double rtt(const Host& from, const Host& to) const;
+
+  /// One-way message: advances link occupancy, accounts traffic, schedules
+  /// `on_delivery` at the arrival time. Returns the arrival time, or
+  /// nullopt if a link on the path is down (the message is lost — transport
+  /// layers above retry). No firewall check: that applies to connection
+  /// setup, not established flows.
+  std::optional<double> send(const Host& from, const Host& to, double bytes,
+                             TrafficClass cls,
+                             std::function<void()> on_delivery = {});
+
+  /// Mark a WAN link down/up by name (transient failure injection).
+  void set_link_down(const std::string& name, bool down);
+
+  struct LinkReport {
+    std::string name;
+    double latency_s;
+    double bandwidth_Bps;
+    std::array<double, kTrafficClasses> bytes_by_class;
+    std::uint64_t messages;
+  };
+  std::vector<LinkReport> traffic_report() const;
+  void reset_traffic();
+
+  Simulation& simulation() noexcept { return sim_; }
+
+ private:
+  struct Site {
+    std::string name;
+    Link lan;  // hosts in the same site talk through this
+  };
+
+  // Shortest path (in hops) between sites; returns WAN link indices, or
+  // nullopt when unreachable.
+  std::optional<std::vector<std::size_t>> route(const std::string& site_a,
+                                                const std::string& site_b) const;
+  // All links a message (from -> to) crosses, in order.
+  std::vector<Link*> path_links(const Host& from, const Host& to);
+
+  Simulation& sim_;
+  std::map<std::string, Site> sites_;
+  std::vector<std::unique_ptr<Link>> wan_links_;
+  std::map<std::string, std::unique_ptr<Host>> hosts_;
+  std::vector<std::string> host_order_;
+  double loopback_lat_ = 5 * net::us;
+  double loopback_bw_ = 10.0 * net::gbit;
+  Link loopback_stats_{"loopback", "", "", 0, 0};
+};
+
+}  // namespace jungle::sim

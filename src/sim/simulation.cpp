@@ -1,0 +1,293 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace jungle::sim {
+
+namespace {
+// Which process (if any) the *current thread* is executing. Lets blocking
+// primitives find their context without passing handles everywhere.
+thread_local Simulation* t_sim = nullptr;
+thread_local ProcessId t_pid = 0;
+thread_local bool t_in_process = false;
+}  // namespace
+
+Simulation::Simulation() = default;
+
+Simulation::~Simulation() {
+  shutdown();
+  {
+    std::unique_lock lock(mutex_);
+    shutting_down_ = true;
+  }
+  for (auto& pcb : processes_) {
+    if (pcb->thread.joinable()) pcb->thread.join();
+  }
+}
+
+void Simulation::shutdown() {
+  if (t_in_process) {
+    throw Error("Simulation::shutdown() called from inside a process");
+  }
+  std::unique_lock lock(mutex_);
+  // Index loop: a dying process's destructors may spawn further entries.
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    Pcb& pcb = *processes_[i];
+    if (pcb.state == PState::finished) continue;
+    pcb.kill = true;
+    grant_and_wait(lock, pcb);
+  }
+}
+
+bool Simulation::in_process() noexcept { return t_in_process; }
+
+std::string Simulation::current_name() const {
+  if (!t_in_process || t_sim != this) return "";
+  return processes_[t_pid]->name;
+}
+
+ProcessId Simulation::current_pid() const {
+  assert(t_in_process && t_sim == this);
+  return t_pid;
+}
+
+bool Simulation::finished(ProcessId pid) const {
+  std::unique_lock lock(mutex_);
+  return processes_.at(pid)->state == PState::finished;
+}
+
+std::size_t Simulation::live_processes() const {
+  std::unique_lock lock(mutex_);
+  std::size_t live = 0;
+  for (const auto& pcb : processes_) {
+    if (pcb->state != PState::finished) ++live;
+  }
+  return live;
+}
+
+ProcessId Simulation::spawn(std::string name, std::function<void()> body) {
+  return spawn_at(now_, std::move(name), std::move(body));
+}
+
+ProcessId Simulation::spawn_at(double start_at, std::string name,
+                               std::function<void()> body) {
+  std::unique_lock lock(mutex_);
+  auto pcb = std::make_unique<Pcb>();
+  pcb->name = std::move(name);
+  pcb->body = std::move(body);
+  auto pid = static_cast<ProcessId>(processes_.size());
+  if (shutting_down_) {
+    pcb->state = PState::finished;  // too late to run anything
+    processes_.push_back(std::move(pcb));
+    return pid;
+  }
+  processes_.push_back(std::move(pcb));
+  Pcb& ref = *processes_.back();
+  ref.thread = std::thread([this, pid] { trampoline(pid); });
+  events_.push(Event{std::max(start_at, now_), next_seq_++, {}, pid,
+                     ref.wake_gen, true});
+  return pid;
+}
+
+void Simulation::at(double time, std::function<void()> callback) {
+  std::unique_lock lock(mutex_);
+  if (shutting_down_) return;
+  events_.push(
+      Event{std::max(time, now_), next_seq_++, std::move(callback), 0, 0, false});
+}
+
+void Simulation::after(double delay, std::function<void()> callback) {
+  at(now_ + delay, std::move(callback));
+}
+
+void Simulation::schedule_wake(double time, ProcessId pid) {
+  std::unique_lock lock(mutex_);
+  if (shutting_down_) return;
+  Pcb& pcb = *processes_.at(pid);
+  events_.push(
+      Event{std::max(time, now_), next_seq_++, {}, pid, pcb.wake_gen, true});
+}
+
+void Simulation::schedule_wake_gen(double time, ProcessId pid,
+                                   std::uint64_t gen) {
+  std::unique_lock lock(mutex_);
+  if (shutting_down_) return;
+  events_.push(Event{std::max(time, now_), next_seq_++, {}, pid, gen, true});
+}
+
+void Simulation::run() { run_until(std::numeric_limits<double>::infinity()); }
+
+void Simulation::run_until(double until) {
+  if (t_in_process) {
+    throw Error("Simulation::run() called from inside a process");
+  }
+  std::unique_lock lock(mutex_);
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    if (ev.time > until) {
+      now_ = until;
+      return;
+    }
+    events_.pop();
+    now_ = ev.time;
+    if (ev.is_wake) {
+      Pcb& pcb = *processes_.at(ev.pid);
+      if (pcb.state == PState::finished || ev.wake_gen != pcb.wake_gen) {
+        continue;  // stale wake (process already resumed via another event)
+      }
+      grant_and_wait(lock, pcb);
+      if (pcb.state == PState::finished && pcb.error) {
+        std::exception_ptr error = pcb.error;
+        pcb.error = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+      }
+    } else {
+      lock.unlock();
+      ev.callback();
+      lock.lock();
+    }
+  }
+  if (until != std::numeric_limits<double>::infinity()) now_ = until;
+}
+
+void Simulation::grant_and_wait(std::unique_lock<std::mutex>& lock, Pcb& pcb) {
+  // Precondition: mutex_ held by `lock`. Hands the baton to `pcb`'s thread
+  // and blocks this (scheduler) thread until the process yields or finishes.
+  process_active_ = true;
+  pcb.baton = true;
+  pcb.cv.notify_one();
+  scheduler_cv_.wait(lock, [this] { return !process_active_; });
+}
+
+void Simulation::yield_and_wait(std::unique_lock<std::mutex>& lock, Pcb& pcb) {
+  // Precondition: mutex_ held by `lock`, calling thread is pcb's thread and
+  // currently holds the baton. Gives the baton back, waits to get it again.
+  process_active_ = false;
+  scheduler_cv_.notify_one();
+  pcb.cv.wait(lock, [&pcb] { return pcb.baton; });
+  pcb.baton = false;
+  ++pcb.wake_gen;  // invalidate any other pending wake events
+  if (pcb.kill) throw ProcessKilled{};
+}
+
+void Simulation::block_current() {
+  assert(t_in_process && t_sim == this);
+  Pcb& pcb = *processes_.at(t_pid);
+  if (pcb.kill) return;  // unwinding after a kill: do not block again
+  std::unique_lock lock(mutex_);
+  pcb.state = PState::blocked;
+  yield_and_wait(lock, pcb);
+  pcb.state = PState::runnable;
+}
+
+void Simulation::sleep(double seconds) {
+  if (!t_in_process || t_sim != this) {
+    throw Error("sleep() outside a simulated process");
+  }
+  Pcb& pcb = *processes_.at(t_pid);
+  if (pcb.kill) return;
+  schedule_wake(now_ + seconds, t_pid);
+  block_current();
+}
+
+void Simulation::yield_now() {
+  if (!t_in_process || t_sim != this) {
+    throw Error("yield_now() outside a simulated process");
+  }
+  Pcb& pcb = *processes_.at(t_pid);
+  if (pcb.kill) return;
+  schedule_wake(now_, t_pid);
+  block_current();
+}
+
+void Simulation::kill(ProcessId pid) {
+  if (t_in_process && t_sim == this && pid == t_pid) {
+    throw ProcessKilled{};  // killing yourself: unwind right here
+  }
+  std::unique_lock lock(mutex_);
+  Pcb& pcb = *processes_.at(pid);
+  if (pcb.state == PState::finished) return;
+  pcb.kill = true;
+  if (!shutting_down_) {
+    events_.push(Event{now_, next_seq_++, {}, pid, pcb.wake_gen, true});
+  }
+}
+
+void Simulation::trampoline(ProcessId pid) {
+  t_sim = this;
+  t_pid = pid;
+  t_in_process = true;
+  Pcb& pcb = *processes_.at(pid);
+  {
+    std::unique_lock lock(mutex_);
+    pcb.cv.wait(lock, [&pcb] { return pcb.baton; });
+    pcb.baton = false;
+    ++pcb.wake_gen;
+    pcb.state = PState::runnable;
+  }
+  if (!pcb.kill) {
+    try {
+      pcb.body();
+    } catch (const ProcessKilled&) {
+      // normal teardown path
+    } catch (...) {
+      pcb.error = std::current_exception();
+    }
+  }
+  std::unique_lock lock(mutex_);
+  pcb.state = PState::finished;
+  process_active_ = false;
+  scheduler_cv_.notify_one();
+}
+
+void Signal::wait() {
+  if (!Simulation::in_process() || t_sim != sim_) {
+    throw Error("Signal::wait() outside a simulated process");
+  }
+  ProcessId self = sim_->current_pid();
+  Simulation::Pcb& pcb = *sim_->processes_.at(self);
+  if (pcb.kill) return;
+  waiters_.push_back(self);
+  sim_->block_current();
+  // notify_* removes the pid before scheduling the wake; erase is a no-op on
+  // the normal path but cleans up after a kill-driven resume.
+  std::erase(waiters_, self);
+}
+
+bool Signal::wait_for(double timeout_s) {
+  if (!Simulation::in_process() || t_sim != sim_) {
+    throw Error("Signal::wait_for() outside a simulated process");
+  }
+  ProcessId self = sim_->current_pid();
+  Simulation::Pcb& pcb = *sim_->processes_.at(self);
+  if (pcb.kill) return false;
+  waiters_.push_back(self);
+  sim_->schedule_wake(sim_->now() + timeout_s, self);
+  sim_->block_current();
+  // notify_* removes us from waiters_ before waking us; if we are still
+  // registered, the timeout fired first.
+  auto it = std::find(waiters_.begin(), waiters_.end(), self);
+  if (it != waiters_.end()) {
+    waiters_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+void Signal::notify_one() {
+  if (waiters_.empty()) return;
+  ProcessId pid = waiters_.front();
+  waiters_.erase(waiters_.begin());
+  sim_->schedule_wake(sim_->now(), pid);
+}
+
+void Signal::notify_all() {
+  std::vector<ProcessId> pids = std::move(waiters_);
+  waiters_.clear();
+  for (ProcessId pid : pids) sim_->schedule_wake(sim_->now(), pid);
+}
+
+}  // namespace jungle::sim

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace jungle::sim {
+
+/// Thrown *into* a simulated process when it is killed (host crash or
+/// simulation shutdown). Unwinds the process body; never escapes run().
+/// Deliberately not derived from jungle::Error so that subsystem catch
+/// blocks (`catch (const Error&)`) do not swallow a kill.
+struct ProcessKilled {};
+
+class Simulation;
+
+/// Identifies a spawned process. Index into the simulation's table.
+using ProcessId = std::uint32_t;
+
+/// A virtual-time condition variable. Processes block on it with wait();
+/// any code (process or event callback) wakes them with notify_one/all.
+/// Follows CP.42: every wait has an explicit condition at the call site.
+class Signal {
+ public:
+  explicit Signal(Simulation& sim) : sim_(&sim) {}
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  /// Block the calling process until notified. Only valid inside a process.
+  void wait();
+
+  /// Block until notified or until `timeout_s` of virtual time passes.
+  /// Returns true if notified, false on timeout.
+  bool wait_for(double timeout_s);
+
+  void notify_one();
+  void notify_all();
+
+ private:
+  Simulation* sim_;
+  std::vector<ProcessId> waiters_;
+};
+
+/// Deterministic discrete-event simulator with cooperative processes.
+///
+/// Exactly one simulated process (or event callback) executes at any moment;
+/// the scheduler hands a "baton" to the process owning the earliest event.
+/// Events at equal times fire in scheduling order, so runs are replayable.
+/// Processes are real threads, which lets protocol code (RPC, MPI, sockets)
+/// be written as straight-line blocking code (CP.4: think in tasks).
+class Simulation {
+ public:
+  Simulation();
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time in seconds.
+  double now() const noexcept { return now_; }
+
+  /// Create a process; it becomes runnable at the current time (or at
+  /// `start_at` if given). The body runs on its own thread, one at a time.
+  ProcessId spawn(std::string name, std::function<void()> body);
+  ProcessId spawn_at(double start_at, std::string name,
+                     std::function<void()> body);
+
+  /// Schedule a non-blocking callback (timers, message delivery). Callbacks
+  /// run on the scheduler thread and must not call blocking primitives.
+  void at(double time, std::function<void()> callback);
+  void after(double delay, std::function<void()> callback);
+
+  /// Drive the simulation until no events remain (or `until` is reached).
+  /// Rethrows the first uncaught exception from any process.
+  void run();
+  void run_until(double until);
+
+  /// Block the calling process for `seconds` of virtual time.
+  void sleep(double seconds);
+
+  /// Yield the baton, becoming runnable again at the same timestamp (after
+  /// already-scheduled same-time events).
+  void yield_now();
+
+  /// Kill a process: ProcessKilled is raised at its next (or current)
+  /// blocking point. Killing a finished process is a no-op.
+  void kill(ProcessId pid);
+
+  /// Kill and fully unwind every live process *now*. Owners of a
+  /// Simulation must call this before destroying objects that process
+  /// unwind paths may still touch (sockets, networks, daemons): the
+  /// destructor also unwinds, but by then sibling members are gone.
+  void shutdown();
+
+  /// True while called from inside a simulated process.
+  static bool in_process() noexcept;
+
+  /// Name of the currently running process ("" outside processes).
+  std::string current_name() const;
+  ProcessId current_pid() const;
+
+  bool finished(ProcessId pid) const;
+
+  /// Number of processes that have not finished.
+  std::size_t live_processes() const;
+
+ private:
+  friend class Signal;
+
+  enum class PState { created, runnable, blocked, finished };
+
+  struct Pcb {
+    std::string name;
+    std::thread thread;
+    std::condition_variable cv;
+    bool baton = false;        // scheduler granted execution
+    bool kill = false;         // raise ProcessKilled at next wait
+    std::uint64_t wake_gen = 0;  // invalidates stale wake events
+    PState state = PState::created;
+    std::function<void()> body;
+    std::exception_ptr error;
+  };
+
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    // Either a callback, or a process wake (callback empty).
+    std::function<void()> callback;
+    ProcessId pid = 0;
+    std::uint64_t wake_gen = 0;
+    bool is_wake = false;
+  };
+
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Process-side: give the baton back and wait until granted again.
+  // Precondition: lock held. Throws ProcessKilled if killed meanwhile.
+  void yield_and_wait(std::unique_lock<std::mutex>& lock, Pcb& pcb);
+
+  // Schedule a wake event for `pid` at `time`; bumps the wake generation so
+  // earlier pending wakes become stale.
+  void schedule_wake(double time, ProcessId pid);
+  // Schedule a wake without bumping generation (notify & timeout pair).
+  void schedule_wake_gen(double time, ProcessId pid, std::uint64_t gen);
+
+  // Block the current process until its wake generation fires.
+  void block_current();
+
+  void grant_and_wait(std::unique_lock<std::mutex>& lock, Pcb& pcb);
+  void trampoline(ProcessId pid);
+
+  mutable std::mutex mutex_;
+  std::condition_variable scheduler_cv_;
+  bool process_active_ = false;  // a process currently holds the baton
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::vector<std::unique_ptr<Pcb>> processes_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace jungle::sim

@@ -1,0 +1,169 @@
+#include "smartsockets/connection.hpp"
+
+#include "util/logging.hpp"
+
+namespace jungle::smartsockets {
+
+namespace {
+// Flat per-frame overhead: sequence number, length, connection id (models
+// the SmartSockets wire framing).
+constexpr double kFrameOverheadBytes = 32.0;
+// Retry pause when a hop's link is down (transient-failure handling).
+constexpr double kRetryDelay = 0.05;
+}  // namespace
+
+const char* connection_kind_name(ConnectionKind kind) noexcept {
+  switch (kind) {
+    case ConnectionKind::direct: return "direct";
+    case ConnectionKind::reverse: return "reverse";
+    case ConnectionKind::relayed: return "relayed";
+  }
+  return "?";
+}
+
+ConnectionEnd::ConnectionEnd(sim::Simulation& sim, sim::Host* local)
+    : sim_(sim), local_(local), incoming_(sim) {}
+
+sim::Host& ConnectionEnd::remote_host() noexcept {
+  return initiator_ ? *pipe_->b->local_ : *pipe_->a->local_;
+}
+
+void ConnectionEnd::send(std::vector<std::uint8_t> bytes) {
+  if (broken_) throw ConnectError("send on broken connection");
+  if (closed_) throw ConnectError("send on closed connection");
+  bytes_sent_ += static_cast<double>(bytes.size());
+  pipe_->route(this, Frame{next_send_seq_++, std::move(bytes), false});
+}
+
+void ConnectionEnd::close() {
+  if (closed_ || broken_) return;
+  closed_ = true;
+  pipe_->route(this, Frame{next_send_seq_++, {}, true});
+}
+
+std::optional<std::vector<std::uint8_t>> ConnectionEnd::recv() {
+  if (broken_ && incoming_.empty()) {
+    throw ConnectError("connection to " + remote_host().name() + " broke");
+  }
+  Frame frame = incoming_.get();
+  if (frame.eof) {
+    if (broken_) {
+      throw ConnectError("connection to " + remote_host().name() + " broke");
+    }
+    return std::nullopt;
+  }
+  return std::move(frame.bytes);
+}
+
+std::optional<std::vector<std::uint8_t>> ConnectionEnd::recv_for(
+    double timeout_s) {
+  if (broken_ && incoming_.empty()) {
+    throw ConnectError("connection to " + remote_host().name() + " broke");
+  }
+  auto frame = incoming_.get_for(timeout_s);
+  if (!frame) return std::nullopt;  // timeout
+  if (frame->eof) {
+    if (broken_) throw ConnectError("connection broke");
+    return std::nullopt;
+  }
+  return std::move(frame->bytes);
+}
+
+void ConnectionEnd::deliver(Frame frame) {
+  // Frames can overtake each other when an earlier one is retried across a
+  // down link; reassemble FIFO order here.
+  reorder_[frame.seq] = std::move(frame);
+  while (true) {
+    auto it = reorder_.find(next_recv_seq_);
+    if (it == reorder_.end()) break;
+    ++next_recv_seq_;
+    incoming_.put(std::move(it->second));
+    reorder_.erase(it);
+  }
+}
+
+void ConnectionEnd::mark_broken() {
+  if (broken_) return;
+  broken_ = true;
+  // Wake any blocked reader with a poisoned eof frame.
+  incoming_.put(Frame{~0ULL, {}, true});
+}
+
+Pipe::Pipe(sim::Network& net, sim::TrafficClass cls,
+           std::vector<sim::Host*> hops, ConnectionKind kind)
+    : net_(net), cls_(cls), hops_(std::move(hops)), kind_(kind) {}
+
+std::pair<std::shared_ptr<ConnectionEnd>, std::shared_ptr<ConnectionEnd>>
+Pipe::make(sim::Network& net, sim::TrafficClass cls,
+           std::vector<sim::Host*> hops, ConnectionKind kind) {
+  auto pipe = std::make_shared<Pipe>(net, cls, hops, kind);
+  auto a = std::make_shared<ConnectionEnd>(net.simulation(), hops.front());
+  auto b = std::make_shared<ConnectionEnd>(net.simulation(), hops.back());
+  a->pipe_ = pipe;
+  b->pipe_ = pipe;
+  a->initiator_ = true;
+  a->kind_ = kind;
+  b->kind_ = kind;
+  pipe->a = a.get();
+  pipe->b = b.get();
+  // The pipe keeps both ends alive while frames are in flight; the cycle is
+  // intentional and bounded by the simulation's lifetime.
+  pipe->a_owner_ = a;
+  pipe->b_owner_ = b;
+  // A crash of either endpoint host breaks the connection (the IPL registry
+  // turns this into a "died" event upstream).
+  sim::Host* host_a = hops.front();
+  sim::Host* host_b = hops.back();
+  std::weak_ptr<Pipe> weak = pipe;
+  auto breaker = [weak] {
+    if (auto alive = weak.lock()) alive->break_both();
+  };
+  host_a->on_crash(breaker);
+  host_b->on_crash(breaker);
+  return {a, b};
+}
+
+void Pipe::route(ConnectionEnd* from_end, ConnectionEnd::Frame frame) {
+  hop(from_end == a, 0, std::move(frame));
+}
+
+void Pipe::hop(bool forward, std::size_t hop_index,
+               ConnectionEnd::Frame frame) {
+  // hops_ is initiator->acceptor order; walk it backwards for b->a frames.
+  std::size_t hop_count = hops_.size() - 1;
+  if (hop_index >= hop_count) {
+    ConnectionEnd* destination = forward ? b : a;
+    if (destination != nullptr && !destination->broken_) {
+      destination->deliver(std::move(frame));
+    }
+    return;
+  }
+  sim::Host* from = forward ? hops_[hop_index] : hops_[hop_count - hop_index];
+  sim::Host* to =
+      forward ? hops_[hop_index + 1] : hops_[hop_count - hop_index - 1];
+  double wire_bytes = static_cast<double>(frame.bytes.size()) +
+                      kFrameOverheadBytes;
+  auto self = shared_from_this();
+  auto frame_ptr = std::make_shared<ConnectionEnd::Frame>(std::move(frame));
+  auto arrival = net_.send(*from, *to, wire_bytes, cls_,
+                           [self, forward, hop_index, frame_ptr]() mutable {
+                             self->hop(forward, hop_index + 1,
+                                       std::move(*frame_ptr));
+                           });
+  if (!arrival) {
+    // Transient failure: retry this hop after a pause (paper §5: "our
+    // communication library can handle transient network failures").
+    net_.simulation().after(kRetryDelay,
+                            [self, forward, hop_index, frame_ptr]() mutable {
+                              self->hop(forward, hop_index,
+                                        std::move(*frame_ptr));
+                            });
+  }
+}
+
+void Pipe::break_both() {
+  if (a != nullptr) a->mark_broken();
+  if (b != nullptr) b->mark_broken();
+}
+
+}  // namespace jungle::smartsockets

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/mailbox.hpp"
+#include "sim/network.hpp"
+
+namespace jungle::smartsockets {
+
+/// How a connection was established (paper §3 / Fig 10: plain lines, one-way
+/// arrows for reverse setups, and relays through the hub overlay).
+enum class ConnectionKind { direct, reverse, relayed };
+
+const char* connection_kind_name(ConnectionKind kind) noexcept;
+
+class Pipe;
+
+/// One endpoint of an established SmartSockets connection. Messages are
+/// framed, FIFO-ordered (a per-frame sequence number reorders retried frames)
+/// and survive transient link failures by retrying lost frames.
+///
+/// recv() returns nullopt on clean close by the peer and throws ConnectError
+/// if the connection broke (host crash).
+class ConnectionEnd {
+ public:
+  ConnectionEnd(sim::Simulation& sim, sim::Host* local);
+
+  void send(std::vector<std::uint8_t> bytes);
+  std::optional<std::vector<std::uint8_t>> recv();
+  std::optional<std::vector<std::uint8_t>> recv_for(double timeout_s);
+
+  /// Graceful shutdown; the peer's recv() returns nullopt after draining.
+  void close();
+
+  bool broken() const noexcept { return broken_; }
+  ConnectionKind kind() const noexcept { return kind_; }
+  sim::Host& local_host() noexcept { return *local_; }
+  sim::Host& remote_host() noexcept;
+
+  /// Total payload bytes sent from this end (monitoring).
+  double bytes_sent() const noexcept { return bytes_sent_; }
+
+ private:
+  friend class Pipe;
+  friend class SmartSockets;
+
+  struct Frame {
+    std::uint64_t seq;
+    std::vector<std::uint8_t> bytes;
+    bool eof = false;
+  };
+
+  void deliver(Frame frame);  // called at the receiving side, in order seq
+  void mark_broken();
+
+  sim::Simulation& sim_;
+  sim::Host* local_;
+  std::shared_ptr<Pipe> pipe_;  // shared between both ends
+  bool initiator_ = false;
+  ConnectionKind kind_ = ConnectionKind::direct;
+  sim::Mailbox<Frame> incoming_;
+  std::map<std::uint64_t, Frame> reorder_;
+  std::uint64_t next_recv_seq_ = 0;
+  std::uint64_t next_send_seq_ = 0;
+  bool broken_ = false;
+  bool closed_ = false;
+  double bytes_sent_ = 0;
+};
+
+/// Shared state of a connection: the two ends plus the hop path the frames
+/// travel (direct: [a, b]; relayed: [a, hub1, ..., b]).
+class Pipe : public std::enable_shared_from_this<Pipe> {
+ public:
+  Pipe(sim::Network& net, sim::TrafficClass cls, std::vector<sim::Host*> hops,
+       ConnectionKind kind);
+
+  /// Create both ends wired to this pipe. `a` is the initiator side.
+  static std::pair<std::shared_ptr<ConnectionEnd>, std::shared_ptr<ConnectionEnd>>
+  make(sim::Network& net, sim::TrafficClass cls, std::vector<sim::Host*> hops,
+       ConnectionKind kind);
+
+  /// Route a frame from `from_end` to the other end along the hop path,
+  /// retrying hops whose link is down. Non-blocking (events do the work).
+  void route(ConnectionEnd* from_end, ConnectionEnd::Frame frame);
+
+  void break_both();
+
+  ConnectionEnd* a = nullptr;  // initiator
+  ConnectionEnd* b = nullptr;  // acceptor
+
+ private:
+  void hop(bool forward, std::size_t hop_index, ConnectionEnd::Frame frame);
+
+  sim::Network& net_;
+  sim::TrafficClass cls_;
+  std::vector<sim::Host*> hops_;
+  ConnectionKind kind_;
+  std::shared_ptr<ConnectionEnd> a_owner_;
+  std::shared_ptr<ConnectionEnd> b_owner_;
+};
+
+}  // namespace jungle::smartsockets

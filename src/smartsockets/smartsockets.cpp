@@ -1,0 +1,202 @@
+#include "smartsockets/smartsockets.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "util/logging.hpp"
+
+namespace jungle::smartsockets {
+
+namespace {
+// Small control messages used during connection setup (SYN, reverse-request).
+constexpr double kControlBytes = 128.0;
+}  // namespace
+
+SmartSockets::SmartSockets(sim::Network& net) : net_(net) {}
+
+void SmartSockets::start_hub(sim::Host& host, bool tunneled) {
+  for (const auto& hub : hubs_) {
+    if (hub.host == &host) return;  // idempotent
+  }
+  hubs_.push_back(HubInfo{&host, tunneled});
+  log::info("smartsockets") << "hub started on " << host.name() << " ("
+                            << host.site() << ")";
+}
+
+ServerSocket& SmartSockets::listen(sim::Host& host, const std::string& service) {
+  auto key = std::make_pair(host.name(), service);
+  if (listeners_.count(key)) {
+    throw ConnectError("service " + service + " already bound on " +
+                       host.name());
+  }
+  auto socket =
+      std::make_unique<ServerSocket>(net_.simulation(), host, service);
+  ServerSocket& ref = *socket;
+  listeners_[key] = std::move(socket);
+  return ref;
+}
+
+void SmartSockets::unlisten(sim::Host& host, const std::string& service) {
+  listeners_.erase(std::make_pair(host.name(), service));
+}
+
+sim::Host* SmartSockets::hub_for(const sim::Host& host) const {
+  // Prefer a hub at the host's own site (IbisDeploy starts one per
+  // resource); fall back to any hub the host can dial out to.
+  for (const auto& hub : hubs_) {
+    if (hub.host->site() == host.site() && hub.host->is_up()) return hub.host;
+  }
+  for (const auto& hub : hubs_) {
+    if (hub.host->is_up() && net_.can_connect(host, *hub.host)) return hub.host;
+  }
+  return nullptr;
+}
+
+bool SmartSockets::hubs_linked(const sim::Host& a, const sim::Host& b) const {
+  // Hubs establish overlay edges among themselves using reverse setups, so
+  // one reachable direction suffices.
+  return net_.can_connect(a, b) || net_.can_connect(b, a);
+}
+
+std::optional<std::vector<sim::Host*>> SmartSockets::hub_path(
+    sim::Host* from_hub, sim::Host* to_hub) const {
+  if (from_hub == nullptr || to_hub == nullptr) return std::nullopt;
+  if (from_hub == to_hub) return std::vector<sim::Host*>{from_hub};
+  std::map<sim::Host*, sim::Host*> parent;
+  std::deque<sim::Host*> frontier{from_hub};
+  parent[from_hub] = nullptr;
+  while (!frontier.empty()) {
+    sim::Host* current = frontier.front();
+    frontier.pop_front();
+    if (current == to_hub) break;
+    for (const auto& hub : hubs_) {
+      if (!hub.host->is_up() || parent.count(hub.host)) continue;
+      if (hubs_linked(*current, *hub.host)) {
+        parent[hub.host] = current;
+        frontier.push_back(hub.host);
+      }
+    }
+  }
+  if (!parent.count(to_hub)) return std::nullopt;
+  std::vector<sim::Host*> path;
+  for (sim::Host* at = to_hub; at != nullptr; at = parent[at]) {
+    path.push_back(at);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::shared_ptr<ConnectionEnd> SmartSockets::connect(sim::Host& from,
+                                                     sim::Host& target,
+                                                     const std::string& service,
+                                                     sim::TrafficClass cls) {
+  auto key = std::make_pair(target.name(), service);
+  auto listener = listeners_.find(key);
+  if (listener == listeners_.end()) {
+    ++stats_.failed;
+    throw ConnectError("connection refused: no service '" + service +
+                       "' on " + target.name());
+  }
+  if (!target.is_up()) {
+    ++stats_.failed;
+    throw ConnectError("host " + target.name() + " is down");
+  }
+
+  // Strategy 1: plain direct connection (one connection-setup RTT).
+  if (net_.can_connect(from, target)) {
+    ++stats_.direct;
+    return finish_setup(from, target, service, cls, ConnectionKind::direct,
+                        {&from, &target}, net_.rtt(from, target));
+  }
+
+  // The remaining strategies need the hub overlay.
+  sim::Host* from_hub = hub_for(from);
+  sim::Host* to_hub = hub_for(target);
+  auto hubs = hub_path(from_hub, to_hub);
+  if (!hubs) {
+    ++stats_.failed;
+    throw ConnectError("no overlay route from " + from.name() + " to " +
+                       target.name() + " for service " + service);
+  }
+  // Control-path latency: from -> hub_1 -> ... -> hub_k -> target. Charge a
+  // small control message across each hop (accounts overlay traffic too).
+  double control_time = 0.0;
+  {
+    std::vector<sim::Host*> control_path;
+    control_path.push_back(&from);
+    for (sim::Host* hub : *hubs) control_path.push_back(hub);
+    control_path.push_back(&target);
+    for (std::size_t i = 0; i + 1 < control_path.size(); ++i) {
+      control_time += net_.rtt(*control_path[i], *control_path[i + 1]) / 2 +
+                      kControlBytes / 1e9;
+    }
+  }
+
+  // Strategy 2: reverse connection — the overlay asks `target` to dial back
+  // (works when only the *target* side blocks inbound traffic).
+  if (net_.can_connect(target, from)) {
+    ++stats_.reverse;
+    return finish_setup(from, target, service, cls, ConnectionKind::reverse,
+                        {&from, &target},
+                        control_time + net_.rtt(target, from));
+  }
+
+  // Strategy 3: relay all traffic through the hub overlay (both ends behind
+  // firewalls/NATs).
+  std::vector<sim::Host*> hops;
+  hops.push_back(&from);
+  for (sim::Host* hub : *hubs) hops.push_back(hub);
+  hops.push_back(&target);
+  ++stats_.relayed;
+  return finish_setup(from, target, service, cls, ConnectionKind::relayed,
+                      std::move(hops), control_time);
+}
+
+std::shared_ptr<ConnectionEnd> SmartSockets::finish_setup(
+    sim::Host& from, sim::Host& target, const std::string& service,
+    sim::TrafficClass cls, ConnectionKind kind, std::vector<sim::Host*> hops,
+    double setup_time) {
+  // Setup cost is only observable from inside the simulation. Connections
+  // made while bootstrapping (e.g. the user starting the Ibis daemon before
+  // any run, paper §5) happen "before t=0" and are free.
+  if (sim::Simulation::in_process()) {
+    net_.simulation().sleep(setup_time);
+  }
+  // Re-check liveness after the setup delay.
+  auto listener = listeners_.find(std::make_pair(target.name(), service));
+  if (listener == listeners_.end() || !target.is_up()) {
+    ++stats_.failed;
+    throw ConnectError("service " + service + " on " + target.name() +
+                       " vanished during setup");
+  }
+  auto [initiator, acceptor] = Pipe::make(net_, cls, std::move(hops), kind);
+  listener->second->accept_queue_.put(std::move(acceptor));
+  log::debug("smartsockets") << from.name() << " -> " << target.name() << "/"
+                             << service << " ("
+                             << connection_kind_name(kind) << ")";
+  return initiator;
+}
+
+std::vector<OverlayEdge> SmartSockets::overlay_map() const {
+  std::vector<OverlayEdge> edges;
+  for (std::size_t i = 0; i < hubs_.size(); ++i) {
+    for (std::size_t j = i + 1; j < hubs_.size(); ++j) {
+      const sim::Host& a = *hubs_[i].host;
+      const sim::Host& b = *hubs_[j].host;
+      bool ab = net_.can_connect(a, b);
+      bool ba = net_.can_connect(b, a);
+      if (!ab && !ba) continue;
+      OverlayEdge::Kind kind = OverlayEdge::Kind::open;
+      if (hubs_[i].tunneled || hubs_[j].tunneled) {
+        kind = OverlayEdge::Kind::tunnel;
+      } else if (ab != ba) {
+        kind = OverlayEdge::Kind::oneway;
+      }
+      edges.push_back(OverlayEdge{a.name(), b.name(), kind});
+    }
+  }
+  return edges;
+}
+
+}  // namespace jungle::smartsockets

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace jungle::util {
+
+/// Append-only binary writer used for all wire messages in the stack
+/// (channels, IPL messages, MPI payloads). The byte size of a buffer is what
+/// the simulated network charges for, so every protocol message goes through
+/// here.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& value) {
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(&value);
+    bytes_.insert(bytes_.end(), raw, raw + sizeof(T));
+  }
+
+  void put_string(const std::string& text) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(text.size()));
+    bytes_.insert(bytes_.end(), text.begin(), text.end());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_span(std::span<const T> values) {
+    put<std::uint64_t>(values.size());
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(values.data());
+    bytes_.insert(bytes_.end(), raw, raw + values.size_bytes());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_vector(const std::vector<T>& values) {
+    put_span(std::span<const T>(values));
+  }
+
+  std::size_t size() const noexcept { return bytes_.size(); }
+  std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+  const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential reader over a received buffer. Throws WireError on underrun so
+/// malformed frames surface as errors rather than garbage reads.
+class ByteReader {
+ public:
+  explicit ByteReader(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, bytes_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return value;
+  }
+
+  std::string get_string() {
+    auto length = get<std::uint32_t>();
+    require(length);
+    std::string text(reinterpret_cast<const char*>(bytes_.data() + cursor_),
+                     length);
+    cursor_ += length;
+    return text;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> get_vector() {
+    auto count = get<std::uint64_t>();
+    require(count * sizeof(T));
+    std::vector<T> values(count);
+    std::memcpy(values.data(), bytes_.data() + cursor_, count * sizeof(T));
+    cursor_ += count * sizeof(T);
+    return values;
+  }
+
+  std::size_t remaining() const noexcept { return bytes_.size() - cursor_; }
+  bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  void require(std::size_t needed) const {
+    if (bytes_.size() - cursor_ < needed) {
+      throw WireError("buffer underrun: need " + std::to_string(needed) +
+                      " bytes, have " + std::to_string(remaining()));
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace jungle::util

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace jungle {
+
+/// Root of the jungle error hierarchy. All library errors derive from this,
+/// so callers can catch `jungle::Error` at a subsystem boundary.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Configuration / user-input problems (bad INI file, unknown resource, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config: " + what) {}
+};
+
+/// Connectivity problems that SmartSockets could not route around.
+class ConnectError : public Error {
+ public:
+  explicit ConnectError(const std::string& what) : Error("connect: " + what) {}
+};
+
+/// Failures reported by middleware when submitting or running jobs.
+class GatError : public Error {
+ public:
+  explicit GatError(const std::string& what) : Error("gat: " + what) {}
+};
+
+/// A remote model kernel raised an error or died (AMUSE CodeException analog).
+class CodeError : public Error {
+ public:
+  explicit CodeError(const std::string& what) : Error("code: " + what) {}
+};
+
+/// Incompatible physical units in an expression (AMUSE checked conversion).
+class UnitError : public Error {
+ public:
+  explicit UnitError(const std::string& what) : Error("units: " + what) {}
+};
+
+/// Serialization framing problems (truncated / mistyped message).
+class WireError : public Error {
+ public:
+  explicit WireError(const std::string& what) : Error("wire: " + what) {}
+};
+
+}  // namespace jungle

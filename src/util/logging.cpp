@@ -1,0 +1,58 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace jungle::log {
+
+namespace {
+
+std::atomic<Level> g_threshold{Level::warn};
+
+std::mutex g_sink_mutex;
+Sink g_sink;  // empty => default stderr sink
+
+void default_sink(Level level, const std::string& component,
+                  const std::string& message) {
+  std::fprintf(stderr, "[%-5s] %s: %s\n", level_name(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace
+
+Level threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_threshold(Level level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+Sink set_sink(Sink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  Sink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
+
+void emit(Level level, const std::string& component, const std::string& message) {
+  if (level < threshold()) return;
+  std::lock_guard lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, component, message);
+  } else {
+    default_sink(level, component, message);
+  }
+}
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::debug: return "debug";
+    case Level::info: return "info";
+    case Level::warn: return "warn";
+    case Level::error: return "error";
+    case Level::off: return "off";
+  }
+  return "?";
+}
+
+}  // namespace jungle::log

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace jungle::log {
+
+enum class Level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Global threshold; messages below it are dropped before formatting cost.
+Level threshold() noexcept;
+void set_threshold(Level level) noexcept;
+
+/// Sink receives (level, component, message). Default prints to stderr.
+/// Tests install a capture sink; returns the previous sink so it can be
+/// restored (RAII helper below).
+using Sink = std::function<void(Level, const std::string&, const std::string&)>;
+Sink set_sink(Sink sink);
+
+void emit(Level level, const std::string& component, const std::string& message);
+
+const char* level_name(Level level) noexcept;
+
+/// RAII capture of log output for tests.
+class ScopedSink {
+ public:
+  explicit ScopedSink(Sink sink) : previous_(set_sink(std::move(sink))) {}
+  ~ScopedSink() { set_sink(previous_); }
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  Sink previous_;
+};
+
+namespace detail {
+class Line {
+ public:
+  Line(Level level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~Line() { emit(level_, component_, stream_.str()); }
+  Line(const Line&) = delete;
+  Line& operator=(const Line&) = delete;
+
+  template <typename T>
+  Line& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::Line debug(std::string component) {
+  return detail::Line(Level::debug, std::move(component));
+}
+inline detail::Line info(std::string component) {
+  return detail::Line(Level::info, std::move(component));
+}
+inline detail::Line warn(std::string component) {
+  return detail::Line(Level::warn, std::move(component));
+}
+inline detail::Line error(std::string component) {
+  return detail::Line(Level::error, std::move(component));
+}
+
+}  // namespace jungle::log

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace jungle::util {
+
+/// Deterministic splitmix64-based RNG. Every stochastic component in the
+/// stack (initial conditions, gossip, queue jitter) owns a seeded instance so
+/// whole-jungle runs replay bit-identically — a requirement for the
+/// discrete-event tests.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, bound) (bound > 0).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    return next_u64() % bound;
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple, adequate).
+  double normal() noexcept {
+    double u1 = next_double();
+    double u2 = next_double();
+    while (u1 <= 1e-300) u1 = next_double();
+    // sqrt(-2 ln u1) cos(2 pi u2)
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(6.283185307179586 * u2);
+  }
+
+  /// Derive an independent stream (for child components).
+  Rng fork() noexcept { return Rng(next_u64() ^ 0xda3e39cb94b95bdbULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace jungle::util

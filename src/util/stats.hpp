@@ -1,0 +1,64 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace jungle::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double value) noexcept {
+    ++count_;
+    double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    min_ = count_ == 1 ? value : std::min(min_, value);
+    max_ = count_ == 1 ? value : std::max(max_, value);
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects samples for percentile queries (used by latency reports).
+class SampleSet {
+ public:
+  void add(double value) { samples_.push_back(value); }
+
+  /// q in [0,1]; returns 0 for an empty set.
+  double percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = q * static_cast<double>(sorted.size() - 1);
+    auto low = static_cast<std::size_t>(rank);
+    auto high = std::min(low + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(low);
+    return sorted[low] * (1.0 - frac) + sorted[high] * frac;
+  }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace jungle::util

@@ -1,0 +1,71 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace jungle::util {
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(const std::string& text, char delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string::npos) {
+      fields.push_back(text.substr(start));
+      return fields;
+    }
+    fields.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+namespace {
+std::string format_scaled(double value, const char* const* units, int count) {
+  int index = 0;
+  while (value >= 1024.0 && index + 1 < count) {
+    value /= 1024.0;
+    ++index;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f %s", value, units[index]);
+  return buffer;
+}
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  static const char* const kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  return format_scaled(bytes, kUnits, 5);
+}
+
+std::string format_bitrate(double bits_per_second) {
+  static const char* const kUnits[] = {"bit/s", "Kbit/s", "Mbit/s", "Gbit/s",
+                                       "Tbit/s"};
+  double value = bits_per_second;
+  int index = 0;
+  while (value >= 1000.0 && index < 4) {
+    value /= 1000.0;
+    ++index;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f %s", value, kUnits[index]);
+  return buffer;
+}
+
+}  // namespace jungle::util

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace jungle::util {
+
+/// Strip leading/trailing whitespace.
+std::string trim(const std::string& text);
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string> split(const std::string& text, char delimiter);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+/// Render a byte count as a human-friendly string ("1.5 MiB").
+std::string format_bytes(double bytes);
+
+/// Render a rate in bit/s as e.g. "8.2 Gbit/s".
+std::string format_bitrate(double bits_per_second);
+
+}  // namespace jungle::util

@@ -1,0 +1,193 @@
+#include "zorilla/zorilla.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hpp"
+
+namespace jungle::zorilla {
+
+namespace {
+constexpr double kViewEntryBytes = 64.0;  // per member in a gossip exchange
+constexpr double kFloodProbeBytes = 96.0;
+}  // namespace
+
+ZorillaNode& Overlay::add_node(sim::Host& host, ZorillaNode* bootstrap) {
+  auto [it, inserted] =
+      nodes_.try_emplace(host.name(), std::make_unique<ZorillaNode>(*this, host));
+  if (!inserted) return *it->second;
+  order_.push_back(host.name());
+  if (bootstrap != nullptr) {
+    it->second->view_.insert(bootstrap->host().name());
+    bootstrap->view_.insert(host.name());
+  }
+  return *it->second;
+}
+
+ZorillaNode* Overlay::node_on(const std::string& host_name) {
+  auto it = nodes_.find(host_name);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+int Overlay::gossip_round() {
+  int learned = 0;
+  for (const std::string& name : order_) {
+    ZorillaNode& node = *nodes_.at(name);
+    if (!node.host().is_up()) continue;
+    // Pick a random known peer (not self).
+    std::vector<std::string> peers(node.view_.begin(), node.view_.end());
+    std::erase(peers, name);
+    if (peers.empty()) continue;
+    const std::string& peer_name = peers[rng_.below(peers.size())];
+    ZorillaNode* peer = node_on(peer_name);
+    if (peer == nullptr || !peer->host().is_up()) continue;
+    // Charge the exchange both ways (view sizes at exchange time).
+    net_.send(node.host(), peer->host(),
+              kViewEntryBytes * static_cast<double>(node.view_.size()),
+              sim::TrafficClass::control);
+    net_.send(peer->host(), node.host(),
+              kViewEntryBytes * static_cast<double>(peer->view_.size()),
+              sim::TrafficClass::control);
+    std::size_t before = node.view_.size() + peer->view_.size();
+    node.view_.insert(peer->view_.begin(), peer->view_.end());
+    peer->view_.insert(node.view_.begin(), node.view_.end());
+    learned += static_cast<int>(node.view_.size() + peer->view_.size() -
+                                before);
+  }
+  return learned;
+}
+
+bool Overlay::converged() const {
+  for (const auto& [name, node] : nodes_) {
+    if (node->view_.size() != nodes_.size()) return false;
+  }
+  return true;
+}
+
+int Overlay::gossip_until_converged(int max_rounds) {
+  for (int round = 1; round <= max_rounds; ++round) {
+    gossip_round();
+    if (converged()) return round;
+  }
+  return max_rounds;
+}
+
+std::vector<ZorillaNode*> Overlay::discover(ZorillaNode& origin, int count,
+                                            const Requirements& req) {
+  // Deterministic BFS flood across overlay edges.
+  struct Visit {
+    ZorillaNode* node;
+    int depth;
+  };
+  std::vector<std::pair<int, ZorillaNode*>> candidates;
+  std::set<std::string> seen{origin.host().name()};
+  std::deque<Visit> frontier{{&origin, 0}};
+  while (!frontier.empty()) {
+    auto [node, depth] = frontier.front();
+    frontier.pop_front();
+    if (node->matches(req)) candidates.emplace_back(depth, node);
+    for (const std::string& neighbour_name : node->view_) {
+      if (seen.count(neighbour_name)) continue;
+      seen.insert(neighbour_name);
+      ZorillaNode* neighbour = node_on(neighbour_name);
+      if (neighbour == nullptr || !neighbour->host().is_up()) continue;
+      net_.send(node->host(), neighbour->host(), kFloodProbeBytes,
+                sim::TrafficClass::control);
+      frontier.push_back({neighbour, depth + 1});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second->host().name() < b.second->host().name();
+            });
+  std::vector<ZorillaNode*> chosen;
+  for (auto& [depth, node] : candidates) {
+    if (static_cast<int>(chosen.size()) == count) break;
+    node->set_busy(true);
+    chosen.push_back(node);
+  }
+  if (static_cast<int>(chosen.size()) < count) {
+    for (ZorillaNode* node : chosen) node->set_busy(false);
+    return {};
+  }
+  return chosen;
+}
+
+void ZorillaAdapter::submit(std::shared_ptr<gat::Job> job,
+                            const gat::JobDescription& desc,
+                            gat::Resource& resource) {
+  // The client submits through its local Zorilla node (or the resource's
+  // frontend node when the client itself runs none).
+  ZorillaNode* origin = overlay_.node_on(broker().client().name());
+  if (origin == nullptr && resource.frontend != nullptr) {
+    origin = overlay_.node_on(resource.frontend->name());
+  }
+  if (origin == nullptr) {
+    throw GatError("zorilla: no overlay node near " +
+                   broker().client().name());
+  }
+  Requirements req;
+  req.needs_gpu = desc.needs_gpu;
+  auto nodes = overlay_.discover(*origin, desc.node_count, req);
+  if (nodes.empty()) {
+    throw GatError("zorilla: flood found no " +
+                   std::to_string(desc.node_count) + " free nodes");
+  }
+  std::vector<sim::Host*> hosts;
+  for (ZorillaNode* node : nodes) hosts.push_back(&node->host());
+
+  auto context = std::make_shared<gat::JobContext>();
+  context->hosts = hosts;
+  context->resource = &resource;
+  context->job = job.get();
+  auto release = [nodes] {
+    for (ZorillaNode* node : nodes) node->set_busy(false);
+  };
+  job->set_release(release);
+  job->set_state(gat::JobState::scheduled);
+  sim::ProcessId pid = hosts.front()->spawn(
+      "zorilla-job:" + desc.name, [job, desc, context, release] {
+        try {
+          desc.main(*context);
+          release();
+          job->set_state(gat::JobState::stopped);
+        } catch (const Error& failure) {
+          release();
+          job->set_state(gat::JobState::error, failure.what());
+        }
+      });
+  job->set_allocation(hosts, pid);
+  job->set_state(gat::JobState::running);
+}
+
+std::vector<ZorillaNode*> Overlay::all_nodes() {
+  std::vector<ZorillaNode*> nodes;
+  for (const std::string& name : order_) nodes.push_back(nodes_.at(name).get());
+  return nodes;
+}
+
+ZorillaNode* ResourceSelector::select(const Requirements& req,
+                                      const std::set<std::string>& exclude) {
+  ZorillaNode* best = nullptr;
+  for (ZorillaNode* node : overlay_.all_nodes()) {
+    if (exclude.count(node->host().name())) continue;
+    if (!node->matches(req)) continue;
+    if (best == nullptr) {
+      best = node;
+      continue;
+    }
+    // Prefer a GPU when one was asked for implicitly by more capable
+    // hardware; otherwise most cores wins, name breaks ties.
+    bool node_gpu = node->host().gpu().has_value();
+    bool best_gpu = best->host().gpu().has_value();
+    if (node_gpu != best_gpu) {
+      if (node_gpu && req.needs_gpu) best = node;
+      continue;
+    }
+    if (node->host().cores() > best->host().cores()) best = node;
+  }
+  return best;
+}
+
+}  // namespace jungle::zorilla

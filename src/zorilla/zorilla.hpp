@@ -1,0 +1,128 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gat/gat.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace jungle::zorilla {
+
+/// What a job (or the resource selector) needs from a node.
+struct Requirements {
+  bool needs_gpu = false;
+  int min_cores = 1;
+};
+
+class Overlay;
+
+/// One Zorilla peer: a membership view that grows by gossip, plus a busy
+/// flag used by flood scheduling.
+class ZorillaNode {
+ public:
+  ZorillaNode(Overlay& overlay, sim::Host& host) : overlay_(overlay),
+                                                   host_(&host) {
+    view_.insert(host.name());
+  }
+
+  sim::Host& host() noexcept { return *host_; }
+  const std::set<std::string>& view() const noexcept { return view_; }
+  bool busy() const noexcept { return busy_; }
+  void set_busy(bool busy) noexcept { busy_ = busy; }
+
+  bool matches(const Requirements& req) const {
+    if (!host_->is_up() || busy_) return false;
+    if (req.needs_gpu && !host_->gpu()) return false;
+    return host_->cores() >= req.min_cores;
+  }
+
+ private:
+  friend class Overlay;
+  Overlay& overlay_;
+  sim::Host* host_;
+  std::set<std::string> view_;
+  bool busy_ = false;
+};
+
+/// The Zorilla P2P system (paper §3: "can turn any collection of machines
+/// into a cluster-like system in minutes"). Membership spreads by gossip;
+/// jobs are placed by flooding a resource request across the overlay.
+class Overlay {
+ public:
+  Overlay(sim::Network& net, std::uint64_t seed) : net_(net), rng_(seed) {}
+
+  /// Start a node. It initially knows itself and (optionally) one bootstrap
+  /// peer — the usual deployment story.
+  ZorillaNode& add_node(sim::Host& host, ZorillaNode* bootstrap = nullptr);
+
+  ZorillaNode* node_on(const std::string& host_name);
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  /// All nodes in creation order.
+  std::vector<ZorillaNode*> all_nodes();
+
+  /// One synchronous gossip round: every node exchanges views with one
+  /// random peer from its view. Traffic is charged per exchange. Returns
+  /// the number of view entries learned across the system this round.
+  int gossip_round();
+
+  /// Gossip until every node knows every other (or `max_rounds` passes);
+  /// returns the number of rounds it took. The E10/discovery tests assert
+  /// this converges in O(log n) rounds.
+  int gossip_until_converged(int max_rounds = 64);
+
+  bool converged() const;
+
+  /// Flood scheduling: breadth-first search over overlay edges from
+  /// `origin`, collecting nodes that match. Deterministic: candidates are
+  /// ordered by (hop distance, name). Charges a control message per edge
+  /// visited. Returns up to `count` nodes, marked busy.
+  std::vector<ZorillaNode*> discover(ZorillaNode& origin, int count,
+                                     const Requirements& req);
+
+  sim::Network& network() noexcept { return net_; }
+
+ private:
+  sim::Network& net_;
+  util::Rng rng_;
+  std::map<std::string, std::unique_ptr<ZorillaNode>> nodes_;
+  std::vector<std::string> order_;
+};
+
+/// GAT adapter that places jobs via Zorilla flood scheduling — the path the
+/// broker falls back to when classic middleware cannot reach a resource.
+class ZorillaAdapter : public gat::Adapter {
+ public:
+  explicit ZorillaAdapter(Overlay& overlay) : overlay_(overlay) {}
+
+  std::string name() const override { return "zorilla"; }
+  bool supports(const gat::Resource& resource) const override {
+    return resource.middleware == "zorilla";
+  }
+  void submit(std::shared_ptr<gat::Job> job, const gat::JobDescription& desc,
+              gat::Resource& resource) override;
+
+ private:
+  Overlay& overlay_;
+};
+
+/// Automatic resource discovery (paper §4.3 requirement 5 / §7 future
+/// work): given worker requirements, pick a suitable node from the overlay
+/// view; used by the AMUSE fault policy to find replacement resources.
+class ResourceSelector {
+ public:
+  explicit ResourceSelector(Overlay& overlay) : overlay_(overlay) {}
+
+  /// Best matching node (most cores, GPU preferred when requested), or
+  /// nullptr. Does not mark the node busy.
+  ZorillaNode* select(const Requirements& req,
+                      const std::set<std::string>& exclude = {});
+
+ private:
+  Overlay& overlay_;
+};
+
+}  // namespace jungle::zorilla

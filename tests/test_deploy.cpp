@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "deploy/deploy.hpp"
+
+using namespace jungle;
+using namespace jungle::sim;
+using namespace jungle::deploy;
+
+namespace {
+
+const char* kJungleConfig = R"(
+# A miniature of the paper's Fig-12 lab setup.
+[site vu]
+lan_latency_ms = 0.1
+lan_gbit = 1
+
+[site leiden]
+lan_latency_ms = 0.1
+lan_gbit = 1
+
+[host desktop]
+site = vu
+cores = 4
+gflops = 10
+
+[host fs-lgm]
+site = leiden
+cores = 8
+gflops = 10
+inbound = false
+
+[host lgm-node]
+site = leiden
+cores = 8
+gflops = 10
+gpu_model = tesla-c2050
+gpu_gflops = 500
+
+[link vu leiden]
+latency_ms = 0.5
+gbit = 1
+name = lightpath
+
+[resource local]
+middleware = local
+frontend = desktop
+
+[resource lgm]
+middleware = sge
+frontend = fs-lgm
+nodes = lgm-node
+queue_delay = 1.5
+)";
+
+struct World {
+  Simulation sim;
+  Network net{sim};
+  smartsockets::SmartSockets sockets{net};
+  util::Config config = util::Config::parse(kJungleConfig);
+
+  World() { build_topology(config, net); }
+};
+
+}  // namespace
+
+TEST(Deploy, TopologyFromConfig) {
+  World w;
+  EXPECT_EQ(w.net.host("desktop").cores(), 4);
+  EXPECT_EQ(w.net.host("lgm-node").gpu()->model, "tesla-c2050");
+  EXPECT_FALSE(w.net.host("fs-lgm").firewall().allow_inbound);
+  EXPECT_NEAR(w.net.rtt(w.net.host("desktop"), w.net.host("lgm-node")),
+              2 * (0.1e-3 + 0.5e-3 + 0.1e-3), 1e-12);
+}
+
+TEST(Deploy, ResourcesFromConfig) {
+  World w;
+  auto resources = resources_from_config(w.config, w.net);
+  ASSERT_EQ(resources.size(), 2u);
+  EXPECT_EQ(resources[0].name, "local");
+  EXPECT_EQ(resources[1].middleware, "sge");
+  EXPECT_EQ(resources[1].frontend->name(), "fs-lgm");
+  ASSERT_EQ(resources[1].nodes.size(), 1u);
+  EXPECT_TRUE(resources[1].queue != nullptr);
+  EXPECT_DOUBLE_EQ(resources[1].queue_base_delay, 1.5);
+}
+
+TEST(Deploy, MissingHostInResourceThrows) {
+  World w;
+  auto config = util::Config::parse(
+      "[resource bad]\nmiddleware = ssh\nfrontend = ghost\n");
+  EXPECT_THROW(resources_from_config(config, w.net), ConfigError);
+}
+
+TEST(Deploy, StartHubsMarksTunnelsForFirewalledFrontends) {
+  World w;
+  Deployer deployer(w.net, w.sockets, w.net.host("desktop"));
+  deployer.add_resources(resources_from_config(w.config, w.net));
+  deployer.start_hubs();
+  auto edges = w.sockets.overlay_map();
+  ASSERT_EQ(edges.size(), 1u);  // desktop hub <-> fs-lgm hub
+  EXPECT_EQ(edges[0].kind, smartsockets::OverlayEdge::Kind::tunnel);
+}
+
+TEST(Deploy, SubmitRunsJobOnNamedResource) {
+  World w;
+  Deployer deployer(w.net, w.sockets, w.net.host("desktop"));
+  deployer.add_resources(resources_from_config(w.config, w.net));
+  std::string ran_on;
+  gat::JobDescription desc;
+  desc.name = "gravity-worker";
+  desc.needs_gpu = true;
+  desc.main = [&](gat::JobContext& context) {
+    ran_on = context.hosts.front()->name();
+  };
+  w.net.host("desktop").spawn("script", [&] {
+    auto job = deployer.submit(desc, "lgm");
+    EXPECT_EQ(job->wait_until_terminal(), gat::JobState::stopped);
+  });
+  w.sim.run();
+  EXPECT_EQ(ran_on, "lgm-node");
+}
+
+TEST(Deploy, UnknownResourceThrows) {
+  World w;
+  Deployer deployer(w.net, w.sockets, w.net.host("desktop"));
+  EXPECT_THROW(deployer.resource("nonexistent"), ConfigError);
+}
+
+TEST(Deploy, DashboardShowsJobsOverlayTrafficLoad) {
+  World w;
+  Deployer deployer(w.net, w.sockets, w.net.host("desktop"));
+  deployer.add_resources(resources_from_config(w.config, w.net));
+  gat::JobDescription desc;
+  desc.name = "worker";
+  desc.main = [&](gat::JobContext& context) {
+    context.hosts.front()->compute(5e9, DeviceKind::cpu, 1);
+  };
+  w.net.host("desktop").spawn("script", [&] {
+    auto job = deployer.submit(desc, "lgm");
+    job->wait_until_terminal();
+  });
+  w.sim.run();
+  std::string dashboard = deployer.dashboard();
+  EXPECT_NE(dashboard.find("lgm [sge]"), std::string::npos);
+  EXPECT_NE(dashboard.find("worker @ lgm : STOPPED"), std::string::npos);
+  EXPECT_NE(dashboard.find("=tunnel="), std::string::npos);
+  EXPECT_NE(dashboard.find("lgm-node: cpu="), std::string::npos);
+}
+
+TEST(Deploy, ResourceNamesInOrder) {
+  World w;
+  Deployer deployer(w.net, w.sockets, w.net.host("desktop"));
+  deployer.add_resources(resources_from_config(w.config, w.net));
+  auto names = deployer.resource_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "local");
+  EXPECT_EQ(names[1], "lgm");
+}

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amuse/diagnostics.hpp"
+#include "amuse/ic.hpp"
+#include "util/rng.hpp"
+
+using namespace jungle;
+using namespace jungle::amuse;
+using kernels::Vec3;
+
+TEST(Diagnostics, CentreOfMassWeighted) {
+  std::vector<double> mass{1.0, 3.0};
+  std::vector<Vec3> pos{{0, 0, 0}, {4, 0, 0}};
+  Vec3 com = diagnostics::centre_of_mass(mass, pos);
+  EXPECT_DOUBLE_EQ(com.x, 3.0);
+  EXPECT_DOUBLE_EQ(com.y, 0.0);
+}
+
+TEST(Diagnostics, LagrangianRadiiMonotonic) {
+  util::Rng rng(3);
+  auto model = ic::plummer_sphere(2000, rng);
+  std::vector<double> fractions{0.1, 0.25, 0.5, 0.75, 0.9};
+  auto radii =
+      diagnostics::lagrangian_radii(model.mass, model.position, fractions);
+  ASSERT_EQ(radii.size(), 5u);
+  for (std::size_t i = 1; i < radii.size(); ++i) {
+    EXPECT_GT(radii[i], radii[i - 1]);
+  }
+  // Plummer: r_half = a / sqrt(2^(2/3) - 1) = 1.30 a ~ 0.766.
+  EXPECT_NEAR(radii[2], 0.766, 0.08);
+}
+
+TEST(Diagnostics, LagrangianRadiiOfShellIsShellRadius) {
+  // All mass at radius 2: every fraction returns ~2.
+  std::vector<double> mass(100, 0.01);
+  std::vector<Vec3> pos;
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    double z = rng.uniform(-1, 1);
+    double phi = rng.uniform(0, 6.283185307);
+    double r = std::sqrt(1 - z * z);
+    pos.push_back({2 * r * std::cos(phi), 2 * r * std::sin(phi), 2 * z});
+  }
+  std::vector<double> fractions{0.25, 0.75};
+  auto radii = diagnostics::lagrangian_radii(mass, pos, fractions);
+  // The random shell's centre of mass is only statistically at the
+  // origin; radii match the shell radius to sampling noise.
+  EXPECT_NEAR(radii[0], 2.0, 0.25);
+  EXPECT_NEAR(radii[1], 2.0, 0.25);
+}
+
+TEST(Diagnostics, VirialRatioOfPlummerNearOne) {
+  util::Rng rng(7);
+  auto model = ic::plummer_sphere(3000, rng);
+  double q =
+      diagnostics::virial_ratio(model.mass, model.position, model.velocity);
+  EXPECT_NEAR(q, 1.0, 0.1);
+}
+
+TEST(Diagnostics, ColdBoundGasIsBound) {
+  // Cold, slow gas deep in a massive potential: everything bound.
+  util::Rng rng(9);
+  auto gas = ic::gas_sphere(500, rng, 1.0, 1.0, 0.01);
+  std::vector<double> star_mass{5.0};
+  std::vector<Vec3> star_pos{{0, 0, 0}};
+  double bound = diagnostics::bound_gas_fraction(
+      gas.mass, gas.position, gas.velocity, gas.internal_energy, star_mass,
+      star_pos);
+  EXPECT_GT(bound, 0.95);
+}
+
+TEST(Diagnostics, FastHotGasIsUnbound) {
+  util::Rng rng(9);
+  auto gas = ic::gas_sphere(500, rng, 0.01, 1.0, 0.0);
+  // Give every particle escape-level speed and heat.
+  std::vector<Vec3> fast(gas.position.size(), Vec3{50, 0, 0});
+  std::vector<double> hot(gas.position.size(), 100.0);
+  std::vector<double> star_mass{0.1};
+  std::vector<Vec3> star_pos{{0, 0, 0}};
+  double bound = diagnostics::bound_gas_fraction(
+      gas.mass, gas.position, fast, hot, star_mass, star_pos);
+  EXPECT_LT(bound, 0.05);
+}
+
+TEST(Diagnostics, BoundFractionFallsWithInjectedEnergy) {
+  // Monotonicity in the Fig-6 observable: heating gas unbinds more of it.
+  util::Rng rng(11);
+  auto gas = ic::gas_sphere(400, rng, 1.0, 1.0, 0.01);
+  std::vector<double> star_mass{1.0};
+  std::vector<Vec3> star_pos{{0, 0, 0}};
+  double previous = 1.1;
+  for (double heat : {0.0, 1.0, 3.0, 10.0}) {
+    std::vector<double> u(gas.internal_energy);
+    for (double& value : u) value += heat;
+    double bound = diagnostics::bound_gas_fraction(
+        gas.mass, gas.position, gas.velocity, u, star_mass, star_pos);
+    EXPECT_LE(bound, previous + 1e-12) << "heat " << heat;
+    previous = bound;
+  }
+}
+
+TEST(Diagnostics, EmptyInputsAreSafe) {
+  std::vector<double> none;
+  std::vector<Vec3> no_pos;
+  EXPECT_DOUBLE_EQ(diagnostics::centre_of_mass(none, no_pos).norm(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      diagnostics::bound_gas_fraction(none, no_pos, no_pos, none, none,
+                                      no_pos),
+      0.0);
+}

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "ipl/ipl.hpp"
+
+using namespace jungle;
+using namespace jungle::sim;
+using namespace jungle::ipl;
+
+namespace {
+
+struct World {
+  Simulation sim;
+  Network net{sim};
+  smartsockets::SmartSockets sockets{net};
+  Host* client;
+  Host* node_a;
+  Host* node_b;
+
+  World() {
+    net.add_site("home");
+    net.add_site("das4");
+    net.add_site("lgm");
+    client = &net.add_host("client", "home", 4, 10);
+    node_a = &net.add_host("node-a", "das4", 8, 10);
+    node_b = &net.add_host("node-b", "lgm", 8, 10);
+    net.add_link("home", "das4", 1e-3, 1e9 / 8);
+    net.add_link("das4", "lgm", 0.5e-3, 1e9 / 8);
+  }
+
+  ~World() { sim.shutdown(); }
+};
+
+}  // namespace
+
+TEST(Ipl, MembersSeeJoins) {
+  World w;
+  RegistryServer registry(w.sockets, *w.client);
+  std::vector<std::string> seen;
+  w.client->spawn("main", [&] {
+    Ibis daemon(w.sockets, *w.client, "daemon", *w.client);
+    daemon.on_event([&](const RegistryEvent& event) {
+      if (event.type == RegistryEventType::joined) {
+        seen.push_back(event.id.name);
+      }
+    });
+    Ibis worker_a(w.sockets, *w.node_a, "worker-a", *w.client);
+    Ibis worker_b(w.sockets, *w.node_b, "worker-b", *w.client);
+    daemon.wait_for_member("worker-a");
+    daemon.wait_for_member("worker-b");
+    EXPECT_EQ(daemon.members().size(), 3u);
+  });
+  w.sim.run();
+  // Members receive their own join event too (snapshot excludes self).
+  ASSERT_GE(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "daemon");
+  EXPECT_EQ(seen[1], "worker-a");
+  EXPECT_EQ(seen[2], "worker-b");
+}
+
+TEST(Ipl, SnapshotGivesExistingMembers) {
+  World w;
+  RegistryServer registry(w.sockets, *w.client);
+  std::size_t late_joiner_view = 0;
+  w.client->spawn("main", [&] {
+    Ibis first(w.sockets, *w.client, "first", *w.client);
+    first.wait_for_member("first");  // self visible
+    Ibis late(w.sockets, *w.node_a, "late", *w.client);
+    late.wait_for_member("first");
+    late.wait_for_member("late");
+    late_joiner_view = late.members().size();
+  });
+  w.sim.run();
+  EXPECT_EQ(late_joiner_view, 2u);
+}
+
+TEST(Ipl, LeaveBroadcastsLeft) {
+  World w;
+  RegistryServer registry(w.sockets, *w.client);
+  bool saw_left = false;
+  w.client->spawn("main", [&] {
+    Ibis daemon(w.sockets, *w.client, "daemon", *w.client);
+    daemon.on_event([&](const RegistryEvent& event) {
+      if (event.type == RegistryEventType::left &&
+          event.id.name == "worker") {
+        saw_left = true;
+      }
+    });
+    {
+      Ibis worker(w.sockets, *w.node_a, "worker", *w.client);
+      daemon.wait_for_member("worker");
+    }  // destructor -> leave()
+    w.sim.sleep(1.0);
+    EXPECT_EQ(daemon.members().size(), 1u);
+  });
+  w.sim.run();
+  EXPECT_TRUE(saw_left);
+}
+
+TEST(Ipl, HostCrashBroadcastsDied) {
+  // The paper's §5 fault story: a worker's machine disappears; the rest of
+  // the pool learns it died (and in the paper the simulation then crashes —
+  // our amuse layer adds the restart policy on top of this signal).
+  World w;
+  RegistryServer registry(w.sockets, *w.client);
+  bool saw_died = false;
+  w.client->spawn("main", [&] {
+    Ibis daemon(w.sockets, *w.client, "daemon", *w.client);
+    daemon.on_event([&](const RegistryEvent& event) {
+      if (event.type == RegistryEventType::died &&
+          event.id.name == "worker") {
+        saw_died = true;
+      }
+    });
+    auto worker = std::make_unique<Ibis>(w.sockets, *w.node_a, "worker",
+                                         *w.client);
+    daemon.wait_for_member("worker");
+    w.node_a->crash();
+    w.sim.sleep(1.0);
+    EXPECT_EQ(daemon.members().size(), 1u);
+    // worker object destroyed after its host died: leave() is a no-op error
+    // path and must not throw.
+    worker.reset();
+  });
+  w.sim.run();
+  EXPECT_TRUE(saw_died);
+}
+
+TEST(Ipl, ElectionFirstComeWins) {
+  World w;
+  RegistryServer registry(w.sockets, *w.client);
+  std::string winner_by_a, winner_by_b;
+  w.client->spawn("main", [&] {
+    Ibis a(w.sockets, *w.node_a, "a", *w.client);
+    Ibis b(w.sockets, *w.node_b, "b", *w.client);
+    winner_by_a = a.elect("coupler").name;
+    winner_by_b = b.elect("coupler").name;
+  });
+  w.sim.run();
+  EXPECT_EQ(winner_by_a, "a");
+  EXPECT_EQ(winner_by_b, "a");  // same winner for everyone
+}
+
+TEST(Ipl, SendReceivePortsCarryTypedMessages) {
+  World w;
+  RegistryServer registry(w.sockets, *w.client);
+  double received_value = 0;
+  std::string received_from;
+  w.client->spawn("main", [&] {
+    Ibis daemon(w.sockets, *w.client, "daemon", *w.client);
+    auto port = daemon.create_receive_port("results");
+
+    w.node_a->spawn("worker", [&] {
+      Ibis worker(w.sockets, *w.node_a, "worker", *w.client);
+      auto id = worker.wait_for_member("daemon");
+      auto sender = worker.create_send_port("out");
+      sender->connect(id, "results");
+      util::ByteWriter message;
+      message.put<double>(42.5);
+      sender->send(std::move(message));
+      sender->close();
+    });
+
+    auto message = port->receive();
+    received_from = message.source.name;
+    received_value = message.reader.get<double>();
+  });
+  w.sim.run();
+  EXPECT_EQ(received_from, "worker");
+  EXPECT_DOUBLE_EQ(received_value, 42.5);
+}
+
+TEST(Ipl, SendPortFanOut) {
+  World w;
+  RegistryServer registry(w.sockets, *w.client);
+  int deliveries = 0;
+  w.client->spawn("main", [&] {
+    Ibis daemon(w.sockets, *w.client, "daemon", *w.client);
+    Ibis wa(w.sockets, *w.node_a, "wa", *w.client);
+    Ibis wb(w.sockets, *w.node_b, "wb", *w.client);
+    auto port_a = wa.create_receive_port("in");
+    auto port_b = wb.create_receive_port("in");
+    auto sender = daemon.create_send_port("broadcast");
+    sender->connect(wa.identifier(), "in");
+    sender->connect(wb.identifier(), "in");
+    EXPECT_EQ(sender->connection_count(), 2u);
+    util::ByteWriter message;
+    message.put<int>(7);
+    sender->send(std::move(message));
+    auto ma = port_a->receive();
+    auto mb = port_b->receive();
+    EXPECT_EQ(ma.reader.get<int>(), 7);
+    EXPECT_EQ(mb.reader.get<int>(), 7);
+    deliveries = 2;
+  });
+  w.sim.run();
+  EXPECT_EQ(deliveries, 2);
+}
+
+TEST(Ipl, UnconnectedSendPortThrows) {
+  World w;
+  RegistryServer registry(w.sockets, *w.client);
+  bool threw = false;
+  w.client->spawn("main", [&] {
+    Ibis daemon(w.sockets, *w.client, "daemon", *w.client);
+    auto sender = daemon.create_send_port("out");
+    try {
+      util::ByteWriter message;
+      sender->send(std::move(message));
+    } catch (const ConnectError&) {
+      threw = true;
+    }
+  });
+  w.sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Ipl, WaitForMemberThrowsIfItDiedFirst) {
+  World w;
+  RegistryServer registry(w.sockets, *w.client);
+  bool threw = false;
+  w.client->spawn("main", [&] {
+    Ibis daemon(w.sockets, *w.client, "daemon", *w.client);
+    auto worker =
+        std::make_unique<Ibis>(w.sockets, *w.node_a, "w", *w.client);
+    daemon.wait_for_member("w");
+    w.node_a->crash();
+    w.sim.sleep(0.5);
+    try {
+      daemon.wait_for_member("w");
+    } catch (const CodeError&) {
+      threw = true;
+    }
+  });
+  w.sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Ipl, TrafficUsesIplClass) {
+  World w;
+  RegistryServer registry(w.sockets, *w.client);
+  w.client->spawn("main", [&] {
+    Ibis daemon(w.sockets, *w.client, "daemon", *w.client);
+    Ibis worker(w.sockets, *w.node_a, "worker", *w.client);
+    auto port = daemon.create_receive_port("in");
+    auto sender = worker.create_send_port("out");
+    sender->connect(daemon.identifier(), "in");
+    util::ByteWriter message;
+    message.put_vector(std::vector<double>(500, 1.0));
+    sender->send(std::move(message));
+    port->receive();
+  });
+  w.sim.run();
+  double ipl_bytes = 0;
+  for (const auto& link : w.net.traffic_report()) {
+    ipl_bytes += link.bytes_by_class[static_cast<int>(TrafficClass::ipl)];
+  }
+  EXPECT_GT(ipl_bytes, 4000.0);
+}

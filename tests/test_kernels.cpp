@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "amuse/ic.hpp"
+#include "kernels/bhtree.hpp"
+#include "kernels/hermite.hpp"
+#include "kernels/sph.hpp"
+#include "kernels/sse.hpp"
+#include "kernels/treefield.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace jungle;
+using namespace jungle::kernels;
+
+// ---------------------------------------------------------------- hermite
+
+TEST(Hermite, TwoBodyCircularOrbitPeriod) {
+  // Equal masses m=0.5 at +/-0.5 on x, circular velocity v=0.5 each:
+  // total mass 1, separation 1 -> omega=1, period 2*pi.
+  HermiteIntegrator::Params params;
+  params.eps2 = 0.0;
+  params.eta = 0.01;
+  HermiteIntegrator nbody(params);
+  nbody.add_particle(0.5, {0.5, 0, 0}, {0, 0.5, 0});
+  nbody.add_particle(0.5, {-0.5, 0, 0}, {0, -0.5, 0});
+  double period = 2.0 * M_PI;
+  nbody.evolve(period);
+  // Back to the start after one full orbit.
+  EXPECT_NEAR(nbody.positions()[0].x, 0.5, 5e-3);
+  EXPECT_NEAR(nbody.positions()[0].y, 0.0, 5e-3);
+}
+
+TEST(Hermite, EnergyConservedOverOrbit) {
+  HermiteIntegrator::Params params;
+  params.eps2 = 0.0;
+  params.eta = 0.01;
+  HermiteIntegrator nbody(params);
+  nbody.add_particle(0.5, {0.5, 0, 0}, {0, 0.5, 0});
+  nbody.add_particle(0.5, {-0.5, 0, 0}, {0, -0.5, 0});
+  double e0 = nbody.kinetic_energy() + nbody.potential_energy();
+  nbody.evolve(20.0);
+  double e1 = nbody.kinetic_energy() + nbody.potential_energy();
+  EXPECT_NEAR(e1, e0, std::abs(e0) * 1e-6);
+}
+
+TEST(Hermite, PlummerEnergyDriftSmall) {
+  util::Rng rng(42);
+  auto model = amuse::ic::plummer_sphere(128, rng);
+  HermiteIntegrator nbody;  // default eps2 softening
+  for (std::size_t i = 0; i < model.mass.size(); ++i) {
+    nbody.add_particle(model.mass[i], model.position[i], model.velocity[i]);
+  }
+  double e0 = nbody.kinetic_energy() + nbody.potential_energy();
+  nbody.evolve(1.0);
+  double e1 = nbody.kinetic_energy() + nbody.potential_energy();
+  EXPECT_LT(std::abs(e1 - e0) / std::abs(e0), 2e-3);
+}
+
+TEST(Hermite, MomentumConserved) {
+  util::Rng rng(7);
+  auto model = amuse::ic::plummer_sphere(64, rng);
+  HermiteIntegrator nbody;
+  for (std::size_t i = 0; i < model.mass.size(); ++i) {
+    nbody.add_particle(model.mass[i], model.position[i], model.velocity[i]);
+  }
+  nbody.evolve(0.5);
+  Vec3 p{};
+  for (std::size_t i = 0; i < nbody.size(); ++i) {
+    p += nbody.masses()[i] * nbody.velocities()[i];
+  }
+  EXPECT_NEAR(p.norm(), 0.0, 1e-10);
+}
+
+TEST(Hermite, PairCountGrowsQuadratically) {
+  auto pairs_for = [](std::size_t n) {
+    util::Rng rng(1);
+    auto model = amuse::ic::plummer_sphere(n, rng);
+    HermiteIntegrator nbody;
+    for (std::size_t i = 0; i < n; ++i) {
+      nbody.add_particle(model.mass[i], model.position[i], model.velocity[i]);
+    }
+    nbody.evolve(0.01);
+    return static_cast<double>(nbody.pair_evaluations());
+  };
+  double small = pairs_for(64);
+  double large = pairs_for(128);
+  // Per force evaluation the ratio is exactly 4; step counts differ a bit.
+  EXPECT_GT(large / small, 2.5);
+}
+
+TEST(Hermite, KickChangesVelocity) {
+  HermiteIntegrator nbody;
+  nbody.add_particle(1.0, {0, 0, 0}, {0, 0, 0});
+  nbody.kick(0, {0.5, 0, 0});
+  EXPECT_DOUBLE_EQ(nbody.velocities()[0].x, 0.5);
+}
+
+TEST(Hermite, EvolveEmptySystemAdvancesTime) {
+  HermiteIntegrator nbody;
+  nbody.evolve(3.0);
+  EXPECT_DOUBLE_EQ(nbody.time(), 3.0);
+}
+
+// ----------------------------------------------------------------- bhtree
+
+TEST(BarnesHut, MatchesDirectSummationAtSmallTheta) {
+  util::Rng rng(11);
+  auto model = amuse::ic::plummer_sphere(256, rng);
+  BarnesHutTree tree(0.01, 1e-4);  // theta -> 0: effectively direct
+  tree.build(model.position, model.mass);
+  for (int probe = 0; probe < 8; ++probe) {
+    Vec3 point = model.position[probe * 20];
+    Vec3 direct{};
+    for (std::size_t j = 0; j < model.mass.size(); ++j) {
+      Vec3 dr = model.position[j] - point;
+      double d2 = dr.norm2() + 1e-4;
+      direct += (model.mass[j] / (d2 * std::sqrt(d2))) * dr;
+    }
+    Vec3 approx = tree.accel_at(point);
+    EXPECT_NEAR((approx - direct).norm(), 0.0, 1e-9);
+  }
+}
+
+TEST(BarnesHut, ErrorBoundedAtModerateTheta) {
+  util::Rng rng(13);
+  auto model = amuse::ic::plummer_sphere(512, rng);
+  BarnesHutTree tree(0.6, 1e-4);
+  tree.build(model.position, model.mass);
+  double worst = 0.0;
+  for (int probe = 0; probe < 16; ++probe) {
+    Vec3 point = model.position[probe * 30];
+    Vec3 direct{};
+    for (std::size_t j = 0; j < model.mass.size(); ++j) {
+      Vec3 dr = model.position[j] - point;
+      double d2 = dr.norm2() + 1e-4;
+      direct += (model.mass[j] / (d2 * std::sqrt(d2))) * dr;
+    }
+    Vec3 approx = tree.accel_at(point);
+    double rel = (approx - direct).norm() / (direct.norm() + 1e-12);
+    worst = std::max(worst, rel);
+  }
+  EXPECT_LT(worst, 0.05);  // few-percent monopole accuracy
+}
+
+TEST(BarnesHut, InteractionCountSubQuadratic) {
+  auto interactions_for = [](std::size_t n) {
+    util::Rng rng(3);
+    auto model = amuse::ic::plummer_sphere(n, rng);
+    BarnesHutTree tree(0.6, 1e-4);
+    tree.build(model.position, model.mass);
+    for (std::size_t i = 0; i < n; ++i) tree.accel_at(model.position[i]);
+    return static_cast<double>(tree.interactions());
+  };
+  double small = interactions_for(256);
+  double large = interactions_for(1024);
+  // Quadratic would be x16; N log N is ~x5-9 at these sizes.
+  EXPECT_LT(large / small, 11.0);
+}
+
+TEST(BarnesHut, PotentialNegativeAndDeepestAtCentre) {
+  util::Rng rng(5);
+  auto model = amuse::ic::plummer_sphere(256, rng);
+  BarnesHutTree tree(0.6, 1e-4);
+  tree.build(model.position, model.mass);
+  double centre = tree.potential_at({0, 0, 0});
+  double edge = tree.potential_at({10, 0, 0});
+  EXPECT_LT(centre, edge);
+  EXPECT_LT(centre, 0.0);
+  EXPECT_NEAR(edge, -1.0 / 10.0, 0.01);  // total mass 1 far away
+}
+
+TEST(BarnesHut, EmptyTreeGivesZero) {
+  BarnesHutTree tree;
+  tree.build({}, {});
+  EXPECT_DOUBLE_EQ(tree.accel_at(Vec3{1, 2, 3}).norm(), 0.0);
+  EXPECT_DOUBLE_EQ(tree.potential_at(Vec3{1, 2, 3}), 0.0);
+}
+
+TEST(TreeField, CrossForcesAreSymmetricInMass) {
+  // Field of a 2-mass source at a probe: doubling source masses doubles
+  // the acceleration.
+  TreeField field(0.6, 0.0);
+  std::vector<double> masses{1.0, 1.0};
+  std::vector<Vec3> sources{{1, 0, 0}, {-1, 0, 0}};
+  field.set_sources(masses, sources);
+  Vec3 a1 = field.accel_at(std::vector<Vec3>{{0, 1, 0}})[0];
+  std::vector<double> doubled{2.0, 2.0};
+  field.set_sources(doubled, sources);
+  Vec3 a2 = field.accel_at(std::vector<Vec3>{{0, 1, 0}})[0];
+  EXPECT_NEAR(a2.norm(), 2.0 * a1.norm(), 1e-12);
+}
+
+// -------------------------------------------------------------------- sse
+
+TEST(Sse, LifetimeDecreasesWithMass) {
+  double previous = std::numeric_limits<double>::max();
+  for (double mass : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0}) {
+    double lifetime = StellarEvolution::main_sequence_lifetime_myr(mass);
+    EXPECT_LT(lifetime, previous) << "mass " << mass;
+    previous = lifetime;
+  }
+}
+
+TEST(Sse, SunLikeStarStaysOnMainSequence) {
+  StellarEvolution se;
+  se.add_star(1.0);
+  se.evolve_to(4600.0);  // the Sun today
+  EXPECT_EQ(se.star(0).phase, StellarEvolution::Phase::main_sequence);
+  EXPECT_NEAR(se.star(0).mass, 1.0, 0.01);
+}
+
+TEST(Sse, MassiveStarExplodes) {
+  StellarEvolution se;
+  se.add_star(20.0);
+  double t_end = StellarEvolution::main_sequence_lifetime_myr(20.0) +
+                 StellarEvolution::giant_lifetime_myr(20.0) + 1.0;
+  se.evolve_to(t_end);
+  EXPECT_EQ(se.star(0).phase, StellarEvolution::Phase::neutron_star);
+  EXPECT_DOUBLE_EQ(se.star(0).mass, 1.4);
+  ASSERT_EQ(se.recent_supernovae().size(), 1u);
+  EXPECT_EQ(se.recent_supernovae()[0], 0);
+}
+
+TEST(Sse, LowMassStarBecomesWhiteDwarf) {
+  StellarEvolution se;
+  se.add_star(2.0);
+  double t_end = StellarEvolution::main_sequence_lifetime_myr(2.0) * 1.2;
+  se.evolve_to(t_end);
+  EXPECT_EQ(se.star(0).phase, StellarEvolution::Phase::white_dwarf);
+  EXPECT_DOUBLE_EQ(se.star(0).mass, 0.6);
+  EXPECT_TRUE(se.recent_supernovae().empty());
+}
+
+TEST(Sse, MassNeverIncreases) {
+  StellarEvolution se;
+  se.add_star(15.0);
+  double previous = 15.0;
+  for (double t = 0; t < 20.0; t += 0.5) {
+    se.evolve_to(t);
+    EXPECT_LE(se.star(0).mass, previous + 1e-12);
+    previous = se.star(0).mass;
+  }
+}
+
+TEST(Sse, MassLossAccumulatesDuringGiantPhase) {
+  StellarEvolution se;
+  se.add_star(10.0);
+  double t_ms = StellarEvolution::main_sequence_lifetime_myr(10.0);
+  se.evolve_to(t_ms + 0.5 * StellarEvolution::giant_lifetime_myr(10.0));
+  EXPECT_EQ(se.star(0).phase, StellarEvolution::Phase::giant);
+  EXPECT_GT(se.recent_mass_loss(), 0.0);
+}
+
+TEST(Sse, BackwardsEvolutionThrows) {
+  StellarEvolution se;
+  se.add_star(1.0);
+  se.evolve_to(10.0);
+  EXPECT_THROW(se.evolve_to(5.0), CodeError);
+}
+
+TEST(Sse, GiantsAreBrighterAndBigger) {
+  StellarEvolution se;
+  se.add_star(5.0);
+  se.evolve_to(1.0);
+  double l_ms = se.star(0).luminosity;
+  double r_ms = se.star(0).radius;
+  double t_ms = StellarEvolution::main_sequence_lifetime_myr(5.0);
+  se.evolve_to(t_ms + 0.1 * StellarEvolution::giant_lifetime_myr(5.0));
+  EXPECT_GT(se.star(0).luminosity, 5.0 * l_ms);
+  EXPECT_GT(se.star(0).radius, 10.0 * r_ms);
+}
+
+// -------------------------------------------------------------------- sph
+
+namespace {
+/// Uniform-ish gas ball for SPH tests.
+kernels::SphSystem make_gas_ball(std::size_t n, double u = 0.05,
+                                 bool gravity = false) {
+  SphSystem::Params params;
+  params.self_gravity = gravity;
+  SphSystem sph(params);
+  util::Rng rng(99);
+  auto gas = amuse::ic::gas_sphere(n, rng, 1.0, 1.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    sph.add_particle(gas.mass[i], gas.position[i], gas.velocity[i], u);
+  }
+  return sph;
+}
+}  // namespace
+
+TEST(Sph, DensityMatchesUniformSphere) {
+  auto sph = make_gas_ball(2000);
+  sph.prepare_step();
+  sph.compute_density(0, sph.size());
+  // Homogeneous sphere of mass 1, radius 1: rho = 3/(4 pi) ~ 0.2387.
+  double expected = 3.0 / (4.0 * M_PI);
+  // Median density of the inner half (edges are biased low).
+  std::vector<double> inner;
+  for (std::size_t i = 0; i < sph.size(); ++i) {
+    if (sph.positions()[i].norm() < 0.6) inner.push_back(sph.densities()[i]);
+  }
+  ASSERT_GT(inner.size(), 100u);
+  std::sort(inner.begin(), inner.end());
+  double median = inner[inner.size() / 2];
+  // Summation density self-term biases high at finite neighbour number.
+  EXPECT_NEAR(median, expected, 0.30 * expected);
+}
+
+TEST(Sph, MomentumConservedWithoutGravity) {
+  auto sph = make_gas_ball(500);
+  sph.evolve(0.05);
+  Vec3 p{};
+  for (std::size_t i = 0; i < sph.size(); ++i) {
+    p += sph.masses()[i] * sph.velocities()[i];
+  }
+  EXPECT_NEAR(p.norm(), 0.0, 1e-8);
+}
+
+TEST(Sph, PressureDrivesExpansion) {
+  // Hot ball, no gravity: the rarefaction wave needs about a sound-crossing
+  // time to reach the centre, after which the ball blows apart.
+  auto sph = make_gas_ball(400, /*u=*/1.0);
+  auto mean_radius = [&] {
+    double sum = 0;
+    for (const Vec3& p : sph.positions()) sum += p.norm();
+    return sum / static_cast<double>(sph.size());
+  };
+  double r0 = mean_radius();
+  sph.evolve(0.8);
+  EXPECT_GT(mean_radius(), 1.15 * r0);
+}
+
+TEST(Sph, EnergyInjectionRaisesThermalEnergy) {
+  auto sph = make_gas_ball(300);
+  sph.prepare_step();
+  sph.compute_density(0, sph.size());
+  double before = sph.thermal_energy();
+  sph.inject_energy(0, 10.0);
+  double after = sph.thermal_energy();
+  EXPECT_NEAR(after - before, 10.0 * sph.masses()[0], 1e-9);
+}
+
+TEST(Sph, InjectionBeforeFirstDensityIsNotLost) {
+  SphSystem sph;
+  sph.params().self_gravity = false;
+  sph.add_particle(1.0, {0, 0, 0}, {0, 0, 0}, 1.0);
+  sph.inject_energy(0, 2.0);
+  sph.prepare_step();
+  sph.compute_density(0, 1);
+  EXPECT_NEAR(sph.internal_energies()[0], 3.0, 1e-9);
+}
+
+TEST(Sph, SelfGravityBindsColdGas) {
+  // Cold ball with gravity: it contracts (mean radius shrinks).
+  auto sph = make_gas_ball(400, /*u=*/0.01, /*gravity=*/true);
+  auto mean_radius = [&] {
+    double sum = 0;
+    for (const Vec3& p : sph.positions()) sum += p.norm();
+    return sum / static_cast<double>(sph.size());
+  };
+  double r0 = mean_radius();
+  sph.evolve(0.3);
+  EXPECT_LT(mean_radius(), r0);
+}
+
+TEST(Sph, TimestepRespectsCfl) {
+  auto sph = make_gas_ball(200, 1.0);
+  sph.prepare_step();
+  sph.compute_density(0, sph.size());
+  sph.compute_forces(0, sph.size());
+  double dt = sph.timestep(0, sph.size());
+  EXPECT_GT(dt, 0.0);
+  EXPECT_LE(dt, sph.params().dt_max);
+}
+
+TEST(Sph, EvolveReachesExactEndTime) {
+  auto sph = make_gas_ball(100);
+  sph.evolve(0.037);
+  EXPECT_DOUBLE_EQ(sph.time(), 0.037);
+}
+
+// ------------------------------------------------------------- ic checks
+
+TEST(InitialConditions, PlummerIsVirialised) {
+  util::Rng rng(123);
+  auto model = amuse::ic::plummer_sphere(2000, rng);
+  double kinetic = 0.0;
+  for (std::size_t i = 0; i < model.mass.size(); ++i) {
+    kinetic += 0.5 * model.mass[i] * model.velocity[i].norm2();
+  }
+  // Standard N-body units: T = 1/4.
+  EXPECT_NEAR(kinetic, 0.25, 0.03);
+  double total_mass =
+      std::accumulate(model.mass.begin(), model.mass.end(), 0.0);
+  EXPECT_NEAR(total_mass, 1.0, 1e-12);
+}
+
+TEST(InitialConditions, PlummerCentred) {
+  util::Rng rng(9);
+  auto model = amuse::ic::plummer_sphere(500, rng);
+  Vec3 com{};
+  for (std::size_t i = 0; i < model.mass.size(); ++i) {
+    com += model.mass[i] * model.position[i];
+  }
+  EXPECT_NEAR(com.norm(), 0.0, 1e-12);
+}
+
+TEST(InitialConditions, SalpeterSlopeRoughlyRight) {
+  util::Rng rng(77);
+  auto masses = amuse::ic::salpeter_masses(20000, rng, 0.3, 25.0);
+  // Count ratio across one decade: N(0.3..1)/N(1..10) for alpha=2.35.
+  int low = 0, high = 0;
+  for (double m : masses) {
+    if (m < 1.0) ++low;
+    else if (m < 10.0) ++high;
+  }
+  double ratio = static_cast<double>(low) / std::max(1, high);
+  // Analytic ratio ~ (0.3^-1.35 - 1) / (1 - 10^-1.35) ~ 4.3
+  EXPECT_NEAR(ratio, 4.3, 1.0);
+  for (double m : masses) {
+    EXPECT_GE(m, 0.3);
+    EXPECT_LE(m, 25.0);
+  }
+}
+
+TEST(InitialConditions, GasSphereInsideRadius) {
+  util::Rng rng(31);
+  auto gas = amuse::ic::gas_sphere(1000, rng, 2.0, 3.0);
+  double total = std::accumulate(gas.mass.begin(), gas.mass.end(), 0.0);
+  EXPECT_NEAR(total, 2.0, 1e-12);
+  for (const Vec3& p : gas.position) EXPECT_LE(p.norm(), 3.0 + 1e-12);
+}

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpi/mpi.hpp"
+
+using namespace jungle;
+using namespace jungle::sim;
+using namespace jungle::mpi;
+
+namespace {
+
+struct Cluster {
+  Simulation sim;
+  Network net{sim};
+  std::vector<Host*> nodes;
+
+  explicit Cluster(int node_count, double lan_latency = 2e-6,
+                   double lan_bw = 32e9 / 8) {
+    net.add_site("das4", lan_latency, lan_bw);  // QDR infiniband-ish
+    for (int i = 0; i < node_count; ++i) {
+      nodes.push_back(&net.add_host("node" + std::to_string(i), "das4", 8, 10));
+    }
+  }
+};
+
+}  // namespace
+
+TEST(Mpi, PointToPointRoundTrip) {
+  Cluster c(2);
+  MpiWorld world(c.net, c.nodes, 2);
+  std::vector<double> got;
+  world.launch("pingpong", [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_doubles(1, 7, std::vector<double>{1.5, 2.5});
+      got = comm.recv_doubles(1, 8);
+    } else {
+      auto data = comm.recv_doubles(0, 7);
+      for (double& v : data) v *= 2;
+      comm.send_doubles(0, 8, data);
+    }
+  });
+  c.sim.spawn("waiter", [&] { world.wait(); });
+  c.sim.run();
+  EXPECT_TRUE(world.done());
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_DOUBLE_EQ(got[0], 3.0);
+  EXPECT_DOUBLE_EQ(got[1], 5.0);
+}
+
+TEST(Mpi, TagMatchingHoldsBackOtherTags) {
+  Cluster c(2);
+  MpiWorld world(c.net, c.nodes, 2);
+  std::vector<double> first, second;
+  world.launch("tags", [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_doubles(1, /*tag=*/5, std::vector<double>{5.0});
+      comm.send_doubles(1, /*tag=*/6, std::vector<double>{6.0});
+    } else {
+      // Receive tag 6 first even though tag 5 arrives first.
+      first = comm.recv_doubles(0, 6);
+      second = comm.recv_doubles(0, 5);
+    }
+  });
+  c.sim.run();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_DOUBLE_EQ(first[0], 6.0);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_DOUBLE_EQ(second[0], 5.0);
+}
+
+TEST(Mpi, AnySourceReceives) {
+  Cluster c(3);
+  MpiWorld world(c.net, c.nodes, 3);
+  int received = 0;
+  world.launch("anysrc", [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 2; ++i) {
+        comm.recv(kAnySource, 1);
+        ++received;
+      }
+    } else {
+      util::ByteWriter writer;
+      writer.put<int>(comm.rank());
+      comm.send(0, 1, std::move(writer));
+    }
+  });
+  c.sim.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(Mpi, BarrierSynchronizesRanks) {
+  Cluster c(4);
+  MpiWorld world(c.net, c.nodes, 4);
+  std::vector<double> after_times;
+  world.launch("barrier", [&](Comm& comm) {
+    // Rank r works r seconds, then everyone meets at the barrier.
+    comm.host().compute(static_cast<double>(comm.rank()) * 10e9,
+                        DeviceKind::cpu, 1);
+    comm.barrier();
+    after_times.push_back(c.sim.now());
+  });
+  c.sim.run();
+  ASSERT_EQ(after_times.size(), 4u);
+  // Everyone leaves the barrier no earlier than the slowest rank (3 s).
+  for (double t : after_times) EXPECT_GE(t, 3.0);
+}
+
+TEST(Mpi, BcastDeliversToAll) {
+  Cluster c(3);
+  MpiWorld world(c.net, c.nodes, 3);
+  std::vector<std::vector<std::uint8_t>> results(3);
+  world.launch("bcast", [&](Comm& comm) {
+    std::vector<std::uint8_t> data;
+    if (comm.rank() == 1) data = {9, 8, 7};
+    results[comm.rank()] = comm.bcast(std::move(data), 1);
+  });
+  c.sim.run();
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(results[r], (std::vector<std::uint8_t>{9, 8, 7})) << "rank " << r;
+  }
+}
+
+TEST(Mpi, AllreduceSumMinMax) {
+  Cluster c(4);
+  MpiWorld world(c.net, c.nodes, 4);
+  std::vector<double> sums(4), mins(4), maxs(4);
+  world.launch("reduce", [&](Comm& comm) {
+    double mine = static_cast<double>(comm.rank() + 1);  // 1..4
+    sums[comm.rank()] = comm.allreduce_sum(mine);
+    mins[comm.rank()] = comm.allreduce_min(mine);
+    maxs[comm.rank()] = comm.allreduce_max(mine);
+  });
+  c.sim.run();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(sums[r], 10.0);
+    EXPECT_DOUBLE_EQ(mins[r], 1.0);
+    EXPECT_DOUBLE_EQ(maxs[r], 4.0);
+  }
+}
+
+TEST(Mpi, AllgathervConcatenatesInRankOrder) {
+  Cluster c(3);
+  MpiWorld world(c.net, c.nodes, 3);
+  std::vector<std::vector<double>> results(3);
+  world.launch("gather", [&](Comm& comm) {
+    // Rank r contributes r+1 copies of r.
+    std::vector<double> mine(comm.rank() + 1,
+                             static_cast<double>(comm.rank()));
+    results[comm.rank()] = comm.allgatherv(mine);
+  });
+  c.sim.run();
+  std::vector<double> expected{0, 1, 1, 2, 2, 2};
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(results[r], expected);
+}
+
+TEST(Mpi, GathervRootOnly) {
+  Cluster c(3);
+  MpiWorld world(c.net, c.nodes, 3);
+  std::vector<std::size_t> sizes(3, 999);
+  world.launch("gatherv", [&](Comm& comm) {
+    std::vector<double> mine{static_cast<double>(comm.rank())};
+    sizes[comm.rank()] = comm.gatherv(mine, 0).size();
+  });
+  c.sim.run();
+  EXPECT_EQ(sizes[0], 3u);
+  EXPECT_EQ(sizes[1], 0u);
+  EXPECT_EQ(sizes[2], 0u);
+}
+
+TEST(Mpi, MoreRanksThanHostsRoundRobins) {
+  Cluster c(2);
+  MpiWorld world(c.net, c.nodes, 4);
+  EXPECT_EQ(&world.host_of(0), c.nodes[0]);
+  EXPECT_EQ(&world.host_of(1), c.nodes[1]);
+  EXPECT_EQ(&world.host_of(2), c.nodes[0]);
+  std::vector<double> sums(4);
+  world.launch("rr", [&](Comm& comm) {
+    sums[comm.rank()] = comm.allreduce_sum(1.0);
+  });
+  c.sim.run();
+  for (double s : sums) EXPECT_DOUBLE_EQ(s, 4.0);
+}
+
+TEST(Mpi, TrafficIsAccountedAsMpiClass) {
+  Cluster c(2);
+  MpiWorld world(c.net, c.nodes, 2);
+  world.launch("traffic", [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_doubles(1, 0, std::vector<double>(1000, 1.0));
+    } else {
+      comm.recv_doubles(0, 0);
+    }
+  });
+  c.sim.run();
+  double mpi_bytes = 0;
+  for (const auto& link : c.net.traffic_report()) {
+    mpi_bytes += link.bytes_by_class[static_cast<int>(TrafficClass::mpi)];
+  }
+  EXPECT_GT(mpi_bytes, 8000.0);  // 1000 doubles + framing
+  EXPECT_GT(world.bytes_sent(), 8000.0);
+}
+
+TEST(Mpi, InvalidRankThrows) {
+  Cluster c(2);
+  MpiWorld world(c.net, c.nodes, 2);
+  world.launch("bad", [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      util::ByteWriter writer;
+      EXPECT_THROW(comm.send(5, 0, std::move(writer)), Error);
+    }
+  });
+  c.sim.run();
+}
+
+TEST(Mpi, DeterministicCollectiveTiming) {
+  auto run_once = [] {
+    Cluster c(4);
+    MpiWorld world(c.net, c.nodes, 4);
+    double finish = -1;
+    world.launch("det", [&](Comm& comm) {
+      for (int i = 0; i < 5; ++i) {
+        comm.allgatherv(std::vector<double>(100, 1.0));
+      }
+      if (comm.rank() == 0) finish = c.sim.now();
+    });
+    c.sim.run();
+    return finish;
+  };
+  double a = run_once();
+  double b = run_once();
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GT(a, 0.0);
+}

@@ -1,0 +1,298 @@
+// Property-style parameterized sweeps over the stack's invariants:
+// connectivity always resolves when a hub is reachable, unit algebra obeys
+// group laws, tree force error decreases monotonically-ish with theta,
+// Hermite energy drift shrinks with eta, IMF samples stay in range for any
+// bounds, MPI collectives agree with their definitions for any rank count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amuse/ic.hpp"
+#include "amuse/units.hpp"
+#include "kernels/bhtree.hpp"
+#include "kernels/hermite.hpp"
+#include "kernels/sse.hpp"
+#include "mpi/mpi.hpp"
+#include "smartsockets/smartsockets.hpp"
+#include "util/rng.hpp"
+
+using namespace jungle;
+
+// ----------------------------------------------------- connectivity sweep
+
+// Firewall configuration of (client, server) as a 2x3 product:
+// inbound-open / inbound-blocked / NAT on each side.
+struct FirewallConfig {
+  int client_mode;  // 0 open, 1 blocked, 2 nat
+  int server_mode;
+};
+
+class ConnectivityMatrix : public ::testing::TestWithParam<FirewallConfig> {};
+
+TEST_P(ConnectivityMatrix, HubOverlayAlwaysConnectsWhenOutboundWorks) {
+  auto config = GetParam();
+  sim::Simulation simulation;
+  sim::Network net(simulation);
+  smartsockets::SmartSockets sockets(net);
+  net.add_site("a");
+  net.add_site("b");
+  net.add_site("hub");
+  sim::Host& client = net.add_host("client", "a", 2, 1);
+  sim::Host& server = net.add_host("server", "b", 2, 1);
+  sim::Host& hub_box = net.add_host("hub-box", "hub", 2, 1);
+  net.add_link("a", "hub", 1e-3, 1e9 / 8);
+  net.add_link("hub", "b", 1e-3, 1e9 / 8);
+  net.add_link("a", "b", 1e-3, 1e9 / 8);
+  auto apply = [](sim::Host& host, int mode) {
+    if (mode == 1) host.firewall().allow_inbound = false;
+    if (mode == 2) host.firewall().nat = true;
+  };
+  apply(client, config.client_mode);
+  apply(server, config.server_mode);
+  sockets.start_hub(hub_box);
+
+  auto& listener = sockets.listen(server, "svc");
+  bool server_got = false;
+  std::string payload;
+  server.spawn("server", [&] {
+    auto conn = listener.accept();
+    auto bytes = conn->recv();
+    server_got = bytes.has_value();
+    if (bytes) payload.assign(bytes->begin(), bytes->end());
+  });
+  bool connected = false;
+  smartsockets::ConnectionKind kind{};
+  client.spawn("client", [&] {
+    auto conn = sockets.connect(client, server, "svc",
+                                sim::TrafficClass::control);
+    connected = true;
+    kind = conn->kind();
+    conn->send(std::vector<std::uint8_t>{'o', 'k'});
+  });
+  simulation.run();
+  simulation.shutdown();
+
+  // The paper's claim: outbound is always possible, so with a reachable
+  // open hub, SmartSockets must ALWAYS find a path.
+  EXPECT_TRUE(connected);
+  EXPECT_TRUE(server_got);
+  EXPECT_EQ(payload, "ok");
+  // Strategy sanity: open server => direct; blocked/NAT server with open
+  // client => reverse; both restricted => relayed.
+  bool server_open = config.server_mode == 0;
+  bool client_reachable = config.client_mode == 0;
+  if (server_open) {
+    EXPECT_EQ(kind, smartsockets::ConnectionKind::direct);
+  } else if (client_reachable) {
+    EXPECT_EQ(kind, smartsockets::ConnectionKind::reverse);
+  } else {
+    EXPECT_EQ(kind, smartsockets::ConnectionKind::relayed);
+  }
+}
+
+std::string firewall_case_name(
+    const ::testing::TestParamInfo<FirewallConfig>& info) {
+  static const char* const kNames[] = {"open", "blocked", "nat"};
+  return std::string("client_") + kNames[info.param.client_mode] +
+         "_server_" + kNames[info.param.server_mode];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFirewallCombinations, ConnectivityMatrix,
+    ::testing::Values(FirewallConfig{0, 0}, FirewallConfig{0, 1},
+                      FirewallConfig{0, 2}, FirewallConfig{1, 0},
+                      FirewallConfig{1, 1}, FirewallConfig{1, 2},
+                      FirewallConfig{2, 0}, FirewallConfig{2, 1},
+                      FirewallConfig{2, 2}),
+    firewall_case_name);
+
+// ------------------------------------------------------- unit group laws
+
+class UnitAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnitAlgebra, MultiplicationRoundTripsThroughDivision) {
+  util::Rng rng(GetParam());
+  using namespace amuse;
+  const Unit* pool[] = {&units::m,   &units::kg,  &units::s,
+                        &units::parsec, &units::msun, &units::myr,
+                        &units::kms, &units::j};
+  for (int trial = 0; trial < 50; ++trial) {
+    const Unit& a = *pool[rng.below(8)];
+    const Unit& b = *pool[rng.below(8)];
+    double va = rng.uniform(0.1, 10.0);
+    double vb = rng.uniform(0.1, 10.0);
+    Quantity qa(va, a), qb(vb, b);
+    // (qa * qb) / qb == qa, dimensionally and numerically.
+    Quantity round_trip = (qa * qb) / qb;
+    EXPECT_TRUE(round_trip.unit().same_dimensions(a));
+    EXPECT_NEAR(round_trip.value_in(a), va, 1e-9 * std::abs(va));
+    // Conversion consistency: value_in(x) * x->si == raw * self->si.
+    EXPECT_NEAR(qa.value_in(a) * a.si_factor, va * a.si_factor, 1e-12);
+  }
+}
+
+TEST_P(UnitAlgebra, ConverterRoundTripIsIdentity) {
+  util::Rng rng(GetParam() + 100);
+  using namespace amuse;
+  NBodyConverter convert(Quantity(rng.uniform(10, 1e6), units::msun),
+                         Quantity(rng.uniform(0.01, 100), units::parsec));
+  const Unit* pool[] = {&units::msun, &units::parsec, &units::myr,
+                        &units::kms, &units::j};
+  for (int trial = 0; trial < 20; ++trial) {
+    const Unit& unit = *pool[rng.below(5)];
+    double value = rng.uniform(0.1, 1e3);
+    double nbody = convert.to_nbody(Quantity(value, unit));
+    EXPECT_NEAR(convert.to_si(nbody, unit).raw(), value,
+                1e-9 * std::abs(value));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnitAlgebra, ::testing::Values(1, 2, 3, 4));
+
+// --------------------------------------------------- tree accuracy sweep
+
+class TreeAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(TreeAccuracy, ForceErrorBoundedByTheta) {
+  double theta = GetParam();
+  util::Rng rng(17);
+  auto model = amuse::ic::plummer_sphere(512, rng);
+  kernels::BarnesHutTree tree(theta, 1e-4);
+  tree.build(model.position, model.mass);
+  double worst = 0.0;
+  for (int probe = 0; probe < 24; ++probe) {
+    kernels::Vec3 point = model.position[probe * 20];
+    kernels::Vec3 direct{};
+    for (std::size_t j = 0; j < model.mass.size(); ++j) {
+      kernels::Vec3 dr = model.position[j] - point;
+      double d2 = dr.norm2() + 1e-4;
+      direct += (model.mass[j] / (d2 * std::sqrt(d2))) * dr;
+    }
+    double rel = (tree.accel_at(point) - direct).norm() /
+                 (direct.norm() + 1e-12);
+    worst = std::max(worst, rel);
+  }
+  // Empirical monopole error envelope ~ theta^2.
+  EXPECT_LT(worst, std::max(1e-9, 0.2 * theta * theta));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThetaSweep, TreeAccuracy,
+                         ::testing::Values(0.01, 0.3, 0.6, 0.9));
+
+// ----------------------------------------------- hermite accuracy sweep
+
+class HermiteAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(HermiteAccuracy, EnergyDriftShrinksWithEta) {
+  double eta = GetParam();
+  kernels::HermiteIntegrator::Params params;
+  params.eps2 = 0.0;
+  params.eta = eta;
+  kernels::HermiteIntegrator nbody(params);
+  nbody.add_particle(0.6, {0.4, 0, 0}, {0, 0.55, 0});
+  nbody.add_particle(0.4, {-0.6, 0, 0}, {0, -0.825, 0});
+  double e0 = nbody.kinetic_energy() + nbody.potential_energy();
+  nbody.evolve(10.0);
+  double drift = std::abs(nbody.kinetic_energy() +
+                          nbody.potential_energy() - e0) /
+                 std::abs(e0);
+  // 4th-order scheme: drift ~ eta^4 per step and more steps at small eta;
+  // a generous per-eta envelope catches regressions.
+  EXPECT_LT(drift, 50.0 * eta * eta * eta);
+}
+
+INSTANTIATE_TEST_SUITE_P(EtaSweep, HermiteAccuracy,
+                         ::testing::Values(0.005, 0.01, 0.02, 0.05));
+
+// -------------------------------------------------------- IMF bounds
+
+class ImfBounds
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(ImfBounds, SamplesAlwaysInsideRange) {
+  auto [lo, hi] = GetParam();
+  util::Rng rng(5);
+  auto masses = amuse::ic::salpeter_masses(2000, rng, lo, hi);
+  for (double mass : masses) {
+    EXPECT_GE(mass, lo);
+    EXPECT_LE(mass, hi);
+  }
+  // Mean must sit between the bounds and below the midpoint (bottom-heavy).
+  double mean = 0;
+  for (double mass : masses) mean += mass;
+  mean /= static_cast<double>(masses.size());
+  EXPECT_GT(mean, lo);
+  EXPECT_LT(mean, 0.5 * (lo + hi));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, ImfBounds,
+    ::testing::Values(std::make_pair(0.1, 100.0), std::make_pair(0.3, 25.0),
+                      std::make_pair(1.0, 8.0), std::make_pair(5.0, 50.0)));
+
+// --------------------------------------------------- MPI collective laws
+
+class CollectiveRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveRanks, AllreduceMatchesDefinitionForAnyRankCount) {
+  int nranks = GetParam();
+  sim::Simulation simulation;
+  sim::Network net(simulation);
+  net.add_site("cluster", 2e-6, 32e9 / 8);
+  std::vector<sim::Host*> hosts;
+  for (int i = 0; i < std::min(nranks, 4); ++i) {
+    hosts.push_back(&net.add_host("n" + std::to_string(i), "cluster", 8, 10));
+  }
+  mpi::MpiWorld world(net, hosts, nranks);
+  std::vector<double> sums(nranks), gathers(nranks);
+  world.launch("coll", [&](mpi::Comm& comm) {
+    double mine = static_cast<double>((comm.rank() + 3) * 7 % 11);
+    sums[comm.rank()] = comm.allreduce_sum(mine);
+    gathers[comm.rank()] =
+        static_cast<double>(comm.allgatherv(std::vector<double>{mine}).size());
+  });
+  simulation.run();
+  simulation.shutdown();
+  double expected = 0;
+  for (int r = 0; r < nranks; ++r) {
+    expected += static_cast<double>((r + 3) * 7 % 11);
+  }
+  for (int r = 0; r < nranks; ++r) {
+    EXPECT_DOUBLE_EQ(sums[r], expected) << "rank " << r;
+    EXPECT_DOUBLE_EQ(gathers[r], static_cast<double>(nranks));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveRanks,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ------------------------------------------------ SSE remnant invariants
+
+class SseMassSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SseMassSweep, EveryStarEndsAsTheRightRemnant) {
+  double zams = GetParam();
+  kernels::StellarEvolution se;
+  se.add_star(zams);
+  double end = kernels::StellarEvolution::main_sequence_lifetime_myr(zams) *
+                   1.2 +
+               10.0;
+  se.evolve_to(end);
+  const auto& star = se.star(0);
+  if (zams >= kernels::StellarEvolution::kSupernovaThreshold) {
+    EXPECT_EQ(star.phase, kernels::StellarEvolution::Phase::neutron_star);
+    EXPECT_DOUBLE_EQ(star.mass, 1.4);
+  } else {
+    EXPECT_EQ(star.phase, kernels::StellarEvolution::Phase::white_dwarf);
+    EXPECT_DOUBLE_EQ(star.mass, std::min(0.6, zams));
+  }
+  EXPECT_LE(star.mass, zams);
+  // Remnants are inert: evolving further changes nothing.
+  double mass_before = star.mass;
+  se.evolve_to(end * 2);
+  EXPECT_DOUBLE_EQ(se.star(0).mass, mass_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(MassGrid, SseMassSweep,
+                         ::testing::Values(0.5, 1.0, 3.0, 7.9, 8.0, 15.0,
+                                           25.0));

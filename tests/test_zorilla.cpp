@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "zorilla/zorilla.hpp"
+
+using namespace jungle;
+using namespace jungle::sim;
+using namespace jungle::zorilla;
+
+namespace {
+
+struct P2PWorld {
+  Simulation sim;
+  Network net{sim};
+  Overlay overlay{net, 20120301};
+  std::vector<Host*> hosts;
+
+  explicit P2PWorld(int host_count, int gpu_every = 0) {
+    net.add_site("internet", 10e-3, 100e6 / 8);
+    for (int i = 0; i < host_count; ++i) {
+      Host& host =
+          net.add_host("peer" + std::to_string(i), "internet", 2 + i % 7, 5);
+      if (gpu_every > 0 && i % gpu_every == 0) {
+        host.set_gpu(GpuSpec{"gt9600", 90});
+      }
+      hosts.push_back(&host);
+    }
+  }
+
+  /// Chain bootstrap: node i learns about node i-1 only.
+  void bootstrap_chain() {
+    ZorillaNode* previous = nullptr;
+    for (Host* host : hosts) {
+      previous = &overlay.add_node(*host, previous);
+    }
+  }
+};
+
+}  // namespace
+
+TEST(Zorilla, BootstrapViewContainsSelfAndSeed) {
+  P2PWorld w(3);
+  auto& a = w.overlay.add_node(*w.hosts[0]);
+  auto& b = w.overlay.add_node(*w.hosts[1], &a);
+  EXPECT_EQ(a.view().count("peer0"), 1u);
+  EXPECT_EQ(a.view().count("peer1"), 1u);  // seed learns back
+  EXPECT_EQ(b.view().count("peer0"), 1u);
+  EXPECT_EQ(b.view().count("peer1"), 1u);
+}
+
+TEST(Zorilla, GossipConvergesLogarithmically) {
+  // Paper: Zorilla "can turn any collection of machines into a cluster-like
+  // system in minutes" — membership must spread in O(log n) rounds.
+  P2PWorld w(32);
+  w.bootstrap_chain();
+  int rounds = w.overlay.gossip_until_converged(64);
+  EXPECT_TRUE(w.overlay.converged());
+  // log2(32)=5; chain bootstrap is the worst case, allow generous headroom.
+  EXPECT_LE(rounds, 24);
+}
+
+TEST(Zorilla, GossipChargesControlTraffic) {
+  P2PWorld w(8);
+  w.bootstrap_chain();
+  w.overlay.gossip_round();
+  double control = 0;
+  for (const auto& link : w.net.traffic_report()) {
+    control += link.bytes_by_class[static_cast<int>(TrafficClass::control)];
+  }
+  EXPECT_GT(control, 0);
+}
+
+TEST(Zorilla, DiscoverFindsMatchingNodes) {
+  P2PWorld w(16, 4);  // every 4th peer has a GPU
+  w.bootstrap_chain();
+  w.overlay.gossip_until_converged();
+  Requirements req;
+  req.needs_gpu = true;
+  auto found =
+      w.overlay.discover(*w.overlay.node_on("peer0"), 2, req);
+  ASSERT_EQ(found.size(), 2u);
+  for (auto* node : found) {
+    EXPECT_TRUE(node->host().gpu().has_value());
+    EXPECT_TRUE(node->busy());
+  }
+}
+
+TEST(Zorilla, DiscoverReturnsEmptyWhenImpossible) {
+  P2PWorld w(4, 0);  // no GPUs anywhere
+  w.bootstrap_chain();
+  w.overlay.gossip_until_converged();
+  Requirements req;
+  req.needs_gpu = true;
+  auto found = w.overlay.discover(*w.overlay.node_on("peer0"), 1, req);
+  EXPECT_TRUE(found.empty());
+  // Nothing left marked busy after a failed discovery.
+  for (auto* node : w.overlay.all_nodes()) EXPECT_FALSE(node->busy());
+}
+
+TEST(Zorilla, DiscoverSkipsBusyAndDownNodes) {
+  P2PWorld w(6);
+  w.bootstrap_chain();
+  w.overlay.gossip_until_converged();
+  w.overlay.node_on("peer1")->set_busy(true);
+  w.hosts[2]->crash();
+  Requirements req;
+  auto found = w.overlay.discover(*w.overlay.node_on("peer0"), 3, req);
+  ASSERT_EQ(found.size(), 3u);
+  for (auto* node : found) {
+    EXPECT_NE(node->host().name(), "peer1");
+    EXPECT_NE(node->host().name(), "peer2");
+  }
+}
+
+TEST(Zorilla, DeterministicDiscoveryOrder) {
+  auto run_once = [] {
+    P2PWorld w(10);
+    w.bootstrap_chain();
+    w.overlay.gossip_until_converged();
+    Requirements req;
+    auto found = w.overlay.discover(*w.overlay.node_on("peer0"), 3, req);
+    std::vector<std::string> names;
+    for (auto* node : found) names.push_back(node->host().name());
+    return names;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Zorilla, ResourceSelectorPrefersCapableNodes) {
+  P2PWorld w(8, 3);
+  w.bootstrap_chain();
+  w.overlay.gossip_until_converged();
+  ResourceSelector selector(w.overlay);
+  Requirements gpu_req;
+  gpu_req.needs_gpu = true;
+  ZorillaNode* chosen = selector.select(gpu_req);
+  ASSERT_NE(chosen, nullptr);
+  EXPECT_TRUE(chosen->host().gpu().has_value());
+
+  // Excluding the winner yields a different node.
+  ZorillaNode* second =
+      selector.select(gpu_req, {chosen->host().name()});
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(second->host().name(), chosen->host().name());
+}
+
+TEST(Zorilla, ResourceSelectorReturnsNullWhenNothingFits) {
+  P2PWorld w(4, 0);
+  w.bootstrap_chain();
+  Requirements req;
+  req.min_cores = 1000;
+  ResourceSelector selector(w.overlay);
+  EXPECT_EQ(selector.select(req), nullptr);
+}
+
+TEST(Zorilla, AddNodeIsIdempotent) {
+  P2PWorld w(2);
+  auto& first = w.overlay.add_node(*w.hosts[0]);
+  auto& again = w.overlay.add_node(*w.hosts[0]);
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(w.overlay.node_count(), 1u);
+}
