@@ -10,6 +10,7 @@
 #include "kernels/sph.hpp"
 #include "kernels/sse.hpp"
 #include "sim/network.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 using namespace jungle;
@@ -17,11 +18,19 @@ using namespace jungle::kernels;
 
 namespace {
 
-void Kernel_HermiteStep(benchmark::State& state) {
+// range(1) of the *Threads variants is the pool lane count; the plain
+// variants run on an explicit 1-lane pool so the serial baseline is pinned
+// regardless of JUNGLE_THREADS. items_per_second is particles advanced (or
+// tree queries served) per wall-clock second — the number whose trajectory
+// the speedup acceptance tracks.
+
+void HermiteStepWithLanes(benchmark::State& state, unsigned lanes) {
   auto n = static_cast<std::size_t>(state.range(0));
   util::Rng rng(1);
   auto model = amuse::ic::plummer_sphere(n, rng);
+  util::ThreadPool pool(lanes);
   HermiteIntegrator nbody;
+  nbody.set_thread_pool(&pool);
   for (std::size_t i = 0; i < n; ++i) {
     nbody.add_particle(model.mass[i], model.position[i], model.velocity[i]);
   }
@@ -30,29 +39,51 @@ void Kernel_HermiteStep(benchmark::State& state) {
     t += 1.0 / 256.0;
     nbody.evolve(t);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
   state.counters["pairs_per_s"] = benchmark::Counter(
       static_cast<double>(nbody.pair_evaluations()),
       benchmark::Counter::kIsRate);
 }
 
-void Kernel_TreeBuildAndForce(benchmark::State& state) {
+void Kernel_HermiteStep(benchmark::State& state) {
+  HermiteStepWithLanes(state, 1);
+}
+
+void Kernel_HermiteStepThreads(benchmark::State& state) {
+  HermiteStepWithLanes(state, static_cast<unsigned>(state.range(1)));
+}
+
+void TreeBuildAndForceWithLanes(benchmark::State& state, unsigned lanes) {
   auto n = static_cast<std::size_t>(state.range(0));
   util::Rng rng(2);
   auto model = amuse::ic::plummer_sphere(n, rng);
+  util::ThreadPool pool(lanes);
+  std::vector<Vec3> accel(model.position.size());
   for (auto _ : state) {
     BarnesHutTree tree(0.6, 1e-4);
+    tree.set_thread_pool(&pool);
     tree.build(model.position, model.mass);
-    for (std::size_t i = 0; i < n; i += 4) {
-      benchmark::DoNotOptimize(tree.accel_at(model.position[i]));
-    }
+    tree.accel_at(model.position, accel);
+    benchmark::DoNotOptimize(accel.data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
 }
 
-void Kernel_SphStep(benchmark::State& state) {
+void Kernel_TreeBuildAndForce(benchmark::State& state) {
+  TreeBuildAndForceWithLanes(state, 1);
+}
+
+void Kernel_TreeBuildAndForceThreads(benchmark::State& state) {
+  TreeBuildAndForceWithLanes(state, static_cast<unsigned>(state.range(1)));
+}
+
+void SphStepWithLanes(benchmark::State& state, unsigned lanes) {
   auto n = static_cast<std::size_t>(state.range(0));
   util::Rng rng(3);
   auto gas = amuse::ic::gas_sphere(n, rng, 1.0, 1.0);
+  util::ThreadPool pool(lanes);
   SphSystem sph;
+  sph.set_thread_pool(&pool);
   for (std::size_t i = 0; i < n; ++i) {
     sph.add_particle(gas.mass[i], gas.position[i], gas.velocity[i],
                      gas.internal_energy[i]);
@@ -62,9 +93,16 @@ void Kernel_SphStep(benchmark::State& state) {
     t += 1.0 / 512.0;
     sph.evolve(t);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
   state.counters["ngb_per_s"] = benchmark::Counter(
       static_cast<double>(sph.neighbour_interactions()),
       benchmark::Counter::kIsRate);
+}
+
+void Kernel_SphStep(benchmark::State& state) { SphStepWithLanes(state, 1); }
+
+void Kernel_SphStepThreads(benchmark::State& state) {
+  SphStepWithLanes(state, static_cast<unsigned>(state.range(1)));
 }
 
 void Kernel_SseEvolve(benchmark::State& state) {
@@ -106,10 +144,19 @@ void Kernel_CpuVsGpuCostModel(benchmark::State& state) {
 
 BENCHMARK(Kernel_HermiteStep)->Arg(256)->Arg(1024)->Unit(
     benchmark::kMillisecond);
+BENCHMARK(Kernel_HermiteStepThreads)
+    ->ArgsProduct({{8192}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(Kernel_TreeBuildAndForce)->Arg(1024)->Arg(8192)->Unit(
     benchmark::kMillisecond);
+BENCHMARK(Kernel_TreeBuildAndForceThreads)
+    ->ArgsProduct({{8192}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(Kernel_SphStep)->Arg(1000)->Arg(4000)->Unit(
     benchmark::kMillisecond);
+BENCHMARK(Kernel_SphStepThreads)
+    ->ArgsProduct({{4000}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(Kernel_SseEvolve)->Arg(10000)->Unit(benchmark::kMillisecond);
 BENCHMARK(Kernel_CpuVsGpuCostModel);
 

@@ -13,6 +13,7 @@
 #include "amuse/diagnostics.hpp"
 #include "amuse/ic.hpp"
 #include "amuse/scenario.hpp"
+#include "util/parallel.hpp"
 
 using namespace jungle;
 using namespace jungle::amuse;
@@ -36,8 +37,9 @@ int main(int argc, char** argv) {
   options.se_every = 2;
 
   std::printf("embedded star cluster, %zu stars + %zu gas particles,\n"
-              "placement: %s\n\n",
-              options.n_stars, options.n_gas, scenario::kind_name(kind));
+              "placement: %s, %u kernel lanes (JUNGLE_THREADS)\n\n",
+              options.n_stars, options.n_gas, scenario::kind_name(kind),
+              util::ThreadPool::global().lanes());
   auto result = scenario::run_scenario(kind, options);
 
   std::printf("ran %d bridge iterations at %.3f virtual s/iteration\n",

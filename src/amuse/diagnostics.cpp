@@ -57,11 +57,13 @@ double bound_gas_fraction(std::span<const double> gas_mass,
   all_mass.insert(all_mass.end(), star_mass.begin(), star_mass.end());
   kernels::BarnesHutTree tree(0.6, eps2);
   tree.build(all_pos, all_mass);
+  std::vector<double> potentials(gas_mass.size());
+  tree.potential_at(gas_pos, potentials);
 
   double bound = 0.0;
   double total = 0.0;
   for (std::size_t i = 0; i < gas_mass.size(); ++i) {
-    double phi = tree.potential_at(gas_pos[i]);
+    double phi = potentials[i];
     // Remove rough self-contribution (softened).
     phi += gas_mass[i] / std::sqrt(eps2);
     double specific = 0.5 * gas_vel[i].norm2() + gas_u[i] + phi;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace jungle::amuse {
 
@@ -375,17 +376,24 @@ void run_worker(std::unique_ptr<MessagePipe> pipe, const WorkerSpec& spec,
   cost.ncores = spec.ncores;
   cost.device = spec.needs_gpu() ? sim::DeviceKind::gpu : sim::DeviceKind::cpu;
 
+  // All kernels share the process-wide thread pool (JUNGLE_THREADS lanes):
+  // the simulated hosts model *virtual* cost, while the pool makes the real
+  // numerics run on every available core.
+  util::ThreadPool& pool = util::ThreadPool::global();
+
   Dispatcher dispatcher;
   std::shared_ptr<ParallelSph> parallel;  // kept alive for stop()
   if (spec.code == "phigrape" || spec.code == "phigrape-gpu") {
     kernels::HermiteIntegrator::Params params;
     params.eps2 = spec.eps2;
     params.eta = spec.eta;
-    dispatcher = make_gravity_dispatcher(
-        std::make_shared<kernels::HermiteIntegrator>(params), cost);
+    auto integrator = std::make_shared<kernels::HermiteIntegrator>(params);
+    integrator->set_thread_pool(&pool);
+    dispatcher = make_gravity_dispatcher(std::move(integrator), cost);
   } else if (spec.code == "octgrav" || spec.code == "fi") {
-    dispatcher = make_field_dispatcher(
-        std::make_shared<kernels::TreeField>(spec.theta, spec.eps2), cost);
+    auto field = std::make_shared<kernels::TreeField>(spec.theta, spec.eps2);
+    field->set_thread_pool(&pool);
+    dispatcher = make_field_dispatcher(std::move(field), cost);
   } else if (spec.code == "sse") {
     dispatcher =
         make_se_dispatcher(std::make_shared<kernels::StellarEvolution>(), cost);
@@ -394,11 +402,13 @@ void run_worker(std::unique_ptr<MessagePipe> pipe, const WorkerSpec& spec,
     params.eps2 = spec.eps2;
     params.theta = spec.theta;
     if (spec.nranks <= 1) {
-      dispatcher = make_hydro_dispatcher(
-          std::make_shared<kernels::SphSystem>(params), cost);
+      auto sph = std::make_shared<kernels::SphSystem>(params);
+      sph->set_thread_pool(&pool);
+      dispatcher = make_hydro_dispatcher(std::move(sph), cost);
     } else {
       parallel = std::make_shared<ParallelSph>(net, hosts, spec.nranks,
                                                params, spec.ncores);
+      parallel->sph().set_thread_pool(&pool);
       dispatcher = make_parallel_hydro_dispatcher(parallel, cost);
     }
   } else {
@@ -406,7 +416,8 @@ void run_worker(std::unique_ptr<MessagePipe> pipe, const WorkerSpec& spec,
   }
 
   log::info("amuse") << "worker " << spec.code << " serving on "
-                     << primary->name();
+                     << primary->name() << " (" << pool.lanes()
+                     << " kernel lanes)";
   WorkerServer server(std::move(pipe), std::move(dispatcher));
   server.run();
   if (parallel) {

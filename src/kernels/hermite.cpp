@@ -1,9 +1,20 @@
 #include "kernels/hermite.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 
+#include "util/parallel.hpp"
+
 namespace jungle::kernels {
+
+namespace {
+// Tile sizes for the parallel force path: an i-block's accumulators live in
+// registers/stack while a j-tile of the SoA source arrays stays L1-resident
+// (kJTile * 7 doubles = 28 KiB).
+constexpr std::size_t kIBlock = 64;
+constexpr std::size_t kJTile = 512;
+}  // namespace
 
 HermiteIntegrator::HermiteIntegrator() : HermiteIntegrator(Params{}) {}
 HermiteIntegrator::HermiteIntegrator(Params params) : params_(params) {}
@@ -25,25 +36,96 @@ void HermiteIntegrator::compute_forces(const std::vector<Vec3>& positions,
   const std::size_t n = mass_.size();
   acc.assign(n, {});
   jerk.assign(n, {});
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      Vec3 dr = positions[j] - positions[i];
-      Vec3 dv = velocities[j] - velocities[i];
-      double r2 = dr.norm2() + params_.eps2;
-      double r = std::sqrt(r2);
-      double r3 = r2 * r;
-      double rv = dr.dot(dv);
-      // acc_i += m_j dr / r^3 ; jerk_i += m_j (dv/r^3 - 3 rv dr / r^5)
-      double inv_r3 = 1.0 / r3;
-      double alpha = 3.0 * rv / r2;
-      Vec3 jpart = (dv - alpha * dr) * inv_r3;
-      acc[i] += mass_[j] * inv_r3 * dr;
-      jerk[i] += mass_[j] * jpart;
-      acc[j] -= mass_[i] * inv_r3 * dr;
-      jerk[j] -= mass_[i] * jpart;
+  util::ThreadPool& pool = pool_ ? *pool_ : util::ThreadPool::global();
+  if (n < kParallelThreshold || pool.lanes() == 1) {
+    // Sequential path: Newton's-third-law symmetric update, half the work.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        Vec3 dr = positions[j] - positions[i];
+        Vec3 dv = velocities[j] - velocities[i];
+        double r2 = dr.norm2() + params_.eps2;
+        double r = std::sqrt(r2);
+        double r3 = r2 * r;
+        double rv = dr.dot(dv);
+        // acc_i += m_j dr / r^3 ; jerk_i += m_j (dv/r^3 - 3 rv dr / r^5)
+        double inv_r3 = 1.0 / r3;
+        double alpha = 3.0 * rv / r2;
+        Vec3 jpart = (dv - alpha * dr) * inv_r3;
+        acc[i] += mass_[j] * inv_r3 * dr;
+        jerk[i] += mass_[j] * jpart;
+        acc[j] -= mass_[i] * inv_r3 * dr;
+        jerk[j] -= mass_[i] * jpart;
+      }
     }
+    pairs_ += static_cast<std::uint64_t>(n) * (n - 1) / 2 * 2;  // i-j and j-i
+    return;
   }
-  pairs_ += static_cast<std::uint64_t>(n) * (n - 1) / 2 * 2;  // i-j and j-i
+
+  // Parallel path: each i-block owns its acc/jerk rows outright (no
+  // symmetric write to row j, so no contention), and walks the sources in
+  // L1-sized j-tiles of SoA arrays. For a fixed i the j order is 0..n-1
+  // regardless of lane count, so results are independent of threading.
+  sx_.resize(n);
+  sy_.resize(n);
+  sz_.resize(n);
+  svx_.resize(n);
+  svy_.resize(n);
+  svz_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sx_[i] = positions[i].x;
+    sy_[i] = positions[i].y;
+    sz_[i] = positions[i].z;
+    svx_[i] = velocities[i].x;
+    svy_[i] = velocities[i].y;
+    svz_[i] = velocities[i].z;
+  }
+  const double eps2 = params_.eps2;
+  pool.parallel_for(0, n, kIBlock, [&](std::size_t lo, std::size_t hi,
+                                       unsigned /*lane*/) {
+    std::array<double, kIBlock> ax{}, ay{}, az{}, jx{}, jy{}, jz{};
+    for (std::size_t jb = 0; jb < n; jb += kJTile) {
+      std::size_t jend = std::min(n, jb + kJTile);
+      for (std::size_t i = lo; i < hi; ++i) {
+        double xi = sx_[i], yi = sy_[i], zi = sz_[i];
+        double vxi = svx_[i], vyi = svy_[i], vzi = svz_[i];
+        double axi = 0.0, ayi = 0.0, azi = 0.0;
+        double jxi = 0.0, jyi = 0.0, jzi = 0.0;
+        for (std::size_t j = jb; j < jend; ++j) {
+          if (j == i) continue;
+          double dx = sx_[j] - xi;
+          double dy = sy_[j] - yi;
+          double dz = sz_[j] - zi;
+          double dvx = svx_[j] - vxi;
+          double dvy = svy_[j] - vyi;
+          double dvz = svz_[j] - vzi;
+          double r2 = dx * dx + dy * dy + dz * dz + eps2;
+          double inv_r = 1.0 / std::sqrt(r2);
+          double inv_r2 = inv_r * inv_r;
+          double inv_r3 = inv_r2 * inv_r;
+          double rv = dx * dvx + dy * dvy + dz * dvz;
+          double alpha = 3.0 * rv * inv_r2;
+          double m_r3 = mass_[j] * inv_r3;
+          axi += m_r3 * dx;
+          ayi += m_r3 * dy;
+          azi += m_r3 * dz;
+          jxi += m_r3 * (dvx - alpha * dx);
+          jyi += m_r3 * (dvy - alpha * dy);
+          jzi += m_r3 * (dvz - alpha * dz);
+        }
+        ax[i - lo] += axi;
+        ay[i - lo] += ayi;
+        az[i - lo] += azi;
+        jx[i - lo] += jxi;
+        jy[i - lo] += jyi;
+        jz[i - lo] += jzi;
+      }
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      acc[i] = {ax[i - lo], ay[i - lo], az[i - lo]};
+      jerk[i] = {jx[i - lo], jy[i - lo], jz[i - lo]};
+    }
+  });
+  pairs_ += static_cast<std::uint64_t>(n) * (n - 1);
 }
 
 double HermiteIntegrator::shared_timestep() const {

@@ -5,6 +5,10 @@
 
 #include "kernels/vec3.hpp"
 
+namespace jungle::util {
+class ThreadPool;
+}
+
 namespace jungle::kernels {
 
 /// Direct-summation gravitational N-body integrator, the phiGRAPE analog
@@ -47,6 +51,12 @@ class HermiteIntegrator {
 
   Params& params() noexcept { return params_; }
 
+  /// Pool for the parallel force path; nullptr (default) uses
+  /// util::ThreadPool::global(). Systems below kParallelThreshold bodies
+  /// (or a 1-lane pool) take the sequential symmetric-update path.
+  void set_thread_pool(util::ThreadPool* pool) noexcept { pool_ = pool; }
+  static constexpr std::size_t kParallelThreshold = 256;
+
   /// Pair force evaluations since construction — the honest input to the
   /// compute-cost model (flops = pairs * kFlopsPerPair).
   std::uint64_t pair_evaluations() const noexcept { return pairs_; }
@@ -64,6 +74,9 @@ class HermiteIntegrator {
   std::vector<Vec3> pos_, vel_, acc_, jerk_;
   bool dirty_ = true;  // forces need a fresh evaluation
   std::uint64_t pairs_ = 0;
+  util::ThreadPool* pool_ = nullptr;
+  // SoA scratch for the tiled parallel force path, reused across steps.
+  std::vector<double> sx_, sy_, sz_, svx_, svy_, svz_;
 };
 
 }  // namespace jungle::kernels

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace jungle::kernels {
 
@@ -61,10 +62,12 @@ double SphSystem::kernel_dw(double r, double h) const {
 
 void SphSystem::build_grid() {
   const std::size_t n = mass_.size();
-  // Cell size tracks the typical smoothing length; support radius is 2h.
-  double h_sum = 0.0;
-  for (double h : h_) h_sum += h;
-  cell_size_ = std::max(1e-6, 2.0 * h_sum / static_cast<double>(n));
+  if (n == 0) return;
+  // Cell size is the largest support radius (2 h_max): any 2h_i density
+  // query then touches at most 3^3 cells, and the h_i + h_max force query
+  // at most 5^3 (usually 3^3 too).
+  double h_max = 0.0;
+  for (double h : h_) h_max = std::max(h_max, h);
   Vec3 lo = pos_[0], hi = pos_[0];
   for (const Vec3& p : pos_) {
     lo.x = std::min(lo.x, p.x);
@@ -74,34 +77,45 @@ void SphSystem::build_grid() {
     hi.y = std::max(hi.y, p.y);
     hi.z = std::max(hi.z, p.z);
   }
+  // A single runaway h (an ejected isolated particle whose rho floors and h
+  // inflates) must not collapse the whole grid to one cell and turn every
+  // query O(N): cap the cell at 1/8 of the largest extent, so the grid
+  // keeps at least 8 cells per axis. Queries wider than a cell still see
+  // every neighbour via the span loop below.
+  double max_extent =
+      std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z, 8e-6});
+  cell_size_ = std::max(1e-6, std::min(2.0 * h_max, max_extent / 8.0));
   grid_origin_ = lo;
   for (int d = 0; d < 3; ++d) {
     double extent = d == 0 ? hi.x - lo.x : d == 1 ? hi.y - lo.y : hi.z - lo.z;
     grid_dim_[d] =
         std::max(1, std::min(128, static_cast<int>(extent / cell_size_) + 1));
   }
-  cells_.assign(static_cast<std::size_t>(grid_dim_[0]) * grid_dim_[1] *
-                    grid_dim_[2],
-                {});
-  for (int i = 0; i < static_cast<int>(n); ++i) {
+  // Counting sort into a CSR layout: one pass to count, one to place.
+  std::size_t ncells = static_cast<std::size_t>(grid_dim_[0]) * grid_dim_[1] *
+                       grid_dim_[2];
+  auto cell_of = [&](const Vec3& p) {
     int cx = std::min(grid_dim_[0] - 1,
-                      std::max(0, static_cast<int>((pos_[i].x - lo.x) /
-                                                   cell_size_)));
+                      std::max(0, static_cast<int>((p.x - lo.x) / cell_size_)));
     int cy = std::min(grid_dim_[1] - 1,
-                      std::max(0, static_cast<int>((pos_[i].y - lo.y) /
-                                                   cell_size_)));
+                      std::max(0, static_cast<int>((p.y - lo.y) / cell_size_)));
     int cz = std::min(grid_dim_[2] - 1,
-                      std::max(0, static_cast<int>((pos_[i].z - lo.z) /
-                                                   cell_size_)));
-    cells_[(static_cast<std::size_t>(cz) * grid_dim_[1] + cy) * grid_dim_[0] +
-           cx]
-        .push_back(i);
+                      std::max(0, static_cast<int>((p.z - lo.z) / cell_size_)));
+    return (static_cast<std::size_t>(cz) * grid_dim_[1] + cy) * grid_dim_[0] +
+           cx;
+  };
+  cell_start_.assign(ncells + 1, 0);
+  for (const Vec3& p : pos_) ++cell_start_[cell_of(p) + 1];
+  for (std::size_t c = 0; c < ncells; ++c) cell_start_[c + 1] += cell_start_[c];
+  cell_items_.resize(n);
+  std::vector<std::int32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (int i = 0; i < static_cast<int>(n); ++i) {
+    cell_items_[cursor[cell_of(pos_[i])]++] = i;
   }
 }
 
-std::vector<int> SphSystem::neighbours(int i, double radius) const {
-  std::vector<int> found;
-  const Vec3& p = pos_[i];
+void SphSystem::neighbours(const Vec3& p, double radius,
+                           std::vector<int>& out) const {
   int span = static_cast<int>(radius / cell_size_) + 1;
   int cx = static_cast<int>((p.x - grid_origin_.x) / cell_size_);
   int cy = static_cast<int>((p.y - grid_origin_.y) / cell_size_);
@@ -113,96 +127,138 @@ std::vector<int> SphSystem::neighbours(int i, double radius) const {
          y <= std::min(grid_dim_[1] - 1, cy + span); ++y) {
       for (int x = std::max(0, cx - span);
            x <= std::min(grid_dim_[0] - 1, cx + span); ++x) {
-        const auto& cell =
-            cells_[(static_cast<std::size_t>(z) * grid_dim_[1] + y) *
-                       grid_dim_[0] +
-                   x];
-        for (int j : cell) {
-          if ((pos_[j] - p).norm2() <= r2) found.push_back(j);
+        std::size_t cell =
+            (static_cast<std::size_t>(z) * grid_dim_[1] + y) * grid_dim_[0] +
+            x;
+        for (std::int32_t k = cell_start_[cell]; k < cell_start_[cell + 1];
+             ++k) {
+          int j = cell_items_[k];
+          if ((pos_[j] - p).norm2() <= r2) out.push_back(j);
         }
       }
     }
   }
+}
+
+std::vector<int> SphSystem::neighbours_of(int i, double radius) const {
+  std::vector<int> found;
+  neighbours(pos_.at(i), radius, found);
+  std::sort(found.begin(), found.end());
   return found;
+}
+
+util::ThreadPool& SphSystem::resolve_pool() const {
+  return pool_ ? *pool_ : util::ThreadPool::global();
 }
 
 void SphSystem::prepare_step() {
   build_grid();
   if (params_.self_gravity) {
     tree_ = BarnesHutTree(params_.theta, params_.eps2);
+    tree_.set_thread_pool(pool_);
     tree_.build(pos_, mass_);
   }
 }
 
-void SphSystem::compute_density(std::size_t lo, std::size_t hi) {
-  for (std::size_t i = lo; i < hi; ++i) {
-    // Fixed-point iteration coupling h and rho: h = eta (m/rho)^{1/3}.
-    for (int iteration = 0; iteration < 2; ++iteration) {
-      double rho = 0.0;
-      auto ngb = neighbours(static_cast<int>(i), 2.0 * h_[i]);
-      ngb_count_ += ngb.size();
-      for (int j : ngb) {
-        double r = (pos_[j] - pos_[i]).norm();
-        rho += mass_[j] * kernel_w(r, h_[i]);
-      }
-      rho_[i] = std::max(rho, 1e-12);
-      h_[i] = params_.eta_h * std::cbrt(mass_[i] / rho_[i]);
+void SphSystem::density_at(std::size_t i, std::vector<int>& scratch,
+                           std::uint64_t& ngb) {
+  // Fixed-point iteration coupling h and rho: h = eta (m/rho)^{1/3}.
+  for (int iteration = 0; iteration < 2; ++iteration) {
+    double rho = 0.0;
+    scratch.clear();
+    neighbours(pos_[i], 2.0 * h_[i], scratch);
+    ngb += scratch.size();
+    for (int j : scratch) {
+      double r = (pos_[j] - pos_[i]).norm();
+      rho += mass_[j] * kernel_w(r, h_[i]);
     }
-    if (!pending_u_.empty() && pending_u_[i] >= 0.0) {
-      // First density known: fix the entropy constant from the stored u.
-      entropy_[i] = pending_u_[i] * (params_.gamma - 1.0) /
-                    std::pow(rho_[i], params_.gamma - 1.0);
-      pending_u_[i] = -1.0;
-    }
+    rho_[i] = std::max(rho, 1e-12);
+    h_[i] = params_.eta_h * std::cbrt(mass_[i] / rho_[i]);
+  }
+  if (!pending_u_.empty() && pending_u_[i] >= 0.0) {
+    // First density known: fix the entropy constant from the stored u.
+    entropy_[i] = pending_u_[i] * (params_.gamma - 1.0) /
+                  std::pow(rho_[i], params_.gamma - 1.0);
+    pending_u_[i] = -1.0;
   }
 }
 
-void SphSystem::compute_forces(std::size_t lo, std::size_t hi) {
+void SphSystem::compute_density(std::size_t lo, std::size_t hi) {
+  util::ThreadPool& pool = resolve_pool();
+  util::PerLane<std::vector<int>> scratch(pool);
+  util::PerLane<std::uint64_t> counts(pool, 0);
+  // Each particle writes only its own rho/h/entropy slots, so the pass is
+  // thread-count independent.
+  pool.parallel_for(lo, hi, 16,
+                    [&](std::size_t a, std::size_t b, unsigned lane) {
+                      for (std::size_t i = a; i < b; ++i) {
+                        density_at(i, scratch[lane], counts[lane]);
+                      }
+                    });
+  counts.for_each([&](std::uint64_t c) { ngb_count_ += c; });
+}
+
+void SphSystem::force_at(std::size_t i, double h_max,
+                         std::vector<int>& scratch, std::uint64_t& ngb,
+                         std::uint64_t& tree) {
   const double gamma = params_.gamma;
+  Vec3 accel{};
+  double p_i = entropy_[i] * std::pow(rho_[i], gamma);
+  double c_i = std::sqrt(gamma * p_i / rho_[i]);
+  scratch.clear();
   // Symmetric pair rule: i and j interact iff r < h_i + h_j (the support
   // of W(r, h_mean)). Using 2 h_i here would drop one direction of a pair
   // with unequal h and break momentum conservation; the search radius must
   // therefore reach out to h_i + max_j h_j.
+  neighbours(pos_[i], h_[i] + h_max, scratch);
+  ngb += scratch.size();
+  for (int j : scratch) {
+    if (j == static_cast<int>(i)) continue;
+    Vec3 dr = pos_[i] - pos_[j];
+    double r = dr.norm();
+    if (r <= 0.0) continue;
+    if (r >= 0.5 * (h_[i] + h_[j]) * 2.0) continue;  // outside W support
+    double p_j = entropy_[j] * std::pow(rho_[j], gamma);
+    double h_mean = 0.5 * (h_[i] + h_[j]);
+    double dw = kernel_dw(r, h_mean);
+    // Artificial viscosity (Monaghan 1992).
+    Vec3 dv = vel_[i] - vel_[j];
+    double visc = 0.0;
+    double rv = dv.dot(dr);
+    if (rv < 0.0) {
+      double c_j = std::sqrt(gamma * p_j / rho_[j]);
+      double mu = h_mean * rv / (r * r + 0.01 * h_mean * h_mean);
+      double rho_mean = 0.5 * (rho_[i] + rho_[j]);
+      visc = (-params_.alpha_visc * 0.5 * (c_i + c_j) * mu +
+              params_.beta_visc * mu * mu) /
+             rho_mean;
+    }
+    double term = p_i / (rho_[i] * rho_[i]) + p_j / (rho_[j] * rho_[j]) +
+                  visc;
+    accel -= mass_[j] * term * dw * (1.0 / r) * dr;
+  }
+  if (params_.self_gravity) {
+    accel += tree_.accel_at(pos_[i], tree);
+  }
+  acc_[i] = accel;
+}
+
+void SphSystem::compute_forces(std::size_t lo, std::size_t hi) {
   double h_max = 0.0;
   for (double h : h_) h_max = std::max(h_max, h);
-  for (std::size_t i = lo; i < hi; ++i) {
-    Vec3 accel{};
-    double p_i = entropy_[i] * std::pow(rho_[i], gamma);
-    double c_i = std::sqrt(gamma * p_i / rho_[i]);
-    auto ngb = neighbours(static_cast<int>(i), h_[i] + h_max);
-    ngb_count_ += ngb.size();
-    for (int j : ngb) {
-      if (j == static_cast<int>(i)) continue;
-      Vec3 dr = pos_[i] - pos_[j];
-      double r = dr.norm();
-      if (r <= 0.0) continue;
-      if (r >= 0.5 * (h_[i] + h_[j]) * 2.0) continue;  // outside W support
-      double p_j = entropy_[j] * std::pow(rho_[j], gamma);
-      double h_mean = 0.5 * (h_[i] + h_[j]);
-      double dw = kernel_dw(r, h_mean);
-      // Artificial viscosity (Monaghan 1992).
-      Vec3 dv = vel_[i] - vel_[j];
-      double visc = 0.0;
-      double rv = dv.dot(dr);
-      if (rv < 0.0) {
-        double c_j = std::sqrt(gamma * p_j / rho_[j]);
-        double mu = h_mean * rv / (r * r + 0.01 * h_mean * h_mean);
-        double rho_mean = 0.5 * (rho_[i] + rho_[j]);
-        visc = (-params_.alpha_visc * 0.5 * (c_i + c_j) * mu +
-                params_.beta_visc * mu * mu) /
-               rho_mean;
-      }
-      double term = p_i / (rho_[i] * rho_[i]) + p_j / (rho_[j] * rho_[j]) +
-                    visc;
-      accel -= mass_[j] * term * dw * (1.0 / r) * dr;
-    }
-    if (params_.self_gravity) {
-      std::uint64_t before = tree_.interactions();
-      accel += tree_.accel_at(pos_[i]);
-      tree_count_ += tree_.interactions() - before;
-    }
-    acc_[i] = accel;
-  }
+  util::ThreadPool& pool = resolve_pool();
+  util::PerLane<std::vector<int>> scratch(pool);
+  util::PerLane<std::uint64_t> ngb(pool, 0);
+  util::PerLane<std::uint64_t> tree(pool, 0);
+  pool.parallel_for(lo, hi, 16,
+                    [&](std::size_t a, std::size_t b, unsigned lane) {
+                      for (std::size_t i = a; i < b; ++i) {
+                        force_at(i, h_max, scratch[lane], ngb[lane],
+                                 tree[lane]);
+                      }
+                    });
+  ngb.for_each([&](std::uint64_t c) { ngb_count_ += c; });
+  tree.for_each([&](std::uint64_t c) { tree_count_ += c; });
 }
 
 double SphSystem::timestep(std::size_t lo, std::size_t hi) const {
@@ -281,10 +337,13 @@ double SphSystem::thermal_energy() const {
 double SphSystem::potential_energy() const {
   // Tree-based estimate, adequate for diagnostics.
   BarnesHutTree tree(params_.theta, params_.eps2);
+  tree.set_thread_pool(pool_);
   tree.build(pos_, mass_);
+  std::vector<double> phi(mass_.size());
+  tree.potential_at(pos_, phi);
   double energy = 0.0;
   for (std::size_t i = 0; i < mass_.size(); ++i) {
-    energy += 0.5 * mass_[i] * tree.potential_at(pos_[i]);
+    energy += 0.5 * mass_[i] * phi[i];
   }
   return energy;
 }

@@ -7,6 +7,10 @@
 #include "kernels/bhtree.hpp"
 #include "kernels/vec3.hpp"
 
+namespace jungle::util {
+class ThreadPool;
+}
+
 namespace jungle::kernels {
 
 /// Smoothed-particle hydrodynamics with tree self-gravity — the Gadget-2
@@ -78,6 +82,18 @@ class SphSystem {
 
   Params& params() noexcept { return params_; }
 
+  /// Pool for the parallel density/force passes; nullptr (default) uses
+  /// util::ThreadPool::global().
+  void set_thread_pool(util::ThreadPool* pool) noexcept {
+    pool_ = pool;
+    tree_.set_thread_pool(pool);
+  }
+
+  /// Neighbour indices of particle `i` within `radius`, sorted ascending.
+  /// Requires prepare_step() to have built the grid for current positions.
+  /// Test/diagnostic helper — the hot paths use the buffer-reusing search.
+  std::vector<int> neighbours_of(int i, double radius) const;
+
   /// Neighbour-pair and tree interaction counts (cost model input).
   std::uint64_t neighbour_interactions() const noexcept { return ngb_count_; }
   std::uint64_t tree_interactions() const noexcept { return tree_count_; }
@@ -85,11 +101,16 @@ class SphSystem {
   static constexpr double kFlopsPerTreeInteraction = 24.0;
 
  private:
-  struct Grid;
   double kernel_w(double r, double h) const;
   double kernel_dw(double r, double h) const;  // dW/dr
-  std::vector<int> neighbours(int i, double radius) const;
+  /// Append the indices within `radius` of `p` to `out` (not cleared).
+  void neighbours(const Vec3& p, double radius, std::vector<int>& out) const;
   void build_grid();
+  void density_at(std::size_t i, std::vector<int>& scratch,
+                  std::uint64_t& ngb) ;
+  void force_at(std::size_t i, double h_max, std::vector<int>& scratch,
+                std::uint64_t& ngb, std::uint64_t& tree);
+  util::ThreadPool& resolve_pool() const;
 
   Params params_;
   double time_ = 0.0;
@@ -99,12 +120,16 @@ class SphSystem {
   std::vector<double> pending_u_;  // u awaiting first density (-1 = done)
   std::vector<double> h_, rho_;
   BarnesHutTree tree_;
+  util::ThreadPool* pool_ = nullptr;
 
-  // Uniform grid for neighbour search.
+  // Uniform hash grid for neighbour search, CSR layout: the particles of
+  // cell c are cell_items_[cell_start_[c] .. cell_start_[c+1]). Cell size
+  // is 2 * max(h) so a 2h support touches at most 3^3 cells.
   double cell_size_ = 0.0;
   Vec3 grid_origin_{};
   int grid_dim_[3] = {0, 0, 0};
-  std::vector<std::vector<int>> cells_;
+  std::vector<std::int32_t> cell_start_;
+  std::vector<std::int32_t> cell_items_;
 
   std::uint64_t ngb_count_ = 0;
   std::uint64_t tree_count_ = 0;

@@ -24,8 +24,19 @@ class TreeField {
     built_particles_ += positions.size();
   }
 
+  /// Batched evaluation, parallel over the thread pool; no per-call
+  /// reallocation beyond the result itself.
   std::vector<Vec3> accel_at(std::span<const Vec3> points) const {
-    return tree_.accel_at(points);
+    std::vector<Vec3> out(points.size());
+    tree_.accel_at(points, out);
+    return out;
+  }
+  void accel_at(std::span<const Vec3> points, std::span<Vec3> out) const {
+    tree_.accel_at(points, out);
+  }
+
+  void set_thread_pool(util::ThreadPool* pool) noexcept {
+    tree_.set_thread_pool(pool);
   }
 
   std::size_t source_count() const noexcept { return tree_.source_count(); }

@@ -1,0 +1,123 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace jungle::util {
+
+namespace {
+
+// True while this thread is executing chunks (worker lane or participating
+// caller). A parallel_for issued from such a thread runs inline: the pool's
+// lanes are already busy, and waiting on them would deadlock.
+thread_local bool tl_inside_chunk = false;
+
+struct ChunkScope {
+  ChunkScope() { tl_inside_chunk = true; }
+  ~ChunkScope() { tl_inside_chunk = false; }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned lanes) {
+  if (lanes == 0) lanes = default_lanes();
+  workers_.reserve(lanes - 1);
+  for (unsigned lane = 1; lane < lanes; ++lane) {
+    workers_.emplace_back([this, lane] { worker_main(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+unsigned ThreadPool::default_lanes() {
+  if (const char* env = std::getenv("JUNGLE_THREADS")) {
+    long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<unsigned>(std::min(parsed, 512L));
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_lanes());
+  return pool;
+}
+
+void ThreadPool::worker_main(unsigned lane) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    start_cv_.wait(lock,
+                   [&] { return stop_ || (job_ && generation_ != seen); });
+    if (stop_) return;
+    seen = generation_;
+    Job* job = job_;
+    ++active_;
+    lock.unlock();
+    run_chunks(*job, lane);
+    lock.lock();
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_chunks(Job& job, unsigned lane) {
+  ChunkScope scope;
+  for (;;) {
+    std::size_t lo = job.next.fetch_add(job.grain, std::memory_order_relaxed);
+    if (lo >= job.end) return;
+    std::size_t hi = std::min(job.end, lo + job.grain);
+    try {
+      (*job.fn)(lo, hi, lane);
+    } catch (...) {
+      std::lock_guard<std::mutex> guard(mutex_);
+      if (!job.error) job.error = std::current_exception();
+      // Cancel the rest of the range; in-flight chunks finish normally.
+      job.next.store(job.end, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t grain, const ChunkFn& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  if (workers_.empty() || end - begin <= grain || tl_inside_chunk) {
+    // Inline path still honours the chunk contract: callers may size
+    // fixed scratch (stack arrays) to `grain`, so never deliver more.
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      fn(lo, std::min(end, lo + grain), 0);
+    }
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.end = end;
+  job.grain = grain;
+  job.next.store(begin, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Serialize concurrent callers: wait for the pool to go idle.
+    done_cv_.wait(lock, [&] { return job_ == nullptr; });
+    job_ = &job;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_chunks(job, 0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    job_ = nullptr;
+  }
+  done_cv_.notify_all();  // admit the next waiting caller
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace jungle::util

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jungle::util {
+
+/// Persistent thread pool behind every parallel kernel (Barnes-Hut batch
+/// traversal, tiled Hermite forces, SPH density/force passes). One pool,
+/// many `parallel_for` calls: workers park on a condition variable between
+/// calls, so a force evaluation costs two lock round-trips, not N thread
+/// spawns.
+///
+/// Sizing: `ThreadPool(0)` (and the shared `global()` instance) takes the
+/// lane count from the `JUNGLE_THREADS` environment variable, falling back
+/// to `std::thread::hardware_concurrency()`. A pool with L lanes owns L-1
+/// worker threads; the caller of `parallel_for` always participates as
+/// lane 0, so a 1-lane pool is a plain serial loop with zero overhead.
+///
+/// Scratch-buffer contract: the chunk function receives a lane id in
+/// [0, lanes()). At most one chunk runs per lane at a time, so per-lane
+/// scratch (see PerLane below) needs no further locking. Chunk-to-lane
+/// assignment is dynamic (work stealing via an atomic cursor); kernels must
+/// therefore produce results that do not depend on which lane ran a chunk —
+/// write only to disjoint outputs indexed by the range, and reduce per-lane
+/// accumulators after the join.
+///
+/// Concurrency notes: concurrent `parallel_for` calls from different
+/// threads serialize on the pool (correct, no interleaving); a nested call
+/// from inside a chunk runs inline on the calling lane. The first exception
+/// thrown by a chunk cancels the remaining range and is rethrown on the
+/// calling thread.
+class ThreadPool {
+ public:
+  /// fn(lo, hi, lane): process the half-open index range [lo, hi).
+  using ChunkFn = std::function<void(std::size_t, std::size_t, unsigned)>;
+
+  /// `lanes` = total parallel lanes including the caller; 0 = default_lanes().
+  explicit ThreadPool(unsigned lanes = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned lanes() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Run fn over [begin, end) in chunks of ~`grain` indices. Blocks until
+  /// the whole range is done. grain 0 is treated as 1.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const ChunkFn& fn);
+
+  /// JUNGLE_THREADS if set and valid, else hardware_concurrency (>= 1).
+  /// Reads the environment on every call so tests can vary it.
+  static unsigned default_lanes();
+
+  /// Process-wide shared pool, sized once (by default_lanes) on first use.
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    const ChunkFn* fn = nullptr;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;  // guarded by the pool mutex
+  };
+
+  void worker_main(unsigned lane);
+  void run_chunks(Job& job, unsigned lane);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;  // wakes workers for a new job
+  std::condition_variable done_cv_;   // wakes callers waiting for idle
+  Job* job_ = nullptr;                // non-null while a job is in flight
+  std::uint64_t generation_ = 0;
+  unsigned active_ = 0;  // workers currently inside run_chunks
+  bool stop_ = false;
+};
+
+/// Per-lane scratch slots, padded to a cache line so adjacent lanes never
+/// false-share. Index with the lane id passed to the chunk function.
+template <typename T>
+class PerLane {
+ public:
+  explicit PerLane(const ThreadPool& pool, const T& init = T{})
+      : slots_(pool.lanes(), Slot{init}) {}
+
+  T& operator[](unsigned lane) { return slots_[lane].value; }
+  const T& operator[](unsigned lane) const { return slots_[lane].value; }
+  std::size_t size() const noexcept { return slots_.size(); }
+
+  /// Deterministic reduction in lane order (call after the join).
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    for (const Slot& slot : slots_) fn(slot.value);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    T value;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace jungle::util

@@ -10,6 +10,7 @@
 #include "kernels/sse.hpp"
 #include "kernels/treefield.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 using namespace jungle;
@@ -177,6 +178,108 @@ TEST(BarnesHut, EmptyTreeGivesZero) {
   tree.build({}, {});
   EXPECT_DOUBLE_EQ(tree.accel_at(Vec3{1, 2, 3}).norm(), 0.0);
   EXPECT_DOUBLE_EQ(tree.potential_at(Vec3{1, 2, 3}), 0.0);
+}
+
+TEST(BarnesHut, CoincidentParticlesKeepTotalMass) {
+  // Regression: >= kLeafCapacity exactly-coincident particles used to be
+  // folded into an interior monopole with an inconsistent normalization.
+  // They now extend the deepest leaf's body list, so the far field must see
+  // exactly the summed mass and the build must not blow up.
+  std::vector<Vec3> positions(12, Vec3{0.25, -0.5, 0.125});
+  std::vector<double> masses(12, 0.5);
+  positions.push_back({1.0, 1.0, 1.0});  // one distinct particle
+  masses.push_back(2.0);
+  BarnesHutTree tree(0.6, 0.0);
+  tree.build(positions, masses);
+
+  // Far field: total mass 8 at distance ~100.
+  Vec3 far{100.0, 0.0, 0.0};
+  double phi = tree.potential_at(far);
+  double expected = 0.0;
+  for (std::size_t j = 0; j < masses.size(); ++j) {
+    expected -= masses[j] / (positions[j] - far).norm();
+  }
+  EXPECT_NEAR(phi, expected, std::abs(expected) * 1e-3);
+
+  // Near field at the distinct particle: the 12 coincident bodies act as a
+  // single point of mass 6 (exact, not an approximate monopole).
+  Vec3 probe = positions.back();
+  Vec3 accel = tree.accel_at(probe);
+  Vec3 dr = positions[0] - probe;
+  double r = dr.norm();
+  Vec3 direct = (6.0 / (r * r * r)) * dr;
+  EXPECT_NEAR((accel - direct).norm(), 0.0, 1e-12);
+}
+
+TEST(BarnesHut, ThreeCoincidentOnlyParticlesAreExact) {
+  std::vector<Vec3> positions(3, Vec3{0, 0, 0});
+  std::vector<double> masses{1.0, 2.0, 3.0};
+  BarnesHutTree tree(0.6, 0.0);
+  tree.build(positions, masses);
+  Vec3 probe{0.0, 3.0, 0.0};
+  Vec3 accel = tree.accel_at(probe);
+  EXPECT_NEAR(accel.y, -6.0 / 9.0, 1e-12);
+  EXPECT_NEAR(accel.x, 0.0, 1e-15);
+  // Potential at the coincident point skips the self-bodies cleanly.
+  EXPECT_DOUBLE_EQ(tree.potential_at(Vec3{0, 0, 0}), 0.0);
+}
+
+TEST(BarnesHut, BatchedAccelMatchesSerialBitExactly) {
+  util::Rng rng(17);
+  auto model = amuse::ic::plummer_sphere(512, rng);
+  BarnesHutTree tree(0.6, 1e-4);
+  tree.build(model.position, model.mass);
+
+  std::vector<Vec3> serial(model.position.size());
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < model.position.size(); ++i) {
+    serial[i] = tree.accel_at(model.position[i], count);
+  }
+
+  util::ThreadPool pool(4);
+  tree.set_thread_pool(&pool);
+  std::vector<Vec3> batched(model.position.size());
+  std::uint64_t before = tree.interactions();
+  tree.accel_at(model.position, batched);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].x, batched[i].x) << i;
+    EXPECT_EQ(serial[i].y, batched[i].y) << i;
+    EXPECT_EQ(serial[i].z, batched[i].z) << i;
+  }
+  // Interaction accounting is identical too.
+  EXPECT_EQ(tree.interactions() - before, count);
+}
+
+TEST(Hermite, ForcesIndependentOfThreadCount) {
+  // N above kParallelThreshold so the tiled parallel path engages.
+  const std::size_t n = 400;
+  auto run = [&](unsigned lanes) {
+    util::Rng rng(23);
+    auto model = amuse::ic::plummer_sphere(n, rng);
+    util::ThreadPool pool(lanes);
+    HermiteIntegrator nbody;
+    nbody.set_thread_pool(&pool);
+    for (std::size_t i = 0; i < n; ++i) {
+      nbody.add_particle(model.mass[i], model.position[i], model.velocity[i]);
+    }
+    nbody.evolve(0.125);
+    nbody.set_thread_pool(nullptr);  // pool dies with this lambda frame
+    return nbody;
+  };
+  auto one = run(1);
+  auto four_a = run(4);
+  auto four_b = run(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Same lane count => bit-identical (chunk->lane mapping cannot matter).
+    EXPECT_EQ(four_a.positions()[i].x, four_b.positions()[i].x) << i;
+    EXPECT_EQ(four_a.velocities()[i].y, four_b.velocities()[i].y) << i;
+    // 1 lane (sequential symmetric path) vs 4 lanes (tiled path): the
+    // summation order differs, so allow rounding-level drift only.
+    EXPECT_NEAR(one.positions()[i].x, four_a.positions()[i].x, 1e-12) << i;
+    EXPECT_NEAR(one.positions()[i].y, four_a.positions()[i].y, 1e-12) << i;
+    EXPECT_NEAR(one.positions()[i].z, four_a.positions()[i].z, 1e-12) << i;
+    EXPECT_NEAR(one.velocities()[i].x, four_a.velocities()[i].x, 1e-12) << i;
+  }
 }
 
 TEST(TreeField, CrossForcesAreSymmetricInMass) {
@@ -374,6 +477,50 @@ TEST(Sph, TimestepRespectsCfl) {
   double dt = sph.timestep(0, sph.size());
   EXPECT_GT(dt, 0.0);
   EXPECT_LE(dt, sph.params().dt_max);
+}
+
+TEST(Sph, GridNeighboursMatchBruteForce) {
+  auto sph = make_gas_ball(800);
+  sph.prepare_step();
+  // Also exercise a radius larger than one grid cell (span > 1).
+  for (double radius : {0.08, 0.25, 0.9}) {
+    for (int i = 0; i < static_cast<int>(sph.size()); i += 37) {
+      auto grid = sph.neighbours_of(i, radius);
+      std::vector<int> brute;
+      for (int j = 0; j < static_cast<int>(sph.size()); ++j) {
+        if ((sph.positions()[j] - sph.positions()[i]).norm2() <=
+            radius * radius) {
+          brute.push_back(j);
+        }
+      }
+      ASSERT_EQ(grid, brute) << "particle " << i << " radius " << radius;
+    }
+  }
+}
+
+TEST(Sph, ResultsIndependentOfThreadCount) {
+  auto run = [&](unsigned lanes) {
+    util::ThreadPool pool(lanes);
+    auto sph = make_gas_ball(600, /*u=*/0.05, /*gravity=*/true);
+    sph.set_thread_pool(&pool);
+    sph.evolve(0.05);
+    sph.set_thread_pool(nullptr);  // pool dies with this lambda frame
+    return sph;
+  };
+  auto one = run(1);
+  auto four_a = run(4);
+  auto four_b = run(4);
+  ASSERT_EQ(one.size(), four_a.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    // The density/force passes write disjoint per-particle slots in a fixed
+    // neighbour order, so any lane count is bit-identical.
+    EXPECT_EQ(one.densities()[i], four_a.densities()[i]) << i;
+    EXPECT_EQ(one.positions()[i].x, four_a.positions()[i].x) << i;
+    EXPECT_EQ(one.velocities()[i].z, four_a.velocities()[i].z) << i;
+    EXPECT_EQ(four_a.positions()[i].x, four_b.positions()[i].x) << i;
+  }
+  EXPECT_EQ(one.neighbour_interactions(), four_a.neighbour_interactions());
+  EXPECT_EQ(one.tree_interactions(), four_a.tree_interactions());
 }
 
 TEST(Sph, EvolveReachesExactEndTime) {

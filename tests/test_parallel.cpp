@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+using jungle::util::PerLane;
+using jungle::util::ThreadPool;
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, 17, [&](std::size_t lo, std::size_t hi, unsigned) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeDoesNothing) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, 8, [&](std::size_t, std::size_t, unsigned) {
+    ++calls;
+  });
+  pool.parallel_for(9, 3, 8, [&](std::size_t, std::size_t, unsigned) {
+    ++calls;
+  });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  std::size_t seen_lo = 99, seen_hi = 0;
+  unsigned seen_lane = 99;
+  int calls = 0;
+  pool.parallel_for(2, 10, 100,
+                    [&](std::size_t lo, std::size_t hi, unsigned lane) {
+                      ++calls;
+                      seen_lo = lo;
+                      seen_hi = hi;
+                      seen_lane = lane;
+                    });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_lo, 2u);
+  EXPECT_EQ(seen_hi, 10u);
+  EXPECT_EQ(seen_lane, 0u);  // the caller is always lane 0
+}
+
+TEST(ParallelFor, GrainZeroIsTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(0, 100, 0, [&](std::size_t lo, std::size_t hi, unsigned) {
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  auto boom = [&] {
+    pool.parallel_for(0, 1000, 1, [&](std::size_t lo, std::size_t, unsigned) {
+      if (lo == 500) throw std::runtime_error("chunk 500 failed");
+    });
+  };
+  EXPECT_THROW(boom(), std::runtime_error);
+  // The pool survives a failed job and runs the next one normally.
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(0, 64, 4, [&](std::size_t lo, std::size_t hi, unsigned) {
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ParallelFor, LaneIdsAreInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> bad{false};
+  pool.parallel_for(0, 3000, 1, [&](std::size_t, std::size_t, unsigned lane) {
+    if (lane >= pool.lanes()) bad.store(true);
+  });
+  EXPECT_FALSE(bad.load());
+  EXPECT_EQ(pool.lanes(), 3u);
+}
+
+TEST(ParallelFor, NestedCallRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> inner_total{0};
+  pool.parallel_for(0, 8, 1, [&](std::size_t, std::size_t, unsigned) {
+    // A nested parallel_for from inside a chunk must not deadlock; it runs
+    // serially on the calling lane.
+    pool.parallel_for(0, 10, 2, [&](std::size_t lo, std::size_t hi, unsigned) {
+      inner_total.fetch_add(hi - lo);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 80u);
+}
+
+TEST(ParallelFor, SingleLanePoolRunsSerially) {
+  ThreadPool pool(1);
+  std::size_t total = 0;  // no atomics needed: everything on the caller
+  pool.parallel_for(0, 1000, 7, [&](std::size_t lo, std::size_t hi, unsigned) {
+    total += hi - lo;
+  });
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(ParallelFor, ReductionViaPerLaneIsExact) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100'000;
+  PerLane<std::uint64_t> partial(pool, 0);
+  pool.parallel_for(0, kN, 128,
+                    [&](std::size_t lo, std::size_t hi, unsigned lane) {
+                      for (std::size_t i = lo; i < hi; ++i) {
+                        partial[lane] += i;
+                      }
+                    });
+  std::uint64_t total = 0;
+  partial.for_each([&](std::uint64_t v) { total += v; });
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kN) * (kN - 1) / 2);
+}
+
+TEST(ThreadPool, DefaultLanesHonoursJungleThreadsEnv) {
+  ASSERT_EQ(setenv("JUNGLE_THREADS", "5", 1), 0);
+  EXPECT_EQ(ThreadPool::default_lanes(), 5u);
+  ASSERT_EQ(setenv("JUNGLE_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::default_lanes(), 1u);
+  ASSERT_EQ(unsetenv("JUNGLE_THREADS"), 0);
+  EXPECT_GE(ThreadPool::default_lanes(), 1u);
+}
+
+TEST(ThreadPool, ConcurrentCallersSerializeCorrectly) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        pool.parallel_for(0, 256, 16,
+                          [&](std::size_t lo, std::size_t hi, unsigned) {
+                            total.fetch_add(hi - lo);
+                          });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4u * 20u * 256u);
+}
