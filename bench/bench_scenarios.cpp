@@ -1,10 +1,18 @@
 // E1 — §6.2 lab scenarios: reproduces the paper's four-configuration
-// comparison (353 / 89 / 84 / 62.4 s per iteration). Absolute numbers come
-// from our calibrated jungle model; the *shape* (ordering, CPU->GPU factor,
+// comparison (353 / 89 / 84 / 62.4 s per iteration) plus the adaptive
+// placement scheduler's own configuration. Absolute numbers come from our
+// calibrated jungle model; the *shape* (ordering, CPU->GPU factor,
 // remote-GPU crossover, jungle win) is what must match.
+//
+// Besides the console table, the sweep writes BENCH_scenarios.json —
+// machine-readable per-scenario numbers (virtual seconds per iteration and
+// real iterations per second) so the perf trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <vector>
 
 #include "amuse/scenario.hpp"
 
@@ -44,6 +52,21 @@ void Scenario_RemoteGpu(benchmark::State& state) {
 void Scenario_Jungle(benchmark::State& state) {
   run_kind(state, Kind::jungle);
 }
+void Scenario_Autoplace(benchmark::State& state) {
+  run_kind(state, Kind::autoplace);
+}
+
+const char* json_name(Kind kind) {
+  switch (kind) {
+    case Kind::local_cpu: return "local_cpu";
+    case Kind::local_gpu: return "local_gpu";
+    case Kind::remote_gpu: return "remote_gpu";
+    case Kind::jungle: return "jungle";
+    case Kind::sc11: return "sc11";
+    case Kind::autoplace: return "autoplace";
+  }
+  return "?";
+}
 
 }  // namespace
 
@@ -51,24 +74,54 @@ BENCHMARK(Scenario_LocalCpu)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(Scenario_LocalGpu)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(Scenario_RemoteGpu)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(Scenario_Jungle)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(Scenario_Autoplace)->Iterations(1)->Unit(benchmark::kMillisecond);
 
-// Print the paper-style summary table after the sweep.
+// Print the paper-style summary table after the sweep and persist the
+// numbers as JSON for cross-PR tracking.
 class ScenarioReporter : public benchmark::ConsoleReporter {
  public:
   void Finalize() override {
     std::printf("\n=== E1: paper table (s/iteration) vs this reproduction "
                 "(virtual s/iteration) ===\n");
     Options options = bench_options();
+    struct Row {
+      Kind kind;
+      double virt_s_per_iter;
+      double items_per_second;  // real bridge iterations per wall second
+      double modeled_s_per_iter;
+    };
+    std::vector<Row> rows;
     double previous = 0.0;
     for (Kind kind : {Kind::local_cpu, Kind::local_gpu, Kind::remote_gpu,
-                      Kind::jungle}) {
+                      Kind::jungle, Kind::autoplace}) {
+      auto wall_start = std::chrono::steady_clock::now();
       Result result = run_scenario(kind, options);
+      double wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+      rows.push_back(Row{kind, result.seconds_per_iteration,
+                         options.iterations / wall_seconds,
+                         result.modeled_seconds_per_iteration});
       std::printf("%-36s paper=%6.1f   ours=%8.3f   ratio-to-prev=%5.2fx\n",
                   kind_name(kind), paper_seconds_per_iteration(kind),
                   result.seconds_per_iteration,
                   previous > 0 ? previous / result.seconds_per_iteration : 0.0);
       previous = result.seconds_per_iteration;
     }
+
+    std::ofstream json("BENCH_scenarios.json");
+    json << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      json << "    {\"name\": \"" << json_name(rows[i].kind)
+           << "\", \"seconds_per_iteration\": " << rows[i].virt_s_per_iter
+           << ", \"items_per_second\": " << rows[i].items_per_second
+           << ", \"modeled_seconds_per_iteration\": "
+           << rows[i].modeled_s_per_iter << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::printf("\nwrote BENCH_scenarios.json (%zu scenarios)\n", rows.size());
     benchmark::ConsoleReporter::Finalize();
   }
 };

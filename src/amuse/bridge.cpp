@@ -61,7 +61,8 @@ void Bridge::step() {
   time_ += dt;
   ++steps_;
 
-  if (stellar_ != nullptr && steps_ % config_.se_every == 0) {
+  if (stellar_ != nullptr &&
+      (config_.step_offset + steps_) % config_.se_every == 0) {
     stellar_update();
   }
 }
@@ -69,7 +70,7 @@ void Bridge::step() {
 void Bridge::stellar_update() {
   // Stellar evolution runs at a slower rate, "only exchanging state every
   // n-th time step" (paper §6 / Fig 7).
-  double age_myr = time_ * config_.myr_per_nbody_time;
+  double age_myr = (config_.t_offset + time_) * config_.myr_per_nbody_time;
   stellar_->evolve_to(age_myr);
   trace_.push_back("se:evolve");
 

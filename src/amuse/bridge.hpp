@@ -26,6 +26,12 @@ class Bridge {
     /// physical numbers through the converter.
     double wind_specific_energy = 0.0;
     double supernova_energy = 0.0;
+    /// Restart support (the fault path's clock-shift convention): model
+    /// time and steps completed by a *previous* bridge before its workers
+    /// were restarted at t=0. Stellar-evolution ages and the SE cadence
+    /// continue from the sum, while evolve targets restart at zero.
+    double t_offset = 0.0;
+    int step_offset = 0;
   };
 
   Bridge(GravityClient& stars, HydroClient& gas, FieldClient& coupler,
@@ -46,6 +52,18 @@ class Bridge {
   /// Latest gathered states (refreshed by step; used by diagnostics).
   const GravityState& star_state() const noexcept { return stars_state_; }
   const HydroState& gas_state() const noexcept { return gas_state_; }
+
+  /// The MSun <-> N-body mass mapping fixed at the first stellar update.
+  /// A bridge rebuilt after a worker restart must inherit it — the current
+  /// dynamical masses are no longer the ZAMS masses.
+  std::pair<std::vector<double>, std::vector<double>> se_mapping() const {
+    return {zams_se_, zams_dynamical_};
+  }
+  void set_se_mapping(std::vector<double> zams_se,
+                      std::vector<double> zams_dynamical) {
+    zams_se_ = std::move(zams_se);
+    zams_dynamical_ = std::move(zams_dynamical);
+  }
 
  private:
   void cross_kick(double dt);

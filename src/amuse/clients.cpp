@@ -69,6 +69,8 @@ void FieldClient::set_sources(std::span<const double> masses,
   util::ByteWriter args;
   put_span_of(args, masses);
   put_span_of(args, positions);
+  last_mass_.assign(masses.begin(), masses.end());
+  last_position_.assign(positions.begin(), positions.end());
   rpc_->call_sync(Fn::field_set_sources, std::move(args));
 }
 
@@ -138,6 +140,10 @@ void HydroClient::inject(std::span<const std::int32_t> indices,
   put_span_of(args, indices);
   put_span_of(args, delta_u);
   rpc_->call_sync(Fn::hydro_inject, std::move(args));
+}
+
+double HydroClient::model_time() {
+  return rpc_->call_sync(Fn::hydro_get_time, {}).get<double>();
 }
 
 void StellarClient::add_stars(std::span<const double> zams_masses) {

@@ -62,6 +62,14 @@ class FieldClient {
 
   void set_sources(std::span<const double> masses,
                    std::span<const Vec3> positions);
+  /// Client-side copy of the last sources sent — what a checkpoint of this
+  /// otherwise stateless-per-kick worker consists of.
+  const std::vector<double>& last_source_mass() const noexcept {
+    return last_mass_;
+  }
+  const std::vector<Vec3>& last_source_position() const noexcept {
+    return last_position_;
+  }
   std::vector<Vec3> accel_at(std::span<const Vec3> points) {
     return decode_accel(accel_at_async(points).get());
   }
@@ -73,6 +81,8 @@ class FieldClient {
 
  private:
   std::unique_ptr<RpcClient> rpc_;
+  std::vector<double> last_mass_;
+  std::vector<Vec3> last_position_;
 };
 
 /// Hydrodynamics interface (Gadget worker).
@@ -93,6 +103,7 @@ class HydroClient {
   void kick(std::span<const Vec3> delta_v);
   void inject(std::span<const std::int32_t> indices,
               std::span<const double> delta_u);
+  double model_time();
 
   RpcClient& rpc() noexcept { return *rpc_; }
   void close() { rpc_->close(); }

@@ -243,15 +243,32 @@ void IbisDaemon::serve_client(
     connection->send(std::move(frame).take());
   }
 
-  // If the worker's host crashes, the registry broadcasts `died`; breaking
-  // the script connection poisons all outstanding futures upstream.
+  // If the worker's host crashes, the registry broadcasts `died`. Tell the
+  // script *which machine* was lost (death notice on request id 0) before
+  // breaking the connection, so the fault path can exclude the right
+  // resource rather than guessing; the close then poisons any future calls.
   // shared_ptr: the listener stays registered after this frame unwinds.
   auto worker_dead = std::make_shared<bool>(false);
-  ibis_->on_event([worker_dead, proxy_name, connection](
+  std::string node_name =
+      job->hosts().empty() ? "" : job->hosts().front()->name();
+  ibis_->on_event([worker_dead, proxy_name, node_name, connection](
                       const ipl::RegistryEvent& event) {
     if (event.type == ipl::RegistryEventType::died &&
         event.id.name == proxy_name) {
       *worker_dead = true;
+      try {
+        util::ByteWriter notice;
+        notice.put<std::uint32_t>(kDeathNoticeId);
+        notice.put<std::uint8_t>(
+            static_cast<std::uint8_t>(RpcStatus::worker_died));
+        notice.put<std::uint8_t>(
+            static_cast<std::uint8_t>(WorkerDiedError::Cause::host_crash));
+        notice.put_string(node_name);
+        notice.put_string("registry reported the worker proxy died");
+        connection->send(std::move(notice).take());
+      } catch (const ConnectError&) {
+        // Script side already gone; nothing left to notify.
+      }
       connection->close();  // poisons the script's outstanding futures
     }
   });
@@ -314,7 +331,8 @@ std::unique_ptr<RpcClient> DaemonClient::start_worker(
   util::ByteReader reader(std::move(*response));
   auto op = static_cast<daemon_wire::Op>(reader.get<std::uint8_t>());
   if (op == daemon_wire::Op::fail) {
-    throw CodeError("worker startup failed: " + reader.get_string());
+    throw CodeError("worker " + spec.code + " startup failed on " + resource +
+                    ": " + reader.get_string());
   }
   if (op != daemon_wire::Op::ready) {
     throw WireError("daemon: unexpected startup reply");

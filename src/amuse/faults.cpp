@@ -11,6 +11,43 @@ GravityCheckpoint checkpoint_gravity(GravityClient& gravity) {
   return save;
 }
 
+HydroCheckpoint checkpoint_hydro(HydroClient& hydro) {
+  HydroCheckpoint save;
+  save.state = hydro.get_state();
+  save.model_time = hydro.model_time();
+  return save;
+}
+
+FieldCheckpoint checkpoint_field(FieldClient& field) {
+  FieldCheckpoint save;
+  save.source_mass = field.last_source_mass();
+  save.source_position = field.last_source_position();
+  return save;
+}
+
+void restore_gravity(GravityClient& gravity, const GravityCheckpoint& save) {
+  gravity.set_params(save.eps2, save.eta);
+  gravity.add_particles(save.state.mass, save.state.position,
+                        save.state.velocity);
+  // A fresh integrator starts at t=0; evolving it forward to the checkpoint
+  // time would be wrong (it would integrate). The restart convention instead
+  // shifts the script's clock: callers track the offset. We evolve by 0 to
+  // prime forces only.
+  gravity.evolve(0.0);
+}
+
+void restore_hydro(HydroClient& hydro, const HydroCheckpoint& save) {
+  hydro.set_params(save.eps2, save.theta);
+  hydro.add_gas(save.state.mass, save.state.position, save.state.velocity,
+                save.state.internal_energy);
+}
+
+void restore_field(FieldClient& field, const FieldCheckpoint& save) {
+  if (!save.source_mass.empty()) {
+    field.set_sources(save.source_mass, save.source_position);
+  }
+}
+
 std::unique_ptr<GravityClient> restart_gravity(DaemonClient& daemon,
                                                const WorkerSpec& spec,
                                                const std::string& resource,
@@ -20,14 +57,33 @@ std::unique_ptr<GravityClient> restart_gravity(DaemonClient& daemon,
                      << " from checkpoint at t=" << save.model_time;
   auto client = std::make_unique<GravityClient>(
       daemon.start_worker(spec, resource, nodes));
-  client->set_params(save.eps2, save.eta);
-  client->add_particles(save.state.mass, save.state.position,
-                        save.state.velocity);
-  // A fresh integrator starts at t=0; evolve it forward to the checkpoint
-  // time is wrong (it would integrate). The restart convention instead
-  // shifts the script's clock: callers track the offset. We evolve by 0 to
-  // prime forces only.
-  client->evolve(0.0);
+  restore_gravity(*client, save);
+  return client;
+}
+
+std::unique_ptr<HydroClient> restart_hydro(DaemonClient& daemon,
+                                           const WorkerSpec& spec,
+                                           const std::string& resource,
+                                           const HydroCheckpoint& save,
+                                           int nodes) {
+  log::warn("amuse") << "restarting " << spec.code << " on " << resource
+                     << " from checkpoint at t=" << save.model_time;
+  auto client = std::make_unique<HydroClient>(
+      daemon.start_worker(spec, resource, nodes));
+  restore_hydro(*client, save);
+  return client;
+}
+
+std::unique_ptr<FieldClient> restart_field(DaemonClient& daemon,
+                                           const WorkerSpec& spec,
+                                           const std::string& resource,
+                                           const FieldCheckpoint& save,
+                                           int nodes) {
+  log::warn("amuse") << "restarting field kernel " << spec.code << " on "
+                     << resource;
+  auto client = std::make_unique<FieldClient>(
+      daemon.start_worker(spec, resource, nodes));
+  restore_field(*client, save);
   return client;
 }
 

@@ -11,8 +11,11 @@ namespace jungle::amuse {
 /// Fault-tolerance extension (the paper's §7 future work: "In theory it
 /// should be possible to transparently find a replacement machine"). The
 /// script checkpoints worker state after each bridge step; when a worker
-/// dies (CodeError with worker_died from the RPC layer), it starts a
-/// replacement on another resource and reloads the checkpoint.
+/// dies (WorkerDiedError from the RPC layer), it starts a replacement on
+/// another resource and reloads the checkpoint. All three evolving model
+/// kinds are covered — gravity (phiGRAPE), hydro (Gadget) and the coupling
+/// field kernel (Octgrav/Fi) — which is what lets the placement scheduler
+/// re-place any kernel mid-run, not just the star cluster.
 
 struct GravityCheckpoint {
   GravityState state;
@@ -21,8 +24,32 @@ struct GravityCheckpoint {
   double eta = 0.02;
 };
 
-/// Snapshot a live gravity worker.
+struct HydroCheckpoint {
+  HydroState state;
+  double model_time = 0.0;
+  double eps2 = 1e-4;
+  double theta = 0.6;
+};
+
+/// The field worker is stateless between kicks except for its sources; the
+/// checkpoint is the last source set the client shipped. (Its eps2/theta
+/// live in the WorkerSpec the replacement starts from, not here.)
+struct FieldCheckpoint {
+  std::vector<double> source_mass;
+  std::vector<Vec3> source_position;
+};
+
+/// Snapshot live workers.
 GravityCheckpoint checkpoint_gravity(GravityClient& gravity);
+HydroCheckpoint checkpoint_hydro(HydroClient& hydro);
+FieldCheckpoint checkpoint_field(FieldClient& field);
+
+/// Restore a checkpoint into a *fresh* worker (local or remote). The new
+/// integrator starts at t=0; callers track the clock offset (the restart
+/// convention: evolving it forward to the checkpoint time would integrate).
+void restore_gravity(GravityClient& gravity, const GravityCheckpoint& save);
+void restore_hydro(HydroClient& hydro, const HydroCheckpoint& save);
+void restore_field(FieldClient& field, const FieldCheckpoint& save);
 
 /// Start a replacement worker through the daemon and restore the
 /// checkpoint into it. The returned client continues from the snapshot.
@@ -31,5 +58,15 @@ std::unique_ptr<GravityClient> restart_gravity(DaemonClient& daemon,
                                                const std::string& resource,
                                                const GravityCheckpoint& save,
                                                int nodes = 1);
+std::unique_ptr<HydroClient> restart_hydro(DaemonClient& daemon,
+                                           const WorkerSpec& spec,
+                                           const std::string& resource,
+                                           const HydroCheckpoint& save,
+                                           int nodes = 1);
+std::unique_ptr<FieldClient> restart_field(DaemonClient& daemon,
+                                           const WorkerSpec& spec,
+                                           const std::string& resource,
+                                           const FieldCheckpoint& save,
+                                           int nodes = 1);
 
 }  // namespace jungle::amuse

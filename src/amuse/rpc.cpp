@@ -11,7 +11,8 @@ util::ByteReader Future::get() {
   }
   std::string message(reply.payload.begin(), reply.payload.end());
   if (reply.status == RpcStatus::worker_died) {
-    throw CodeError("worker died: " + message);
+    throw WorkerDiedError(state_->worker, reply.died_host, reply.died_cause,
+                          message);
   }
   throw CodeError(message);
 }
@@ -45,6 +46,17 @@ void RpcClient::pump() {
       }
       util::ByteReader reader(std::move(*bytes));
       auto request_id = reader.get<std::uint32_t>();
+      if (request_id == kDeathNoticeId) {
+        // Connection-level death notice from the daemon: the registry saw
+        // the worker's host die. Carries the host name and cause.
+        reader.get<std::uint8_t>();  // status (always worker_died)
+        auto cause =
+            static_cast<WorkerDiedError::Cause>(reader.get<std::uint8_t>());
+        std::string host = reader.get_string();
+        std::string detail = reader.get_string();
+        poison(detail, cause, host);
+        continue;  // keep draining until the daemon closes the pipe
+      }
       auto status = static_cast<RpcStatus>(reader.get<std::uint8_t>());
       auto payload = reader.get_vector<std::uint8_t>();
       auto it = pending_.find(request_id);
@@ -53,30 +65,45 @@ void RpcClient::pump() {
                            << request_id;
         continue;
       }
-      it->second->box.put(RpcReply{status, std::move(payload)});
+      RpcReply reply;
+      reply.status = status;
+      reply.payload = std::move(payload);
+      it->second->box.put(std::move(reply));
       pending_.erase(it);
     }
   } catch (const ConnectError& failure) {
-    poison(failure.what());
+    poison(failure.what(), WorkerDiedError::Cause::link_fault);
   }
 }
 
-void RpcClient::poison(const std::string& reason) {
-  dead_ = true;
-  death_reason_ = reason;
+RpcReply RpcClient::death_reply() const {
+  RpcReply reply;
+  reply.status = RpcStatus::worker_died;
+  reply.payload.assign(death_reason_.begin(), death_reason_.end());
+  reply.died_host = death_host_;
+  reply.died_cause = death_cause_;
+  return reply;
+}
+
+void RpcClient::poison(const std::string& reason, WorkerDiedError::Cause cause,
+                       const std::string& host) {
+  if (!dead_) {  // first report wins: it is closest to the root cause
+    dead_ = true;
+    death_reason_ = reason;
+    death_cause_ = cause;
+    death_host_ = host;
+  }
   for (auto& [id, state] : pending_) {
-    std::vector<std::uint8_t> text(reason.begin(), reason.end());
-    state->box.put(RpcReply{RpcStatus::worker_died, text});
+    state->box.put(death_reply());
   }
   pending_.clear();
 }
 
 Future RpcClient::call(Fn fn, util::ByteWriter arguments) {
   auto state = std::make_shared<Future::State>(home_.simulation());
+  state->worker = label_;
   if (dead_) {
-    std::vector<std::uint8_t> text(death_reason_.begin(),
-                                   death_reason_.end());
-    state->box.put(RpcReply{RpcStatus::worker_died, std::move(text)});
+    state->box.put(death_reply());
     return Future(state);
   }
   std::uint32_t request_id = next_request_++;
@@ -89,10 +116,8 @@ Future RpcClient::call(Fn fn, util::ByteWriter arguments) {
     pipe_->send_bytes(std::move(frame).take());
   } catch (const ConnectError& failure) {
     pending_.erase(request_id);
-    poison(failure.what());
-    std::vector<std::uint8_t> text(death_reason_.begin(),
-                                   death_reason_.end());
-    state->box.put(RpcReply{RpcStatus::worker_died, std::move(text)});
+    poison(failure.what(), WorkerDiedError::Cause::link_fault);
+    state->box.put(death_reply());
   }
   return Future(state);
 }

@@ -11,6 +11,7 @@
 #include "sim/mailbox.hpp"
 #include "smartsockets/connection.hpp"
 #include "util/bytebuffer.hpp"
+#include "util/error.hpp"
 
 namespace jungle::amuse {
 
@@ -46,6 +47,7 @@ enum class Fn : std::uint16_t {
   hydro_get_energies = 54,
   hydro_kick_all = 55,
   hydro_inject = 56,
+  hydro_get_time = 57,
 
   // StellarEvolution (SSE)
   se_add_stars = 70,
@@ -62,7 +64,16 @@ enum class RpcStatus : std::uint8_t { ok = 0, code_error = 1, worker_died = 2 };
 struct RpcReply {
   RpcStatus status = RpcStatus::ok;
   std::vector<std::uint8_t> payload;  // result bytes or error text
+  // Filled for worker_died: where and why the worker was lost, so the
+  // thrown WorkerDiedError lets recovery exclude the right resource.
+  std::string died_host;
+  WorkerDiedError::Cause died_cause = WorkerDiedError::Cause::unknown;
 };
+
+/// Frames whose request id is this value are connection-level death notices
+/// (sent by the daemon when the registry reports a worker's host died), not
+/// replies: payload = status byte, cause byte, host string, detail string.
+constexpr std::uint32_t kDeathNoticeId = 0;
 
 /// Abstract bidirectional message transport the RPC layer runs over. The
 /// three AMUSE channels (MPI, socket, Ibis-via-daemon) all reduce to this.
@@ -99,6 +110,7 @@ class Future {
   struct State {
     explicit State(sim::Simulation& sim) : box(sim) {}
     sim::Mailbox<RpcReply> box;
+    std::string worker;  // label of the client that issued the call
   };
 
   explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
@@ -130,11 +142,15 @@ class RpcClient {
   const std::string& label() const noexcept { return label_; }
 
   /// Fail every outstanding and future call (used by the daemon client when
-  /// the registry reports the worker died).
-  void poison(const std::string& reason);
+  /// the registry reports the worker died). `cause`/`host` record what the
+  /// transport knew about the failure for WorkerDiedError.
+  void poison(const std::string& reason,
+              WorkerDiedError::Cause cause = WorkerDiedError::Cause::unknown,
+              const std::string& host = "");
 
  private:
   void pump();
+  RpcReply death_reply() const;
 
   sim::Host& home_;
   std::unique_ptr<MessagePipe> pipe_;
@@ -143,6 +159,8 @@ class RpcClient {
   std::map<std::uint32_t, std::shared_ptr<Future::State>> pending_;
   bool dead_ = false;
   std::string death_reason_;
+  std::string death_host_;
+  WorkerDiedError::Cause death_cause_ = WorkerDiedError::Cause::unknown;
   sim::ProcessId pump_pid_ = 0;
   bool closed_ = false;
 };

@@ -1,8 +1,11 @@
 #include "amuse/scenario.hpp"
 
+#include <array>
 #include <cmath>
+#include <sstream>
 
 #include "amuse/diagnostics.hpp"
+#include "amuse/faults.hpp"
 #include "amuse/ic.hpp"
 #include "util/logging.hpp"
 
@@ -15,6 +18,7 @@ const char* kind_name(Kind kind) noexcept {
     case Kind::remote_gpu: return "remote-gpu(Octgrav@LGM)";
     case Kind::jungle: return "jungle(4 sites)";
     case Kind::sc11: return "sc11(coupler@Seattle)";
+    case Kind::autoplace: return "autoplace(scheduler)";
   }
   return "?";
 }
@@ -26,6 +30,7 @@ double paper_seconds_per_iteration(Kind kind) noexcept {
     case Kind::remote_gpu: return 84.0;
     case Kind::jungle: return 62.4;
     case Kind::sc11: return std::nan("");  // demonstrated, not timed
+    case Kind::autoplace: return std::nan("");  // ours, not the paper's
   }
   return std::nan("");
 }
@@ -76,6 +81,7 @@ JungleTestbed::JungleTestbed(bool verbose) {
   net_.add_link("seattle", "vu", 45 * ms, 1 * gbit, "transatlantic");
   net_.set_loopback(5e-6, 10 * gbit);
 
+  client_ = &desktop;
   deployer_ = std::make_unique<deploy::Deployer>(net_, sockets_, desktop);
   auto cluster = [&](const std::string& name, const std::string& frontend,
                      std::vector<std::string> node_names) {
@@ -99,6 +105,26 @@ JungleTestbed::JungleTestbed(bool verbose) {
            "dasvu6", "dasvu7"});
 }
 
+JungleTestbed::JungleTestbed(const util::Config& config, bool verbose) {
+  if (verbose) log::set_threshold(log::Level::info);
+  deploy::build_topology(config, net_);
+  auto names = net_.host_names();
+  if (names.empty()) {
+    throw ConfigError("scenario topology declares no hosts");
+  }
+  std::string client_name = config.has_section("scenario")
+                                ? config.get_or("scenario", "client", names[0])
+                                : names[0];
+  client_ = &net_.host(client_name);
+  deployer_ = std::make_unique<deploy::Deployer>(net_, sockets_, *client_);
+  deployer_->add_resources(deploy::resources_from_config(config, net_));
+}
+
+sim::Host& JungleTestbed::client_host() {
+  if (client_ == nullptr) throw ConfigError("testbed has no client host");
+  return *client_;
+}
+
 IbisDaemon& JungleTestbed::daemon(sim::Host& client) {
   if (!daemon_) {
     daemon_ = std::make_unique<IbisDaemon>(*deployer_, net_, sockets_, client);
@@ -115,17 +141,38 @@ struct Workers {
   std::unique_ptr<StellarClient> se;
 };
 
-Workers place_workers(JungleTestbed& bed, Kind kind, sim::Host& client,
-                      const Options& options) {
-  Workers workers;
-  auto local = [&](const WorkerSpec& spec) {
-    return start_local_worker(bed.sockets(), bed.network(), client, client,
-                              spec, ChannelKind::mpi);
+sched::Workload workload_from(const Options& options) {
+  sched::Workload load;
+  load.n_stars = options.n_stars;
+  load.n_gas = options.n_gas;
+  load.dt = options.dt;
+  load.iterations = options.iterations;
+  load.with_stellar_evolution = options.with_stellar_evolution;
+  load.se_every = options.se_every;
+  return load;
+}
+
+/// The paper's hand-coded Kind tables, expressed as placements so the same
+/// start/score machinery serves them and autoplace alike.
+sched::Placement builtin_placement(JungleTestbed& bed, Kind kind,
+                                   sim::Host& client) {
+  using sched::Role;
+  sched::Placement p;
+  auto local = [&](Role role, amuse::WorkerSpec spec) {
+    sched::Assignment a;
+    a.host = &client;
+    a.spec = std::move(spec);
+    p.role(role) = std::move(a);
   };
-  DaemonClient daemon_client(bed.sockets(), client);
-  auto remote = [&](const WorkerSpec& spec, const std::string& resource,
+  auto remote = [&](Role role, const std::string& resource,
+                    const std::string& host, amuse::WorkerSpec spec,
                     int nodes = 1) {
-    return daemon_client.start_worker(spec, resource, nodes);
+    sched::Assignment a;
+    a.resource = resource;
+    a.host = &bed.network().host(host);
+    a.spec = std::move(spec);
+    a.nodes = nodes;
+    p.role(role) = std::move(a);
   };
 
   WorkerSpec grav_cpu{.code = "phigrape", .ncores = 2};
@@ -138,53 +185,109 @@ Workers place_workers(JungleTestbed& bed, Kind kind, sim::Host& client,
 
   switch (kind) {
     case Kind::local_cpu:
-      workers.stars = std::make_unique<GravityClient>(local(grav_cpu));
-      workers.coupler = std::make_unique<FieldClient>(local(fi));
-      workers.gas = std::make_unique<HydroClient>(local(gadget_local));
-      workers.se = std::make_unique<StellarClient>(local(sse));
+      local(Role::gravity, grav_cpu);
+      local(Role::coupler, fi);
+      local(Role::hydro, gadget_local);
+      local(Role::stellar, sse);
       break;
     case Kind::local_gpu:
-      workers.stars = std::make_unique<GravityClient>(local(grav_gpu));
-      workers.coupler = std::make_unique<FieldClient>(local(octgrav));
-      workers.gas = std::make_unique<HydroClient>(local(gadget_local));
-      workers.se = std::make_unique<StellarClient>(local(sse));
+      local(Role::gravity, grav_gpu);
+      local(Role::coupler, octgrav);
+      local(Role::hydro, gadget_local);
+      local(Role::stellar, sse);
       break;
     case Kind::remote_gpu:
-      workers.stars = std::make_unique<GravityClient>(local(grav_gpu));
-      workers.coupler =
-          std::make_unique<FieldClient>(remote(octgrav, "lgm"));
-      workers.gas = std::make_unique<HydroClient>(local(gadget_local));
-      workers.se = std::make_unique<StellarClient>(local(sse));
+      local(Role::gravity, grav_gpu);
+      remote(Role::coupler, "lgm", "lgm-node", octgrav);
+      local(Role::hydro, gadget_local);
+      local(Role::stellar, sse);
       break;
     case Kind::jungle:
     case Kind::sc11:
-      workers.stars =
-          std::make_unique<GravityClient>(remote(grav_gpu, "lgm"));
-      workers.coupler =
-          std::make_unique<FieldClient>(remote(octgrav, "das4-delft"));
-      workers.gas = std::make_unique<HydroClient>(
-          remote(gadget_cluster, "das4-vu", 8));
-      workers.se = std::make_unique<StellarClient>(remote(sse, "das4-uva"));
+      remote(Role::gravity, "lgm", "lgm-node", grav_gpu);
+      remote(Role::coupler, "das4-delft", "delft-gpu0", octgrav);
+      remote(Role::hydro, "das4-vu", "dasvu0", gadget_cluster, 8);
+      remote(Role::stellar, "das4-uva", "uva-node", sse);
       break;
+    case Kind::autoplace:
+      throw ConfigError("autoplace has no built-in table; use the scheduler");
   }
-  (void)options;
+  return p;
+}
+
+std::unique_ptr<RpcClient> start_assignment(JungleTestbed& bed,
+                                            sim::Host& client,
+                                            DaemonClient& daemon_client,
+                                            const sched::Assignment& a) {
+  if (a.local()) {
+    return start_local_worker(bed.sockets(), bed.network(), client, client,
+                              a.spec, ChannelKind::mpi);
+  }
+  return daemon_client.start_worker(a.spec, a.resource, a.nodes);
+}
+
+Workers start_placement(JungleTestbed& bed, sim::Host& client,
+                        DaemonClient& daemon_client,
+                        const sched::Placement& p) {
+  using sched::Role;
+  Workers workers;
+  workers.stars = std::make_unique<GravityClient>(
+      start_assignment(bed, client, daemon_client, p.role(Role::gravity)));
+  workers.coupler = std::make_unique<FieldClient>(
+      start_assignment(bed, client, daemon_client, p.role(Role::coupler)));
+  workers.gas = std::make_unique<HydroClient>(
+      start_assignment(bed, client, daemon_client, p.role(Role::hydro)));
+  workers.se = std::make_unique<StellarClient>(
+      start_assignment(bed, client, daemon_client, p.role(Role::stellar)));
   return workers;
 }
 
-}  // namespace
+/// The placement a configuration runs: the scheduler's plan for autoplace,
+/// the scored hard-coded table otherwise. Shared by run_in_bed and
+/// placement_for so the test helper can never diverge from what actually
+/// executes.
+sched::Placement plan_placement(JungleTestbed& bed, Kind kind,
+                                sim::Host& client,
+                                const sched::Scheduler& scheduler,
+                                const sched::Workload& load) {
+  if (kind == Kind::autoplace) return scheduler.plan(load);
+  sched::Placement plan = builtin_placement(bed, kind, client);
+  scheduler.score(load, plan);
+  return plan;
+}
 
-Result run_scenario(Kind kind, const Options& options) {
-  JungleTestbed bed;
+Bridge::Config bridge_config(const Options& options) {
+  Bridge::Config config;
+  config.dt = options.dt;
+  config.se_every = options.se_every;
+  // time scale: ~0.47 Myr per N-body time for 1000 MSun / 1 pc; SN energy
+  // scaled into N-body units for a 2 M_cluster gas cloud.
+  config.myr_per_nbody_time = 0.47;
+  config.feedback_efficiency = 0.1;
+  config.wind_specific_energy = 5.0;
+  config.supernova_energy = 40.0;
+  return config;
+}
+
+Result run_in_bed(JungleTestbed& bed, Kind kind, const Options& options) {
   sim::Host& client =
-      kind == Kind::sc11 ? bed.laptop() : bed.desktop();
+      kind == Kind::sc11 ? bed.laptop() : bed.client_host();
   bed.daemon(client);  // paper step 3: "start the Ibis-Daemon"
+
+  sched::Scheduler scheduler(bed.network(), client,
+                             bed.deployer().resources());
+  sched::Workload load = workload_from(options);
+  sched::Placement plan = plan_placement(bed, kind, client, scheduler, load);
 
   Result result;
   result.kind = kind;
   result.iterations = options.iterations;
+  result.placement = plan.describe();
+  result.modeled_seconds_per_iteration = plan.modeled_seconds_per_iteration;
 
   bed.simulation().spawn("amuse-script", [&] {
-    Workers workers = place_workers(bed, kind, client, options);
+    DaemonClient daemon_client(bed.sockets(), client);
+    Workers workers = start_placement(bed, client, daemon_client, plan);
 
     // Initial conditions: the embedded star cluster of [11].
     util::Rng rng(options.seed);
@@ -197,40 +300,149 @@ Result run_scenario(Kind kind, const Options& options) {
     zams[0] = 20.0;  // at least one star that will go off
     workers.se->add_stars(zams);
 
-    Bridge::Config config;
-    config.dt = options.dt;
-    config.se_every = options.se_every;
-    // time scale: ~0.47 Myr per N-body time for 1000 MSun / 1 pc; SN energy
-    // scaled into N-body units for a 2 M_cluster gas cloud.
-    config.myr_per_nbody_time = 0.47;
-    config.feedback_efficiency = 0.1;
-    config.wind_specific_energy = 5.0;
-    config.supernova_energy = 40.0;
-    Bridge bridge(*workers.stars, *workers.gas, *workers.coupler,
-                  options.with_stellar_evolution ? workers.se.get() : nullptr,
-                  config);
+    Bridge::Config config = bridge_config(options);
+    StellarClient* se =
+        options.with_stellar_evolution ? workers.se.get() : nullptr;
+    auto bridge = std::make_unique<Bridge>(*workers.stars, *workers.gas,
+                                           *workers.coupler, se, config);
+
+    // Checkpoints start as the initial conditions: a worker lost on the
+    // very first step rolls back to t=0.
+    GravityCheckpoint grav_save;
+    grav_save.state =
+        GravityState{model.mass, model.position, model.velocity};
+    HydroCheckpoint hydro_save;
+    hydro_save.state = HydroState{cloud.mass, cloud.position, cloud.velocity,
+                                  cloud.internal_energy, {}};
+    FieldCheckpoint field_save;
+
+    bool fault_tolerant = kind == Kind::autoplace;
+
+    // The fault path: exclude what died, re-place the affected roles, and
+    // roll every evolving worker back to the last consistent checkpoint
+    // (restarted integrators start at t=0; the new bridge carries the clock
+    // offset, the SE mass mapping and the SE cadence phase forward).
+    auto recover = [&](const WorkerDiedError& death, int completed) {
+      using sched::Role;
+      log::warn("scenario") << "recovering from: " << death.what();
+      if (death.cause() == WorkerDiedError::Cause::host_crash &&
+          !death.host().empty()) {
+        scheduler.exclude_host(death.host());
+        // A dead *frontend* takes its whole resource out of play: jobs
+        // submit through it even when the compute nodes survive.
+        std::string owner = scheduler.resource_of(death.host());
+        if (!owner.empty()) {
+          const gat::Resource& res = bed.deployer().resource(owner);
+          if (res.frontend != nullptr &&
+              res.frontend->name() == death.host()) {
+            scheduler.exclude_resource(owner);
+          }
+        }
+      }
+      std::array<std::pair<Role, bool>, sched::kRoles> liveness{{
+          {Role::gravity, workers.stars->rpc().alive()},
+          {Role::hydro, workers.gas->rpc().alive()},
+          {Role::coupler, workers.coupler->rpc().alive()},
+          {Role::stellar, workers.se->rpc().alive()},
+      }};
+      bool any_dead = false;
+      for (auto [role, alive] : liveness) {
+        if (alive) continue;
+        any_dead = true;
+        const sched::Assignment& was = plan.role(role);
+        if (was.local()) {
+          throw CodeError("the client machine lost its own worker (" +
+                          std::string(sched::role_name(role)) +
+                          "); nothing to re-place onto");
+        }
+        if (death.cause() != WorkerDiedError::Cause::host_crash) {
+          scheduler.exclude_resource(was.resource);
+        }
+        plan.role(role) = scheduler.replace(load, plan, role);
+      }
+      if (!any_dead) throw death;  // stale report; cannot recover
+
+      double t_done = completed * options.dt;
+      auto [zams_se, zams_dyn] = bridge->se_mapping();
+
+      // Gravity and hydro share the bridge clock: both roll back together
+      // so their restarted integrators agree at t=0 (+ offset).
+      workers.stars->close();
+      workers.stars = std::make_unique<GravityClient>(start_assignment(
+          bed, client, daemon_client, plan.role(Role::gravity)));
+      restore_gravity(*workers.stars, grav_save);
+      workers.gas->close();
+      workers.gas = std::make_unique<HydroClient>(start_assignment(
+          bed, client, daemon_client, plan.role(Role::hydro)));
+      restore_hydro(*workers.gas, hydro_save);
+      if (!workers.coupler->rpc().alive()) {
+        workers.coupler->close();
+        workers.coupler = std::make_unique<FieldClient>(start_assignment(
+            bed, client, daemon_client, plan.role(Role::coupler)));
+        restore_field(*workers.coupler, field_save);
+      }
+      if (!workers.se->rpc().alive()) {
+        workers.se->close();
+        workers.se = std::make_unique<StellarClient>(start_assignment(
+            bed, client, daemon_client, plan.role(Role::stellar)));
+        workers.se->add_stars(zams);
+        if (t_done > 0.0) {
+          workers.se->evolve_to(t_done * config.myr_per_nbody_time);
+        }
+      }
+
+      Bridge::Config restarted = config;
+      restarted.t_offset = t_done;
+      restarted.step_offset = completed;
+      se = options.with_stellar_evolution ? workers.se.get() : nullptr;
+      bridge = std::make_unique<Bridge>(*workers.stars, *workers.gas,
+                                        *workers.coupler, se, restarted);
+      bridge->set_se_mapping(std::move(zams_se), std::move(zams_dyn));
+      // Re-score the whole post-fault placement so the dashboard's
+      // modeled-vs-measured panel describes what is actually running.
+      scheduler.score(load, plan);
+      result.placement = plan.describe();
+      result.modeled_seconds_per_iteration =
+          plan.modeled_seconds_per_iteration;
+    };
 
     bed.network().reset_traffic();
     double wall_start = bed.simulation().now();
-    double coupling_time = 0.0;
-    double evolve_time = 0.0;
-    for (int i = 0; i < options.iterations; ++i) {
-      std::size_t trace_before = bridge.trace().size();
-      double t0 = bed.simulation().now();
-      bridge.step();
-      double t1 = bed.simulation().now();
-      (void)trace_before;
-      (void)t0;
-      (void)t1;
+    int completed = 0;
+    bool killed = false;
+    while (completed < options.iterations) {
+      try {
+        bridge->step();
+        if (fault_tolerant) {
+          // Checkpointing itself talks to the workers and can die mid-way:
+          // stage into temporaries and commit all three together, so the
+          // saves (and `completed`, bumped after) always describe one
+          // consistent step — a partial set would desynchronize the
+          // restarted models.
+          GravityCheckpoint grav_now = checkpoint_gravity(*workers.stars);
+          HydroCheckpoint hydro_now = checkpoint_hydro(*workers.gas);
+          FieldCheckpoint field_now = checkpoint_field(*workers.coupler);
+          grav_save = std::move(grav_now);
+          hydro_save = std::move(hydro_now);
+          field_save = std::move(field_now);
+        }
+        ++completed;
+        if (fault_tolerant && !killed && !options.kill_host.empty() &&
+            completed == options.kill_after_iteration) {
+          killed = true;
+          bed.network().host(options.kill_host).crash();
+        }
+      } catch (const WorkerDiedError& death) {
+        if (!fault_tolerant || ++result.restarts > 2 * sched::kRoles) throw;
+        recover(death, completed);
+      }
     }
     double wall = bed.simulation().now() - wall_start;
     result.seconds_per_iteration = wall / options.iterations;
-    result.coupling_seconds_per_iteration = coupling_time;
-    result.evolve_seconds_per_iteration = evolve_time;
 
     // Fig-6 observable after the run.
-    const auto& gas_state = bridge.gas_state();
-    const auto& star_state = bridge.star_state();
+    const auto& gas_state = bridge->gas_state();
+    const auto& star_state = bridge->star_state();
     if (!gas_state.mass.empty()) {
       result.bound_gas_fraction = diagnostics::bound_gas_fraction(
           gas_state.mass, gas_state.position, gas_state.velocity,
@@ -245,17 +457,57 @@ Result run_scenario(Kind kind, const Options& options) {
   bed.simulation().run();
 
   for (const auto& link : bed.network().traffic_report()) {
-    bool wan = link.name == "starplane-uva" || link.name == "starplane-delft" ||
-               link.name == "lgm-lightpath" || link.name == "transatlantic" ||
-               link.name == "vu-campus";
+    // WAN = anything that is not a host loopback or an intra-site LAN.
+    bool wan =
+        link.name != "loopback" && link.name.rfind("lan:", 0) != 0;
     if (!wan) continue;
     result.wan_bytes += link.bytes_by_class[0] + link.bytes_by_class[1] +
                         link.bytes_by_class[2] + link.bytes_by_class[3];
     result.wan_ipl_bytes +=
         link.bytes_by_class[static_cast<int>(sim::TrafficClass::ipl)];
   }
-  result.dashboard = bed.deployer().dashboard();
+
+  // Dashboard: the Figs 10/11 analog plus the placement panel — which
+  // machine ran which kernel, and modeled vs. measured cost.
+  std::ostringstream panel;
+  panel << bed.deployer().dashboard();
+  panel << "-- placement (" << kind_name(kind) << ") --\n";
+  for (int i = 0; i < sched::kRoles; ++i) {
+    const sched::Assignment& a = plan.roles[i];
+    panel << "  " << sched::role_name(static_cast<sched::Role>(i)) << ": "
+          << a.spec.code << " @ " << a.where()
+          << " modeled compute=" << a.compute_seconds
+          << " s comm=" << a.comm_seconds << " s\n";
+  }
+  panel << "  modeled=" << result.modeled_seconds_per_iteration
+        << " s/iter measured=" << result.seconds_per_iteration << " s/iter";
+  if (result.restarts > 0) panel << " restarts=" << result.restarts;
+  panel << "\n";
+  result.dashboard = panel.str();
   return result;
+}
+
+}  // namespace
+
+sched::Placement placement_for(JungleTestbed& bed, Kind kind,
+                               const Options& options) {
+  sim::Host& client =
+      kind == Kind::sc11 ? bed.laptop() : bed.client_host();
+  sched::Scheduler scheduler(bed.network(), client,
+                             bed.deployer().resources());
+  return plan_placement(bed, kind, client, scheduler,
+                        workload_from(options));
+}
+
+Result run_scenario(Kind kind, const Options& options) {
+  JungleTestbed bed;
+  return run_in_bed(bed, kind, options);
+}
+
+Result run_scenario_config(const util::Config& config,
+                           const Options& options) {
+  JungleTestbed bed(config);
+  return run_in_bed(bed, Kind::autoplace, options);
 }
 
 }  // namespace jungle::amuse::scenario

@@ -7,6 +7,8 @@
 #include "amuse/clients.hpp"
 #include "amuse/daemon.hpp"
 #include "deploy/deploy.hpp"
+#include "sched/scheduler.hpp"
+#include "util/config.hpp"
 
 namespace jungle::amuse::scenario {
 
@@ -16,10 +18,14 @@ namespace jungle::amuse::scenario {
 ///   remote_gpu — Octgrav moved to an LGM Tesla, 30 km away  ( 84 s/iter)
 ///   jungle     — all four models on four sites (Fig 12)     (62.4 s/iter)
 ///   sc11       — jungle placement, coupler in Seattle (Fig 9)
-enum class Kind { local_cpu, local_gpu, remote_gpu, jungle, sc11 };
+///   autoplace  — the placement scheduler maps the kernels itself (§7's
+///                "transparently find a replacement machine", generalized:
+///                transparently find *the* machines), checkpointing each
+///                step and re-placing dead workers mid-run.
+enum class Kind { local_cpu, local_gpu, remote_gpu, jungle, sc11, autoplace };
 
 const char* kind_name(Kind kind) noexcept;
-double paper_seconds_per_iteration(Kind kind) noexcept;  // NaN for sc11
+double paper_seconds_per_iteration(Kind kind) noexcept;  // NaN where untimed
 
 struct Options {
   std::size_t n_stars = 1000;   // the embedded cluster of [11]
@@ -29,6 +35,12 @@ struct Options {
   bool with_stellar_evolution = true;
   int se_every = 4;
   std::uint64_t seed = 20120301;
+  /// Fault injection, honored by Kind::autoplace only (the one kind with a
+  /// recovery path; other kinds ignore it): crash `kill_host` once
+  /// `kill_after_iteration` bridge steps have completed. Empty / negative
+  /// disables.
+  std::string kill_host;
+  int kill_after_iteration = -1;
 };
 
 struct Result {
@@ -41,6 +53,9 @@ struct Result {
   double wan_ipl_bytes = 0.0;
   double bound_gas_fraction = 1.0;      // after the run
   std::string dashboard;                // Figs 10/11 text analog
+  std::string placement;                // kernel->host map that actually ran
+  double modeled_seconds_per_iteration = 0.0;  // scheduler's prediction
+  int restarts = 0;                     // fault-path re-placements performed
 };
 
 /// The Jungle of Figs 9/12: Seattle laptop, VU desktop + DAS-4 VU cluster,
@@ -49,6 +64,10 @@ struct Result {
 class JungleTestbed {
  public:
   explicit JungleTestbed(bool verbose = false);
+  /// Build the testbed from a deploy INI instead (sites/hosts/links and
+  /// [resource ...] sections, plus an optional `[scenario] client = HOST`).
+  /// This is what makes any topology file a runnable scenario.
+  explicit JungleTestbed(const util::Config& config, bool verbose = false);
   /// Unwind all simulated processes before the network/sockets they touch.
   ~JungleTestbed() { sim_.shutdown(); }
   JungleTestbed(const JungleTestbed&) = delete;
@@ -62,6 +81,9 @@ class JungleTestbed {
 
   sim::Host& desktop() { return net_.host("desktop"); }
   sim::Host& laptop() { return net_.host("laptop"); }
+  /// The machine the coupling script runs on: the INI's `[scenario]`
+  /// client, or the desktop on the built-in testbed.
+  sim::Host& client_host();
 
  private:
   sim::Simulation sim_;
@@ -69,10 +91,23 @@ class JungleTestbed {
   smartsockets::SmartSockets sockets_{net_};
   std::unique_ptr<deploy::Deployer> deployer_;
   std::unique_ptr<IbisDaemon> daemon_;
+  sim::Host* client_ = nullptr;
 };
+
+/// The modeled placement a configuration runs: the hard-coded paper tables
+/// for the classic kinds, the scheduler's plan for autoplace. Costs are
+/// filled through the scheduler's model either way, which is how the
+/// dashboard shows modeled-vs-measured and how tests check that autoplace
+/// never does worse (on the model) than the Fig-12 map.
+sched::Placement placement_for(JungleTestbed& bed, Kind kind,
+                               const Options& options);
 
 /// Run the embedded-cluster simulation in one configuration and report the
 /// per-iteration timings + traffic. Deterministic for fixed options.
 Result run_scenario(Kind kind, const Options& options);
+
+/// Autoplace on an arbitrary INI topology: build the jungle from `config`,
+/// let the scheduler place the kernels, run. No new C++ per topology.
+Result run_scenario_config(const util::Config& config, const Options& options);
 
 }  // namespace jungle::amuse::scenario

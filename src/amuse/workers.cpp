@@ -218,6 +218,10 @@ util::ByteWriter hydro_common(kernels::SphSystem& sph, Fn fn,
       }
       return result;
     }
+    case Fn::hydro_get_time: {
+      result.put<double>(sph.time());
+      return result;
+    }
     default:
       throw CodeError("gadget: unsupported function id " +
                       std::to_string(static_cast<int>(fn)));

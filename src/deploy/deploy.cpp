@@ -23,14 +23,26 @@ void build_topology(const util::Config& config, sim::Network& net) {
   for (const std::string& section : config.sections()) {
     auto fields = util::split(section, ' ');
     if (fields.size() == 2 && fields[0] == "host") {
-      sim::Host& host = net.add_host(
-          fields[1], config.get(section, "site"),
-          static_cast<int>(config.get_int_or(section, "cores", 1)),
-          config.get_double_or(section, "gflops", 10.0));
+      int cores = static_cast<int>(config.get_int_or(section, "cores", 1));
+      double gflops = config.get_double_or(section, "gflops", 10.0);
+      // Reject nonsense rates up front: a zero/negative device would make
+      // every cost query infinite or negative and poison the scheduler.
+      if (cores <= 0) {
+        throw ConfigError("[" + section + "] cores must be positive, got " +
+                          std::to_string(cores));
+      }
+      if (gflops <= 0.0) {
+        throw ConfigError("[" + section + "] gflops must be positive");
+      }
+      sim::Host& host =
+          net.add_host(fields[1], config.get(section, "site"), cores, gflops);
       if (config.has_key(section, "gpu_model")) {
-        host.set_gpu(sim::GpuSpec{
-            config.get(section, "gpu_model"),
-            config.get_double(section, "gpu_gflops")});
+        double gpu_gflops = config.get_double(section, "gpu_gflops");
+        if (gpu_gflops <= 0.0) {
+          throw ConfigError("[" + section + "] gpu_gflops must be positive");
+        }
+        host.set_gpu(
+            sim::GpuSpec{config.get(section, "gpu_model"), gpu_gflops});
       }
       host.firewall().allow_inbound =
           config.get_bool_or(section, "inbound", true);
@@ -53,11 +65,21 @@ std::vector<gat::Resource> resources_from_config(const util::Config& config,
     gat::Resource resource;
     resource.name = fields[1];
     resource.middleware = config.get(section, "middleware");
-    resource.frontend = &net.host(config.get(section, "frontend"));
+    std::string frontend = config.get(section, "frontend");
+    if (net.find_host(frontend) == nullptr) {
+      throw ConfigError("resource " + resource.name +
+                        ": unknown frontend host '" + frontend + "'");
+    }
+    resource.frontend = &net.host(frontend);
     if (config.has_key(section, "nodes")) {
       for (const std::string& node :
            util::split(config.get(section, "nodes"), ',')) {
-        resource.nodes.push_back(&net.host(util::trim(node)));
+        std::string node_name = util::trim(node);
+        if (net.find_host(node_name) == nullptr) {
+          throw ConfigError("resource " + resource.name +
+                            ": unknown node host '" + node_name + "'");
+        }
+        resource.nodes.push_back(&net.host(node_name));
       }
     }
     resource.queue_base_delay =

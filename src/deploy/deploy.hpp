@@ -46,6 +46,10 @@ class Deployer {
   void add_resources(std::vector<gat::Resource> resources);
   gat::Resource& resource(const std::string& name);
   std::vector<std::string> resource_names() const;
+  /// The discovered resource table (what the placement scheduler consumes).
+  const std::vector<gat::Resource>& resources() const noexcept {
+    return resources_;
+  }
 
   /// Start a hub on every resource front-end + the client machine
   /// ("IbisDeploy automatically starts the hubs required by SmartSockets on

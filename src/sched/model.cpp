@@ -1,0 +1,93 @@
+#include "sched/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/bhtree.hpp"
+#include "kernels/hermite.hpp"
+#include "kernels/sph.hpp"
+
+namespace jungle::sched {
+
+LinkCost link_between(const sim::Network& net, const sim::Host& client,
+                      const sim::Host& host) {
+  LinkCost link;
+  link.bandwidth_Bps = net.path_bandwidth(client, host);
+  if (link.bandwidth_Bps <= 0.0) {
+    link.reachable = false;
+    return link;
+  }
+  link.rtt_s = net.rtt(client, host);
+  // Hosts we cannot connect to directly are reached through the hub
+  // overlay (ssh tunnels of Fig 10): same wire, extra forwarding hop.
+  link.tunneled = !net.can_connect(client, host);
+  if (link.tunneled) link.rtt_s *= kTunnelRttFactor;
+  return link;
+}
+
+double tree_interactions_per_target(std::size_t n_sources) {
+  double n = static_cast<double>(std::max<std::size_t>(n_sources, 2));
+  return kTreeInteractionsPerTargetLog * std::log2(n);
+}
+
+double device_rate_flops(const sim::Host& host, bool gpu, int ncores) {
+  if (gpu) {
+    return host.gpu() ? host.gpu()->gflops * 1e9 : 0.0;
+  }
+  int used = std::clamp(ncores, 1, host.cores());
+  return host.cpu_gflops_per_core() * 1e9 * used;
+}
+
+double gravity_compute_seconds(const Workload& load, double rate) {
+  if (rate <= 0.0) return 1e18;
+  double n = static_cast<double>(load.n_stars);
+  double substeps = std::max(1.0, load.dt * kGravSubstepsPerTime);
+  return substeps * n * n * kernels::HermiteIntegrator::kFlopsPerPair / rate;
+}
+
+double coupler_compute_seconds(const Workload& load, double rate) {
+  if (rate <= 0.0) return 1e18;
+  double n_s = static_cast<double>(load.n_stars);
+  double n_g = static_cast<double>(load.n_gas);
+  // Per cross_kick: rebuild both source trees, evaluate the field of the
+  // gas at the stars and vice versa; two cross_kicks per iteration.
+  double build = (n_s + n_g) * kernels::BarnesHutTree::kBuildFlopsPerParticle;
+  double interactions =
+      n_s * tree_interactions_per_target(load.n_gas) +
+      n_g * tree_interactions_per_target(load.n_stars);
+  double flops =
+      2.0 * (build +
+             interactions * kernels::BarnesHutTree::kFlopsPerInteraction);
+  return flops / rate;
+}
+
+double stellar_compute_seconds(const Workload& load, double rate) {
+  if (!load.with_stellar_evolution) return 0.0;
+  if (rate <= 0.0) return 1e18;
+  double per_exchange = static_cast<double>(load.n_stars) * 500.0;
+  return per_exchange / rate / std::max(1, load.se_every);
+}
+
+double hydro_compute_seconds(const Workload& load, double rate, int nranks,
+                             const LinkCost& interconnect) {
+  if (rate <= 0.0) return 1e18;
+  double n = static_cast<double>(load.n_gas);
+  double substeps = std::max(1.0, load.dt * kSphSubstepsPerTime);
+  double per_substep =
+      n * kSphNeighbours * kernels::SphSystem::kFlopsPerNeighbour +
+      n * tree_interactions_per_target(load.n_gas) *
+          kernels::SphSystem::kFlopsPerTreeInteraction +
+      n * kernels::BarnesHutTree::kBuildFlopsPerParticle;
+  double ranks = std::max(1, nranks);
+  double compute = substeps * per_substep / (rate * ranks);
+  if (nranks <= 1) return compute;
+  // Replicated-data slice exchanges per substep: density, positions,
+  // velocities allgathers plus a barrier, over the cluster interconnect.
+  double exchange_bytes = n * (8.0 + 24.0 + 24.0);
+  double per_exchange =
+      exchange_bytes / std::max(interconnect.bandwidth_Bps, 1.0) +
+      interconnect.rtt_s * std::log2(ranks + 1.0);
+  return compute + substeps * 3.0 * per_exchange;
+}
+
+}  // namespace jungle::sched

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/host.hpp"
+#include "sim/network.hpp"
+
+namespace jungle::sched {
+
+/// What one bridge iteration of the embedded-cluster simulation does, in
+/// numbers the cost model can price: particle counts, the bridge timestep
+/// (which sets the kernels' substep counts) and the run length (which sets
+/// the horizon queue delays amortize over). Mirrors scenario::Options.
+struct Workload {
+  std::size_t n_stars = 1000;
+  std::size_t n_gas = 10000;
+  double dt = 1.0 / 32.0;
+  int iterations = 2;
+  bool with_stellar_evolution = true;
+  int se_every = 4;
+};
+
+// ---- calibration constants (see DESIGN.md, "Placement cost model") ----
+// Substep counts per unit of N-body time, matching the kernels' observed
+// behaviour at the embedded-cluster scales (eta=0.02, standard Courant).
+inline constexpr double kGravSubstepsPerTime = 256.0;
+inline constexpr double kSphSubstepsPerTime = 64.0;
+/// SPH neighbour count the density/force loops touch per particle.
+inline constexpr double kSphNeighbours = 32.0;
+/// Barnes-Hut interactions per target scale ~ c * log2(n_sources) at
+/// theta=0.6; this is c.
+inline constexpr double kTreeInteractionsPerTargetLog = 28.0;
+/// Placement decisions are made for production runs (the paper's runs last
+/// "about half a day"), so one-time costs — queue decisions, file staging —
+/// amortize over at least this many iterations even when the measured run
+/// is shorter.
+inline constexpr double kAmortizeIterationsFloor = 64.0;
+/// Traffic that cannot connect directly (firewall/NAT) detours through the
+/// SmartSockets hub overlay; one extra store-and-forward hop ~ 1.5x the
+/// direct round-trip.
+inline constexpr double kTunnelRttFactor = 1.5;
+/// Nominal input-file staging per deployed worker (matches the daemon's
+/// JobDescription::stage_in_bytes).
+inline constexpr double kStageInBytes = 1e6;
+
+/// Wire characteristics between the coupling script and a worker host, with
+/// the NAT/inbound detour folded in. All scheduler communication costs are
+/// priced through this.
+struct LinkCost {
+  double rtt_s = 0.0;
+  double bandwidth_Bps = 0.0;
+  bool tunneled = false;
+  bool reachable = true;
+
+  /// Duration of one synchronous RPC moving `bytes` (request + reply).
+  double call_seconds(double bytes) const {
+    if (!reachable || bandwidth_Bps <= 0.0) return 1e18;  // effectively never
+    return rtt_s + bytes / bandwidth_Bps;
+  }
+};
+
+/// Measure the path client->host (rtt, bottleneck bandwidth, tunneling).
+LinkCost link_between(const sim::Network& net, const sim::Host& client,
+                      const sim::Host& host);
+
+/// Mean Barnes-Hut interactions per evaluation point against `n_sources`.
+double tree_interactions_per_target(std::size_t n_sources);
+
+/// Effective device rate in flops/second for a kernel charged to `host`
+/// (paper device model: effective rates, not peaks). GPU rates ignore
+/// `ncores`; throws nothing — a missing GPU yields 0 (infeasible).
+double device_rate_flops(const sim::Host& host, bool gpu, int ncores);
+
+// Per-iteration *compute* seconds of each model kernel on a device of
+// `rate` flops/s. The formulas mirror the flop charges in amuse/workers.cpp.
+double gravity_compute_seconds(const Workload& load, double rate);
+double coupler_compute_seconds(const Workload& load, double rate);
+double stellar_compute_seconds(const Workload& load, double rate);
+/// `nranks` partitions the SPH phases; `interconnect` prices the slice
+/// exchanges between ranks (the resource's LAN, or loopback when single).
+double hydro_compute_seconds(const Workload& load, double rate, int nranks,
+                             const LinkCost& interconnect);
+
+}  // namespace jungle::sched

@@ -1,0 +1,359 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace jungle::sched {
+
+const char* role_name(Role role) noexcept {
+  switch (role) {
+    case Role::gravity: return "gravity";
+    case Role::hydro: return "hydro";
+    case Role::coupler: return "coupler";
+    case Role::stellar: return "stellar";
+  }
+  return "?";
+}
+
+std::string Placement::describe() const {
+  std::ostringstream out;
+  for (int i = 0; i < kRoles; ++i) {
+    const Assignment& a = roles[i];
+    if (i) out << ", ";
+    out << role_name(static_cast<Role>(i)) << "=" << a.spec.code;
+    if (a.spec.nranks > 1) out << "[" << a.spec.nranks << "]";
+    out << "@" << a.where();
+  }
+  return out.str();
+}
+
+Scheduler::Scheduler(const sim::Network& net, const sim::Host& client,
+                     const std::vector<gat::Resource>& resources)
+    : net_(net), client_(client), resources_(resources) {}
+
+void Scheduler::exclude_host(const std::string& host_name) {
+  dead_hosts_.insert(host_name);
+}
+
+void Scheduler::exclude_resource(const std::string& resource_name) {
+  dead_resources_.insert(resource_name);
+}
+
+bool Scheduler::usable(const sim::Host& host) const {
+  return host.is_up() && dead_hosts_.count(host.name()) == 0;
+}
+
+std::vector<const sim::Host*> Scheduler::live_nodes(
+    const gat::Resource& resource) const {
+  std::vector<const sim::Host*> live;
+  for (const sim::Host* node : resource.compute_hosts()) {
+    if (node != nullptr && usable(*node)) live.push_back(node);
+  }
+  return live;
+}
+
+std::string Scheduler::resource_of(const std::string& host_name) const {
+  for (const gat::Resource& resource : resources_) {
+    if (resource.frontend != nullptr &&
+        resource.frontend->name() == host_name) {
+      return resource.name;
+    }
+    for (const sim::Host* node : resource.nodes) {
+      if (node != nullptr && node->name() == host_name) return resource.name;
+    }
+  }
+  return "";
+}
+
+namespace {
+
+amuse::WorkerSpec gravity_spec(bool gpu) {
+  amuse::WorkerSpec spec;
+  spec.code = gpu ? "phigrape-gpu" : "phigrape";
+  if (!gpu) spec.ncores = 2;
+  return spec;
+}
+
+amuse::WorkerSpec coupler_spec(bool gpu) {
+  amuse::WorkerSpec spec;
+  spec.code = gpu ? "octgrav" : "fi";
+  if (!gpu) spec.ncores = 2;
+  return spec;
+}
+
+amuse::WorkerSpec hydro_spec(int nranks, int ncores) {
+  amuse::WorkerSpec spec;
+  spec.code = "gadget";
+  spec.nranks = nranks;
+  spec.ncores = ncores;
+  return spec;
+}
+
+const sim::Host* first_gpu(const std::vector<const sim::Host*>& nodes) {
+  for (const sim::Host* node : nodes) {
+    if (node->gpu()) return node;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<Assignment> Scheduler::candidates(Role role,
+                                              const Workload& load) const {
+  std::vector<Assignment> options;
+  auto add = [&](const std::string& resource, const sim::Host* host,
+                 amuse::WorkerSpec spec, int nodes) {
+    Assignment a;
+    a.resource = resource;
+    a.host = host;
+    a.spec = std::move(spec);
+    a.nodes = nodes;
+    options.push_back(std::move(a));
+  };
+
+  // The client machine itself, over a local channel (no deployment).
+  if (usable(client_)) {
+    switch (role) {
+      case Role::gravity:
+        add("", &client_, gravity_spec(client_.gpu().has_value()), 1);
+        break;
+      case Role::coupler:
+        add("", &client_, coupler_spec(client_.gpu().has_value()), 1);
+        break;
+      case Role::hydro:
+        add("", &client_, hydro_spec(2, 1), 1);
+        break;
+      case Role::stellar:
+        add("", &client_, amuse::WorkerSpec{.code = "sse"}, 1);
+        break;
+    }
+  }
+
+  for (const gat::Resource& resource : resources_) {
+    if (dead_resources_.count(resource.name)) continue;
+    // Jobs submit through the frontend: a dead one strands its nodes.
+    if (resource.frontend != nullptr && !usable(*resource.frontend)) continue;
+    std::vector<const sim::Host*> live = live_nodes(resource);
+    if (live.empty()) continue;
+    switch (role) {
+      case Role::gravity:
+      case Role::coupler: {
+        auto spec_for = role == Role::gravity ? gravity_spec : coupler_spec;
+        if (const sim::Host* gpu_node = first_gpu(live)) {
+          add(resource.name, gpu_node, spec_for(true), 1);
+        }
+        add(resource.name, live.front(), spec_for(false), 1);
+        break;
+      }
+      case Role::hydro: {
+        if (live.size() >= 2) {
+          int nodes = static_cast<int>(std::min<std::size_t>(live.size(), 8));
+          add(resource.name, live.front(), hydro_spec(nodes, 2), nodes);
+        } else {
+          add(resource.name, live.front(), hydro_spec(1, 2), 1);
+        }
+        break;
+      }
+      case Role::stellar:
+        add(resource.name, live.front(), amuse::WorkerSpec{.code = "sse"}, 1);
+        break;
+    }
+  }
+  (void)load;
+  return options;
+}
+
+bool Scheduler::fits(const Placement& placement) const {
+  std::map<std::string, int> nodes_used;
+  std::map<std::string, int> gpus_used;
+  for (const Assignment& a : placement.roles) {
+    if (a.local()) continue;
+    nodes_used[a.resource] += a.nodes;
+    if (a.spec.needs_gpu()) ++gpus_used[a.resource];
+  }
+  for (const auto& [name, used] : nodes_used) {
+    const gat::Resource* resource = nullptr;
+    for (const gat::Resource& r : resources_) {
+      if (r.name == name) resource = &r;
+    }
+    if (resource == nullptr || dead_resources_.count(name)) return false;
+    std::vector<const sim::Host*> live = live_nodes(*resource);
+    if (used > static_cast<int>(live.size())) return false;
+    int gpus = 0;
+    for (const sim::Host* node : live) {
+      if (node->gpu()) ++gpus;
+    }
+    if (gpus_used[name] > gpus) return false;
+  }
+  return true;
+}
+
+double Scheduler::score(const Workload& load, Placement& placement) const {
+  double n_s = static_cast<double>(load.n_stars);
+  double n_g = static_cast<double>(load.n_gas);
+
+  std::array<LinkCost, kRoles> wire;
+  for (int i = 0; i < kRoles; ++i) {
+    const Assignment& a = placement.roles[i];
+    wire[i] = a.host != nullptr ? link_between(net_, client_, *a.host)
+                                : LinkCost{.reachable = false};
+  }
+  auto link = [&](Role r) -> const LinkCost& {
+    return wire[static_cast<int>(r)];
+  };
+  auto rate = [&](Role r) {
+    const Assignment& a = placement.role(r);
+    return a.host != nullptr
+               ? device_rate_flops(*a.host, a.spec.needs_gpu(), a.spec.ncores)
+               : 0.0;
+  };
+
+  // --- evolve phase: both models advance concurrently (bridge Fig 7) ---
+  Assignment& grav = placement.role(Role::gravity);
+  Assignment& hydro = placement.role(Role::hydro);
+  grav.compute_seconds = gravity_compute_seconds(load, rate(Role::gravity));
+  LinkCost interconnect{};
+  if (hydro.host != nullptr) {
+    // Ranks sharing one machine exchange slices over loopback; a cluster
+    // job pays the path between two of the resource's nodes (its LAN).
+    interconnect = link_between(net_, *hydro.host, *hydro.host);
+    if (!hydro.local() && hydro.nodes > 1) {
+      for (const gat::Resource& r : resources_) {
+        if (r.name != hydro.resource) continue;
+        auto nodes = r.compute_hosts();
+        if (nodes.size() >= 2) {
+          interconnect = link_between(net_, *nodes[0], *nodes[1]);
+        }
+      }
+    }
+  }
+  hydro.compute_seconds = hydro_compute_seconds(
+      load, rate(Role::hydro), hydro.spec.nranks, interconnect);
+  double evolve =
+      std::max(grav.compute_seconds + link(Role::gravity).rtt_s,
+               hydro.compute_seconds + link(Role::hydro).rtt_s);
+
+  // --- coupling phase: serial RPC chain of cross_kick, twice per step ---
+  double state_stars = n_s * 56.0;  // mass + position + velocity
+  double state_gas = n_g * 72.0;    // + internal energy + density
+  Assignment& coup = placement.role(Role::coupler);
+  coup.compute_seconds = coupler_compute_seconds(load, rate(Role::coupler));
+  double grav_coupling = 2.0 * (link(Role::gravity).call_seconds(state_stars) +
+                                link(Role::gravity).call_seconds(n_s * 24.0));
+  double hydro_coupling = 2.0 * (link(Role::hydro).call_seconds(state_gas) +
+                                 link(Role::hydro).call_seconds(n_g * 24.0));
+  double coup_transfers =
+      2.0 * (link(Role::coupler).call_seconds(n_g * 32.0) +   // sources: gas
+             link(Role::coupler).call_seconds(n_s * 48.0) +   // field at stars
+             link(Role::coupler).call_seconds(n_s * 32.0) +   // sources: stars
+             link(Role::coupler).call_seconds(n_g * 48.0));   // field at gas
+  double coupling =
+      grav_coupling + hydro_coupling + coup_transfers + coup.compute_seconds;
+  grav.comm_seconds = grav_coupling + link(Role::gravity).rtt_s;
+  hydro.comm_seconds = hydro_coupling + link(Role::hydro).rtt_s;
+  coup.comm_seconds = coup_transfers;
+
+  // --- stellar evolution: every n-th step, small exchanges ---
+  Assignment& se = placement.role(Role::stellar);
+  se.compute_seconds = stellar_compute_seconds(load, rate(Role::stellar));
+  double stellar = 0.0;
+  if (load.with_stellar_evolution) {
+    double per_exchange =
+        3.0 * link(Role::stellar).call_seconds(n_s * 8.0) +
+        link(Role::gravity).call_seconds(state_stars) +
+        link(Role::gravity).call_seconds(n_s * 8.0);
+    se.comm_seconds = per_exchange / std::max(1, load.se_every);
+    stellar = se.comm_seconds + se.compute_seconds;
+  }
+
+  // --- one-time costs, amortized over the production horizon ---
+  double horizon =
+      std::max(static_cast<double>(load.iterations), kAmortizeIterationsFloor);
+  double queue_total = 0.0;
+  for (int i = 0; i < kRoles; ++i) {
+    Assignment& a = placement.roles[i];
+    a.queue_seconds = 0.0;
+    if (a.local()) continue;
+    for (const gat::Resource& r : resources_) {
+      if (r.name != a.resource) continue;
+      double startup = r.queue_base_delay +
+                       kStageInBytes / std::max(wire[i].bandwidth_Bps, 1.0);
+      a.queue_seconds = startup / horizon;
+    }
+    queue_total += a.queue_seconds;
+  }
+
+  placement.modeled_seconds_per_iteration =
+      evolve + coupling + stellar + queue_total;
+  return placement.modeled_seconds_per_iteration;
+}
+
+Placement Scheduler::plan(const Workload& load) const {
+  auto gravity = candidates(Role::gravity, load);
+  auto hydro = candidates(Role::hydro, load);
+  auto coupler = candidates(Role::coupler, load);
+  auto stellar = candidates(Role::stellar, load);
+
+  Placement best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (const Assignment& g : gravity) {
+    for (const Assignment& h : hydro) {
+      for (const Assignment& c : coupler) {
+        for (const Assignment& s : stellar) {
+          Placement trial;
+          trial.role(Role::gravity) = g;
+          trial.role(Role::hydro) = h;
+          trial.role(Role::coupler) = c;
+          trial.role(Role::stellar) = s;
+          if (!fits(trial)) continue;
+          double cost = score(load, trial);
+          if (cost < best_cost) {
+            best = trial;
+            best_cost = cost;
+            found = true;
+          }
+        }
+      }
+    }
+  }
+  if (!found) {
+    throw CodeError("sched: no feasible placement for the workload");
+  }
+  log::info("sched") << "planned " << best.describe() << " (modeled "
+                     << best.modeled_seconds_per_iteration << " s/iter)";
+  return best;
+}
+
+Assignment Scheduler::replace(const Workload& load, const Placement& current,
+                              Role failed) const {
+  Assignment best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (const Assignment& candidate : candidates(failed, load)) {
+    Placement trial = current;
+    trial.role(failed) = candidate;
+    if (!fits(trial)) continue;
+    double cost = score(load, trial);
+    if (cost < best_cost) {
+      best = trial.role(failed);
+      best_cost = cost;
+      found = true;
+    }
+  }
+  if (!found) {
+    throw CodeError(std::string("sched: no feasible replacement for ") +
+                    role_name(failed));
+  }
+  log::warn("sched") << "re-placing " << role_name(failed) << " onto "
+                     << best.where();
+  return best;
+}
+
+}  // namespace jungle::sched

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <array>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "amuse/workers.hpp"
+#include "gat/gat.hpp"
+#include "sched/model.hpp"
+#include "sim/network.hpp"
+
+namespace jungle::sched {
+
+/// The four model kernels of the embedded-cluster simulation, as placement
+/// roles. `gravity` and `hydro` evolve concurrently (bridge phase 2);
+/// `coupler` sits on the serial coupling path; `stellar` exchanges state
+/// every n-th step.
+enum class Role : int { gravity = 0, hydro = 1, coupler = 2, stellar = 3 };
+inline constexpr int kRoles = 4;
+const char* role_name(Role role) noexcept;
+
+/// One kernel -> machine decision: which resource runs it (empty string =
+/// the client machine itself, over a local channel), which worker variant
+/// (GPU kernels where the host has a GPU), and the modeled per-iteration
+/// cost split the dashboard reports.
+struct Assignment {
+  std::string resource;         // "" == local on the client host
+  const sim::Host* host = nullptr;  // representative compute node
+  amuse::WorkerSpec spec;
+  int nodes = 1;
+  double compute_seconds = 0.0;  // modeled, per iteration
+  double comm_seconds = 0.0;     // modeled, per iteration
+  double queue_seconds = 0.0;    // amortized startup share, per iteration
+
+  bool local() const noexcept { return resource.empty(); }
+  std::string where() const {
+    return local() ? "local" : resource + (host ? "/" + host->name() : "");
+  }
+};
+
+/// A full kernel->host mapping plus its modeled per-iteration cost — what
+/// scenario::run executes instead of the hard-coded Kind tables.
+struct Placement {
+  std::array<Assignment, kRoles> roles;
+  double modeled_seconds_per_iteration = 0.0;
+
+  Assignment& role(Role r) { return roles[static_cast<int>(r)]; }
+  const Assignment& role(Role r) const { return roles[static_cast<int>(r)]; }
+
+  /// One line per role: "gravity=phigrape-gpu@lgm/lgm-node ..." — shown on
+  /// the dashboard next to the measured cost.
+  std::string describe() const;
+};
+
+/// Adaptive placement scheduler: scores candidate kernel->host assignments
+/// against the jungle's discovered resources and network topology, and
+/// emits the cheapest feasible Placement. Also the fault path's brain: when
+/// a worker dies, exclude what failed and re-place the affected role on the
+/// best surviving machine.
+///
+/// Invariants (tested):
+///  - plan() is an exhaustive argmin over the candidate space, so its
+///    modeled cost is <= the modeled cost of any hand-coded placement
+///    built from the same resources (in particular the paper's Fig-12 map).
+///  - Modeled cost is monotone in link latency and in queue delay.
+///  - Excluded hosts/resources never appear in a plan or replacement.
+class Scheduler {
+ public:
+  Scheduler(const sim::Network& net, const sim::Host& client,
+            const std::vector<gat::Resource>& resources);
+
+  /// A machine died: its resource keeps its surviving nodes.
+  void exclude_host(const std::string& host_name);
+  /// A resource became unreachable (link fault): drop it wholesale.
+  void exclude_resource(const std::string& resource_name);
+
+  /// Cheapest feasible placement for the workload. Throws CodeError when a
+  /// role cannot be placed anywhere.
+  Placement plan(const Workload& load) const;
+
+  /// Re-place one role after a failure, keeping every other role pinned.
+  /// Accounts for the nodes the surviving roles still occupy.
+  Assignment replace(const Workload& load, const Placement& current,
+                     Role failed) const;
+
+  /// Score an externally built placement (e.g. a hard-coded Kind table):
+  /// fills the per-role cost fields and the total, and returns the total.
+  double score(const Workload& load, Placement& placement) const;
+
+  /// Name of the resource whose frontend/nodes include `host_name`
+  /// ("" when it is the client or unknown).
+  std::string resource_of(const std::string& host_name) const;
+
+  bool host_excluded(const std::string& host_name) const {
+    return dead_hosts_.count(host_name) != 0;
+  }
+
+ private:
+  std::vector<Assignment> candidates(Role role, const Workload& load) const;
+  bool usable(const sim::Host& host) const;
+  /// Nodes of `resource` still usable (up, not excluded).
+  std::vector<const sim::Host*> live_nodes(const gat::Resource& resource) const;
+  bool fits(const Placement& placement) const;
+
+  const sim::Network& net_;
+  const sim::Host& client_;
+  const std::vector<gat::Resource>& resources_;
+  std::set<std::string> dead_hosts_;
+  std::set<std::string> dead_resources_;
+};
+
+}  // namespace jungle::sched

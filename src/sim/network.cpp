@@ -179,6 +179,21 @@ double Network::rtt(const Host& from, const Host& to) const {
   return 2 * one_way;
 }
 
+double Network::path_bandwidth(const Host& from, const Host& to) const {
+  if (&from == &to) return loopback_bw_;
+  const Site& site_from = sites_.at(from.site());
+  const Site& site_to = sites_.at(to.site());
+  if (from.site() == to.site()) return site_from.lan.bandwidth_Bps;
+  auto wan = route(from.site(), to.site());
+  if (!wan) return 0.0;
+  double narrowest =
+      std::min(site_from.lan.bandwidth_Bps, site_to.lan.bandwidth_Bps);
+  for (std::size_t index : *wan) {
+    narrowest = std::min(narrowest, wan_links_[index]->bandwidth_Bps);
+  }
+  return narrowest;
+}
+
 std::optional<double> Network::send(const Host& from, const Host& to,
                                     double bytes, TrafficClass cls,
                                     std::function<void()> on_delivery) {

@@ -92,6 +92,13 @@ class Network {
   /// Round-trip time along the routed path (connection setup cost).
   double rtt(const Host& from, const Host& to) const;
 
+  /// Bottleneck bandwidth (bytes/s) along the routed path — the narrowest
+  /// of the LAN segments and WAN links a message crosses; the loopback rate
+  /// for a host talking to itself. 0 when the sites are unreachable. Cost
+  /// queries only (no traffic is charged) — the placement scheduler scores
+  /// candidate kernel->host assignments with this.
+  double path_bandwidth(const Host& from, const Host& to) const;
+
   /// One-way message: advances link occupancy, accounts traffic, schedules
   /// `on_delivery` at the arrival time. Returns the arrival time, or
   /// nullopt if a link on the path is down (the message is lost — transport

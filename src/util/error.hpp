@@ -36,6 +36,35 @@ class CodeError : public Error {
   explicit CodeError(const std::string& what) : Error("code: " + what) {}
 };
 
+/// A worker became unreachable mid-run. Carries everything the transport
+/// layer knew about the failure, so recovery code (the placement scheduler's
+/// fault path) can exclude the right resource: a *host crash* means the
+/// machine is gone, a *link fault* means the machine may be fine but the
+/// route to it is not.
+class WorkerDiedError : public CodeError {
+ public:
+  enum class Cause { host_crash, link_fault, unknown };
+
+  WorkerDiedError(std::string worker, std::string host, Cause cause,
+                  const std::string& detail)
+      : CodeError("worker " + worker + " died" +
+                  (host.empty() ? "" : " on " + host) + ": " + detail),
+        worker_(std::move(worker)),
+        host_(std::move(host)),
+        cause_(cause) {}
+
+  /// RpcClient label of the worker that died (e.g. "phigrape-gpu@lgm").
+  const std::string& worker() const noexcept { return worker_; }
+  /// Name of the host the worker ran on, when known ("" otherwise).
+  const std::string& host() const noexcept { return host_; }
+  Cause cause() const noexcept { return cause_; }
+
+ private:
+  std::string worker_;
+  std::string host_;
+  Cause cause_;
+};
+
 /// Incompatible physical units in an expression (AMUSE checked conversion).
 class UnitError : public Error {
  public:

@@ -91,6 +91,47 @@ TEST(Deploy, MissingHostInResourceThrows) {
   EXPECT_THROW(resources_from_config(config, w.net), ConfigError);
 }
 
+TEST(Deploy, UnknownNodeHostInResourceThrows) {
+  World w;
+  auto config = util::Config::parse(
+      "[resource bad]\nmiddleware = sge\nfrontend = fs-lgm\n"
+      "nodes = lgm-node, ghost-node\n");
+  try {
+    resources_from_config(config, w.net);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& failure) {
+    EXPECT_NE(std::string(failure.what()).find("ghost-node"),
+              std::string::npos);
+  }
+}
+
+TEST(Deploy, MissingMiddlewareThrows) {
+  World w;
+  auto config =
+      util::Config::parse("[resource bad]\nfrontend = desktop\n");
+  EXPECT_THROW(resources_from_config(config, w.net), ConfigError);
+}
+
+TEST(Deploy, NonPositiveRatesRejected) {
+  // Zero/negative device rates would poison every scheduler cost query.
+  auto build = [](const std::string& text) {
+    Simulation sim;
+    Network net{sim};
+    build_topology(util::Config::parse(text), net);
+  };
+  EXPECT_THROW(build("[host a]\nsite = x\ngflops = 0\n"), ConfigError);
+  EXPECT_THROW(build("[host a]\nsite = x\ngflops = -2\n"), ConfigError);
+  EXPECT_THROW(build("[host a]\nsite = x\ncores = 0\n"), ConfigError);
+  EXPECT_THROW(build("[host a]\nsite = x\ncores = -1\n"), ConfigError);
+  EXPECT_THROW(
+      build("[host a]\nsite = x\ngpu_model = t\ngpu_gflops = 0\n"),
+      ConfigError);
+  // A gpu_model without its rate is also a configuration error.
+  EXPECT_THROW(build("[host a]\nsite = x\ngpu_model = t\n"), ConfigError);
+  // Sane values pass.
+  build("[host a]\nsite = x\ncores = 2\ngflops = 0.5\n");
+}
+
 TEST(Deploy, StartHubsMarksTunnelsForFirewalledFrontends) {
   World w;
   Deployer deployer(w.net, w.sockets, w.net.host("desktop"));

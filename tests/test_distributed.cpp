@@ -287,6 +287,8 @@ TEST(Distributed, BridgeParallelEvolveOverlapsAcrossResources) {
 TEST(Distributed, WorkerHostCrashPoisonsFutures) {
   Lab lab;
   bool threw = false;
+  std::string dead_worker, dead_host;
+  auto cause = WorkerDiedError::Cause::unknown;
   lab.run([&] {
     DaemonClient client(lab.sockets, *lab.desktop);
     WorkerSpec spec;
@@ -300,11 +302,20 @@ TEST(Distributed, WorkerHostCrashPoisonsFutures) {
     lab.lgm_node->crash();
     try {
       future.get();
-    } catch (const CodeError&) {
+    } catch (const WorkerDiedError& failure) {
       threw = true;
+      dead_worker = failure.worker();
+      dead_host = failure.host();
+      cause = failure.cause();
     }
   });
   EXPECT_TRUE(threw);
+  // The error identifies the worker *and* the machine that died, and tells
+  // a host crash from a link fault — what the scheduler's fault path keys
+  // its exclusions on.
+  EXPECT_EQ(dead_worker, "phigrape-gpu@lgm");
+  EXPECT_EQ(dead_host, "lgm-node");
+  EXPECT_EQ(cause, WorkerDiedError::Cause::host_crash);
 }
 
 TEST(Distributed, FaultPolicyRestartsOnReplacementResource) {

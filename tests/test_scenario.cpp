@@ -74,4 +74,93 @@ TEST(Scenario, DashboardListsAllFourModels) {
   EXPECT_NE(jungle.dashboard.find("gadget"), std::string::npos);
   EXPECT_NE(jungle.dashboard.find("sse"), std::string::npos);
   EXPECT_NE(jungle.dashboard.find("=tunnel="), std::string::npos);
+  // The placement panel reports the kernel->host map and modeled vs
+  // measured cost for the hard-coded kinds too.
+  EXPECT_NE(jungle.dashboard.find("-- placement"), std::string::npos);
+  EXPECT_NE(jungle.dashboard.find("modeled="), std::string::npos);
+  EXPECT_GT(jungle.modeled_seconds_per_iteration, 0.0);
+}
+
+// ---------------------------------------------- adaptive placement (PR 2)
+
+TEST(Scenario, AutoplaceModeledCostNeverWorseThanJungle) {
+  Options options = small_options();
+  JungleTestbed bed;
+  auto autoplaced = placement_for(bed, Kind::autoplace, options);
+  auto table = placement_for(bed, Kind::jungle, options);
+  EXPECT_LE(autoplaced.modeled_seconds_per_iteration,
+            table.modeled_seconds_per_iteration);
+
+  Result result = run_scenario(Kind::autoplace, options);
+  EXPECT_EQ(result.placement, autoplaced.describe());
+  EXPECT_GT(result.seconds_per_iteration, 0.0);
+  EXPECT_EQ(result.restarts, 0);
+  EXPECT_NE(result.dashboard.find("-- placement"), std::string::npos);
+}
+
+TEST(Scenario, AutoplaceRunsArbitraryIniTopology) {
+  // Any topology INI is a runnable scenario: a GPU-less two-host world.
+  const char* ini = R"(
+[site home]
+lan_latency_ms = 0.1
+lan_gbit = 1
+
+[host desktop]
+site = home
+cores = 4
+gflops = 0.15
+
+[host beefy]
+site = home
+cores = 16
+gflops = 0.3
+
+[resource beefy]
+middleware = ssh
+frontend = beefy
+
+[scenario]
+client = desktop
+)";
+  Options options = small_options();
+  Result result =
+      run_scenario_config(jungle::util::Config::parse(ini), options);
+  EXPECT_GT(result.seconds_per_iteration, 0.0);
+  EXPECT_GT(result.bound_gas_fraction, 0.0);
+  // No GPU anywhere: the scheduler must have picked the CPU kernels.
+  EXPECT_NE(result.placement.find("phigrape"), std::string::npos);
+  EXPECT_EQ(result.placement.find("phigrape-gpu"), std::string::npos);
+  EXPECT_NE(result.placement.find("fi"), std::string::npos);
+}
+
+TEST(Scenario, AutoplaceFaultReplacementCompletesRun) {
+  // Kill the host running gravity mid-run: the scheduler must re-place it
+  // on a surviving machine and the run must finish with physics close to
+  // the fault-free trajectory (checkpoint rollback, not restart-from-zero).
+  Options options = small_options();
+  // Enough stars that the planner sends gravity to a remote GPU (at tiny
+  // sizes the desktop GPU wins and there is nothing remote to kill).
+  options.n_stars = 600;
+  options.n_gas = 2000;
+  options.iterations = 3;
+  JungleTestbed probe;
+  auto plan = placement_for(probe, Kind::autoplace, options);
+  ASSERT_NE(plan.role(jungle::sched::Role::gravity).host, nullptr);
+  std::string gravity_host =
+      plan.role(jungle::sched::Role::gravity).host->name();
+  ASSERT_FALSE(plan.role(jungle::sched::Role::gravity).resource.empty())
+      << "fault test needs gravity on a remote resource";
+
+  Result clean = run_scenario(Kind::autoplace, options);
+
+  Options faulty = options;
+  faulty.kill_host = gravity_host;
+  faulty.kill_after_iteration = 1;
+  Result recovered = run_scenario(Kind::autoplace, faulty);
+  EXPECT_EQ(recovered.restarts, 1);
+  EXPECT_EQ(recovered.iterations, options.iterations);
+  // The re-placed map must not use the dead machine.
+  EXPECT_EQ(recovered.placement.find(gravity_host), std::string::npos);
+  EXPECT_NEAR(recovered.bound_gas_fraction, clean.bound_gas_fraction, 0.05);
+  EXPECT_NE(recovered.dashboard.find("restarts=1"), std::string::npos);
 }
