@@ -18,13 +18,64 @@ Bridge::Bridge(GravityClient& stars, HydroClient& gas, FieldClient& coupler,
       config_(config) {}
 
 void Bridge::cross_kick(double dt) {
-  // Gather current states through the coupler's host-side view.
-  stars_state_ = stars_.get_state();
-  gas_state_ = gas_.get_state();
+  if (config_.synchronous_datapath) {
+    cross_kick_synchronous(dt);
+    return;
+  }
+
+  // Phase 1 — both model states, fetched concurrently: one round trip, and
+  // only the fields the coupling consumes (mass+position) that actually
+  // changed since the cached copy.
+  Future stars_reply = stars_.request_state(state_field::coupling);
+  Future gas_reply = gas_.request_state(state_field::coupling);
+  stars_.finish_state(stars_reply, state_field::coupling);
+  gas_.finish_state(gas_reply, state_field::coupling);
+  const GravityState& stars = stars_.cached_state();
+  const HydroState& gas = gas_.cached_state();
+
+  // Phase 2 — both cross-gravity queries in flight together. Sources and
+  // evaluation points ride along only when their content id changed; an
+  // unchanged pair is answered from the coupler's cache without recompute.
+  Future on_stars_reply = coupler_.accel_for_async(
+      FieldTag::gas_on_stars, gas_.coupling_sources_id(), gas.mass,
+      gas.position, stars_.position_id(), stars.position);
+  Future on_gas_reply = coupler_.accel_for_async(
+      FieldTag::stars_on_gas, stars_.coupling_sources_id(), stars.mass,
+      stars.position, gas_.position_id(), gas.position);
+
+  const std::vector<Vec3>& accel_on_stars =
+      coupler_.finish_accel(FieldTag::gas_on_stars, on_stars_reply);
+  std::vector<Vec3> star_kicks(accel_on_stars.size());
+  for (std::size_t i = 0; i < star_kicks.size(); ++i) {
+    star_kicks[i] = accel_on_stars[i] * dt;
+  }
+  trace_.push_back("kick:gas->stars");
+
+  const std::vector<Vec3>& accel_on_gas =
+      coupler_.finish_accel(FieldTag::stars_on_gas, on_gas_reply);
+  std::vector<Vec3> gas_kicks(accel_on_gas.size());
+  for (std::size_t i = 0; i < gas_kicks.size(); ++i) {
+    gas_kicks[i] = accel_on_gas[i] * dt;
+  }
+  trace_.push_back("kick:stars->gas");
+
+  // Phase 3 — both kicks applied concurrently (an identical repeat of the
+  // previous half-kick travels as an 8-byte frame).
+  Future star_kick_done = stars_.kick_async(star_kicks);
+  Future gas_kick_done = gas_.kick_async(gas_kicks);
+  star_kick_done.get();
+  gas_kick_done.get();
+}
+
+void Bridge::cross_kick_synchronous(double dt) {
+  // The pre-overhaul data path, kept as the measured baseline: full state
+  // fetches and strictly serial RPCs (four WAN round trips per phase).
+  GravityState stars = stars_.get_state();
+  HydroState gas = gas_.get_state();
 
   // Gas pulls on stars ('p-kick' of the stars, Fig 7).
-  coupler_.set_sources(gas_state_.mass, gas_state_.position);
-  auto accel_on_stars = coupler_.accel_at(stars_state_.position);
+  coupler_.set_sources(gas.mass, gas.position);
+  auto accel_on_stars = coupler_.accel_at(stars.position);
   std::vector<Vec3> star_kicks(accel_on_stars.size());
   for (std::size_t i = 0; i < star_kicks.size(); ++i) {
     star_kicks[i] = accel_on_stars[i] * dt;
@@ -32,8 +83,8 @@ void Bridge::cross_kick(double dt) {
   trace_.push_back("kick:gas->stars");
 
   // Stars pull on gas.
-  coupler_.set_sources(stars_state_.mass, stars_state_.position);
-  auto accel_on_gas = coupler_.accel_at(gas_state_.position);
+  coupler_.set_sources(stars.mass, stars.position);
+  auto accel_on_gas = coupler_.accel_at(gas.position);
   std::vector<Vec3> gas_kicks(accel_on_gas.size());
   for (std::size_t i = 0; i < gas_kicks.size(); ++i) {
     gas_kicks[i] = accel_on_gas[i] * dt;
@@ -79,20 +130,26 @@ void Bridge::stellar_update() {
   // MSun, and the gravity code started from the same stars, so the ratio
   // current/zams per star is applied to the dynamical masses.
   auto se_masses = stellar_->masses();
-  stars_state_ = stars_.get_state();
-  if (se_masses.size() != stars_state_.mass.size()) {
+  // The baseline path fetches full states here, as before the overhaul; the
+  // pipelined path only moves what the update consumes (mass + position).
+  std::uint64_t grav_mask = config_.synchronous_datapath
+                                ? state_field::gravity_all
+                                : state_field::coupling;
+  Future stars_reply = stars_.request_state(grav_mask);
+  const GravityState& stars_state = stars_.finish_state(stars_reply, grav_mask);
+  if (se_masses.size() != stars_state.mass.size()) {
     throw CodeError("bridge: SE and gravity particle counts differ");
   }
   if (!zams_dynamical_.size()) {
     // First update: remember the mapping MSun <-> N-body mass.
     zams_se_ = se_masses;
-    zams_dynamical_ = stars_state_.mass;
+    zams_dynamical_ = stars_state.mass;
   }
   std::vector<double> new_masses(se_masses.size());
   double wind_mass_nbody = 0.0;
   for (std::size_t i = 0; i < se_masses.size(); ++i) {
     new_masses[i] = zams_dynamical_[i] * se_masses[i] / zams_se_[i];
-    wind_mass_nbody += std::max(0.0, stars_state_.mass[i] - new_masses[i]);
+    wind_mass_nbody += std::max(0.0, stars_state.mass[i] - new_masses[i]);
   }
   stars_.set_masses(new_masses);
   trace_.push_back("se:masses->gravity");
@@ -101,14 +158,18 @@ void Bridge::stellar_update() {
 
   // Thermal feedback into the gas: winds (continuous) and supernovae
   // (discrete). Energy goes to the gas particle nearest each massive star.
-  gas_state_ = gas_.get_state();
+  std::uint64_t gas_mask = config_.synchronous_datapath
+                               ? state_field::hydro_all
+                               : state_field::coupling;
+  Future gas_reply = gas_.request_state(gas_mask);
+  const HydroState& gas_state = gas_.finish_state(gas_reply, gas_mask);
   std::vector<std::int32_t> indices;
   std::vector<double> delta_u;
   auto nearest_gas = [&](const Vec3& where) {
     std::size_t best = 0;
     double best_r2 = std::numeric_limits<double>::max();
-    for (std::size_t g = 0; g < gas_state_.position.size(); ++g) {
-      double r2 = (gas_state_.position[g] - where).norm2();
+    for (std::size_t g = 0; g < gas_state.position.size(); ++g) {
+      double r2 = (gas_state.position[g] - where).norm2();
       if (r2 < best_r2) {
         best_r2 = r2;
         best = g;
@@ -123,15 +184,15 @@ void Bridge::stellar_update() {
         zams_se_.begin(), std::max_element(zams_se_.begin(), zams_se_.end()));
     double energy = config_.feedback_efficiency * wind_mass_nbody *
                     config_.wind_specific_energy;
-    std::int32_t target = nearest_gas(stars_state_.position[heaviest]);
+    std::int32_t target = nearest_gas(stars_state.position[heaviest]);
     indices.push_back(target);
-    delta_u.push_back(energy / gas_state_.mass[target]);
+    delta_u.push_back(energy / gas_state.mass[target]);
   }
   for (std::int32_t star : stellar_->supernovae()) {
     double energy = config_.feedback_efficiency * config_.supernova_energy;
-    std::int32_t target = nearest_gas(stars_state_.position[star]);
+    std::int32_t target = nearest_gas(stars_state.position[star]);
     indices.push_back(target);
-    delta_u.push_back(energy / gas_state_.mass[target]);
+    delta_u.push_back(energy / gas_state.mass[target]);
     log::info("amuse") << "supernova of star " << star << " at t=" << time_
                        << " heats gas particle " << target;
   }

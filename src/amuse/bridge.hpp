@@ -12,6 +12,14 @@ namespace jungle::amuse {
 /// tree *coupling* kernel (Octgrav or Fi) provides the cross-gravity
 /// between the star system (phiGRAPE) and the gas (Gadget), and stellar
 /// evolution (SSE) is folded in every n-th step at a slower rate.
+///
+/// The coupling data path is pipelined: each cross-kick phase (state fetch,
+/// field queries, kicks) issues both sides as concurrent futures, so one
+/// WAN round trip is paid per phase instead of one per call, and the delta
+/// state exchange keeps unchanged fields off the wire entirely. The
+/// pre-overhaul serial path is kept behind Config::synchronous_datapath as
+/// the baseline the data-path bench compares against (bit-identical
+/// physics, more round trips and bytes).
 class Bridge {
  public:
   struct Config {
@@ -32,6 +40,9 @@ class Bridge {
     /// continue from the sum, while evolve targets restart at zero.
     double t_offset = 0.0;
     int step_offset = 0;
+    /// Run the pre-overhaul serial coupling path (full state fetches, one
+    /// RPC at a time). Benchmarks and the bit-exactness test use it.
+    bool synchronous_datapath = false;
   };
 
   Bridge(GravityClient& stars, HydroClient& gas, FieldClient& coupler,
@@ -49,9 +60,10 @@ class Bridge {
   const std::vector<std::string>& trace() const noexcept { return trace_; }
   void clear_trace() { trace_.clear(); }
 
-  /// Latest gathered states (refreshed by step; used by diagnostics).
-  const GravityState& star_state() const noexcept { return stars_state_; }
-  const HydroState& gas_state() const noexcept { return gas_state_; }
+  // No state accessors here on purpose: the pipelined path fetches only
+  // mass+position each half-kick, so the clients' caches can hold stale
+  // velocities/energies between full fetches. Diagnostics must ask the
+  // clients for a full get_state() instead (scenario.cpp does).
 
   /// The MSun <-> N-body mass mapping fixed at the first stellar update.
   /// A bridge rebuilt after a worker restart must inherit it — the current
@@ -67,6 +79,7 @@ class Bridge {
 
  private:
   void cross_kick(double dt);
+  void cross_kick_synchronous(double dt);
   void stellar_update();
 
   GravityClient& stars_;
@@ -77,8 +90,6 @@ class Bridge {
   double time_ = 0.0;
   int steps_ = 0;
   std::vector<std::string> trace_;
-  GravityState stars_state_;
-  HydroState gas_state_;
   // MSun <-> N-body mass mapping fixed at the first stellar update.
   std::vector<double> zams_se_;
   std::vector<double> zams_dynamical_;

@@ -1,16 +1,84 @@
 #include "amuse/clients.hpp"
 
+#include <cstring>
+
 namespace jungle::amuse {
 
 namespace {
+
 template <typename T>
 void put_span_of(util::ByteWriter& writer, std::span<const T> values) {
   writer.put_span(values);
 }
+
+template <typename T>
+bool same_content(const std::vector<T>& cached, std::span<const T> values) {
+  return cached.size() == values.size() &&
+         (values.empty() ||
+          std::memcmp(cached.data(), values.data(),
+                      values.size() * sizeof(T)) == 0);
+}
+
+/// One field of a delta get_state reply on the client side: where the
+/// decoded span lands in the cache.
+template <typename T>
+void merge_field(util::ByteReader& reader, std::vector<T>& into) {
+  auto values = reader.get_span<T>();
+  into.assign(values.begin(), values.end());
+}
+
+/// Shared request/merge halves of the delta exchange.
+util::ByteWriter state_request(const DeltaCacheInfo& info,
+                               std::uint64_t want_mask) {
+  util::ByteWriter args = RpcClient::request();
+  args.put<StateId>(info.delta_enabled ? info.id : 0);
+  args.put<std::uint64_t>(info.delta_enabled ? info.mask : 0);
+  args.put<std::uint64_t>(want_mask);
+  return args;
+}
+
+struct DeltaHeader {
+  StateId state_id;
+  std::uint64_t sent_mask;
+  std::uint64_t stale_mask;
+};
+
+DeltaHeader read_delta_header(util::ByteReader& reader, DeltaCacheInfo& info) {
+  DeltaHeader header;
+  header.state_id = reader.get<StateId>();
+  header.sent_mask = reader.get<std::uint64_t>();
+  header.stale_mask = reader.get<std::uint64_t>();
+  for (StateId& id : info.field_ids) id = reader.get<StateId>();
+  return header;
+}
+
+void commit_delta(DeltaCacheInfo& info, const DeltaHeader& header,
+                  std::uint64_t want_mask) {
+  info.mask = (info.mask & ~header.stale_mask) | want_mask | header.sent_mask;
+  info.id = header.state_id;
+}
+
+/// Kick with repeat-suppression: an identical Δv array (the first half-kick
+/// after an unchanged coupling phase) travels as an 8-byte "repeat" frame.
+Future send_kick(RpcClient& rpc, Fn fn, std::span<const Vec3> delta_v,
+                 bool delta_enabled, std::vector<Vec3>& last_kick,
+                 bool& primed) {
+  util::ByteWriter args = RpcClient::request();
+  if (delta_enabled && primed && same_content(last_kick, delta_v)) {
+    args.put<std::uint64_t>(kick_flags::repeat);
+  } else {
+    args.put<std::uint64_t>(0);
+    args.put_span(delta_v);
+    last_kick.assign(delta_v.begin(), delta_v.end());
+    primed = true;
+  }
+  return rpc.call(fn, std::move(args));
+}
+
 }  // namespace
 
 void GravityClient::set_params(double eps2, double eta) {
-  util::ByteWriter args;
+  util::ByteWriter args = RpcClient::request();
   args.put<double>(eps2);
   args.put<double>(eta);
   rpc_->call_sync(Fn::grav_set_params, std::move(args));
@@ -19,7 +87,7 @@ void GravityClient::set_params(double eps2, double eta) {
 void GravityClient::add_particles(std::span<const double> masses,
                                   std::span<const Vec3> positions,
                                   std::span<const Vec3> velocities) {
-  util::ByteWriter args;
+  util::ByteWriter args = RpcClient::request();
   put_span_of(args, masses);
   put_span_of(args, positions);
   put_span_of(args, velocities);
@@ -27,18 +95,33 @@ void GravityClient::add_particles(std::span<const double> masses,
 }
 
 Future GravityClient::evolve_async(double t_end) {
-  util::ByteWriter args;
+  util::ByteWriter args = RpcClient::request();
   args.put<double>(t_end);
   return rpc_->call(Fn::grav_evolve, std::move(args));
 }
 
+Future GravityClient::request_state(std::uint64_t want_mask) {
+  return rpc_->call(Fn::grav_get_state, state_request(info_, want_mask));
+}
+
+const GravityState& GravityClient::finish_state(Future& reply,
+                                                std::uint64_t want_mask) {
+  util::ByteReader reader = reply.get();
+  DeltaHeader header = read_delta_header(reader, info_);
+  if (header.sent_mask & state_field::mass) merge_field(reader, cache_.mass);
+  if (header.sent_mask & state_field::position) {
+    merge_field(reader, cache_.position);
+  }
+  if (header.sent_mask & state_field::velocity) {
+    merge_field(reader, cache_.velocity);
+  }
+  commit_delta(info_, header, want_mask);
+  return cache_;
+}
+
 GravityState GravityClient::get_state() {
-  auto reader = rpc_->call_sync(Fn::grav_get_state, {});
-  GravityState state;
-  state.mass = reader.get_vector<double>();
-  state.position = reader.get_vector<Vec3>();
-  state.velocity = reader.get_vector<Vec3>();
-  return state;
+  Future reply = request_state(state_field::gravity_all);
+  return finish_state(reply, state_field::gravity_all);
 }
 
 std::pair<double, double> GravityClient::energies() {
@@ -48,14 +131,13 @@ std::pair<double, double> GravityClient::energies() {
   return {kinetic, potential};
 }
 
-void GravityClient::kick(std::span<const Vec3> delta_v) {
-  util::ByteWriter args;
-  put_span_of(args, delta_v);
-  rpc_->call_sync(Fn::grav_kick_all, std::move(args));
+Future GravityClient::kick_async(std::span<const Vec3> delta_v) {
+  return send_kick(*rpc_, Fn::grav_kick_all, delta_v, info_.delta_enabled,
+                   last_kick_, kick_primed_);
 }
 
 void GravityClient::set_masses(std::span<const double> masses) {
-  util::ByteWriter args;
+  util::ByteWriter args = RpcClient::request();
   put_span_of(args, masses);
   rpc_->call_sync(Fn::grav_set_masses, std::move(args));
 }
@@ -66,7 +148,7 @@ double GravityClient::model_time() {
 
 void FieldClient::set_sources(std::span<const double> masses,
                               std::span<const Vec3> positions) {
-  util::ByteWriter args;
+  util::ByteWriter args = RpcClient::request();
   put_span_of(args, masses);
   put_span_of(args, positions);
   last_mass_.assign(masses.begin(), masses.end());
@@ -75,7 +157,7 @@ void FieldClient::set_sources(std::span<const double> masses,
 }
 
 Future FieldClient::accel_at_async(std::span<const Vec3> points) {
-  util::ByteWriter args;
+  util::ByteWriter args = RpcClient::request();
   put_span_of(args, points);
   return rpc_->call(Fn::field_accel_at, std::move(args));
 }
@@ -84,8 +166,59 @@ std::vector<Vec3> FieldClient::decode_accel(util::ByteReader reader) {
   return reader.get_vector<Vec3>();
 }
 
+Future FieldClient::accel_for_async(FieldTag tag, StateId sources_id,
+                                    std::span<const double> source_mass,
+                                    std::span<const Vec3> source_position,
+                                    StateId points_id,
+                                    std::span<const Vec3> points) {
+  if (!delta_enabled_) {
+    sources_id = 0;
+    points_id = 0;
+  }
+  TagRecord& record = tags_[static_cast<std::uint64_t>(tag)];
+  bool send_sources = sources_id == 0 || record.sources_id != sources_id;
+  bool send_points = points_id == 0 || record.points_id != points_id;
+  util::ByteWriter args = RpcClient::request();
+  args.put<std::uint64_t>(static_cast<std::uint64_t>(tag));
+  args.put<StateId>(sources_id);
+  args.put<StateId>(points_id);
+  std::uint64_t flags = (send_sources ? accel_flags::has_sources : 0) |
+                        (send_points ? accel_flags::has_points : 0);
+  args.put<std::uint64_t>(flags);
+  if (send_sources) {
+    put_span_of(args, source_mass);
+    put_span_of(args, source_position);
+    record.sources_id = sources_id;
+    // The checkpoint view of this stateless-per-kick worker: the last
+    // source set that actually travelled.
+    last_mass_.assign(source_mass.begin(), source_mass.end());
+    last_position_.assign(source_position.begin(), source_position.end());
+  }
+  if (send_points) {
+    put_span_of(args, points);
+    record.points_id = points_id;
+  }
+  return rpc_->call(Fn::field_accel_for, std::move(args));
+}
+
+const std::vector<Vec3>& FieldClient::finish_accel(FieldTag tag,
+                                                   Future& reply) {
+  util::ByteReader reader = reply.get();
+  auto flags = reader.get<std::uint64_t>();
+  TagRecord& record = tags_[static_cast<std::uint64_t>(tag)];
+  if (flags & accel_reply_flags::unchanged) {
+    if (!record.has_accel) {
+      throw CodeError("field: unchanged reply without a cached accel");
+    }
+    return record.accel;
+  }
+  record.accel = reader.get_vector<Vec3>();
+  record.has_accel = true;
+  return record.accel;
+}
+
 void HydroClient::set_params(double eps2, double theta) {
-  util::ByteWriter args;
+  util::ByteWriter args = RpcClient::request();
   args.put<double>(eps2);
   args.put<double>(theta);
   rpc_->call_sync(Fn::hydro_set_params, std::move(args));
@@ -95,7 +228,7 @@ void HydroClient::add_gas(std::span<const double> masses,
                           std::span<const Vec3> positions,
                           std::span<const Vec3> velocities,
                           std::span<const double> internal_energies) {
-  util::ByteWriter args;
+  util::ByteWriter args = RpcClient::request();
   put_span_of(args, masses);
   put_span_of(args, positions);
   put_span_of(args, velocities);
@@ -104,20 +237,39 @@ void HydroClient::add_gas(std::span<const double> masses,
 }
 
 Future HydroClient::evolve_async(double t_end) {
-  util::ByteWriter args;
+  util::ByteWriter args = RpcClient::request();
   args.put<double>(t_end);
   return rpc_->call(Fn::hydro_evolve, std::move(args));
 }
 
+Future HydroClient::request_state(std::uint64_t want_mask) {
+  return rpc_->call(Fn::hydro_get_state, state_request(info_, want_mask));
+}
+
+const HydroState& HydroClient::finish_state(Future& reply,
+                                            std::uint64_t want_mask) {
+  util::ByteReader reader = reply.get();
+  DeltaHeader header = read_delta_header(reader, info_);
+  if (header.sent_mask & state_field::mass) merge_field(reader, cache_.mass);
+  if (header.sent_mask & state_field::position) {
+    merge_field(reader, cache_.position);
+  }
+  if (header.sent_mask & state_field::velocity) {
+    merge_field(reader, cache_.velocity);
+  }
+  if (header.sent_mask & state_field::internal_energy) {
+    merge_field(reader, cache_.internal_energy);
+  }
+  if (header.sent_mask & state_field::density) {
+    merge_field(reader, cache_.density);
+  }
+  commit_delta(info_, header, want_mask);
+  return cache_;
+}
+
 HydroState HydroClient::get_state() {
-  auto reader = rpc_->call_sync(Fn::hydro_get_state, {});
-  HydroState state;
-  state.mass = reader.get_vector<double>();
-  state.position = reader.get_vector<Vec3>();
-  state.velocity = reader.get_vector<Vec3>();
-  state.internal_energy = reader.get_vector<double>();
-  state.density = reader.get_vector<double>();
-  return state;
+  Future reply = request_state(state_field::hydro_all);
+  return finish_state(reply, state_field::hydro_all);
 }
 
 std::tuple<double, double, double> HydroClient::energies() {
@@ -128,15 +280,14 @@ std::tuple<double, double, double> HydroClient::energies() {
   return {kinetic, thermal, potential};
 }
 
-void HydroClient::kick(std::span<const Vec3> delta_v) {
-  util::ByteWriter args;
-  put_span_of(args, delta_v);
-  rpc_->call_sync(Fn::hydro_kick_all, std::move(args));
+Future HydroClient::kick_async(std::span<const Vec3> delta_v) {
+  return send_kick(*rpc_, Fn::hydro_kick_all, delta_v, info_.delta_enabled,
+                   last_kick_, kick_primed_);
 }
 
 void HydroClient::inject(std::span<const std::int32_t> indices,
                          std::span<const double> delta_u) {
-  util::ByteWriter args;
+  util::ByteWriter args = RpcClient::request();
   put_span_of(args, indices);
   put_span_of(args, delta_u);
   rpc_->call_sync(Fn::hydro_inject, std::move(args));
@@ -147,13 +298,13 @@ double HydroClient::model_time() {
 }
 
 void StellarClient::add_stars(std::span<const double> zams_masses) {
-  util::ByteWriter args;
+  util::ByteWriter args = RpcClient::request();
   put_span_of(args, zams_masses);
   rpc_->call_sync(Fn::se_add_stars, std::move(args));
 }
 
 void StellarClient::evolve_to(double age_myr) {
-  util::ByteWriter args;
+  util::ByteWriter args = RpcClient::request();
   args.put<double>(age_myr);
   rpc_->call_sync(Fn::se_evolve_to, std::move(args));
 }

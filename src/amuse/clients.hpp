@@ -1,9 +1,11 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "amuse/delta.hpp"
 #include "amuse/rpc.hpp"
 #include "kernels/vec3.hpp"
 
@@ -14,6 +16,13 @@ using kernels::Vec3;
 /// Typed client-side proxies over the RPC protocol — what an AMUSE script
 /// holds instead of raw channels. All bulk state moves as flat arrays (the
 /// real AMUSE does the same for performance).
+///
+/// The gravity and hydro proxies keep an epoch-tagged *state cache*: a
+/// get_state tells the worker what the client already holds, and only the
+/// fields that changed since travel back (delta exchange). The field proxy
+/// keeps per-direction source/point/accel caches mirroring the coupler
+/// worker's. `set_delta_exchange(false)` restores the pre-delta full-fetch
+/// wire behaviour (the synchronous baseline the benches compare against).
 
 struct GravityState {
   std::vector<double> mass;
@@ -29,6 +38,19 @@ struct HydroState {
   std::vector<double> density;
 };
 
+/// Client half of the delta state exchange, shared by the gravity and hydro
+/// proxies: what we hold, at which content id, and the per-field change ids
+/// the last reply reported (these feed the coupler's source/point tags).
+/// Cache invalidation is by construction, not by reset: the fault path
+/// builds fresh clients (empty caches) and restarted workers mint fresh
+/// state-id instances, so stale entries can never match.
+struct DeltaCacheInfo {
+  StateId id = 0;
+  std::uint64_t mask = 0;
+  std::array<StateId, state_field::kCount> field_ids{};
+  bool delta_enabled = true;
+};
+
 /// GravitationalDynamics interface (phiGRAPE worker).
 class GravityClient {
  public:
@@ -41,18 +63,41 @@ class GravityClient {
                      std::span<const Vec3> velocities);
   void evolve(double t_end) { evolve_async(t_end).get(); }
   Future evolve_async(double t_end);
+
+  /// Sync full-state fetch (delta-aware: only changed fields travel).
   GravityState get_state();
+  /// Pipelined fetch: issue now, merge the delta into the cache later.
+  Future request_state(std::uint64_t want_mask = state_field::gravity_all);
+  const GravityState& finish_state(Future& reply, std::uint64_t want_mask);
+  const GravityState& cached_state() const noexcept { return cache_; }
+
+  /// Content ids for the coupler's caches (0 until the field was fetched).
+  StateId coupling_sources_id() const {
+    return combine_state_ids(info_.field_ids[0], info_.field_ids[1]);
+  }
+  StateId position_id() const { return info_.field_ids[1]; }
+
   /// (kinetic, potential) in N-body units.
   std::pair<double, double> energies();
-  void kick(std::span<const Vec3> delta_v);
+  void kick(std::span<const Vec3> delta_v) { kick_async(delta_v).get(); }
+  Future kick_async(std::span<const Vec3> delta_v);
   void set_masses(std::span<const double> masses);
   double model_time();
+
+  void set_delta_exchange(bool enabled) {
+    info_.delta_enabled = enabled;
+    kick_primed_ = false;
+  }
 
   RpcClient& rpc() noexcept { return *rpc_; }
   void close() { rpc_->close(); }
 
  private:
   std::unique_ptr<RpcClient> rpc_;
+  GravityState cache_;
+  DeltaCacheInfo info_;
+  std::vector<Vec3> last_kick_;
+  bool kick_primed_ = false;
 };
 
 /// GravityField interface (Octgrav / Fi worker) — the coupling kernel.
@@ -76,13 +121,34 @@ class FieldClient {
   Future accel_at_async(std::span<const Vec3> points);
   static std::vector<Vec3> decode_accel(util::ByteReader reader);
 
+  /// One-shot epoch-tagged cross-gravity query (the pipelined data path):
+  /// sources and points are only uploaded when their content id differs
+  /// from what the worker already caches under `tag`, and a reply of
+  /// "unchanged" re-uses the locally cached accel of the same inputs.
+  Future accel_for_async(FieldTag tag, StateId sources_id,
+                         std::span<const double> source_mass,
+                         std::span<const Vec3> source_position,
+                         StateId points_id, std::span<const Vec3> points);
+  const std::vector<Vec3>& finish_accel(FieldTag tag, Future& reply);
+
+  void set_delta_exchange(bool enabled) { delta_enabled_ = enabled; }
+
   RpcClient& rpc() noexcept { return *rpc_; }
   void close() { rpc_->close(); }
 
  private:
+  struct TagRecord {
+    StateId sources_id = 0;
+    StateId points_id = 0;
+    std::vector<Vec3> accel;
+    bool has_accel = false;
+  };
+
   std::unique_ptr<RpcClient> rpc_;
   std::vector<double> last_mass_;
   std::vector<Vec3> last_position_;
+  std::map<std::uint64_t, TagRecord> tags_;
+  bool delta_enabled_ = true;
 };
 
 /// Hydrodynamics interface (Gadget worker).
@@ -97,19 +163,39 @@ class HydroClient {
                std::span<const double> internal_energies);
   void evolve(double t_end) { evolve_async(t_end).get(); }
   Future evolve_async(double t_end);
+
   HydroState get_state();
+  Future request_state(std::uint64_t want_mask = state_field::hydro_all);
+  const HydroState& finish_state(Future& reply, std::uint64_t want_mask);
+  const HydroState& cached_state() const noexcept { return cache_; }
+
+  StateId coupling_sources_id() const {
+    return combine_state_ids(info_.field_ids[0], info_.field_ids[1]);
+  }
+  StateId position_id() const { return info_.field_ids[1]; }
+
   /// (kinetic, thermal, potential) in N-body units.
   std::tuple<double, double, double> energies();
-  void kick(std::span<const Vec3> delta_v);
+  void kick(std::span<const Vec3> delta_v) { kick_async(delta_v).get(); }
+  Future kick_async(std::span<const Vec3> delta_v);
   void inject(std::span<const std::int32_t> indices,
               std::span<const double> delta_u);
   double model_time();
+
+  void set_delta_exchange(bool enabled) {
+    info_.delta_enabled = enabled;
+    kick_primed_ = false;
+  }
 
   RpcClient& rpc() noexcept { return *rpc_; }
   void close() { rpc_->close(); }
 
  private:
   std::unique_ptr<RpcClient> rpc_;
+  HydroState cache_;
+  DeltaCacheInfo info_;
+  std::vector<Vec3> last_kick_;
+  bool kick_primed_ = false;
 };
 
 /// StellarEvolution interface (SSE worker).

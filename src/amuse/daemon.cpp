@@ -257,12 +257,13 @@ void IbisDaemon::serve_client(
         event.id.name == proxy_name) {
       *worker_dead = true;
       try {
-        util::ByteWriter notice;
-        notice.put<std::uint32_t>(kDeathNoticeId);
-        notice.put<std::uint8_t>(
-            static_cast<std::uint8_t>(RpcStatus::worker_died));
-        notice.put<std::uint8_t>(
-            static_cast<std::uint8_t>(WorkerDiedError::Cause::host_crash));
+        // Same 8-byte header as a reply frame (id 0 marks the notice).
+        util::ByteWriter notice(kFrameHeaderBytes);
+        notice.patch<std::uint32_t>(0, kDeathNoticeId);
+        notice.patch<std::uint8_t>(
+            4, static_cast<std::uint8_t>(RpcStatus::worker_died));
+        notice.patch<std::uint8_t>(
+            5, static_cast<std::uint8_t>(WorkerDiedError::Cause::host_crash));
         notice.put_string(node_name);
         notice.put_string("registry reported the worker proxy died");
         connection->send(std::move(notice).take());

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace jungle::amuse {
+
+/// Epoch-tagged delta state exchange (the wide-area data path's traffic
+/// diet): workers stamp every mutation with an epoch, clients remember what
+/// they last fetched, and a get_state only moves the fields that changed
+/// since. Per-iteration WAN traffic is what the paper's coupling scheme must
+/// minimize (§4.1); this protocol is how we minimize it.
+
+/// Field bits shared by the gravity (mass|position|velocity) and hydro
+/// (+internal_energy|density) state exchanges.
+namespace state_field {
+inline constexpr std::uint64_t mass = 1;
+inline constexpr std::uint64_t position = 2;
+inline constexpr std::uint64_t velocity = 4;
+inline constexpr std::uint64_t internal_energy = 8;
+inline constexpr std::uint64_t density = 16;
+
+inline constexpr std::uint64_t gravity_all = mass | position | velocity;
+inline constexpr std::uint64_t hydro_all =
+    mass | position | velocity | internal_energy | density;
+/// What the bridge's cross-kick actually consumes.
+inline constexpr std::uint64_t coupling = mass | position;
+
+inline constexpr int kCount = 5;
+}  // namespace state_field
+
+/// 64-bit content identity: a worker-instance nonce in the top half, the
+/// epoch at which the content last changed in the bottom half. Zero means
+/// "unknown" and never matches. A restarted worker mints a fresh instance,
+/// so ids from before a fault-path rollback can never be mistaken for
+/// current content — that is what invalidates every downstream cache
+/// (client state caches, the coupler's source/point/accel caches) on
+/// rollback/replay.
+using StateId = std::uint64_t;
+
+inline StateId make_state_id(std::uint32_t instance,
+                             std::uint32_t epoch) noexcept {
+  return (static_cast<std::uint64_t>(instance) << 32) | epoch;
+}
+
+inline std::uint32_t state_id_instance(StateId id) noexcept {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+/// Identity of a combination of same-instance fields: within one instance
+/// the last-changed epochs are totally ordered, so the max changes exactly
+/// when any member does.
+inline StateId combine_state_ids(StateId a, StateId b) noexcept {
+  return a > b ? a : b;
+}
+
+/// Worker-side bookkeeping: one epoch counter, bumped on every mutation,
+/// plus the epoch at which each field last changed.
+struct StateEpochs {
+  std::uint32_t instance;
+  std::uint32_t epoch = 1;
+  std::array<std::uint32_t, state_field::kCount> changed{};
+
+  StateEpochs() : instance(next_instance()) {}
+
+  void bump(std::uint64_t fields) {
+    ++epoch;
+    for (int i = 0; i < state_field::kCount; ++i) {
+      if (fields & (1ULL << i)) changed[static_cast<std::size_t>(i)] = epoch;
+    }
+  }
+
+  StateId id() const noexcept { return make_state_id(instance, epoch); }
+  StateId field_id(int index) const noexcept {
+    return make_state_id(instance, changed[static_cast<std::size_t>(index)]);
+  }
+
+  /// Should `bit` travel to a client that holds `have_mask` at `have_id`?
+  bool field_changed_since(int index, StateId have_id) const noexcept {
+    if (state_id_instance(have_id) != instance) return true;
+    return field_id(index) > have_id;
+  }
+
+ private:
+  static std::uint32_t next_instance() noexcept {
+    static std::atomic<std::uint32_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+/// Tags of the coupler's two cross-gravity directions (Fig 7): which cached
+/// source/point set an accel query refers to.
+enum class FieldTag : std::uint64_t { gas_on_stars = 0, stars_on_gas = 1 };
+
+/// Flag bits of the kick exchange: an identical half-kick (the common case
+/// right after an unchanged coupling phase) is replayed from the worker's
+/// cache instead of shipping the whole Δv array again.
+namespace kick_flags {
+inline constexpr std::uint64_t repeat = 1;
+}
+
+/// Flag bits of the field_accel_for exchange.
+namespace accel_flags {
+inline constexpr std::uint64_t has_sources = 1;
+inline constexpr std::uint64_t has_points = 2;
+}
+namespace accel_reply_flags {
+inline constexpr std::uint64_t unchanged = 1;
+}
+
+}  // namespace jungle::amuse

@@ -4,12 +4,32 @@
 
 namespace jungle::amuse {
 
+namespace {
+
+// Reply header field offsets (see the frame layout note in rpc.hpp).
+constexpr std::size_t kIdOffset = 0;
+constexpr std::size_t kFnOffset = 4;
+constexpr std::size_t kStatusOffset = 4;
+
+/// Frame a header-only reply (ping, death notices built client-side).
+util::ByteWriter make_reply_frame(std::uint32_t request_id, RpcStatus status) {
+  util::ByteWriter frame(kFrameHeaderBytes);
+  frame.patch<std::uint32_t>(kIdOffset, request_id);
+  frame.patch<std::uint8_t>(kStatusOffset,
+                            static_cast<std::uint8_t>(status));
+  return frame;
+}
+
+}  // namespace
+
 util::ByteReader Future::get() {
   RpcReply reply = state_->box.get();
   if (reply.status == RpcStatus::ok) {
-    return util::ByteReader(std::move(reply.payload));
+    return util::ByteReader(std::move(reply.frame), reply.payload_offset);
   }
-  std::string message(reply.payload.begin(), reply.payload.end());
+  std::string message(reply.frame.begin() +
+                          static_cast<std::ptrdiff_t>(reply.payload_offset),
+                      reply.frame.end());
   if (reply.status == RpcStatus::worker_died) {
     throw WorkerDiedError(state_->worker, reply.died_host, reply.died_cause,
                           message);
@@ -46,19 +66,18 @@ void RpcClient::pump() {
       }
       util::ByteReader reader(std::move(*bytes));
       auto request_id = reader.get<std::uint32_t>();
+      auto status = static_cast<RpcStatus>(reader.get<std::uint8_t>());
+      auto cause = static_cast<WorkerDiedError::Cause>(
+          reader.get<std::uint8_t>());
+      reader.get<std::uint16_t>();  // header padding
       if (request_id == kDeathNoticeId) {
         // Connection-level death notice from the daemon: the registry saw
         // the worker's host die. Carries the host name and cause.
-        reader.get<std::uint8_t>();  // status (always worker_died)
-        auto cause =
-            static_cast<WorkerDiedError::Cause>(reader.get<std::uint8_t>());
         std::string host = reader.get_string();
         std::string detail = reader.get_string();
         poison(detail, cause, host);
         continue;  // keep draining until the daemon closes the pipe
       }
-      auto status = static_cast<RpcStatus>(reader.get<std::uint8_t>());
-      auto payload = reader.get_vector<std::uint8_t>();
       auto it = pending_.find(request_id);
       if (it == pending_.end()) {
         log::warn("amuse") << label_ << ": reply for unknown request "
@@ -67,7 +86,10 @@ void RpcClient::pump() {
       }
       RpcReply reply;
       reply.status = status;
-      reply.payload = std::move(payload);
+      // Hand the whole frame over; the payload is read in place behind the
+      // header — the reply bytes are never copied out of the receive buffer.
+      reply.payload_offset = reader.cursor();
+      reply.frame = std::move(reader).release();
       it->second->box.put(std::move(reply));
       pending_.erase(it);
     }
@@ -79,7 +101,8 @@ void RpcClient::pump() {
 RpcReply RpcClient::death_reply() const {
   RpcReply reply;
   reply.status = RpcStatus::worker_died;
-  reply.payload.assign(death_reason_.begin(), death_reason_.end());
+  reply.frame.assign(death_reason_.begin(), death_reason_.end());
+  reply.payload_offset = 0;
   reply.died_host = death_host_;
   reply.died_cause = death_cause_;
   return reply;
@@ -108,10 +131,18 @@ Future RpcClient::call(Fn fn, util::ByteWriter arguments) {
   }
   std::uint32_t request_id = next_request_++;
   pending_[request_id] = state;
+  // Writers built via request() already reserve the header: patch it in
+  // place and ship the buffer — the payload is not copied again. Plain
+  // writers (e.g. the empty `{}` of parameterless calls) get wrapped.
   util::ByteWriter frame;
-  frame.put<std::uint32_t>(request_id);
-  frame.put<std::uint16_t>(static_cast<std::uint16_t>(fn));
-  frame.put_vector(std::move(arguments).take());
+  if (arguments.prefix() >= kFrameHeaderBytes) {
+    frame = std::move(arguments);
+  } else {
+    frame = util::ByteWriter(kFrameHeaderBytes);
+    frame.append(std::move(arguments));
+  }
+  frame.patch<std::uint32_t>(kIdOffset, request_id);
+  frame.patch<std::uint16_t>(kFnOffset, static_cast<std::uint16_t>(fn));
   try {
     pipe_->send_bytes(std::move(frame).take());
   } catch (const ConnectError& failure) {
@@ -130,10 +161,10 @@ void RpcClient::close() {
   if (closed_ || dead_) return;
   closed_ = true;
   try {
-    util::ByteWriter frame;
-    frame.put<std::uint32_t>(0);
-    frame.put<std::uint16_t>(static_cast<std::uint16_t>(Fn::stop));
-    frame.put_vector(std::vector<std::uint8_t>{});
+    util::ByteWriter frame(kFrameHeaderBytes);
+    frame.patch<std::uint32_t>(kIdOffset, 0);
+    frame.patch<std::uint16_t>(kFnOffset,
+                               static_cast<std::uint16_t>(Fn::stop));
     pipe_->send_bytes(std::move(frame).take());
     pipe_->close();
   } catch (const ConnectError&) {
@@ -150,29 +181,34 @@ void WorkerServer::run() {
       util::ByteReader reader(std::move(*bytes));
       auto request_id = reader.get<std::uint32_t>();
       auto fn = static_cast<Fn>(reader.get<std::uint16_t>());
-      auto arguments = reader.get_vector<std::uint8_t>();
+      reader.get<std::uint16_t>();  // header padding
       if (fn == Fn::stop) return;
-      util::ByteWriter reply_frame;
-      reply_frame.put<std::uint32_t>(request_id);
+      util::ByteWriter reply;
       if (fn == Fn::ping) {
-        reply_frame.put<std::uint8_t>(static_cast<std::uint8_t>(RpcStatus::ok));
-        reply_frame.put_vector(std::vector<std::uint8_t>{});
+        reply = make_reply_frame(request_id, RpcStatus::ok);
       } else {
         try {
-          util::ByteReader args(std::move(arguments));
-          util::ByteWriter result = dispatcher_(fn, args);
-          reply_frame.put<std::uint8_t>(
-              static_cast<std::uint8_t>(RpcStatus::ok));
-          reply_frame.put_vector(std::move(result).take());
+          // The reader sits at the payload; dispatchers consume it in place
+          // (span reads stay views into the receive buffer).
+          util::ByteWriter result = dispatcher_(fn, reader);
+          if (result.prefix() >= kFrameHeaderBytes) {
+            reply = std::move(result);
+          } else {
+            reply = util::ByteWriter(kFrameHeaderBytes);
+            reply.append(std::move(result));
+          }
+          reply.patch<std::uint32_t>(kIdOffset, request_id);
+          reply.patch<std::uint8_t>(kStatusOffset,
+                                    static_cast<std::uint8_t>(RpcStatus::ok));
         } catch (const Error& failure) {
           std::string what = failure.what();
-          reply_frame.put<std::uint8_t>(
-              static_cast<std::uint8_t>(RpcStatus::code_error));
-          reply_frame.put_vector(
-              std::vector<std::uint8_t>(what.begin(), what.end()));
+          reply = make_reply_frame(request_id, RpcStatus::code_error);
+          reply.put_bytes(std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(what.data()),
+              what.size()));
         }
       }
-      pipe_->send_bytes(std::move(reply_frame).take());
+      pipe_->send_bytes(std::move(reply).take());
     }
   } catch (const ConnectError&) {
     // Client side vanished; worker just exits.

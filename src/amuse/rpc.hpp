@@ -38,6 +38,10 @@ enum class Fn : std::uint16_t {
   // GravityField (Octgrav / Fi)
   field_set_sources = 30,
   field_accel_at = 31,
+  /// One-shot cross-gravity query: epoch-tagged sources + evaluation points
+  /// in a single frame (both directions of a cross-kick pipeline as two
+  /// concurrent calls), with worker-side caching of unchanged inputs.
+  field_accel_for = 32,
 
   // Hydrodynamics (Gadget)
   hydro_set_params = 50,
@@ -61,9 +65,20 @@ enum class Fn : std::uint16_t {
 /// Reply status on the wire.
 enum class RpcStatus : std::uint8_t { ok = 0, code_error = 1, worker_died = 2 };
 
+/// Both frame directions carry a fixed 8-byte header; the payload is simply
+/// the rest of the frame (no inner length prefix, no extra payload copy):
+///   request:  [u32 request_id][u16 fn][u16 zero]          + payload
+///   reply:    [u32 request_id][u8 status][u8 cause][u16 zero] + payload
+/// The 8-byte size also keeps payload array fields 8-aligned in the receive
+/// buffer, which is what makes ByteReader::get_span views legal.
+constexpr std::size_t kFrameHeaderBytes = 8;
+
 struct RpcReply {
   RpcStatus status = RpcStatus::ok;
-  std::vector<std::uint8_t> payload;  // result bytes or error text
+  /// The received frame; payload starts at `payload_offset` (the reply is
+  /// handed to the caller as a reader over this buffer — no copy).
+  std::vector<std::uint8_t> frame;
+  std::size_t payload_offset = 0;
   // Filled for worker_died: where and why the worker was lost, so the
   // thrown WorkerDiedError lets recovery exclude the right resource.
   std::string died_host;
@@ -72,7 +87,7 @@ struct RpcReply {
 
 /// Frames whose request id is this value are connection-level death notices
 /// (sent by the daemon when the registry reports a worker's host died), not
-/// replies: payload = status byte, cause byte, host string, detail string.
+/// replies: header cause byte is set, payload = host string, detail string.
 constexpr std::uint32_t kDeathNoticeId = 0;
 
 /// Abstract bidirectional message transport the RPC layer runs over. The
@@ -133,6 +148,11 @@ class RpcClient {
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
 
+  /// Argument writer with the frame header pre-reserved: call() patches the
+  /// id/function into it and ships the buffer as-is — the payload is never
+  /// copied into a second framing buffer.
+  static util::ByteWriter request() { return util::ByteWriter(kFrameHeaderBytes); }
+
   Future call(Fn fn, util::ByteWriter arguments);
   util::ByteReader call_sync(Fn fn, util::ByteWriter arguments);
 
@@ -166,9 +186,16 @@ class RpcClient {
 };
 
 /// Worker-side dispatcher: maps a function id + argument reader to a result.
-/// Throwing CodeError inside produces an error reply (not a crash).
+/// Throwing CodeError inside produces an error reply (not a crash). Build
+/// results with reply_writer() so the server can patch the frame header in
+/// place and send them without another framing copy.
 using Dispatcher =
     std::function<util::ByteWriter(Fn, util::ByteReader&)>;
+
+/// Result writer for dispatchers with the reply header pre-reserved.
+inline util::ByteWriter reply_writer() {
+  return util::ByteWriter(kFrameHeaderBytes);
+}
 
 /// Worker-side request loop. Runs on the worker's own process until the
 /// client sends `stop` or the pipe closes/breaks.

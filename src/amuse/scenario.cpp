@@ -260,6 +260,7 @@ Bridge::Config bridge_config(const Options& options) {
   Bridge::Config config;
   config.dt = options.dt;
   config.se_every = options.se_every;
+  config.synchronous_datapath = options.datapath == Datapath::synchronous;
   // time scale: ~0.47 Myr per N-body time for 1000 MSun / 1 pc; SN energy
   // scaled into N-body units for a 2 M_cluster gas cloud.
   config.myr_per_nbody_time = 0.47;
@@ -288,6 +289,15 @@ Result run_in_bed(JungleTestbed& bed, Kind kind, const Options& options) {
   bed.simulation().spawn("amuse-script", [&] {
     DaemonClient daemon_client(bed.sockets(), client);
     Workers workers = start_placement(bed, client, daemon_client, plan);
+    bool synchronous = options.datapath == Datapath::synchronous;
+    auto apply_datapath = [&] {
+      // The baseline mode turns the delta exchange off end to end so the
+      // wire behaves exactly like the pre-overhaul full-fetch path.
+      workers.stars->set_delta_exchange(!synchronous);
+      workers.gas->set_delta_exchange(!synchronous);
+      workers.coupler->set_delta_exchange(!synchronous);
+    };
+    apply_datapath();
 
     // Initial conditions: the embedded star cluster of [11].
     util::Rng rng(options.seed);
@@ -391,6 +401,12 @@ Result run_in_bed(JungleTestbed& bed, Kind kind, const Options& options) {
         }
       }
 
+      // Fresh clients start with empty delta caches, and restarted workers
+      // mint a fresh state-id instance: nothing cached before the rollback
+      // (client states, coupler sources/accels) can be mistaken for
+      // current content during the replay.
+      apply_datapath();
+
       Bridge::Config restarted = config;
       restarted.t_offset = t_done;
       restarted.step_offset = completed;
@@ -440,9 +456,11 @@ Result run_in_bed(JungleTestbed& bed, Kind kind, const Options& options) {
     double wall = bed.simulation().now() - wall_start;
     result.seconds_per_iteration = wall / options.iterations;
 
-    // Fig-6 observable after the run.
-    const auto& gas_state = bridge->gas_state();
-    const auto& star_state = bridge->star_state();
+    // Fig-6 observable after the run. The pipelined path only moved
+    // mass+position during coupling; pull the full states (velocities,
+    // internal energy) once for the diagnostics.
+    HydroState gas_state = workers.gas->get_state();
+    GravityState star_state = workers.stars->get_state();
     if (!gas_state.mass.empty()) {
       result.bound_gas_fraction = diagnostics::bound_gas_fraction(
           gas_state.mass, gas_state.position, gas_state.velocity,
@@ -466,6 +484,8 @@ Result run_in_bed(JungleTestbed& bed, Kind kind, const Options& options) {
     result.wan_ipl_bytes +=
         link.bytes_by_class[static_cast<int>(sim::TrafficClass::ipl)];
   }
+  result.wan_ipl_bytes_per_step =
+      options.iterations > 0 ? result.wan_ipl_bytes / options.iterations : 0.0;
 
   // Dashboard: the Figs 10/11 analog plus the placement panel — which
   // machine ran which kernel, and modeled vs. measured cost.

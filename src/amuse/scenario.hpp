@@ -27,6 +27,13 @@ enum class Kind { local_cpu, local_gpu, remote_gpu, jungle, sc11, autoplace };
 const char* kind_name(Kind kind) noexcept;
 double paper_seconds_per_iteration(Kind kind) noexcept;  // NaN where untimed
 
+/// Which client<->worker data path the coupling script runs.
+///   pipelined   — concurrent per-phase RPCs, delta state exchange, striped
+///                 bulk transfers (the wide-area data path overhaul).
+///   synchronous — the pre-overhaul serial path with full state fetches;
+///                 kept as the measured baseline (bit-identical physics).
+enum class Datapath { pipelined, synchronous };
+
 struct Options {
   std::size_t n_stars = 1000;   // the embedded cluster of [11]
   std::size_t n_gas = 10000;
@@ -35,6 +42,7 @@ struct Options {
   bool with_stellar_evolution = true;
   int se_every = 4;
   std::uint64_t seed = 20120301;
+  Datapath datapath = Datapath::pipelined;
   /// Fault injection, honored by Kind::autoplace only (the one kind with a
   /// recovery path; other kinds ignore it): crash `kill_host` once
   /// `kill_after_iteration` bridge steps have completed. Empty / negative
@@ -51,6 +59,9 @@ struct Result {
   double evolve_seconds_per_iteration = 0.0;
   double wan_bytes = 0.0;               // bytes that crossed any WAN link
   double wan_ipl_bytes = 0.0;
+  /// Coupling traffic (IPL class) that crossed a WAN link, per bridge step
+  /// — the wire cost the delta exchange minimizes (bench_datapath's gate).
+  double wan_ipl_bytes_per_step = 0.0;
   double bound_gas_fraction = 1.0;      // after the run
   std::string dashboard;                // Figs 10/11 text analog
   std::string placement;                // kernel->host map that actually ran

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
+#include "amuse/delta.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 
@@ -23,12 +25,78 @@ std::vector<Vec3> read_vec3s(util::ByteReader& reader) {
   return reader.get_vector<Vec3>();
 }
 
+// ---------------------------------------------- delta state exchange
+
+/// One field of a delta get_state reply: its bit, its index in the epochs
+/// table, and a writer that frames the current content (as a borrowed view
+/// where the kernel exposes stable storage).
+struct StateFieldWriter {
+  std::uint64_t bit;
+  int index;
+  std::function<void(util::ByteWriter&)> write;
+};
+
+/// Serve a delta get_state: reply only the requested fields that changed
+/// since the client's cached id, and tell it which cached fields went stale.
+/// Layout: [u64 state_id][u64 sent_mask][u64 stale_mask]
+///         [u64 field_id x kCount] [span per sent field, bit order].
+util::ByteWriter delta_state_reply(const StateEpochs& epochs,
+                                   util::ByteReader& args,
+                                   std::span<const StateFieldWriter> fields) {
+  auto have_id = args.get<StateId>();
+  auto have_mask = args.get<std::uint64_t>();
+  auto want_mask = args.get<std::uint64_t>();
+
+  std::uint64_t sent_mask = 0;
+  std::uint64_t stale_mask = 0;
+  for (const StateFieldWriter& field : fields) {
+    bool have = (have_mask & field.bit) != 0;
+    bool changed = epochs.field_changed_since(field.index, have_id);
+    if ((want_mask & field.bit) && (!have || changed)) {
+      sent_mask |= field.bit;
+    } else if (have && !(want_mask & field.bit) && changed) {
+      stale_mask |= field.bit;
+    }
+  }
+
+  util::ByteWriter result = reply_writer();
+  result.put<StateId>(epochs.id());
+  result.put<std::uint64_t>(sent_mask);
+  result.put<std::uint64_t>(stale_mask);
+  for (int i = 0; i < state_field::kCount; ++i) {
+    result.put<StateId>(epochs.field_id(i));
+  }
+  for (const StateFieldWriter& field : fields) {
+    if (sent_mask & field.bit) field.write(result);
+  }
+  return result;
+}
+
+/// Apply a kick frame: either the shipped Δv array (cached for later) or a
+/// replay of the previous one (flags: kick_flags::repeat).
+std::span<const Vec3> read_kick(util::ByteReader& args,
+                                std::vector<Vec3>& cache) {
+  auto flags = args.get<std::uint64_t>();
+  if (flags & kick_flags::repeat) {
+    if (cache.empty()) {
+      throw CodeError("kick repeat with no cached kick");
+    }
+    return cache;
+  }
+  auto kicks = args.get_span<Vec3>();
+  cache.assign(kicks.begin(), kicks.end());
+  return cache;
+}
+
 }  // namespace
 
 Dispatcher make_gravity_dispatcher(
     std::shared_ptr<kernels::HermiteIntegrator> integrator, WorkerCost cost) {
-  return [integrator, cost](Fn fn, util::ByteReader& args) -> util::ByteWriter {
-    util::ByteWriter result;
+  auto epochs = std::make_shared<StateEpochs>();
+  auto kick_cache = std::make_shared<std::vector<Vec3>>();
+  return [integrator, cost, epochs,
+          kick_cache](Fn fn, util::ByteReader& args) -> util::ByteWriter {
+    util::ByteWriter result = reply_writer();
     switch (fn) {
       case Fn::grav_set_params: {
         integrator->params().eps2 = args.get<double>();
@@ -36,12 +104,13 @@ Dispatcher make_gravity_dispatcher(
         return result;
       }
       case Fn::grav_add_particles: {
-        auto masses = args.get_vector<double>();
-        auto positions = read_vec3s(args);
-        auto velocities = read_vec3s(args);
+        auto masses = args.get_span<double>();
+        auto positions = args.get_span<Vec3>();
+        auto velocities = args.get_span<Vec3>();
         for (std::size_t i = 0; i < masses.size(); ++i) {
           integrator->add_particle(masses[i], positions[i], velocities[i]);
         }
+        epochs->bump(state_field::gravity_all);
         return result;
       }
       case Fn::grav_evolve: {
@@ -51,13 +120,27 @@ Dispatcher make_gravity_dispatcher(
         charge(cost, static_cast<double>(integrator->pair_evaluations() -
                                          before) *
                          kernels::HermiteIntegrator::kFlopsPerPair);
+        epochs->bump(state_field::position | state_field::velocity);
         return result;
       }
       case Fn::grav_get_state: {
-        result.put_vector(integrator->masses());
-        result.put_vector(integrator->positions());
-        result.put_vector(integrator->velocities());
-        return result;
+        const StateFieldWriter fields[] = {
+            {state_field::mass, 0,
+             [&](util::ByteWriter& out) {
+               out.put_span_view(std::span<const double>(integrator->masses()));
+             }},
+            {state_field::position, 1,
+             [&](util::ByteWriter& out) {
+               out.put_span_view(
+                   std::span<const Vec3>(integrator->positions()));
+             }},
+            {state_field::velocity, 2,
+             [&](util::ByteWriter& out) {
+               out.put_span_view(
+                   std::span<const Vec3>(integrator->velocities()));
+             }},
+        };
+        return delta_state_reply(*epochs, args, fields);
       }
       case Fn::grav_get_energies: {
         // Energies cost one O(N^2) potential pass.
@@ -68,17 +151,19 @@ Dispatcher make_gravity_dispatcher(
         return result;
       }
       case Fn::grav_kick_all: {
-        auto kicks = read_vec3s(args);
+        auto kicks = read_kick(args, *kick_cache);
         for (std::size_t i = 0; i < kicks.size(); ++i) {
           integrator->kick(static_cast<int>(i), kicks[i]);
         }
+        epochs->bump(state_field::velocity);
         return result;
       }
       case Fn::grav_set_masses: {
-        auto masses = args.get_vector<double>();
+        auto masses = args.get_span<double>();
         for (std::size_t i = 0; i < masses.size(); ++i) {
           integrator->set_mass(static_cast<int>(i), masses[i]);
         }
+        epochs->bump(state_field::mass);
         return result;
       }
       case Fn::grav_get_time: {
@@ -92,10 +177,32 @@ Dispatcher make_gravity_dispatcher(
   };
 }
 
+namespace {
+
+/// Per-direction cache of the coupler worker: the last sources and points a
+/// client shipped under a tag (with their content ids), and the accel that
+/// was computed from them. An unchanged cross-kick half (same source and
+/// point ids) is answered without recomputation or payload bytes.
+struct FieldTagCache {
+  std::vector<double> source_mass;
+  std::vector<Vec3> source_position;
+  StateId sources_id = 0;
+  std::vector<Vec3> points;
+  StateId points_id = 0;
+  std::vector<Vec3> accel;
+  StateId accel_sources_id = 0;
+  StateId accel_points_id = 0;
+  bool has_accel = false;
+};
+
+}  // namespace
+
 Dispatcher make_field_dispatcher(std::shared_ptr<kernels::TreeField> field,
                                  WorkerCost cost) {
-  return [field, cost](Fn fn, util::ByteReader& args) -> util::ByteWriter {
-    util::ByteWriter result;
+  auto tags = std::make_shared<std::map<std::uint64_t, FieldTagCache>>();
+  return [field, cost, tags](Fn fn,
+                             util::ByteReader& args) -> util::ByteWriter {
+    util::ByteWriter result = reply_writer();
     switch (fn) {
       case Fn::field_set_sources: {
         auto masses = args.get_vector<double>();
@@ -106,12 +213,59 @@ Dispatcher make_field_dispatcher(std::shared_ptr<kernels::TreeField> field,
         return result;
       }
       case Fn::field_accel_at: {
-        auto points = read_vec3s(args);
+        auto points = args.get_span<Vec3>();
         auto before = field->interactions();
         auto accel = field->accel_at(points);
         charge(cost, static_cast<double>(field->interactions() - before) *
                          kernels::BarnesHutTree::kFlopsPerInteraction);
         result.put_vector(accel);
+        return result;
+      }
+      case Fn::field_accel_for: {
+        auto tag = args.get<std::uint64_t>();
+        auto sources_id = args.get<StateId>();
+        auto points_id = args.get<StateId>();
+        auto flags = args.get<std::uint64_t>();
+        FieldTagCache& cache = (*tags)[tag];
+        if (flags & accel_flags::has_sources) {
+          auto mass = args.get_span<double>();
+          auto position = args.get_span<Vec3>();
+          cache.source_mass.assign(mass.begin(), mass.end());
+          cache.source_position.assign(position.begin(), position.end());
+          cache.sources_id = sources_id;
+        } else if (cache.sources_id == 0 || cache.sources_id != sources_id) {
+          throw CodeError("field: no cached sources for tag " +
+                          std::to_string(tag));
+        }
+        if (flags & accel_flags::has_points) {
+          auto points = args.get_span<Vec3>();
+          cache.points.assign(points.begin(), points.end());
+          cache.points_id = points_id;
+        } else if (cache.points_id == 0 || cache.points_id != points_id) {
+          throw CodeError("field: no cached points for tag " +
+                          std::to_string(tag));
+        }
+        // Identical inputs (nonzero ids, same as last computation): the
+        // accel is byte-identical too — reply "unchanged", no payload, no
+        // recompute. This is what empties the first half-kick of every step.
+        if (cache.has_accel && sources_id != 0 && points_id != 0 &&
+            cache.accel_sources_id == sources_id &&
+            cache.accel_points_id == points_id) {
+          result.put<std::uint64_t>(accel_reply_flags::unchanged);
+          return result;
+        }
+        field->set_sources(cache.source_mass, cache.source_position);
+        charge(cost, static_cast<double>(cache.source_position.size()) *
+                         kernels::BarnesHutTree::kBuildFlopsPerParticle);
+        auto before = field->interactions();
+        cache.accel = field->accel_at(cache.points);
+        charge(cost, static_cast<double>(field->interactions() - before) *
+                         kernels::BarnesHutTree::kFlopsPerInteraction);
+        cache.accel_sources_id = sources_id;
+        cache.accel_points_id = points_id;
+        cache.has_accel = true;
+        result.put<std::uint64_t>(0);
+        result.put_span_view(std::span<const Vec3>(cache.accel));
         return result;
       }
       default:
@@ -124,7 +278,7 @@ Dispatcher make_field_dispatcher(std::shared_ptr<kernels::TreeField> field,
 Dispatcher make_se_dispatcher(
     std::shared_ptr<kernels::StellarEvolution> stellar, WorkerCost cost) {
   return [stellar, cost](Fn fn, util::ByteReader& args) -> util::ByteWriter {
-    util::ByteWriter result;
+    util::ByteWriter result = reply_writer();
     switch (fn) {
       case Fn::se_add_stars: {
         auto masses = args.get_vector<double>();
@@ -169,8 +323,10 @@ namespace {
 // Shared by the serial and parallel hydro dispatchers: everything except
 // evolve, which differs.
 util::ByteWriter hydro_common(kernels::SphSystem& sph, Fn fn,
-                              util::ByteReader& args, const WorkerCost& cost) {
-  util::ByteWriter result;
+                              util::ByteReader& args, const WorkerCost& cost,
+                              StateEpochs& epochs,
+                              std::vector<Vec3>& kick_cache) {
+  util::ByteWriter result = reply_writer();
   switch (fn) {
     case Fn::hydro_set_params: {
       sph.params().eps2 = args.get<double>();
@@ -178,22 +334,43 @@ util::ByteWriter hydro_common(kernels::SphSystem& sph, Fn fn,
       return result;
     }
     case Fn::hydro_add_gas: {
-      auto masses = args.get_vector<double>();
-      auto positions = args.get_vector<Vec3>();
-      auto velocities = args.get_vector<Vec3>();
-      auto energies = args.get_vector<double>();
+      auto masses = args.get_span<double>();
+      auto positions = args.get_span<Vec3>();
+      auto velocities = args.get_span<Vec3>();
+      auto energies = args.get_span<double>();
       for (std::size_t i = 0; i < masses.size(); ++i) {
         sph.add_particle(masses[i], positions[i], velocities[i], energies[i]);
       }
+      epochs.bump(state_field::hydro_all);
       return result;
     }
     case Fn::hydro_get_state: {
-      result.put_vector(sph.masses());
-      result.put_vector(sph.positions());
-      result.put_vector(sph.velocities());
-      result.put_vector(sph.internal_energies());
-      result.put_vector(sph.densities());
-      return result;
+      // internal_energies() materializes (u is stored as entropy inside);
+      // keep the copy alive across the reply serialization.
+      std::vector<double> energies = sph.internal_energies();
+      const StateFieldWriter fields[] = {
+          {state_field::mass, 0,
+           [&](util::ByteWriter& out) {
+             out.put_span_view(std::span<const double>(sph.masses()));
+           }},
+          {state_field::position, 1,
+           [&](util::ByteWriter& out) {
+             out.put_span_view(std::span<const Vec3>(sph.positions()));
+           }},
+          {state_field::velocity, 2,
+           [&](util::ByteWriter& out) {
+             out.put_span_view(std::span<const Vec3>(sph.velocities()));
+           }},
+          {state_field::internal_energy, 3,
+           [&](util::ByteWriter& out) {
+             out.put_span(std::span<const double>(energies));
+           }},
+          {state_field::density, 4,
+           [&](util::ByteWriter& out) {
+             out.put_span_view(std::span<const double>(sph.densities()));
+           }},
+      };
+      return delta_state_reply(epochs, args, fields);
     }
     case Fn::hydro_get_energies: {
       double n = static_cast<double>(sph.size());
@@ -204,18 +381,21 @@ util::ByteWriter hydro_common(kernels::SphSystem& sph, Fn fn,
       return result;
     }
     case Fn::hydro_kick_all: {
-      auto kicks = args.get_vector<Vec3>();
+      auto kicks = read_kick(args, kick_cache);
       for (std::size_t i = 0; i < kicks.size(); ++i) {
         sph.kick(static_cast<int>(i), kicks[i]);
       }
+      epochs.bump(state_field::velocity);
       return result;
     }
     case Fn::hydro_inject: {
-      auto indices = args.get_vector<std::int32_t>();
+      auto indices = args.get_span<std::int32_t>();
+      // An odd index count leaves the next span 4-byte aligned; copy out.
       auto amounts = args.get_vector<double>();
       for (std::size_t i = 0; i < indices.size(); ++i) {
         sph.inject_energy(indices[i], amounts[i]);
       }
+      epochs.bump(state_field::internal_energy);
       return result;
     }
     case Fn::hydro_get_time: {
@@ -228,13 +408,20 @@ util::ByteWriter hydro_common(kernels::SphSystem& sph, Fn fn,
   }
 }
 
+constexpr std::uint64_t kHydroEvolveBumps =
+    state_field::position | state_field::velocity |
+    state_field::internal_energy | state_field::density;
+
 }  // namespace
 
 Dispatcher make_hydro_dispatcher(std::shared_ptr<kernels::SphSystem> sph,
                                  WorkerCost cost) {
-  return [sph, cost](Fn fn, util::ByteReader& args) -> util::ByteWriter {
+  auto epochs = std::make_shared<StateEpochs>();
+  auto kick_cache = std::make_shared<std::vector<Vec3>>();
+  return [sph, cost, epochs,
+          kick_cache](Fn fn, util::ByteReader& args) -> util::ByteWriter {
     if (fn == Fn::hydro_evolve) {
-      util::ByteWriter result;
+      util::ByteWriter result = reply_writer();
       double t_end = args.get<double>();
       auto ngb_before = sph->neighbour_interactions();
       auto tree_before = sph->tree_interactions();
@@ -244,9 +431,10 @@ Dispatcher make_hydro_dispatcher(std::shared_ptr<kernels::SphSystem> sph,
                      kernels::SphSystem::kFlopsPerNeighbour +
                  static_cast<double>(sph->tree_interactions() - tree_before) *
                      kernels::SphSystem::kFlopsPerTreeInteraction);
+      epochs->bump(kHydroEvolveBumps);
       return result;
     }
-    return hydro_common(*sph, fn, args, cost);
+    return hydro_common(*sph, fn, args, cost, *epochs, *kick_cache);
   };
 }
 
@@ -359,14 +547,18 @@ void ParallelSph::parallel_steps(mpi::Comm& comm, double t_end) {
 
 Dispatcher make_parallel_hydro_dispatcher(std::shared_ptr<ParallelSph> sph,
                                           WorkerCost cost) {
-  return [sph, cost](Fn fn, util::ByteReader& args) -> util::ByteWriter {
+  auto epochs = std::make_shared<StateEpochs>();
+  auto kick_cache = std::make_shared<std::vector<Vec3>>();
+  return [sph, cost, epochs,
+          kick_cache](Fn fn, util::ByteReader& args) -> util::ByteWriter {
     if (fn == Fn::hydro_evolve) {
-      util::ByteWriter result;
+      util::ByteWriter result = reply_writer();
       double t_end = args.get<double>();
       sph->evolve(t_end);  // cost charged per rank inside
+      epochs->bump(kHydroEvolveBumps);
       return result;
     }
-    return hydro_common(sph->sph(), fn, args, cost);
+    return hydro_common(sph->sph(), fn, args, cost, *epochs, *kick_cache);
   };
 }
 

@@ -48,10 +48,17 @@ void build_topology(const util::Config& config, sim::Network& net) {
           config.get_bool_or(section, "inbound", true);
       host.firewall().nat = config.get_bool_or(section, "nat", false);
     } else if (fields.size() == 3 && fields[0] == "link") {
+      // `stream_mbit` caps what one stream achieves on the link (long fat
+      // pipes); bulk transfers stripe across parallel streams to fill it.
+      double stream_Bps =
+          config.get_double_or(section, "stream_mbit", 0.0) * sim::net::mbit;
+      if (stream_Bps < 0.0) {
+        throw ConfigError("[" + section + "] stream_mbit must be >= 0");
+      }
       net.add_link(fields[1], fields[2],
                    config.get_double_or(section, "latency_ms", 1.0) * ms,
                    config.get_double_or(section, "gbit", 1.0) * gbit,
-                   config.get_or(section, "name", ""));
+                   config.get_or(section, "name", ""), stream_Bps);
     }
   }
 }

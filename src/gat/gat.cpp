@@ -61,14 +61,22 @@ void Job::set_allocation(std::vector<sim::Host*> hosts,
 
 std::vector<sim::Host*> ClusterQueue::free_matching(int count,
                                                     bool needs_gpu) const {
+  // CPU jobs take GPU nodes last: handing the only GPU node to a CPU job
+  // would starve a queued GPU job for the whole run (real schedulers
+  // reserve accelerator nodes the same way).
   std::vector<sim::Host*> matching;
-  for (sim::Host* node : nodes_) {
-    if (!node->is_up()) continue;
-    if (needs_gpu && !node->gpu()) continue;
-    if (std::find(busy_.begin(), busy_.end(), node) != busy_.end()) continue;
-    matching.push_back(node);
-    if (static_cast<int>(matching.size()) == count) break;
-  }
+  auto scan = [&](bool gpu_nodes) {
+    for (sim::Host* node : nodes_) {
+      if (static_cast<int>(matching.size()) == count) return;
+      if (!node->is_up()) continue;
+      if (static_cast<bool>(node->gpu()) != gpu_nodes) continue;
+      if (needs_gpu && !node->gpu()) continue;
+      if (std::find(busy_.begin(), busy_.end(), node) != busy_.end()) continue;
+      matching.push_back(node);
+    }
+  };
+  if (!needs_gpu) scan(false);
+  scan(true);
   return matching;
 }
 

@@ -6,8 +6,20 @@
 #include "kernels/bhtree.hpp"
 #include "kernels/hermite.hpp"
 #include "kernels/sph.hpp"
+#include "smartsockets/connection.hpp"
 
 namespace jungle::sched {
+
+static_assert(LinkCost::kMaxStreams == smartsockets::kMaxStripes,
+              "model must price the stripe counts the transport uses");
+
+double LinkCost::call_seconds(double bytes) const {
+  if (!reachable || bandwidth_Bps <= 0.0) return 1e18;  // effectively never
+  int streams = std::clamp(smartsockets::stripe_count(bytes), 1, kMaxStreams);
+  double bandwidth = bandwidth_by_streams[streams - 1];
+  if (bandwidth <= 0.0) bandwidth = bandwidth_Bps;
+  return rtt_s + bytes / bandwidth;
+}
 
 LinkCost link_between(const sim::Network& net, const sim::Host& client,
                       const sim::Host& host) {
@@ -17,12 +29,36 @@ LinkCost link_between(const sim::Network& net, const sim::Host& client,
     link.reachable = false;
     return link;
   }
+  for (int streams = 1; streams <= LinkCost::kMaxStreams; ++streams) {
+    link.bandwidth_by_streams[streams - 1] =
+        net.path_bandwidth(client, host, streams);
+  }
   link.rtt_s = net.rtt(client, host);
   // Hosts we cannot connect to directly are reached through the hub
   // overlay (ssh tunnels of Fig 10): same wire, extra forwarding hop.
   link.tunneled = !net.can_connect(client, host);
   if (link.tunneled) link.rtt_s *= kTunnelRttFactor;
   return link;
+}
+
+DatapathBytes datapath_bytes(const Workload& load) {
+  double n_s = static_cast<double>(load.n_stars);
+  double n_g = static_cast<double>(load.n_gas);
+  DatapathBytes bytes;
+  // A post-evolve state fetch ships the changed positions (mass unchanged,
+  // velocities not requested by the coupling mask): 24 B/particle + span
+  // framing, on top of the per-call overhead.
+  bytes.grav_state_fetch = kCallOverheadBytes + n_s * 24.0;
+  bytes.hydro_state_fetch = kCallOverheadBytes + n_g * 24.0;
+  // The post-evolve coupler queries upload both directions' fresh inputs:
+  // gas sources (mass+pos) + star points, star sources + gas points.
+  bytes.coupler_upload = 2.0 * kCallOverheadBytes + (n_g * 32.0 + n_s * 24.0) +
+                         (n_s * 32.0 + n_g * 24.0);
+  bytes.coupler_reply = (n_s + n_g) * 24.0;
+  bytes.grav_kick = kCallOverheadBytes + n_s * 24.0;
+  bytes.hydro_kick = kCallOverheadBytes + n_g * 24.0;
+  bytes.idle_call = kCallOverheadBytes;
+  return bytes;
 }
 
 double tree_interactions_per_target(std::size_t n_sources) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <string>
 
@@ -48,21 +49,51 @@ inline constexpr double kStageInBytes = 1e6;
 /// the NAT/inbound detour folded in. All scheduler communication costs are
 /// priced through this.
 struct LinkCost {
+  static constexpr int kMaxStreams = 8;  // == smartsockets::kMaxStripes
+
   double rtt_s = 0.0;
   double bandwidth_Bps = 0.0;
+  /// Path throughput when a transfer rides 1..kMaxStreams parallel streams
+  /// (per-stream caps on long fat links aggregate — smartsockets
+  /// striping). bandwidth_by_streams[0] == bandwidth_Bps.
+  std::array<double, kMaxStreams> bandwidth_by_streams{};
   bool tunneled = false;
   bool reachable = true;
 
-  /// Duration of one synchronous RPC moving `bytes` (request + reply).
-  double call_seconds(double bytes) const {
-    if (!reachable || bandwidth_Bps <= 0.0) return 1e18;  // effectively never
-    return rtt_s + bytes / bandwidth_Bps;
-  }
+  /// Duration of one synchronous RPC moving `bytes` (request + reply),
+  /// priced at the stripe count the transport would actually use for this
+  /// payload (smartsockets::stripe_count).
+  double call_seconds(double bytes) const;
 };
 
 /// Measure the path client->host (rtt, bottleneck bandwidth, tunneling).
 LinkCost link_between(const sim::Network& net, const sim::Host& client,
                       const sim::Host& host);
+
+// ---- per-iteration wire volume of the pipelined delta data path ----
+// The communication term prices what the overhauled path actually ships
+// (measured against scenario runs: see DESIGN.md "Wide-area data path"),
+// not the naive full-state volumes. One bridge step runs two cross-kicks:
+// the post-evolve one moves changed positions, fresh coupler sources/points
+// and full kicks; the post-kick one is all cache hits — header-only RPCs.
+
+/// Fixed per-RPC overhead: frame header + connection framing + the delta
+/// bookkeeping fields (ids/masks) of a state exchange.
+inline constexpr double kCallOverheadBytes = 104.0;
+
+struct DatapathBytes {
+  double grav_state_fetch = 0;   // changed star positions after an evolve
+  double hydro_state_fetch = 0;  // changed gas positions after an evolve
+  double coupler_upload = 0;     // both directions' sources + points
+  double coupler_reply = 0;      // both directions' accelerations
+  double grav_kick = 0;
+  double hydro_kick = 0;
+  double idle_call = 0;          // header-only RPC (cache hit / kick repeat)
+};
+
+/// Payload-per-call volumes of one steady-state bridge iteration, mirroring
+/// the frame layouts in amuse/clients.cpp.
+DatapathBytes datapath_bytes(const Workload& load);
 
 /// Mean Barnes-Hut interactions per evaluation point against `n_sources`.
 double tree_interactions_per_target(std::size_t n_sources);

@@ -102,6 +102,16 @@ const sim::Host* first_gpu(const std::vector<const sim::Host*>& nodes) {
   return nullptr;
 }
 
+/// Representative node for a CPU kernel: a non-GPU node when the resource
+/// has one (the queue keeps GPU nodes for GPU jobs — see
+/// ClusterQueue::free_matching).
+const sim::Host* first_cpu(const std::vector<const sim::Host*>& nodes) {
+  for (const sim::Host* node : nodes) {
+    if (!node->gpu()) return node;
+  }
+  return nodes.front();
+}
+
 }  // namespace
 
 std::vector<Assignment> Scheduler::candidates(Role role,
@@ -139,6 +149,12 @@ std::vector<Assignment> Scheduler::candidates(Role role,
     if (dead_resources_.count(resource.name)) continue;
     // Jobs submit through the frontend: a dead one strands its nodes.
     if (resource.frontend != nullptr && !usable(*resource.frontend)) continue;
+    // ... and one the client cannot even ssh to (NAT'd edge box) cannot
+    // receive a deployment at all — no adapter will reach it.
+    if (resource.frontend != nullptr &&
+        !net_.can_ssh(client_, *resource.frontend)) {
+      continue;
+    }
     std::vector<const sim::Host*> live = live_nodes(resource);
     if (live.empty()) continue;
     switch (role) {
@@ -148,20 +164,21 @@ std::vector<Assignment> Scheduler::candidates(Role role,
         if (const sim::Host* gpu_node = first_gpu(live)) {
           add(resource.name, gpu_node, spec_for(true), 1);
         }
-        add(resource.name, live.front(), spec_for(false), 1);
+        add(resource.name, first_cpu(live), spec_for(false), 1);
         break;
       }
       case Role::hydro: {
         if (live.size() >= 2) {
           int nodes = static_cast<int>(std::min<std::size_t>(live.size(), 8));
-          add(resource.name, live.front(), hydro_spec(nodes, 2), nodes);
+          add(resource.name, first_cpu(live), hydro_spec(nodes, 2), nodes);
         } else {
           add(resource.name, live.front(), hydro_spec(1, 2), 1);
         }
         break;
       }
       case Role::stellar:
-        add(resource.name, live.front(), amuse::WorkerSpec{.code = "sse"}, 1);
+        add(resource.name, first_cpu(live), amuse::WorkerSpec{.code = "sse"},
+            1);
         break;
     }
   }
@@ -196,7 +213,6 @@ bool Scheduler::fits(const Placement& placement) const {
 
 double Scheduler::score(const Workload& load, Placement& placement) const {
   double n_s = static_cast<double>(load.n_stars);
-  double n_g = static_cast<double>(load.n_gas);
 
   std::array<LinkCost, kRoles> wire;
   for (int i = 0; i < kRoles; ++i) {
@@ -239,22 +255,50 @@ double Scheduler::score(const Workload& load, Placement& placement) const {
       std::max(grav.compute_seconds + link(Role::gravity).rtt_s,
                hydro.compute_seconds + link(Role::hydro).rtt_s);
 
-  // --- coupling phase: serial RPC chain of cross_kick, twice per step ---
-  double state_stars = n_s * 56.0;  // mass + position + velocity
-  double state_gas = n_g * 72.0;    // + internal energy + density
+  // --- coupling phase: the pipelined cross-kick, twice per step ---
+  // Each phase (state fetch, field queries, kicks) issues both sides as
+  // concurrent futures: one round trip per phase, with the two coupler
+  // directions sharing the client<->coupler wire (their bytes add). The
+  // post-kick cross-kick is all delta-cache hits — header-only RPCs — while
+  // the post-evolve one moves the changed positions and fresh field inputs.
+  DatapathBytes wire_bytes = datapath_bytes(load);
   Assignment& coup = placement.role(Role::coupler);
   coup.compute_seconds = coupler_compute_seconds(load, rate(Role::coupler));
-  double grav_coupling = 2.0 * (link(Role::gravity).call_seconds(state_stars) +
-                                link(Role::gravity).call_seconds(n_s * 24.0));
-  double hydro_coupling = 2.0 * (link(Role::hydro).call_seconds(state_gas) +
-                                 link(Role::hydro).call_seconds(n_g * 24.0));
+  auto cross_kick = [&](bool fresh) {
+    double fetch = std::max(
+        link(Role::gravity)
+            .call_seconds(fresh ? wire_bytes.grav_state_fetch
+                                : wire_bytes.idle_call),
+        link(Role::hydro).call_seconds(fresh ? wire_bytes.hydro_state_fetch
+                                             : wire_bytes.idle_call));
+    double field = link(Role::coupler)
+                       .call_seconds(fresh ? wire_bytes.coupler_upload +
+                                                 wire_bytes.coupler_reply
+                                           : 2.0 * wire_bytes.idle_call);
+    double kick = std::max(
+        link(Role::gravity)
+            .call_seconds(fresh ? wire_bytes.grav_kick
+                                : wire_bytes.idle_call),
+        link(Role::hydro).call_seconds(fresh ? wire_bytes.hydro_kick
+                                             : wire_bytes.idle_call));
+    return fetch + field + kick;
+  };
+  double grav_coupling =
+      link(Role::gravity).call_seconds(wire_bytes.grav_state_fetch) +
+      link(Role::gravity).call_seconds(wire_bytes.grav_kick) +
+      2.0 * link(Role::gravity).call_seconds(wire_bytes.idle_call);
+  double hydro_coupling =
+      link(Role::hydro).call_seconds(wire_bytes.hydro_state_fetch) +
+      link(Role::hydro).call_seconds(wire_bytes.hydro_kick) +
+      2.0 * link(Role::hydro).call_seconds(wire_bytes.idle_call);
   double coup_transfers =
-      2.0 * (link(Role::coupler).call_seconds(n_g * 32.0) +   // sources: gas
-             link(Role::coupler).call_seconds(n_s * 48.0) +   // field at stars
-             link(Role::coupler).call_seconds(n_s * 32.0) +   // sources: stars
-             link(Role::coupler).call_seconds(n_g * 48.0));   // field at gas
-  double coupling =
-      grav_coupling + hydro_coupling + coup_transfers + coup.compute_seconds;
+      link(Role::coupler)
+          .call_seconds(wire_bytes.coupler_upload + wire_bytes.coupler_reply) +
+      link(Role::coupler).call_seconds(2.0 * wire_bytes.idle_call);
+  // The coupler recomputes only when its inputs changed (once per step).
+  coup.compute_seconds /= 2.0;
+  double coupling = cross_kick(true) + cross_kick(false) +
+                    coup.compute_seconds;
   grav.comm_seconds = grav_coupling + link(Role::gravity).rtt_s;
   hydro.comm_seconds = hydro_coupling + link(Role::hydro).rtt_s;
   coup.comm_seconds = coup_transfers;
@@ -264,9 +308,11 @@ double Scheduler::score(const Workload& load, Placement& placement) const {
   se.compute_seconds = stellar_compute_seconds(load, rate(Role::stellar));
   double stellar = 0.0;
   if (load.with_stellar_evolution) {
+    // Masses over, masses back, supernovae; one delta state fetch on the
+    // gravity side (mass changed by the previous update) + new masses out.
     double per_exchange =
         3.0 * link(Role::stellar).call_seconds(n_s * 8.0) +
-        link(Role::gravity).call_seconds(state_stars) +
+        link(Role::gravity).call_seconds(n_s * 8.0 + kCallOverheadBytes) +
         link(Role::gravity).call_seconds(n_s * 8.0);
     se.comm_seconds = per_exchange / std::max(1, load.se_every);
     stellar = se.comm_seconds + se.compute_seconds;

@@ -47,7 +47,8 @@ Host& Network::add_host(const std::string& name, const std::string& site,
 
 Link& Network::add_link(const std::string& site_a, const std::string& site_b,
                         double latency_s, double bandwidth_Bps,
-                        const std::string& name) {
+                        const std::string& name,
+                        double stream_bandwidth_Bps) {
   if (!sites_.count(site_a)) add_site(site_a);
   if (!sites_.count(site_b)) add_site(site_b);
   auto link = std::make_unique<Link>();
@@ -56,6 +57,7 @@ Link& Network::add_link(const std::string& site_a, const std::string& site_b,
   link->site_b = site_b;
   link->latency_s = latency_s;
   link->bandwidth_Bps = bandwidth_Bps;
+  link->stream_bandwidth_Bps = stream_bandwidth_Bps;
   wan_links_.push_back(std::move(link));
   return *wan_links_.back();
 }
@@ -179,24 +181,29 @@ double Network::rtt(const Host& from, const Host& to) const {
   return 2 * one_way;
 }
 
-double Network::path_bandwidth(const Host& from, const Host& to) const {
+double Network::path_bandwidth(const Host& from, const Host& to,
+                               int streams) const {
   if (&from == &to) return loopback_bw_;
   const Site& site_from = sites_.at(from.site());
   const Site& site_to = sites_.at(to.site());
-  if (from.site() == to.site()) return site_from.lan.bandwidth_Bps;
+  if (from.site() == to.site()) {
+    return site_from.lan.effective_bandwidth(streams);
+  }
   auto wan = route(from.site(), to.site());
   if (!wan) return 0.0;
-  double narrowest =
-      std::min(site_from.lan.bandwidth_Bps, site_to.lan.bandwidth_Bps);
+  double narrowest = std::min(site_from.lan.effective_bandwidth(streams),
+                              site_to.lan.effective_bandwidth(streams));
   for (std::size_t index : *wan) {
-    narrowest = std::min(narrowest, wan_links_[index]->bandwidth_Bps);
+    narrowest =
+        std::min(narrowest, wan_links_[index]->effective_bandwidth(streams));
   }
   return narrowest;
 }
 
 std::optional<double> Network::send(const Host& from, const Host& to,
                                     double bytes, TrafficClass cls,
-                                    std::function<void()> on_delivery) {
+                                    std::function<void()> on_delivery,
+                                    int streams) {
   // Loopback has its own parameters but the same FIFO occupancy: a burst
   // of messages serializes at the configured bandwidth.
   if (&from == &to) {
@@ -218,7 +225,7 @@ std::optional<double> Network::send(const Host& from, const Host& to,
       return std::nullopt;  // lost; transports above retry
     }
     double start = std::max(t, link->busy_until);
-    double occupy = bytes / link->bandwidth_Bps;
+    double occupy = bytes / link->effective_bandwidth(streams);
     link->busy_until = start + occupy;
     link->bytes_by_class[static_cast<int>(cls)] += bytes;
     ++link->messages;

@@ -39,6 +39,12 @@ struct Link {
   std::string site_b;
   double latency_s;
   double bandwidth_Bps;
+  /// What a *single* stream achieves on this link (long fat pipes: the TCP
+  /// window over a high RTT caps a connection far below the lightpath's
+  /// capacity — the reason SmartSockets stripes bulk transfers over
+  /// parallel streams). 0 = no per-stream cap (a single stream fills the
+  /// link, the default for LANs and short links).
+  double stream_bandwidth_Bps = 0.0;
   double busy_until = 0.0;
   bool down = false;
   std::array<double, kTrafficClasses> bytes_by_class{};
@@ -48,6 +54,14 @@ struct Link {
     double sum = 0;
     for (double b : bytes_by_class) sum += b;
     return sum;
+  }
+
+  /// Throughput of a transfer carried over `streams` parallel streams:
+  /// per-stream caps aggregate until the link capacity saturates.
+  double effective_bandwidth(int streams) const noexcept {
+    if (stream_bandwidth_Bps <= 0.0) return bandwidth_Bps;
+    double aggregated = stream_bandwidth_Bps * (streams < 1 ? 1 : streams);
+    return aggregated < bandwidth_Bps ? aggregated : bandwidth_Bps;
   }
 };
 
@@ -66,9 +80,11 @@ class Network {
                  double cpu_gflops_per_core);
 
   /// WAN link between two sites (e.g. the transatlantic 1G lightpath).
+  /// `stream_bandwidth_Bps` caps what one stream achieves (0 = uncapped).
   Link& add_link(const std::string& site_a, const std::string& site_b,
                  double latency_s, double bandwidth_Bps,
-                 const std::string& name = "");
+                 const std::string& name = "",
+                 double stream_bandwidth_Bps = 0.0);
 
   Host& host(const std::string& name);
   const Host& host(const std::string& name) const;
@@ -96,17 +112,23 @@ class Network {
   /// of the LAN segments and WAN links a message crosses; the loopback rate
   /// for a host talking to itself. 0 when the sites are unreachable. Cost
   /// queries only (no traffic is charged) — the placement scheduler scores
-  /// candidate kernel->host assignments with this.
-  double path_bandwidth(const Host& from, const Host& to) const;
+  /// candidate kernel->host assignments with this. `streams` prices a
+  /// transfer striped over that many parallel streams (per-stream caps
+  /// aggregate, see Link::effective_bandwidth).
+  double path_bandwidth(const Host& from, const Host& to,
+                        int streams = 1) const;
 
   /// One-way message: advances link occupancy, accounts traffic, schedules
   /// `on_delivery` at the arrival time. Returns the arrival time, or
   /// nullopt if a link on the path is down (the message is lost — transport
   /// layers above retry). No firewall check: that applies to connection
-  /// setup, not established flows.
+  /// setup, not established flows. `streams` is the stripe count the
+  /// transport chose for this transfer (bandwidth aggregation on
+  /// stream-capped links).
   std::optional<double> send(const Host& from, const Host& to, double bytes,
                              TrafficClass cls,
-                             std::function<void()> on_delivery = {});
+                             std::function<void()> on_delivery = {},
+                             int streams = 1);
 
   /// Mark a WAN link down/up by name (transient failure injection).
   void set_link_down(const std::string& name, bool down);

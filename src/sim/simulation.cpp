@@ -43,9 +43,14 @@ void Simulation::shutdown() {
 
 bool Simulation::in_process() noexcept { return t_in_process; }
 
+Simulation::Pcb* Simulation::pcb_of(ProcessId pid) const {
+  std::unique_lock lock(mutex_);
+  return processes_.at(pid).get();
+}
+
 std::string Simulation::current_name() const {
   if (!t_in_process || t_sim != this) return "";
-  return processes_[t_pid]->name;
+  return pcb_of(t_pid)->name;
 }
 
 ProcessId Simulation::current_pid() const {
@@ -175,9 +180,9 @@ void Simulation::yield_and_wait(std::unique_lock<std::mutex>& lock, Pcb& pcb) {
 
 void Simulation::block_current() {
   assert(t_in_process && t_sim == this);
+  std::unique_lock lock(mutex_);
   Pcb& pcb = *processes_.at(t_pid);
   if (pcb.kill) return;  // unwinding after a kill: do not block again
-  std::unique_lock lock(mutex_);
   pcb.state = PState::blocked;
   yield_and_wait(lock, pcb);
   pcb.state = PState::runnable;
@@ -187,8 +192,7 @@ void Simulation::sleep(double seconds) {
   if (!t_in_process || t_sim != this) {
     throw Error("sleep() outside a simulated process");
   }
-  Pcb& pcb = *processes_.at(t_pid);
-  if (pcb.kill) return;
+  if (pcb_of(t_pid)->kill) return;
   schedule_wake(now_ + seconds, t_pid);
   block_current();
 }
@@ -197,8 +201,7 @@ void Simulation::yield_now() {
   if (!t_in_process || t_sim != this) {
     throw Error("yield_now() outside a simulated process");
   }
-  Pcb& pcb = *processes_.at(t_pid);
-  if (pcb.kill) return;
+  if (pcb_of(t_pid)->kill) return;
   schedule_wake(now_, t_pid);
   block_current();
 }
@@ -220,14 +223,17 @@ void Simulation::trampoline(ProcessId pid) {
   t_sim = this;
   t_pid = pid;
   t_in_process = true;
-  Pcb& pcb = *processes_.at(pid);
+  Pcb* pcb_ptr = nullptr;
   {
     std::unique_lock lock(mutex_);
-    pcb.cv.wait(lock, [&pcb] { return pcb.baton; });
-    pcb.baton = false;
-    ++pcb.wake_gen;
-    pcb.state = PState::runnable;
+    pcb_ptr = processes_.at(pid).get();
+    Pcb& waiting = *pcb_ptr;
+    waiting.cv.wait(lock, [&waiting] { return waiting.baton; });
+    waiting.baton = false;
+    ++waiting.wake_gen;
+    waiting.state = PState::runnable;
   }
+  Pcb& pcb = *pcb_ptr;
   if (!pcb.kill) {
     try {
       pcb.body();
@@ -248,8 +254,7 @@ void Signal::wait() {
     throw Error("Signal::wait() outside a simulated process");
   }
   ProcessId self = sim_->current_pid();
-  Simulation::Pcb& pcb = *sim_->processes_.at(self);
-  if (pcb.kill) return;
+  if (sim_->pcb_of(self)->kill) return;
   waiters_.push_back(self);
   sim_->block_current();
   // notify_* removes the pid before scheduling the wake; erase is a no-op on
@@ -262,8 +267,7 @@ bool Signal::wait_for(double timeout_s) {
     throw Error("Signal::wait_for() outside a simulated process");
   }
   ProcessId self = sim_->current_pid();
-  Simulation::Pcb& pcb = *sim_->processes_.at(self);
-  if (pcb.kill) return false;
+  if (sim_->pcb_of(self)->kill) return false;
   waiters_.push_back(self);
   sim_->schedule_wake(sim_->now() + timeout_s, self);
   sim_->block_current();

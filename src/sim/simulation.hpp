@@ -145,6 +145,11 @@ class Simulation {
     }
   };
 
+  // Locked lookup of a process control block. The vector reallocates on
+  // spawn; every cross-thread access must resolve the (stable, heap-owned)
+  // Pcb pointer under the mutex rather than index the vector unlocked.
+  Pcb* pcb_of(ProcessId pid) const;
+
   // Process-side: give the baton back and wait until granted again.
   // Precondition: lock held. Throws ProcessKilled if killed meanwhile.
   void yield_and_wait(std::unique_lock<std::mutex>& lock, Pcb& pcb);

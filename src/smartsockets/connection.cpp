@@ -1,5 +1,8 @@
 #include "smartsockets/connection.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/logging.hpp"
 
 namespace jungle::smartsockets {
@@ -11,6 +14,12 @@ constexpr double kFrameOverheadBytes = 32.0;
 // Retry pause when a hop's link is down (transient-failure handling).
 constexpr double kRetryDelay = 0.05;
 }  // namespace
+
+int stripe_count(double bytes) noexcept {
+  if (bytes <= kStripeThresholdBytes) return 1;
+  int chunks = static_cast<int>(std::ceil(bytes / kStripeChunkBytes));
+  return std::min(chunks, kMaxStripes);
+}
 
 const char* connection_kind_name(ConnectionKind kind) noexcept {
   switch (kind) {
@@ -32,6 +41,7 @@ void ConnectionEnd::send(std::vector<std::uint8_t> bytes) {
   if (broken_) throw ConnectError("send on broken connection");
   if (closed_) throw ConnectError("send on closed connection");
   bytes_sent_ += static_cast<double>(bytes.size());
+  if (stripe_count(static_cast<double>(bytes.size())) > 1) ++striped_sends_;
   pipe_->route(this, Frame{next_send_seq_++, std::move(bytes), false});
 }
 
@@ -141,15 +151,19 @@ void Pipe::hop(bool forward, std::size_t hop_index,
   sim::Host* from = forward ? hops_[hop_index] : hops_[hop_count - hop_index];
   sim::Host* to =
       forward ? hops_[hop_index + 1] : hops_[hop_count - hop_index - 1];
+  // Bulk frames split across parallel streams: each stream pays its own
+  // framing, and stream-capped links aggregate bandwidth across them.
+  int streams = stripe_count(static_cast<double>(frame.bytes.size()));
   double wire_bytes = static_cast<double>(frame.bytes.size()) +
-                      kFrameOverheadBytes;
+                      kFrameOverheadBytes * streams;
   auto self = shared_from_this();
   auto frame_ptr = std::make_shared<ConnectionEnd::Frame>(std::move(frame));
   auto arrival = net_.send(*from, *to, wire_bytes, cls_,
                            [self, forward, hop_index, frame_ptr]() mutable {
                              self->hop(forward, hop_index + 1,
                                        std::move(*frame_ptr));
-                           });
+                           },
+                           streams);
   if (!arrival) {
     // Transient failure: retry this hop after a pause (paper §5: "our
     // communication library can handle transient network failures").

@@ -17,6 +17,17 @@ enum class ConnectionKind { direct, reverse, relayed };
 
 const char* connection_kind_name(ConnectionKind kind) noexcept;
 
+/// Striped bulk transfers (the SmartSockets/Ibis WAN-throughput trick the
+/// paper's runs rely on): frames above the threshold are carried over
+/// parallel streams, one per chunk up to the cap, so stream-capped
+/// long-fat links aggregate bandwidth (sim::Link::effective_bandwidth).
+inline constexpr double kStripeThresholdBytes = 64.0 * 1024.0;
+inline constexpr double kStripeChunkBytes = 64.0 * 1024.0;
+inline constexpr int kMaxStripes = 8;
+
+/// Streams a payload of `bytes` is carried over.
+int stripe_count(double bytes) noexcept;
+
 class Pipe;
 
 /// One endpoint of an established SmartSockets connection. Messages are
@@ -43,6 +54,8 @@ class ConnectionEnd {
 
   /// Total payload bytes sent from this end (monitoring).
   double bytes_sent() const noexcept { return bytes_sent_; }
+  /// Frames that went out striped over parallel streams (monitoring).
+  std::uint64_t striped_sends() const noexcept { return striped_sends_; }
 
  private:
   friend class Pipe;
@@ -69,6 +82,7 @@ class ConnectionEnd {
   bool broken_ = false;
   bool closed_ = false;
   double bytes_sent_ = 0;
+  std::uint64_t striped_sends_ = 0;
 };
 
 /// Shared state of a connection: the two ends plus the hop path the frames

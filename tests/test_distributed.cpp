@@ -355,6 +355,202 @@ TEST(Distributed, FaultPolicyRestartsOnReplacementResource) {
   EXPECT_NEAR(final_time, 0.1, 1e-9);
 }
 
+TEST(Distributed, DeathNoticePoisonsInFlightBatch) {
+  // The pipelined cross-kick keeps several futures in flight at once; a
+  // death notice arriving mid-batch must fail every one of them with the
+  // host and cause intact (the fault path keys its exclusions on those).
+  Lab lab;
+  int failed = 0;
+  std::vector<std::string> hosts;
+  std::vector<WorkerDiedError::Cause> causes;
+  lab.run([&] {
+    DaemonClient client(lab.sockets, *lab.desktop);
+    WorkerSpec spec;
+    spec.code = "phigrape-gpu";
+    GravityClient gravity(client.start_worker(spec, "lgm"));
+    util::Rng rng(1);
+    auto model = ic::plummer_sphere(256, rng);
+    gravity.add_particles(model.mass, model.position, model.velocity);
+    // A long evolve plus a pipelined batch queued behind it.
+    Future evolving = gravity.evolve_async(5.0);
+    Future state = gravity.request_state(jungle::amuse::state_field::coupling);
+    std::vector<Vec3> kicks(model.mass.size(), Vec3{1e-3, 0, 0});
+    Future kicked = gravity.kick_async(kicks);
+    lab.sim.sleep(0.01);
+    lab.lgm_node->crash();
+    for (Future* future : {&evolving, &state, &kicked}) {
+      try {
+        future->get();
+      } catch (const WorkerDiedError& death) {
+        ++failed;
+        hosts.push_back(death.host());
+        causes.push_back(death.cause());
+      }
+    }
+  });
+  EXPECT_EQ(failed, 3);
+  for (const std::string& host : hosts) EXPECT_EQ(host, "lgm-node");
+  for (auto cause : causes) {
+    EXPECT_EQ(cause, WorkerDiedError::Cause::host_crash);
+  }
+}
+
+TEST(Distributed, DeltaExchangeTracksChangesAndKickRepeats) {
+  Lab lab;
+  lab.run([&] {
+    WorkerSpec spec{.code = "phigrape", .ncores = 2};
+    GravityClient gravity(start_local_worker(lab.sockets, lab.net,
+                                             *lab.desktop, *lab.desktop, spec,
+                                             ChannelKind::mpi));
+    util::Rng rng(9);
+    auto model = ic::plummer_sphere(32, rng);
+    gravity.add_particles(model.mass, model.position, model.velocity);
+    GravityState before = gravity.get_state();
+    auto id_before = gravity.coupling_sources_id();
+    gravity.evolve(0.125);
+    GravityState after = gravity.get_state();
+    // Positions moved and the delta cache tracked them.
+    EXPECT_NE(before.position[0].x, after.position[0].x);
+    EXPECT_NE(gravity.coupling_sources_id(), id_before);
+    EXPECT_EQ(after.mass, before.mass);  // masses unchanged, still correct
+
+    // An identical kick sent twice: the second rides the repeat path and
+    // must still be applied (velocities advance twice).
+    std::vector<Vec3> kicks(model.mass.size(), Vec3{0.5, 0, 0});
+    gravity.kick(kicks);
+    double vx_once = gravity.get_state().velocity[0].x;
+    gravity.kick(kicks);
+    double vx_twice = gravity.get_state().velocity[0].x;
+    EXPECT_DOUBLE_EQ(vx_twice - vx_once, 0.5);
+    gravity.close();
+  });
+}
+
+TEST(Distributed, FieldAccelForCachesUnchangedInputs) {
+  using jungle::amuse::FieldTag;
+  using jungle::amuse::make_state_id;
+  Lab lab;
+  lab.run([&] {
+    DaemonClient client(lab.sockets, *lab.desktop);
+    WorkerSpec spec{.code = "octgrav"};
+    FieldClient field(client.start_worker(spec, "lgm"));
+    util::Rng rng(3);
+    auto model = ic::plummer_sphere(2000, rng);
+    std::vector<Vec3> points{{1, 0, 0}, {0, 2, 0}, {0, 0, 3}};
+    auto sources_id = make_state_id(7, 1);
+    auto points_id = make_state_id(8, 1);
+
+    double t0 = lab.sim.now();
+    Future first = field.accel_for_async(FieldTag::gas_on_stars, sources_id,
+                                         model.mass, model.position,
+                                         points_id, points);
+    std::vector<Vec3> accel_first =
+        field.finish_accel(FieldTag::gas_on_stars, first);
+    double first_cost = lab.sim.now() - t0;
+
+    // Same content ids: nothing is uploaded, nothing recomputed, and the
+    // cached accelerations come back bit-identical.
+    double t1 = lab.sim.now();
+    Future second = field.accel_for_async(FieldTag::gas_on_stars, sources_id,
+                                          model.mass, model.position,
+                                          points_id, points);
+    const std::vector<Vec3>& accel_second =
+        field.finish_accel(FieldTag::gas_on_stars, second);
+    double second_cost = lab.sim.now() - t1;
+    ASSERT_EQ(accel_second.size(), accel_first.size());
+    for (std::size_t i = 0; i < accel_first.size(); ++i) {
+      EXPECT_EQ(accel_second[i].x, accel_first[i].x);
+    }
+    EXPECT_LT(second_cost, 0.5 * first_cost);
+
+    // Changed sources (new id): recompute with the fresh upload.
+    std::vector<double> doubled = model.mass;
+    for (double& m : doubled) m *= 2.0;
+    Future third = field.accel_for_async(
+        FieldTag::gas_on_stars, make_state_id(7, 2), doubled, model.position,
+        points_id, points);
+    const std::vector<Vec3>& accel_third =
+        field.finish_accel(FieldTag::gas_on_stars, third);
+    EXPECT_NEAR(accel_third[0].x, 2.0 * accel_first[0].x,
+                1e-9 * std::abs(accel_first[0].x));
+    field.close();
+  });
+}
+
+TEST(Distributed, RestartedWorkerMintsFreshStateIds) {
+  // The rollback/replay invalidation story: content ids carry a worker
+  // instance nonce, so a replacement worker serving the very same particle
+  // data can never alias the dead worker's entries in downstream caches
+  // (the coupler's source/point/accel tags).
+  Lab lab;
+  lab.run([&] {
+    WorkerSpec spec{.code = "phigrape", .ncores = 2};
+    util::Rng rng(4);
+    auto model = ic::plummer_sphere(16, rng);
+    GravityClient first(start_local_worker(lab.sockets, lab.net, *lab.desktop,
+                                           *lab.desktop, spec,
+                                           ChannelKind::mpi));
+    first.add_particles(model.mass, model.position, model.velocity);
+    first.get_state();
+    GravityClient second(start_local_worker(lab.sockets, lab.net,
+                                            *lab.desktop, *lab.desktop, spec,
+                                            ChannelKind::mpi));
+    second.add_particles(model.mass, model.position, model.velocity);
+    second.get_state();
+    EXPECT_NE(first.coupling_sources_id(), second.coupling_sources_id());
+    first.close();
+    second.close();
+  });
+}
+
+TEST(Distributed, PipelinedBridgeMatchesSynchronousBitExact) {
+  // Acceptance: the pipelined/delta data path must be a pure wire
+  // optimization — the physics trajectory is bit-identical to the serial
+  // full-fetch baseline, stellar feedback and all.
+  auto run_bridge = [](bool synchronous) {
+    Lab lab;
+    GravityState stars;
+    HydroState gas;
+    lab.run([&] {
+      BridgeRig rig(lab);
+      Bridge::Config config;
+      config.dt = 1.0 / 64.0;
+      config.se_every = 2;
+      config.myr_per_nbody_time = 4.0;
+      config.feedback_efficiency = 0.5;
+      config.wind_specific_energy = 50.0;
+      config.supernova_energy = 50.0;
+      config.synchronous_datapath = synchronous;
+      rig.stars->set_delta_exchange(!synchronous);
+      rig.gas->set_delta_exchange(!synchronous);
+      rig.coupler->set_delta_exchange(!synchronous);
+      Bridge bridge(*rig.stars, *rig.gas, *rig.coupler, rig.se.get(), config);
+      for (int i = 0; i < 4; ++i) bridge.step();
+      stars = rig.stars->get_state();
+      gas = rig.gas->get_state();
+      rig.close();
+    });
+    return std::pair{stars, gas};
+  };
+  auto [stars_sync, gas_sync] = run_bridge(true);
+  auto [stars_pipe, gas_pipe] = run_bridge(false);
+  ASSERT_EQ(stars_sync.position.size(), stars_pipe.position.size());
+  ASSERT_EQ(gas_sync.position.size(), gas_pipe.position.size());
+  for (std::size_t i = 0; i < stars_sync.position.size(); ++i) {
+    EXPECT_EQ(stars_sync.mass[i], stars_pipe.mass[i]);
+    EXPECT_EQ(stars_sync.position[i].x, stars_pipe.position[i].x);
+    EXPECT_EQ(stars_sync.position[i].y, stars_pipe.position[i].y);
+    EXPECT_EQ(stars_sync.position[i].z, stars_pipe.position[i].z);
+    EXPECT_EQ(stars_sync.velocity[i].x, stars_pipe.velocity[i].x);
+  }
+  for (std::size_t i = 0; i < gas_sync.position.size(); ++i) {
+    EXPECT_EQ(gas_sync.position[i].x, gas_pipe.position[i].x);
+    EXPECT_EQ(gas_sync.velocity[i].x, gas_pipe.velocity[i].x);
+    EXPECT_EQ(gas_sync.internal_energy[i], gas_pipe.internal_energy[i]);
+    EXPECT_EQ(gas_sync.density[i], gas_pipe.density[i]);
+  }
+}
+
 TEST(Distributed, ResourceSelectorFindsReplacement) {
   Lab lab;
   zorilla::Overlay overlay(lab.net, 7);

@@ -91,7 +91,9 @@ TEST(Gat, SgeJobWaitsForQueueAndRuns) {
     EXPECT_EQ(job->wait_until_terminal(), JobState::stopped);
   });
   w.sim.run();
-  EXPECT_EQ(ran_on, "node0");
+  // node0 carries the cluster's GPU; the queue keeps it for GPU jobs and
+  // hands this CPU job the first CPU-only node.
+  EXPECT_EQ(ran_on, "node1");
   EXPECT_GE(started_at, 2.0);  // sge default queue delay
   EXPECT_EQ(job->adapter(), "sge");
 }
@@ -134,6 +136,35 @@ TEST(Gat, GpuRequestGetsGpuNode) {
   });
   w.sim.run();
   EXPECT_TRUE(had_gpu);
+}
+
+TEST(Gat, CpuJobsLeaveGpuNodesForGpuJobs) {
+  // One GPU in the cluster, CPU jobs submitted first: first-fit would park
+  // a CPU job on the GPU node and starve the GPU job for the whole run.
+  World w(3, 1);
+  auto broker_ptr = w.make_broker(); Broker& broker = *broker_ptr;
+  std::string gpu_ran_on;
+  JobDescription cpu_desc;
+  cpu_desc.name = "cpu-worker";
+  cpu_desc.main = [&](JobContext& context) {
+    context.hosts.front()->simulation().sleep(5.0);  // holds its node
+  };
+  JobDescription gpu_desc;
+  gpu_desc.name = "cuda-worker";
+  gpu_desc.needs_gpu = true;
+  gpu_desc.main = [&](JobContext& context) {
+    gpu_ran_on = context.hosts.front()->name();
+  };
+  w.client->spawn("script", [&] {
+    auto cpu_a = broker.submit(cpu_desc, w.cluster);
+    auto cpu_b = broker.submit(cpu_desc, w.cluster);
+    auto gpu = broker.submit(gpu_desc, w.cluster);
+    gpu->wait_until_terminal();
+    cpu_a->wait_until_terminal();
+    cpu_b->wait_until_terminal();
+  });
+  w.sim.run();
+  EXPECT_EQ(gpu_ran_on, "node0");  // the GPU node stayed free for it
 }
 
 TEST(Gat, GpuRequestOnCpuClusterFails) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "amuse/scenario.hpp"
 
 using namespace jungle::amuse::scenario;
@@ -13,6 +16,16 @@ Options small_options() {
   options.iterations = 1;
   options.with_stellar_evolution = false;  // keep the smoke tests fast
   return options;
+}
+
+jungle::util::Config load_topology(const std::string& name) {
+  std::string path =
+      std::string(JUNGLE_SOURCE_DIR) + "/examples/topologies/" + name;
+  std::ifstream in(path);
+  if (!in) throw jungle::ConfigError("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return jungle::util::Config::parse(text.str());
 }
 
 }  // namespace
@@ -133,6 +146,87 @@ client = desktop
   EXPECT_NE(result.placement.find("fi"), std::string::npos);
 }
 
+// ------------------------------------------- wide-area data path (PR 3)
+
+TEST(Scenario, PipelinedDataPathShipsFarFewerWanBytes) {
+  // The delta exchange + combined coupler queries against the serial
+  // full-fetch baseline, on the jungle map where coupling crosses WANs.
+  Options options = small_options();
+  options.iterations = 4;  // let the delta caches settle past the cold start
+  options.datapath = Datapath::synchronous;
+  Result sync = run_scenario(Kind::jungle, options);
+  options.datapath = Datapath::pipelined;
+  Result pipelined = run_scenario(Kind::jungle, options);
+  EXPECT_LT(pipelined.wan_ipl_bytes_per_step,
+            0.6 * sync.wan_ipl_bytes_per_step);
+  EXPECT_LE(pipelined.seconds_per_iteration, sync.seconds_per_iteration);
+  // A pure wire optimization: the trajectory observable is bit-identical.
+  EXPECT_DOUBLE_EQ(pipelined.bound_gas_fraction, sync.bound_gas_fraction);
+}
+
+TEST(Scenario, TopologyCorpusPlacesAndRunsSanely) {
+  // Every deployment INI in examples/topologies is a runnable scenario:
+  // autoplace must produce a finite-cost plan with every role mapped to a
+  // reachable machine, and a short run must complete.
+  const char* corpus[] = {"lan-dense.ini", "asymmetric-bandwidth.ini",
+                          "deep-wan-3hop.ini", "nat-edge.ini",
+                          "transatlantic-stripe.ini"};
+  Options options = small_options();
+  for (const char* name : corpus) {
+    SCOPED_TRACE(name);
+    jungle::util::Config config = load_topology(name);
+    JungleTestbed bed(config);
+    auto plan = placement_for(bed, Kind::autoplace, options);
+    EXPECT_LT(plan.modeled_seconds_per_iteration, 1e6);
+    for (const auto& assignment : plan.roles) {
+      ASSERT_NE(assignment.host, nullptr);
+      EXPECT_FALSE(assignment.spec.code.empty());
+    }
+    Result result = run_scenario_config(load_topology(name), options);
+    EXPECT_GT(result.seconds_per_iteration, 0.0);
+    EXPECT_GT(result.bound_gas_fraction, 0.0);
+    EXPECT_EQ(result.restarts, 0);
+  }
+}
+
+TEST(Scenario, DeepWanPlacementGoesRemoteAndStripes) {
+  // On the 3-hop deep-WAN topology the weak edge client cannot carry the
+  // models: the plan must cross the WAN, which is what the pipelined path
+  // (and the striped bulk transfers on its stream-capped links) is for.
+  // Needs a real problem size — at toy sizes everything fits the laptop.
+  Options options = small_options();
+  options.n_stars = 400;
+  options.n_gas = 3000;
+  options.iterations = 2;
+  JungleTestbed bed(load_topology("deep-wan-3hop.ini"));
+  auto plan = placement_for(bed, Kind::autoplace, options);
+  int remote_roles = 0;
+  for (const auto& assignment : plan.roles) {
+    if (!assignment.local()) ++remote_roles;
+  }
+  EXPECT_GE(remote_roles, 2);
+
+  options.datapath = Datapath::synchronous;
+  Result sync = run_scenario_config(load_topology("deep-wan-3hop.ini"),
+                                    options);
+  options.datapath = Datapath::pipelined;
+  Result pipelined = run_scenario_config(load_topology("deep-wan-3hop.ini"),
+                                         options);
+  EXPECT_LT(pipelined.seconds_per_iteration, sync.seconds_per_iteration);
+}
+
+TEST(Scenario, NatEdgeNeverPlacesOnUnreachableFrontend) {
+  // gamer-pc sits behind NAT: no middleware can reach it from the (also
+  // NAT'd) client, so the planner must not choose it even though its GPU
+  // looks attractive.
+  Options options = small_options();
+  JungleTestbed bed(load_topology("nat-edge.ini"));
+  auto plan = placement_for(bed, Kind::autoplace, options);
+  for (const auto& assignment : plan.roles) {
+    EXPECT_EQ(assignment.resource.find("gamer-pc"), std::string::npos);
+  }
+}
+
 TEST(Scenario, AutoplaceFaultReplacementCompletesRun) {
   // Kill the host running gravity mid-run: the scheduler must re-place it
   // on a surviving machine and the run must finish with physics close to
@@ -163,4 +257,15 @@ TEST(Scenario, AutoplaceFaultReplacementCompletesRun) {
   EXPECT_EQ(recovered.placement.find(gravity_host), std::string::npos);
   EXPECT_NEAR(recovered.bound_gas_fraction, clean.bound_gas_fraction, 0.05);
   EXPECT_NE(recovered.dashboard.find("restarts=1"), std::string::npos);
+
+  // Delta caches must be invalidated across the rollback/replay: the
+  // recovered pipelined run lands bit-exactly on the synchronous baseline
+  // recovering from the same fault — a stale client state cache or coupler
+  // source/accel cache would diverge the replayed trajectory.
+  Options faulty_sync = faulty;
+  faulty_sync.datapath = Datapath::synchronous;
+  Result recovered_sync = run_scenario(Kind::autoplace, faulty_sync);
+  EXPECT_EQ(recovered_sync.restarts, 1);
+  EXPECT_DOUBLE_EQ(recovered.bound_gas_fraction,
+                   recovered_sync.bound_gas_fraction);
 }

@@ -258,6 +258,62 @@ TEST(Sched, ResourceOfMapsHostsToResources) {
   EXPECT_EQ(scheduler.resource_of("desktop"), "");
 }
 
+// ------------------------------ communication term (data-path overhaul)
+
+TEST(Sched, CommTermMatchesMeasuredSteadyStateWanBytes) {
+  // The model's per-iteration wire volume is fed from what the pipelined
+  // data path actually ships. Measure the steady-state bytes per step on a
+  // remote-coupler run by differencing two run lengths (cancels the cold
+  // start), and require the model to land within 25%.
+  using jungle::amuse::scenario::Datapath;
+  using jungle::amuse::scenario::Options;
+  using jungle::amuse::scenario::Result;
+  using jungle::amuse::scenario::run_scenario;
+  Options options;
+  options.n_stars = 300;
+  options.n_gas = 1500;
+  options.with_stellar_evolution = false;
+  options.iterations = 2;
+  Result short_run = run_scenario(Kind::remote_gpu, options);
+  options.iterations = 4;
+  Result long_run = run_scenario(Kind::remote_gpu, options);
+  double measured_per_step =
+      (long_run.wan_ipl_bytes - short_run.wan_ipl_bytes) / 2.0;
+
+  Workload load;
+  load.n_stars = options.n_stars;
+  load.n_gas = options.n_gas;
+  load.with_stellar_evolution = false;
+  DatapathBytes wire = datapath_bytes(load);
+  // Only the coupler is remote in the remote_gpu configuration: one fresh
+  // exchange + one all-cache-hit exchange per step.
+  double modeled_per_step = wire.coupler_upload + wire.coupler_reply +
+                            2.0 * wire.idle_call;
+  EXPECT_GT(measured_per_step, 0.75 * modeled_per_step);
+  EXPECT_LT(measured_per_step, 1.25 * modeled_per_step);
+}
+
+TEST(Sched, ModeledKindOrderingsMatchThePaper) {
+  // Re-pricing communication from the new data path must not reorder the
+  // paper's configuration table (E1's shape, on the model side).
+  using jungle::amuse::scenario::placement_for;
+  jungle::amuse::scenario::Options options;
+  options.n_stars = 1000;
+  options.n_gas = 10000;
+  JungleTestbed bed;
+  double local_cpu =
+      placement_for(bed, Kind::local_cpu, options).modeled_seconds_per_iteration;
+  double local_gpu =
+      placement_for(bed, Kind::local_gpu, options).modeled_seconds_per_iteration;
+  double jungle =
+      placement_for(bed, Kind::jungle, options).modeled_seconds_per_iteration;
+  double autoplace =
+      placement_for(bed, Kind::autoplace, options).modeled_seconds_per_iteration;
+  EXPECT_GT(local_cpu, 2.0 * local_gpu);  // the CPU->GPU cliff
+  EXPECT_GT(local_gpu, jungle);           // the jungle wins
+  EXPECT_LE(autoplace, jungle);           // argmin can only improve on it
+}
+
 TEST(Sched, NoFeasiblePlacementThrows) {
   // A client that is excluded and no resources: nowhere to run anything.
   LocalWorld world(false);

@@ -399,6 +399,37 @@ TEST(Network, LinkOccupancyQueuesBackToBackTransfers) {
   EXPECT_NEAR(*second - *first, 1.0, 1e-6);  // one extra serialization
 }
 
+TEST(Network, StreamCapAggregatesAcrossStripes) {
+  Topology t;
+  // A long fat pipe: 1 Gbit capacity, one stream tops out at 12.5 MB/s.
+  t.net.add_site("far", 0.1 * net::ms, 1.0 * net::gbit);
+  t.net.add_host("farbox", "far", 4, 10.0);
+  t.net.add_link("vu", "far", 40.0 * net::ms, 1.0 * net::gbit, "longfat",
+                 100.0 * net::mbit);
+  Host& a = t.net.host("desktop");
+  Host& b = t.net.host("farbox");
+  auto single = t.net.send(a, b, 125e6, TrafficClass::ipl);
+  double single_cost = *single;
+  // 8 parallel streams fill the link: 8x12.5 MB/s = the full gigabit.
+  Topology u;  // fresh occupancy
+  u.net.add_site("far", 0.1 * net::ms, 1.0 * net::gbit);
+  u.net.add_host("farbox", "far", 4, 10.0);
+  u.net.add_link("vu", "far", 40.0 * net::ms, 1.0 * net::gbit, "longfat",
+                 100.0 * net::mbit);
+  auto striped = u.net.send(u.net.host("desktop"), u.net.host("farbox"),
+                            125e6, TrafficClass::ipl, {}, 8);
+  ASSERT_TRUE(single && striped);
+  // Single stream: 125 MB at 12.5 MB/s = 10 s on the capped hop; 8 stripes
+  // aggregate to 100 MB/s = 1.25 s. The rest of the path is identical.
+  EXPECT_NEAR(single_cost - *striped, 10.0 - 1.25, 1e-3);
+  EXPECT_NEAR(u.net.path_bandwidth(u.net.host("desktop"),
+                                   u.net.host("farbox"), 8),
+              800.0 * net::mbit, 1.0);
+  EXPECT_NEAR(u.net.path_bandwidth(u.net.host("desktop"),
+                                   u.net.host("farbox"), 1),
+              100.0 * net::mbit, 1.0);
+}
+
 TEST(Network, TrafficAccountingPerClass) {
   Topology t;
   Host& a = t.net.host("desktop");

@@ -261,6 +261,46 @@ TEST(SmartSockets, DuplicateListenThrows) {
   EXPECT_NO_THROW(w.sockets.listen(w.net.host("lgm"), "svc"));
 }
 
+TEST(SmartSockets, BulkFramesStripeAcrossStreamCappedLinks) {
+  // A window-limited lightpath: one stream gets 1/8th of the capacity. A
+  // bulk frame (above the stripe threshold) is carried over parallel
+  // streams and aggregates most of the link back; a small frame is not.
+  auto run_transfer = [](double payload_bytes) {
+    World w;
+    w.net.add_site("far", 0.1e-3, 1e9 / 8);
+    w.net.add_host("farbox", "far", 4, 10);
+    w.net.add_link("amsterdam", "far", 40e-3, 1e9 / 8, "longfat",
+                   (1e9 / 8) / 8.0);
+    ServerSocket& server = w.sockets.listen(w.net.host("farbox"), "bulk");
+    double received_at = -1;
+    std::uint64_t striped = 0;
+    w.net.host("farbox").spawn("server", [&] {
+      auto conn = server.accept();
+      conn->recv();
+      received_at = w.sim.now();
+    });
+    w.net.host("fs0").spawn("client", [&] {
+      auto conn = w.sockets.connect(w.net.host("fs0"), w.net.host("farbox"),
+                                    "bulk", TrafficClass::ipl);
+      conn->send(std::vector<std::uint8_t>(
+          static_cast<std::size_t>(payload_bytes), 0));
+      striped = conn->striped_sends();
+    });
+    w.sim.run();
+    return std::pair{received_at, striped};
+  };
+  auto [bulk_time, bulk_striped] = run_transfer(12.5e6);  // 12.5 MB
+  auto [small_time, small_striped] = run_transfer(32e3);  // under threshold
+  EXPECT_EQ(bulk_striped, 1u);
+  EXPECT_EQ(small_striped, 0u);
+  // Unstriped, the capped hop alone would cost 12.5 MB / (125/8 MB/s) =
+  // 0.8 s (plus ~0.35 s of LAN crossings, latency and setup); with 8
+  // stripes the hop shrinks to ~0.1 s.
+  EXPECT_LT(bulk_time, 0.6);
+  EXPECT_GT(bulk_time, 0.15);
+  EXPECT_LT(small_time, 0.2);
+}
+
 TEST(SmartSockets, LargeTransferRespectsBandwidth) {
   World w;
   ServerSocket& server = w.sockets.listen(w.net.host("lgm"), "bulk");

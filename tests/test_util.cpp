@@ -100,6 +100,106 @@ TEST(ByteBuffer, SizeTracksContent) {
   EXPECT_EQ(writer.size(), 8u + 4u + 2u);
 }
 
+// ------------------------------------- scatter-gather framing (data path)
+
+TEST(ByteBuffer, PrefixReservedAndPatched) {
+  ju::ByteWriter writer(8);
+  writer.put<double>(2.5);
+  writer.patch<std::uint32_t>(0, 77);
+  writer.patch<std::uint16_t>(4, 5);
+  EXPECT_EQ(writer.size(), 16u);
+  ju::ByteReader reader(std::move(writer).take());
+  EXPECT_EQ(reader.get<std::uint32_t>(), 77u);
+  EXPECT_EQ(reader.get<std::uint16_t>(), 5);
+  reader.get<std::uint16_t>();  // untouched prefix bytes stay zero
+  EXPECT_EQ(reader.get<double>(), 2.5);
+}
+
+TEST(ByteBuffer, PatchOutsidePrefixThrows) {
+  ju::ByteWriter writer(4);
+  EXPECT_THROW(writer.patch<std::uint64_t>(0, 1), jungle::WireError);
+  ju::ByteWriter plain;
+  EXPECT_THROW(plain.patch<std::uint8_t>(0, 1), jungle::WireError);
+}
+
+TEST(ByteBuffer, SpanViewFramesWithoutOwningCopy) {
+  std::vector<double> bulk{1.0, 2.0, 3.0, 4.0};
+  ju::ByteWriter writer(8);
+  writer.put_span_view(std::span<const double>(bulk));
+  EXPECT_EQ(writer.size(), 8u + 8u + 32u);
+  bulk[2] = 30.0;  // still borrowed: the change is visible at take() time
+  ju::ByteReader reader(std::move(writer).take(), 8);
+  auto values = reader.get_vector<double>();
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_EQ(values[2], 30.0);
+}
+
+TEST(ByteBuffer, AppendSplicesSegments) {
+  std::vector<double> bulk{9.0, 8.0};
+  ju::ByteWriter payload;
+  payload.put<std::uint64_t>(41);
+  payload.put_span_view(std::span<const double>(bulk));
+  payload.put_string("tail");
+  ju::ByteWriter frame(8);
+  frame.patch<std::uint32_t>(0, 1);
+  frame.append(std::move(payload));
+  EXPECT_EQ(frame.size(), 8u + 8u + (8u + 16u) + (4u + 4u));
+  ju::ByteReader reader(std::move(frame).take());
+  EXPECT_EQ(reader.get<std::uint32_t>(), 1u);
+  reader.get<std::uint32_t>();
+  EXPECT_EQ(reader.get<std::uint64_t>(), 41u);
+  auto values = reader.get_vector<double>();
+  EXPECT_EQ(values[1], 8.0);
+  EXPECT_EQ(reader.get_string(), "tail");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteBuffer, ReaderOffsetAndRelease) {
+  ju::ByteWriter writer;
+  writer.put<std::uint64_t>(7);
+  writer.put<double>(1.25);
+  auto bytes = std::move(writer).take();
+  ju::ByteReader header(std::move(bytes));
+  EXPECT_EQ(header.get<std::uint64_t>(), 7u);
+  std::size_t offset = header.cursor();
+  ju::ByteReader payload(std::move(header).release(), offset);
+  EXPECT_EQ(payload.get<double>(), 1.25);
+  EXPECT_THROW(ju::ByteReader(std::vector<std::uint8_t>{1}, 5),
+               jungle::WireError);
+}
+
+TEST(ByteBuffer, HugeArrayCountThrowsInsteadOfOverflowing) {
+  // A corrupt count whose byte size wraps 64-bit arithmetic must surface
+  // as WireError, not as a span/vector claiming 2^61 elements.
+  ju::ByteWriter writer;
+  writer.put<std::uint64_t>(0x2000000000000001ULL);
+  writer.put<double>(0.0);
+  ju::ByteReader span_reader(std::move(writer).take());
+  EXPECT_THROW(span_reader.get_span<double>(), jungle::WireError);
+  ju::ByteWriter again;
+  again.put<std::uint64_t>(0x2000000000000001ULL);
+  again.put<double>(0.0);
+  ju::ByteReader vector_reader(std::move(again).take());
+  EXPECT_THROW(vector_reader.get_vector<double>(), jungle::WireError);
+}
+
+TEST(ByteBuffer, GetSpanIsViewAndChecksAlignment) {
+  ju::ByteWriter writer;  // span count at 0, data 8-aligned
+  writer.put_vector(std::vector<double>{4.0, 5.0});
+  ju::ByteReader reader(std::move(writer).take());
+  auto span = reader.get_span<double>();
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[1], 5.0);
+  EXPECT_TRUE(reader.exhausted());
+
+  ju::ByteWriter odd;
+  odd.put<std::uint32_t>(1);  // forces 4-byte alignment for what follows
+  odd.put_vector(std::vector<double>{1.0});
+  ju::ByteReader misaligned(std::move(odd).take());
+  misaligned.get<std::uint32_t>();
+  EXPECT_THROW(misaligned.get_span<double>(), jungle::WireError);
+}
+
 // ----------------------------------------------------------------- config
 
 TEST(Config, ParsesSectionsKeysComments) {
