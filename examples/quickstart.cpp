@@ -1,79 +1,55 @@
-// Quickstart: the smallest useful distributed-AMUSE run. Builds a two-site
-// jungle (your desktop + a remote GPU cluster), starts the Ibis daemon,
-// deploys a phiGRAPE worker on the cluster through the daemon, and evolves
-// a Plummer cluster while checking energy conservation — the four usage
-// steps of paper §5 in ~80 lines.
+// Quickstart: the smallest useful distributed-AMUSE run, written against
+// the composable Experiment API. Declare a model graph (here: one Plummer
+// cluster, gravity only), let the placement scheduler map it onto the
+// built-in jungle testbed, run, and read the energies back — then grow the
+// same spec into a multi-model experiment by adding models and couplings
+// (or write it as an INI: see examples/experiments/).
+#include <cmath>
 #include <cstdio>
 
-#include "amuse/clients.hpp"
-#include "amuse/daemon.hpp"
-#include "amuse/ic.hpp"
+#include "amuse/experiment.hpp"
 #include "amuse/units.hpp"
 
 using namespace jungle;
 using namespace jungle::amuse;
+using namespace jungle::amuse::experiment;
 
 int main() {
-  // 1. Describe the jungle: the local machine and one remote GPU cluster.
-  sim::Simulation simulation;
-  sim::Network net(simulation);
-  net.add_site("home");
-  net.add_site("cluster");
-  sim::Host& desktop = net.add_host("desktop", "home", 4, 10.0);
-  sim::Host& frontend = net.add_host("fs0", "cluster", 8, 10.0);
-  sim::Host& gpu_node = net.add_host("gpu0", "cluster", 8, 10.0);
-  gpu_node.set_gpu(sim::GpuSpec{"tesla-c2050", 500.0});
-  net.add_link("home", "cluster", 1e-3, 1e9 / 8);
+  // 1. Declare the experiment: one gravity model, 1024 stars, Plummer IC.
+  //    No `place =` pin, so the scheduler picks the machine (the desktop's
+  //    GPU on the built-in testbed — or a remote Tesla if it were faster).
+  ExperimentSpec spec;
+  spec.name = "quickstart";
+  spec.dt = 1.0 / 4.0;
+  spec.iterations = 4;  // 4 * dt = one N-body time unit
 
-  // 2. Describe the resource ("hostname and type of middleware").
-  smartsockets::SmartSockets sockets(net);
-  deploy::Deployer deployer(net, sockets, desktop);
-  gat::Resource cluster;
-  cluster.name = "gpu-cluster";
-  cluster.middleware = "sge";
-  cluster.frontend = &frontend;
-  cluster.nodes = {&gpu_node};
-  cluster.queue = std::make_shared<gat::ClusterQueue>(simulation);
-  cluster.queue->set_nodes(cluster.nodes);
-  deployer.add_resource(cluster);
+  ModelSpec cluster;
+  cluster.name = "cluster";
+  cluster.role = sched::Role::gravity;
+  cluster.n = 1024;
+  cluster.ic = "plummer";
+  spec.models = {cluster};
 
-  // 3. Start the Ibis daemon on the local machine.
-  IbisDaemon daemon(deployer, net, sockets, desktop);
+  // 2. Validate + place + deploy + run. The testbed is the paper's jungle
+  //    (Figs 9/12); an INI topology works the same via run_experiment_config.
+  Result result = run_experiment(spec);
 
-  // 4. The simulation script: ask for a worker with the 'ibis' channel.
-  desktop.spawn("script", [&] {
-    DaemonClient client(sockets, desktop);
-    WorkerSpec spec;
-    spec.code = "phigrape-gpu";
-    GravityClient gravity(client.start_worker(spec, "gpu-cluster"));
-
-    // AMUSE-style units: a 1000 MSun, 1 pc cluster.
-    NBodyConverter convert(Quantity(1000.0, units::msun),
-                           Quantity(1.0, units::parsec));
-    util::Rng rng(42);
-    auto model = ic::plummer_sphere(1024, rng);
-    gravity.add_particles(model.mass, model.position, model.velocity);
-
-    auto [k0, p0] = gravity.energies();
-    std::printf("t=0      E=%.6f (nbody) = %.4e J\n", k0 + p0,
-                convert.to_si(k0 + p0, units::j).raw());
-
-    gravity.evolve(1.0);  // one N-body time unit
-
-    auto [k1, p1] = gravity.energies();
-    std::printf("t=1      E=%.6f, drift %.2e, virial ratio %.3f\n", k1 + p1,
-                std::abs((k1 + p1) - (k0 + p0)) / std::abs(k0 + p0),
-                -2.0 * k1 / p1);
-    std::printf("that is %.3f Myr of cluster evolution, computed on %s\n",
-                convert.time_scale().value_in(units::myr),
-                gpu_node.name().c_str());
-    gravity.close();
-  });
-  simulation.run();
-
-  std::printf("\n%s\n", deployer.dashboard().c_str());
-  std::printf("virtual wall time of the whole session: %.3f s\n",
-              simulation.now());
-  simulation.shutdown();
+  // 3. Read the results back in AMUSE-style units: a 1000 MSun, 1 pc
+  //    cluster.
+  NBodyConverter convert(Quantity(1000.0, units::msun),
+                         Quantity(1.0, units::parsec));
+  const ModelResult& model = result.models.at(0);
+  double energy = model.kinetic + model.potential;
+  std::printf("experiment '%s' ran %d bridge iterations\n",
+              result.experiment.c_str(), result.iterations);
+  std::printf("placement: %s\n", result.placement.c_str());
+  std::printf("t=1  E=%.6f (nbody) = %.4e J, virial ratio %.3f\n", energy,
+              convert.to_si(energy, units::j).raw(),
+              -2.0 * model.kinetic / model.potential);
+  std::printf("that is %.3f Myr of cluster evolution\n",
+              convert.time_scale().value_in(units::myr));
+  std::printf("\n%s\n", result.dashboard.c_str());
+  std::printf("virtual wall time per iteration: %.3f s\n",
+              result.seconds_per_iteration);
   return 0;
 }

@@ -1,0 +1,53 @@
+// Run an experiment INI: one file declaring the jungle topology, the
+// resources, and the model graph ([experiment] / [model ...] /
+// [coupling ...]) — the composable replacement for the hard-coded
+// scenario kinds. See examples/experiments/ for specs.
+//
+//   ./build/run_experiment examples/experiments/triple-plummer.ini
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "amuse/experiment.hpp"
+
+using namespace jungle;
+using namespace jungle::amuse::experiment;
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s EXPERIMENT_INI\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  try {
+    util::Config config = util::Config::parse(text.str());
+    Result result = run_experiment_config(config);
+    std::printf("%s\n", result.dashboard.c_str());
+    std::printf("experiment '%s': %d iterations, %.3f virtual s/iteration, "
+                "%.1f MB over WAN\n",
+                result.experiment.c_str(), result.iterations,
+                result.seconds_per_iteration, result.wan_bytes / 1e6);
+    for (const ModelResult& model : result.models) {
+      std::printf("  %-12s E = %.6f (kinetic %.6f, potential %.6f%s)\n",
+                  model.name.c_str(),
+                  model.kinetic + model.potential + model.thermal,
+                  model.kinetic, model.potential,
+                  model.role == sched::Role::hydro ? ", +thermal" : "");
+    }
+    if (result.bound_gas_fraction < 1.0) {
+      std::printf("  bound gas fraction: %.3f\n", result.bound_gas_fraction);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "experiment failed: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

@@ -9,160 +9,371 @@
 
 namespace jungle::amuse {
 
+namespace {
+
+/// A cross-gravity query in flight: which coupling direction it answers and
+/// which system the resulting acceleration kicks.
+struct PendingQuery {
+  int coupling;
+  int dir;      // 0 = accel on a (sources b), 1 = accel on b (sources a)
+  int target;   // system index the accel applies to
+  int source;   // system index whose particles are the sources
+  Future reply;
+};
+
+/// Accumulates one target system's per-coupling accelerations into a
+/// single (accel, dt) kick frame. The common single-direction case ships
+/// the coupler's accel span as-is with the worker multiplying by dt;
+/// multiple directions keep a raw sum while their cadences agree, and
+/// pre-scale client-side (dt = 1 on the wire) the moment they differ.
+/// Shared by the pipelined and synchronous paths so the trickiest kick
+/// arithmetic cannot drift between them.
+class KickSum {
+ public:
+  void add(std::span<const Vec3> accel, double dt,
+           const std::string& target) {
+    if (directions_ == 0) {
+      single_ = accel;
+      dt_ = dt;
+    } else {
+      if (directions_ == 1) sum_.assign(single_.begin(), single_.end());
+      if (sum_.size() != accel.size()) {
+        throw CodeError("bridge: coupled accel sizes differ for system '" +
+                        target + "'");
+      }
+      if (dt != dt_ && !mixed_) {
+        for (Vec3& value : sum_) value = value * dt_;
+        mixed_ = true;
+        dt_ = 1.0;
+      }
+      for (std::size_t i = 0; i < sum_.size(); ++i) {
+        sum_[i] = sum_[i] + (mixed_ ? accel[i] * dt : accel[i]);
+      }
+    }
+    ++directions_;
+  }
+
+  /// Same, keeping an owned accel alive behind the span (the synchronous
+  /// path's accel_at returns vectors).
+  void add_owned(std::vector<Vec3> accel, double dt,
+                 const std::string& target) {
+    owned_.push_back(std::move(accel));
+    add(owned_.back(), dt, target);
+  }
+
+  bool empty() const { return directions_ == 0; }
+  std::span<const Vec3> accel() const {
+    return directions_ == 1 ? single_ : std::span<const Vec3>(sum_);
+  }
+  double dt() const { return dt_; }
+
+ private:
+  std::span<const Vec3> single_;
+  std::vector<Vec3> sum_;
+  std::vector<std::vector<Vec3>> owned_;
+  double dt_ = 0.0;
+  int directions_ = 0;
+  bool mixed_ = false;
+};
+
+}  // namespace
+
+Bridge::Bridge(std::vector<System> systems, std::vector<Coupling> couplings,
+               std::vector<Stellar> stellar, Config config)
+    : systems_(std::move(systems)),
+      couplings_(std::move(couplings)),
+      config_(config) {
+  if (systems_.empty()) {
+    throw CodeError("bridge: no systems to evolve");
+  }
+  for (const System& system : systems_) {
+    if (system.dynamics == nullptr) {
+      throw CodeError("bridge: system '" + system.name + "' has no client");
+    }
+  }
+  int n = static_cast<int>(systems_.size());
+  for (const Coupling& coupling : couplings_) {
+    if (coupling.field == nullptr) {
+      throw CodeError("bridge: coupling without a field client");
+    }
+    if (coupling.a < 0 || coupling.a >= n || coupling.b < 0 ||
+        coupling.b >= n || coupling.a == coupling.b) {
+      throw CodeError("bridge: coupling references invalid system indices");
+    }
+    if (coupling.every < 1) {
+      throw CodeError("bridge: coupling cadence must be >= 1");
+    }
+  }
+  stellar_.reserve(stellar.size());
+  for (Stellar& wiring : stellar) {
+    if (wiring.client == nullptr || wiring.into == nullptr) {
+      throw CodeError("bridge: stellar link needs a client and a target");
+    }
+    StellarLink link;
+    link.wiring = wiring;
+    stellar_.push_back(std::move(link));
+  }
+}
+
 Bridge::Bridge(GravityClient& stars, HydroClient& gas, FieldClient& coupler,
                StellarClient* stellar, Config config)
-    : stars_(stars),
-      gas_(gas),
-      coupler_(coupler),
-      stellar_(stellar),
-      config_(config) {}
+    : Bridge(
+          {{"stars", &stars}, {"gas", &gas}},
+          {Coupling{&coupler, 0, 1, 1}},
+          stellar != nullptr
+              ? std::vector<Stellar>{Stellar{stellar, &stars, &gas}}
+              : std::vector<Stellar>{},
+          config) {}
 
-void Bridge::cross_kick(double dt) {
+std::vector<int> Bridge::active_couplings(int step_index, bool bottom) const {
+  // A coupling with cadence k fires at the boundaries of its k-step window:
+  // at the top of step s when s % k == 0 (kick covering the window ahead)
+  // and at the bottom when (s + 1) % k == 0 (closing the window), each with
+  // dt = k * bridge_dt / 2 — the nested-BRIDGE scheme. k == 1 reduces to
+  // the classic kick–evolve–kick of Fig 7.
+  std::vector<int> active;
+  for (int c = 0; c < static_cast<int>(couplings_.size()); ++c) {
+    int every = couplings_[c].every;
+    int phase = bottom ? step_index + 1 : step_index;
+    if (phase % every == 0) active.push_back(c);
+  }
+  return active;
+}
+
+void Bridge::cross_kick(const std::vector<int>& active) {
   if (config_.synchronous_datapath) {
-    cross_kick_synchronous(dt);
+    cross_kick_synchronous(active);
     return;
   }
 
-  // Phase 1 — both model states, fetched concurrently: one round trip, and
-  // only the fields the coupling consumes (mass+position) that actually
-  // changed since the cached copy.
-  Future stars_reply = stars_.request_state(state_field::coupling);
-  Future gas_reply = gas_.request_state(state_field::coupling);
-  stars_.finish_state(stars_reply, state_field::coupling);
-  gas_.finish_state(gas_reply, state_field::coupling);
-  const GravityState& stars = stars_.cached_state();
-  const HydroState& gas = gas_.cached_state();
-
-  // Phase 2 — both cross-gravity queries in flight together. Sources and
-  // evaluation points ride along only when their content id changed; an
-  // unchanged pair is answered from the coupler's cache without recompute.
-  Future on_stars_reply = coupler_.accel_for_async(
-      FieldTag::gas_on_stars, gas_.coupling_sources_id(), gas.mass,
-      gas.position, stars_.position_id(), stars.position);
-  Future on_gas_reply = coupler_.accel_for_async(
-      FieldTag::stars_on_gas, stars_.coupling_sources_id(), stars.mass,
-      stars.position, gas_.position_id(), gas.position);
-
-  const std::vector<Vec3>& accel_on_stars =
-      coupler_.finish_accel(FieldTag::gas_on_stars, on_stars_reply);
-  std::vector<Vec3> star_kicks(accel_on_stars.size());
-  for (std::size_t i = 0; i < star_kicks.size(); ++i) {
-    star_kicks[i] = accel_on_stars[i] * dt;
+  // Which systems participate in this phase, in declaration order.
+  std::vector<int> involved;
+  for (int i = 0; i < static_cast<int>(systems_.size()); ++i) {
+    for (int c : active) {
+      if (couplings_[c].a == i || couplings_[c].b == i) {
+        involved.push_back(i);
+        break;
+      }
+    }
   }
-  trace_.push_back("kick:gas->stars");
 
-  const std::vector<Vec3>& accel_on_gas =
-      coupler_.finish_accel(FieldTag::stars_on_gas, on_gas_reply);
-  std::vector<Vec3> gas_kicks(accel_on_gas.size());
-  for (std::size_t i = 0; i < gas_kicks.size(); ++i) {
-    gas_kicks[i] = accel_on_gas[i] * dt;
+  // Phase 1 — every involved system's state, fetched concurrently: one
+  // round trip, and only the fields the coupling consumes (mass+position)
+  // that actually changed since the cached copy.
+  std::vector<Future> state_replies;
+  state_replies.reserve(involved.size());
+  for (int i : involved) {
+    state_replies.push_back(
+        systems_[i].dynamics->request_state(state_field::coupling));
   }
-  trace_.push_back("kick:stars->gas");
+  for (std::size_t k = 0; k < involved.size(); ++k) {
+    systems_[involved[k]].dynamics->merge_state(state_replies[k],
+                                                state_field::coupling);
+  }
 
-  // Phase 3 — both kicks applied concurrently (an identical repeat of the
-  // previous half-kick travels as an 8-byte frame).
-  Future star_kick_done = stars_.kick_async(star_kicks);
-  Future gas_kick_done = gas_.kick_async(gas_kicks);
-  star_kick_done.get();
-  gas_kick_done.get();
+  // Phase 2 — every cross-gravity query in flight together, ordered by
+  // target system. Sources and evaluation points ride along only when
+  // their content id changed; an unchanged pair is answered from the
+  // coupler's cache without recompute.
+  std::vector<PendingQuery> queries;
+  for (int target : involved) {
+    for (int c : active) {
+      const Coupling& coupling = couplings_[c];
+      if (coupling.a != target && coupling.b != target) continue;
+      int dir = coupling.a == target ? 0 : 1;
+      int source = coupling.a == target ? coupling.b : coupling.a;
+      DynamicsClient& src = *systems_[source].dynamics;
+      DynamicsClient& tgt = *systems_[target].dynamics;
+      PendingQuery query{
+          c, dir, target, source,
+          coupling.field->accel_for_async(
+              pair_field_tag(c, dir), src.coupling_sources_id(), src.mass(),
+              src.position(), tgt.position_id(), tgt.position())};
+      queries.push_back(std::move(query));
+    }
+  }
+
+  // Collect each target's accelerations (finish in issue order), then
+  // phase 3 — all kicks applied concurrently as accel + dt frames (an
+  // unchanged acceleration travels as a 16-byte repeat).
+  std::vector<Future> kicks_done;
+  std::vector<KickSum> kicks(systems_.size());
+  for (int target : involved) {
+    KickSum& kick = kicks[static_cast<std::size_t>(target)];
+    for (PendingQuery& query : queries) {
+      if (query.target != target) continue;
+      const Coupling& coupling = couplings_[query.coupling];
+      const std::vector<Vec3>& accel = coupling.field->finish_accel(
+          pair_field_tag(query.coupling, query.dir), query.reply);
+      kick.add(accel, coupling.every * config_.dt / 2.0,
+               systems_[target].name);
+      trace_.push_back("kick:" + systems_[query.source].name + "->" +
+                       systems_[target].name);
+    }
+    if (kick.empty()) continue;
+    kicks_done.push_back(
+        systems_[target].dynamics->kick_async(kick.accel(), kick.dt()));
+  }
+  for (Future& done : kicks_done) done.get();
 }
 
-void Bridge::cross_kick_synchronous(double dt) {
+void Bridge::cross_kick_synchronous(const std::vector<int>& active) {
   // The pre-overhaul data path, kept as the measured baseline: full state
-  // fetches and strictly serial RPCs (four WAN round trips per phase).
-  GravityState stars = stars_.get_state();
-  HydroState gas = gas_.get_state();
-
-  // Gas pulls on stars ('p-kick' of the stars, Fig 7).
-  coupler_.set_sources(gas.mass, gas.position);
-  auto accel_on_stars = coupler_.accel_at(stars.position);
-  std::vector<Vec3> star_kicks(accel_on_stars.size());
-  for (std::size_t i = 0; i < star_kicks.size(); ++i) {
-    star_kicks[i] = accel_on_stars[i] * dt;
+  // fetches and strictly serial RPCs (one WAN round trip per call).
+  std::vector<int> involved;
+  for (int i = 0; i < static_cast<int>(systems_.size()); ++i) {
+    for (int c : active) {
+      if (couplings_[c].a == i || couplings_[c].b == i) {
+        involved.push_back(i);
+        break;
+      }
+    }
   }
-  trace_.push_back("kick:gas->stars");
-
-  // Stars pull on gas.
-  coupler_.set_sources(stars.mass, stars.position);
-  auto accel_on_gas = coupler_.accel_at(gas.position);
-  std::vector<Vec3> gas_kicks(accel_on_gas.size());
-  for (std::size_t i = 0; i < gas_kicks.size(); ++i) {
-    gas_kicks[i] = accel_on_gas[i] * dt;
+  for (int i : involved) {
+    DynamicsClient& sys = *systems_[i].dynamics;
+    Future reply = sys.request_state(sys.full_mask());
+    sys.merge_state(reply, sys.full_mask());
   }
-  trace_.push_back("kick:stars->gas");
 
-  stars_.kick(star_kicks);
-  gas_.kick(gas_kicks);
+  // One serial field query per coupling direction, ordered by target.
+  std::vector<KickSum> kicks(systems_.size());
+  for (int target : involved) {
+    for (int c : active) {
+      const Coupling& coupling = couplings_[c];
+      if (coupling.a != target && coupling.b != target) continue;
+      int source = coupling.a == target ? coupling.b : coupling.a;
+      DynamicsClient& src = *systems_[source].dynamics;
+      DynamicsClient& tgt = *systems_[target].dynamics;
+      coupling.field->set_sources(src.mass(), src.position());
+      kicks[static_cast<std::size_t>(target)].add_owned(
+          coupling.field->accel_at(tgt.position()),
+          coupling.every * config_.dt / 2.0, systems_[target].name);
+      trace_.push_back("kick:" + systems_[source].name + "->" +
+                       systems_[target].name);
+    }
+  }
+  for (int target : involved) {
+    KickSum& kick = kicks[static_cast<std::size_t>(target)];
+    if (kick.empty()) continue;
+    systems_[target].dynamics->kick_async(kick.accel(), kick.dt()).get();
+  }
 }
 
 void Bridge::step() {
   double dt = config_.dt;
-  cross_kick(dt / 2.0);
+  int step_index = config_.step_offset + steps_;
 
-  // Parallel evolve: both models advance concurrently; total wall time is
-  // max(evolve_stars, evolve_gas) + messaging — the Jungle payoff.
-  Future stars_future = stars_.evolve_async(time_ + dt);
-  Future gas_future = gas_.evolve_async(time_ + dt);
+  std::vector<int> top = active_couplings(step_index, /*bottom=*/false);
+  if (!top.empty()) cross_kick(top);
+
+  // Parallel evolve: all systems advance concurrently; total wall time is
+  // max over the systems' evolves + messaging — the Jungle payoff.
+  std::vector<Future> evolving;
+  evolving.reserve(systems_.size());
+  for (System& system : systems_) {
+    evolving.push_back(system.dynamics->evolve_async(time_ + dt));
+  }
   trace_.push_back("evolve:parallel");
-  stars_future.get();
-  gas_future.get();
+  for (Future& future : evolving) future.get();
 
-  cross_kick(dt / 2.0);
+  std::vector<int> bottom = active_couplings(step_index, /*bottom=*/true);
+  if (!bottom.empty()) cross_kick(bottom);
 
   time_ += dt;
   ++steps_;
 
-  if (stellar_ != nullptr &&
+  if (!stellar_.empty() &&
       (config_.step_offset + steps_) % config_.se_every == 0) {
     stellar_update();
   }
 }
 
+std::pair<std::vector<double>, std::vector<double>> Bridge::se_mapping(
+    std::size_t link) const {
+  if (link >= stellar_.size()) return {};
+  return {stellar_[link].zams_se, stellar_[link].zams_dynamical};
+}
+
+void Bridge::set_se_mapping(std::vector<double> zams_se,
+                            std::vector<double> zams_dynamical,
+                            std::size_t link) {
+  if (link >= stellar_.size()) {
+    throw CodeError("bridge: no stellar link " + std::to_string(link));
+  }
+  stellar_[link].zams_se = std::move(zams_se);
+  stellar_[link].zams_dynamical = std::move(zams_dynamical);
+}
+
 void Bridge::stellar_update() {
+  for (StellarLink& link : stellar_) stellar_update_one(link);
+}
+
+void Bridge::stellar_update_one(StellarLink& link) {
   // Stellar evolution runs at a slower rate, "only exchanging state every
   // n-th time step" (paper §6 / Fig 7).
+  GravityClient& stars = *link.wiring.into;
   double age_myr = (config_.t_offset + time_) * config_.myr_per_nbody_time;
-  stellar_->evolve_to(age_myr);
+  link.wiring.client->evolve_to(age_myr);
   trace_.push_back("se:evolve");
 
   // Mass update channel: SSE masses (MSun) -> gravity code. The masses
-  // must be rescaled into N-body units: the caller provides SSE masses in
+  // must be rescaled into N-body units: the SSE side provides masses in
   // MSun, and the gravity code started from the same stars, so the ratio
-  // current/zams per star is applied to the dynamical masses.
-  auto se_masses = stellar_->masses();
+  // current/zams per star is applied to the dynamical masses. The fetch is
+  // delta-compressed: only stars whose mass changed since the previous
+  // exchange travel.
+  const std::vector<double>& se_masses = link.wiring.client->masses();
   // The baseline path fetches full states here, as before the overhaul; the
   // pipelined path only moves what the update consumes (mass + position).
   std::uint64_t grav_mask = config_.synchronous_datapath
                                 ? state_field::gravity_all
                                 : state_field::coupling;
-  Future stars_reply = stars_.request_state(grav_mask);
-  const GravityState& stars_state = stars_.finish_state(stars_reply, grav_mask);
+  Future stars_reply = stars.request_state(grav_mask);
+  const GravityState& stars_state = stars.finish_state(stars_reply, grav_mask);
   if (se_masses.size() != stars_state.mass.size()) {
     throw CodeError("bridge: SE and gravity particle counts differ");
   }
-  if (!zams_dynamical_.size()) {
+  if (!link.zams_dynamical.size()) {
     // First update: remember the mapping MSun <-> N-body mass.
-    zams_se_ = se_masses;
-    zams_dynamical_ = stars_state.mass;
+    link.zams_se = se_masses;
+    link.zams_dynamical = stars_state.mass;
   }
   std::vector<double> new_masses(se_masses.size());
   double wind_mass_nbody = 0.0;
   for (std::size_t i = 0; i < se_masses.size(); ++i) {
-    new_masses[i] = zams_dynamical_[i] * se_masses[i] / zams_se_[i];
+    new_masses[i] = link.zams_dynamical[i] * se_masses[i] / link.zams_se[i];
     wind_mass_nbody += std::max(0.0, stars_state.mass[i] - new_masses[i]);
   }
-  stars_.set_masses(new_masses);
+  if (config_.synchronous_datapath) {
+    stars.set_masses(new_masses);
+  } else {
+    // Delta-compressed mass channel: ship only the masses that differ from
+    // what the integrator holds. The (possibly empty) sparse update always
+    // travels so the worker keeps the full channel's force-refresh side
+    // effect — quiet SE steps cost a header, not the whole array.
+    std::vector<std::int32_t> changed;
+    std::vector<double> values;
+    for (std::size_t i = 0; i < new_masses.size(); ++i) {
+      if (new_masses[i] != stars_state.mass[i]) {
+        changed.push_back(static_cast<std::int32_t>(i));
+        values.push_back(new_masses[i]);
+      }
+    }
+    stars.set_masses_sparse(changed, values);
+  }
   trace_.push_back("se:masses->gravity");
 
   if (config_.feedback_efficiency <= 0.0) return;
+  if (link.wiring.feedback == nullptr) return;
+  HydroClient& gas = *link.wiring.feedback;
 
   // Thermal feedback into the gas: winds (continuous) and supernovae
   // (discrete). Energy goes to the gas particle nearest each massive star.
   std::uint64_t gas_mask = config_.synchronous_datapath
                                ? state_field::hydro_all
                                : state_field::coupling;
-  Future gas_reply = gas_.request_state(gas_mask);
-  const HydroState& gas_state = gas_.finish_state(gas_reply, gas_mask);
+  Future gas_reply = gas.request_state(gas_mask);
+  const HydroState& gas_state = gas.finish_state(gas_reply, gas_mask);
   std::vector<std::int32_t> indices;
   std::vector<double> delta_u;
   auto nearest_gas = [&](const Vec3& where) {
@@ -180,15 +391,17 @@ void Bridge::stellar_update() {
   if (wind_mass_nbody > 0.0 && config_.wind_specific_energy > 0.0) {
     // Deposit wind energy at the most massive star's location (the winds
     // of the cluster's O stars dominate).
-    std::size_t heaviest = std::distance(
-        zams_se_.begin(), std::max_element(zams_se_.begin(), zams_se_.end()));
+    std::size_t heaviest =
+        std::distance(link.zams_se.begin(),
+                      std::max_element(link.zams_se.begin(),
+                                       link.zams_se.end()));
     double energy = config_.feedback_efficiency * wind_mass_nbody *
                     config_.wind_specific_energy;
     std::int32_t target = nearest_gas(stars_state.position[heaviest]);
     indices.push_back(target);
     delta_u.push_back(energy / gas_state.mass[target]);
   }
-  for (std::int32_t star : stellar_->supernovae()) {
+  for (std::int32_t star : link.wiring.client->supernovae()) {
     double energy = config_.feedback_efficiency * config_.supernova_energy;
     std::int32_t target = nearest_gas(stars_state.position[star]);
     indices.push_back(target);
@@ -197,7 +410,7 @@ void Bridge::stellar_update() {
                        << " heats gas particle " << target;
   }
   if (!indices.empty()) {
-    gas_.inject(indices, delta_u);
+    gas.inject(indices, delta_u);
     trace_.push_back("se:feedback->gas");
   }
 }

@@ -58,18 +58,23 @@ void commit_delta(DeltaCacheInfo& info, const DeltaHeader& header,
   info.id = header.state_id;
 }
 
-/// Kick with repeat-suppression: an identical Δv array (the first half-kick
-/// after an unchanged coupling phase) travels as an 8-byte "repeat" frame.
-Future send_kick(RpcClient& rpc, Fn fn, std::span<const Vec3> delta_v,
-                 bool delta_enabled, std::vector<Vec3>& last_kick,
+/// Kick with repeat-suppression: kicks travel as accel + dt (the worker
+/// multiplies Δv_i = a_i * dt), so an unchanged acceleration — the first
+/// half-kick after an all-cache-hit coupling phase — travels as a 16-byte
+/// "repeat" frame even when the half-kick dt differs (couplings firing at
+/// different cadences).
+Future send_kick(RpcClient& rpc, Fn fn, std::span<const Vec3> accel,
+                 double dt, bool delta_enabled, std::vector<Vec3>& last_kick,
                  bool& primed) {
   util::ByteWriter args = RpcClient::request();
-  if (delta_enabled && primed && same_content(last_kick, delta_v)) {
+  if (delta_enabled && primed && same_content(last_kick, accel)) {
     args.put<std::uint64_t>(kick_flags::repeat);
+    args.put<double>(dt);
   } else {
     args.put<std::uint64_t>(0);
-    args.put_span(delta_v);
-    last_kick.assign(delta_v.begin(), delta_v.end());
+    args.put<double>(dt);
+    args.put_span(accel);
+    last_kick.assign(accel.begin(), accel.end());
     primed = true;
   }
   return rpc.call(fn, std::move(args));
@@ -131,8 +136,8 @@ std::pair<double, double> GravityClient::energies() {
   return {kinetic, potential};
 }
 
-Future GravityClient::kick_async(std::span<const Vec3> delta_v) {
-  return send_kick(*rpc_, Fn::grav_kick_all, delta_v, info_.delta_enabled,
+Future GravityClient::kick_async(std::span<const Vec3> accel, double dt) {
+  return send_kick(*rpc_, Fn::grav_kick_all, accel, dt, info_.delta_enabled,
                    last_kick_, kick_primed_);
 }
 
@@ -140,6 +145,14 @@ void GravityClient::set_masses(std::span<const double> masses) {
   util::ByteWriter args = RpcClient::request();
   put_span_of(args, masses);
   rpc_->call_sync(Fn::grav_set_masses, std::move(args));
+}
+
+void GravityClient::set_masses_sparse(std::span<const std::int32_t> indices,
+                                      std::span<const double> masses) {
+  util::ByteWriter args = RpcClient::request();
+  put_span_of(args, indices);
+  put_span_of(args, masses);
+  rpc_->call_sync(Fn::grav_set_masses_sparse, std::move(args));
 }
 
 double GravityClient::model_time() {
@@ -280,8 +293,8 @@ std::tuple<double, double, double> HydroClient::energies() {
   return {kinetic, thermal, potential};
 }
 
-Future HydroClient::kick_async(std::span<const Vec3> delta_v) {
-  return send_kick(*rpc_, Fn::hydro_kick_all, delta_v, info_.delta_enabled,
+Future HydroClient::kick_async(std::span<const Vec3> accel, double dt) {
+  return send_kick(*rpc_, Fn::hydro_kick_all, accel, dt, info_.delta_enabled,
                    last_kick_, kick_primed_);
 }
 
@@ -309,8 +322,27 @@ void StellarClient::evolve_to(double age_myr) {
   rpc_->call_sync(Fn::se_evolve_to, std::move(args));
 }
 
-std::vector<double> StellarClient::masses() {
-  return rpc_->call_sync(Fn::se_get_masses, {}).get_vector<double>();
+const std::vector<double>& StellarClient::masses() {
+  if (!delta_enabled_) {
+    mass_cache_ = rpc_->call_sync(Fn::se_get_masses, {}).get_vector<double>();
+    return mass_cache_;
+  }
+  // Delta exchange: tell the worker how many masses we hold; only changed
+  // ones (usually the handful of evolved stars) come back.
+  util::ByteWriter args = RpcClient::request();
+  args.put<std::uint64_t>(mass_cache_.size());
+  auto reader = rpc_->call_sync(Fn::se_get_mass_updates, std::move(args));
+  auto flags = reader.get<std::uint64_t>();
+  if (flags & se_mass_flags::full) {
+    mass_cache_ = reader.get_vector<double>();
+    return mass_cache_;
+  }
+  auto indices = reader.get_span<std::int32_t>();
+  auto values = reader.get_vector<double>();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    mass_cache_.at(static_cast<std::size_t>(indices[i])) = values[i];
+  }
+  return mass_cache_;
 }
 
 std::vector<double> StellarClient::luminosities() {

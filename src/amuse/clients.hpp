@@ -51,8 +51,46 @@ struct DeltaCacheInfo {
   bool delta_enabled = true;
 };
 
+/// Role-generic client surface of an *evolving* model (a system the Bridge
+/// can couple): concurrent evolve, pipelined delta state exchange of the
+/// coupling fields (mass + position), accel+dt kicks, and a model clock.
+/// GravityClient and HydroClient implement it; the generalized Bridge and
+/// the Experiment runner hold systems through this interface instead of
+/// being hard-wired to exactly one gravity and one hydro proxy.
+class DynamicsClient {
+ public:
+  virtual ~DynamicsClient() = default;
+
+  virtual Future evolve_async(double t_end) = 0;
+  void evolve(double t_end) { evolve_async(t_end).get(); }
+
+  /// Pipelined fetch: issue now, merge the delta into the cache later.
+  virtual Future request_state(std::uint64_t want_mask) = 0;
+  virtual void merge_state(Future& reply, std::uint64_t want_mask) = 0;
+  /// Every state field this model exchanges (the full-fetch mask).
+  virtual std::uint64_t full_mask() const = 0;
+
+  /// Views over the cached coupling fields (valid until the next merge).
+  virtual std::span<const double> mass() const = 0;
+  virtual std::span<const Vec3> position() const = 0;
+
+  /// Content ids for the coupler's caches (0 until the field was fetched).
+  virtual StateId coupling_sources_id() const = 0;
+  virtual StateId position_id() const = 0;
+
+  /// Apply Δv_i = accel_i * dt, multiplied on the worker. An unchanged
+  /// accel travels as a 16-byte repeat frame regardless of dt.
+  virtual Future kick_async(std::span<const Vec3> accel, double dt) = 0;
+  void kick(std::span<const Vec3> delta_v) { kick_async(delta_v, 1.0).get(); }
+
+  virtual double model_time() = 0;
+  virtual void set_delta_exchange(bool enabled) = 0;
+  virtual RpcClient& rpc() = 0;
+  virtual void close() = 0;
+};
+
 /// GravitationalDynamics interface (phiGRAPE worker).
-class GravityClient {
+class GravityClient : public DynamicsClient {
  public:
   explicit GravityClient(std::unique_ptr<RpcClient> rpc)
       : rpc_(std::move(rpc)) {}
@@ -61,36 +99,46 @@ class GravityClient {
   void add_particles(std::span<const double> masses,
                      std::span<const Vec3> positions,
                      std::span<const Vec3> velocities);
-  void evolve(double t_end) { evolve_async(t_end).get(); }
-  Future evolve_async(double t_end);
+  Future evolve_async(double t_end) override;
 
   /// Sync full-state fetch (delta-aware: only changed fields travel).
   GravityState get_state();
-  /// Pipelined fetch: issue now, merge the delta into the cache later.
-  Future request_state(std::uint64_t want_mask = state_field::gravity_all);
+  Future request_state(std::uint64_t want_mask) override;
+  Future request_state() { return request_state(state_field::gravity_all); }
   const GravityState& finish_state(Future& reply, std::uint64_t want_mask);
+  void merge_state(Future& reply, std::uint64_t want_mask) override {
+    finish_state(reply, want_mask);
+  }
+  std::uint64_t full_mask() const override { return state_field::gravity_all; }
   const GravityState& cached_state() const noexcept { return cache_; }
+  std::span<const double> mass() const override { return cache_.mass; }
+  std::span<const Vec3> position() const override { return cache_.position; }
 
-  /// Content ids for the coupler's caches (0 until the field was fetched).
-  StateId coupling_sources_id() const {
+  StateId coupling_sources_id() const override {
     return combine_state_ids(info_.field_ids[0], info_.field_ids[1]);
   }
-  StateId position_id() const { return info_.field_ids[1]; }
+  StateId position_id() const override { return info_.field_ids[1]; }
 
   /// (kinetic, potential) in N-body units.
   std::pair<double, double> energies();
-  void kick(std::span<const Vec3> delta_v) { kick_async(delta_v).get(); }
-  Future kick_async(std::span<const Vec3> delta_v);
+  using DynamicsClient::kick;
+  Future kick_async(std::span<const Vec3> accel, double dt) override;
+  Future kick_async(std::span<const Vec3> delta_v) {
+    return kick_async(delta_v, 1.0);
+  }
   void set_masses(std::span<const double> masses);
-  double model_time();
+  /// Delta-compressed mass channel: update only the listed particles.
+  void set_masses_sparse(std::span<const std::int32_t> indices,
+                         std::span<const double> masses);
+  double model_time() override;
 
-  void set_delta_exchange(bool enabled) {
+  void set_delta_exchange(bool enabled) override {
     info_.delta_enabled = enabled;
     kick_primed_ = false;
   }
 
-  RpcClient& rpc() noexcept { return *rpc_; }
-  void close() { rpc_->close(); }
+  RpcClient& rpc() noexcept override { return *rpc_; }
+  void close() override { rpc_->close(); }
 
  private:
   std::unique_ptr<RpcClient> rpc_;
@@ -152,7 +200,7 @@ class FieldClient {
 };
 
 /// Hydrodynamics interface (Gadget worker).
-class HydroClient {
+class HydroClient : public DynamicsClient {
  public:
   explicit HydroClient(std::unique_ptr<RpcClient> rpc) : rpc_(std::move(rpc)) {}
 
@@ -161,34 +209,43 @@ class HydroClient {
                std::span<const Vec3> positions,
                std::span<const Vec3> velocities,
                std::span<const double> internal_energies);
-  void evolve(double t_end) { evolve_async(t_end).get(); }
-  Future evolve_async(double t_end);
+  Future evolve_async(double t_end) override;
 
   HydroState get_state();
-  Future request_state(std::uint64_t want_mask = state_field::hydro_all);
+  Future request_state(std::uint64_t want_mask) override;
+  Future request_state() { return request_state(state_field::hydro_all); }
   const HydroState& finish_state(Future& reply, std::uint64_t want_mask);
+  void merge_state(Future& reply, std::uint64_t want_mask) override {
+    finish_state(reply, want_mask);
+  }
+  std::uint64_t full_mask() const override { return state_field::hydro_all; }
   const HydroState& cached_state() const noexcept { return cache_; }
+  std::span<const double> mass() const override { return cache_.mass; }
+  std::span<const Vec3> position() const override { return cache_.position; }
 
-  StateId coupling_sources_id() const {
+  StateId coupling_sources_id() const override {
     return combine_state_ids(info_.field_ids[0], info_.field_ids[1]);
   }
-  StateId position_id() const { return info_.field_ids[1]; }
+  StateId position_id() const override { return info_.field_ids[1]; }
 
   /// (kinetic, thermal, potential) in N-body units.
   std::tuple<double, double, double> energies();
-  void kick(std::span<const Vec3> delta_v) { kick_async(delta_v).get(); }
-  Future kick_async(std::span<const Vec3> delta_v);
+  using DynamicsClient::kick;
+  Future kick_async(std::span<const Vec3> accel, double dt) override;
+  Future kick_async(std::span<const Vec3> delta_v) {
+    return kick_async(delta_v, 1.0);
+  }
   void inject(std::span<const std::int32_t> indices,
               std::span<const double> delta_u);
-  double model_time();
+  double model_time() override;
 
-  void set_delta_exchange(bool enabled) {
+  void set_delta_exchange(bool enabled) override {
     info_.delta_enabled = enabled;
     kick_primed_ = false;
   }
 
-  RpcClient& rpc() noexcept { return *rpc_; }
-  void close() { rpc_->close(); }
+  RpcClient& rpc() noexcept override { return *rpc_; }
+  void close() override { rpc_->close(); }
 
  private:
   std::unique_ptr<RpcClient> rpc_;
@@ -198,7 +255,10 @@ class HydroClient {
   bool kick_primed_ = false;
 };
 
-/// StellarEvolution interface (SSE worker).
+/// StellarEvolution interface (SSE worker). The mass channel is
+/// delta-compressed: masses() normally fetches only the stars whose mass
+/// changed since the previous exchange (most stars sit quietly on the main
+/// sequence between SE steps) and merges them into a client-side cache.
 class StellarClient {
  public:
   explicit StellarClient(std::unique_ptr<RpcClient> rpc)
@@ -206,17 +266,23 @@ class StellarClient {
 
   void add_stars(std::span<const double> zams_masses);
   void evolve_to(double age_myr);
-  std::vector<double> masses();
+  const std::vector<double>& masses();
   std::vector<double> luminosities();
   /// Stars that exploded during the last evolve_to.
   std::vector<std::int32_t> supernovae();
   double mass_loss();
+
+  /// `false` restores the pre-delta full-array wire behaviour (the
+  /// synchronous baseline).
+  void set_delta_exchange(bool enabled) { delta_enabled_ = enabled; }
 
   RpcClient& rpc() noexcept { return *rpc_; }
   void close() { rpc_->close(); }
 
  private:
   std::unique_ptr<RpcClient> rpc_;
+  std::vector<double> mass_cache_;
+  bool delta_enabled_ = true;
 };
 
 }  // namespace jungle::amuse

@@ -89,15 +89,37 @@ struct StateEpochs {
   }
 };
 
-/// Tags of the coupler's two cross-gravity directions (Fig 7): which cached
-/// source/point set an accel query refers to.
+/// Tags of the coupler's cross-gravity directions: which cached source/point
+/// set an accel query refers to. The two classic Fig-7 directions keep their
+/// historic values; an experiment graph derives one tag per coupling
+/// direction with pair_field_tag (coupling 0's two directions are exactly
+/// gas_on_stars / stars_on_gas).
 enum class FieldTag : std::uint64_t { gas_on_stars = 0, stars_on_gas = 1 };
 
-/// Flag bits of the kick exchange: an identical half-kick (the common case
-/// right after an unchanged coupling phase) is replayed from the worker's
-/// cache instead of shipping the whole Δv array again.
+/// Tag of direction `dir` (0 = accel on system a, 1 = accel on system b) of
+/// coupling number `coupling` — unique per (coupling, direction) even when
+/// several couplings share one field worker.
+inline FieldTag pair_field_tag(int coupling, int dir) noexcept {
+  return static_cast<FieldTag>(static_cast<std::uint64_t>(coupling) * 2 +
+                               static_cast<std::uint64_t>(dir));
+}
+
+/// Flag bits of the kick exchange. Kicks travel as *accel + dt* and the
+/// worker multiplies (Δv_i = a_i * dt): the frame is
+///   [u64 flags][f64 dt] (+ [accel span] unless `repeat`).
+/// A half-kick whose acceleration is unchanged (the common case right after
+/// an all-cache-hit coupling phase) replays the worker's cached accel under
+/// a possibly different dt — 16 payload bytes instead of the whole array,
+/// and robust to couplings firing at different cadences.
 namespace kick_flags {
 inline constexpr std::uint64_t repeat = 1;
+}
+
+/// Flag bits of the delta stellar-mass exchange (se_get_mass_updates): a
+/// `full` reply carries every mass; otherwise only [indices][values] of the
+/// stars whose mass changed since the last exchange travel.
+namespace se_mass_flags {
+inline constexpr std::uint64_t full = 1;
 }
 
 /// Flag bits of the field_accel_for exchange.

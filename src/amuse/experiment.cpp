@@ -1,0 +1,1012 @@
+#include "amuse/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "amuse/diagnostics.hpp"
+#include "amuse/faults.hpp"
+#include "amuse/ic.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace jungle::amuse::experiment {
+
+using sched::Role;
+
+// ---------------------------------------------------------------- testbed
+
+JungleTestbed::JungleTestbed(bool verbose) {
+  using sim::net::gbit;
+  using sim::net::ms;
+  if (verbose) log::set_threshold(log::Level::info);
+
+  // Effective per-core/GPU rates for irregular tree/N-body/SPH kernels
+  // (a few percent of peak — see DESIGN.md calibration notes).
+  net_.add_site("vu", 0.1 * ms, 1 * gbit);
+  net_.add_site("seattle", 0.1 * ms, 1 * gbit);
+  net_.add_site("uva", 0.05 * ms, 10 * gbit);
+  net_.add_site("delft", 0.05 * ms, 10 * gbit);
+  net_.add_site("leiden", 0.1 * ms, 1 * gbit);
+  net_.add_site("das-vu", 2e-6, 32 * gbit);  // cluster interconnect
+
+  sim::Host& desktop = net_.add_host("desktop", "vu", 4, 0.15);
+  desktop.set_gpu(sim::GpuSpec{"geforce-9600gt", 1.2});
+  net_.add_host("laptop", "seattle", 2, 0.12);
+
+  sim::Host& lgm_fs = net_.add_host("fs-lgm", "leiden", 8, 0.3);
+  lgm_fs.firewall().allow_inbound = false;  // ssh only, hub tunnels
+  sim::Host& lgm_node = net_.add_host("lgm-node", "leiden", 8, 0.3);
+  lgm_node.set_gpu(sim::GpuSpec{"tesla-c2050", 6.0});
+
+  net_.add_host("fs-uva", "uva", 8, 0.3);
+  net_.add_host("uva-node", "uva", 8, 0.3);
+
+  net_.add_host("fs-delft", "delft", 8, 0.3);
+  for (int i = 0; i < 2; ++i) {
+    sim::Host& node =
+        net_.add_host("delft-gpu" + std::to_string(i), "delft", 8, 0.3);
+    node.set_gpu(sim::GpuSpec{"gtx480", 2.4});
+  }
+
+  net_.add_host("fs-dasvu", "das-vu", 8, 0.3);
+  for (int i = 0; i < 8; ++i) {
+    net_.add_host("dasvu" + std::to_string(i), "das-vu", 8, 0.3);
+  }
+
+  // Lightpaths of Figs 9/12.
+  net_.add_link("vu", "uva", 0.2 * ms, 10 * gbit, "starplane-uva");
+  net_.add_link("vu", "delft", 0.5 * ms, 10 * gbit, "starplane-delft");
+  net_.add_link("vu", "leiden", 0.5 * ms, 1 * gbit, "lgm-lightpath");
+  net_.add_link("vu", "das-vu", 0.05 * ms, 10 * gbit, "vu-campus");
+  net_.add_link("seattle", "vu", 45 * ms, 1 * gbit, "transatlantic");
+  net_.set_loopback(5e-6, 10 * gbit);
+
+  client_ = &desktop;
+  deployer_ = std::make_unique<deploy::Deployer>(net_, sockets_, desktop);
+  auto cluster = [&](const std::string& name, const std::string& frontend,
+                     std::vector<std::string> node_names) {
+    gat::Resource resource;
+    resource.name = name;
+    resource.middleware = "sge";
+    resource.frontend = &net_.host(frontend);
+    for (const auto& node : node_names) {
+      resource.nodes.push_back(&net_.host(node));
+    }
+    resource.queue_base_delay = 1.0;
+    resource.queue = std::make_shared<gat::ClusterQueue>(sim_);
+    resource.queue->set_nodes(resource.nodes);
+    deployer_->add_resource(resource);
+  };
+  cluster("lgm", "fs-lgm", {"lgm-node"});
+  cluster("das4-uva", "fs-uva", {"uva-node"});
+  cluster("das4-delft", "fs-delft", {"delft-gpu0", "delft-gpu1"});
+  cluster("das4-vu", "fs-dasvu",
+          {"dasvu0", "dasvu1", "dasvu2", "dasvu3", "dasvu4", "dasvu5",
+           "dasvu6", "dasvu7"});
+}
+
+JungleTestbed::JungleTestbed(const util::Config& config, bool verbose) {
+  if (verbose) log::set_threshold(log::Level::info);
+  deploy::build_topology(config, net_);
+  auto names = net_.host_names();
+  if (names.empty()) {
+    throw ConfigError("scenario topology declares no hosts");
+  }
+  std::string client_name = config.has_section("scenario")
+                                ? config.get_or("scenario", "client", names[0])
+                                : names[0];
+  client_ = &net_.host(client_name);
+  deployer_ = std::make_unique<deploy::Deployer>(net_, sockets_, *client_);
+  deployer_->add_resources(deploy::resources_from_config(config, net_));
+}
+
+sim::Host& JungleTestbed::client_host() {
+  if (client_ == nullptr) throw ConfigError("testbed has no client host");
+  return *client_;
+}
+
+IbisDaemon& JungleTestbed::daemon(sim::Host& client) {
+  if (!daemon_) {
+    daemon_ = std::make_unique<IbisDaemon>(*deployer_, net_, sockets_, client);
+  }
+  return *daemon_;
+}
+
+// ------------------------------------------------------------------- spec
+
+namespace {
+
+bool is_dynamic(Role role) {
+  return role == Role::gravity || role == Role::hydro;
+}
+
+const char* role_label(Role role) {
+  return role == Role::coupler ? "field" : sched::role_name(role);
+}
+
+bool kernel_valid(Role role, const std::string& kernel) {
+  if (kernel.empty() || kernel == "auto") return true;
+  switch (role) {
+    case Role::gravity:
+      return kernel == "phigrape" || kernel == "phigrape-gpu";
+    case Role::hydro:
+      return kernel == "gadget";
+    case Role::coupler:
+      return kernel == "fi" || kernel == "octgrav";
+    case Role::stellar:
+      return kernel == "sse";
+  }
+  return false;
+}
+
+/// The IC recipe each role knows how to generate ("" = the role default).
+/// Anything else would be silently replaced by the default — reject it.
+bool ic_valid(Role role, const std::string& ic) {
+  if (ic.empty()) return true;
+  switch (role) {
+    case Role::gravity: return ic == "plummer";
+    case Role::hydro: return ic == "gas-sphere";
+    case Role::stellar: return ic == "salpeter";
+    case Role::coupler: return false;  // field kernels own no particles
+  }
+  return false;
+}
+
+}  // namespace
+
+int ExperimentSpec::find(const std::string& model_name) const {
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    if (models[i].name == model_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void ExperimentSpec::validate() const {
+  auto fail = [&](const std::string& what) {
+    throw ConfigError("experiment '" + name + "': " + what);
+  };
+  if (models.empty()) fail("declares no models");
+  if (dt <= 0.0) fail("dt must be positive");
+  if (iterations < 1) fail("iterations must be >= 1");
+  if (se_every < 1) fail("se_every must be >= 1");
+
+  bool any_dynamic = false;
+  for (const ModelSpec& model : models) {
+    if (model.name.empty()) fail("a model has no name");
+    for (const ModelSpec& other : models) {
+      if (&other != &model && other.name == model.name) {
+        fail("duplicate model name '" + model.name + "'");
+      }
+    }
+    if (!kernel_valid(model.role, model.kernel)) {
+      fail("model '" + model.name + "': kernel '" + model.kernel +
+           "' does not implement the " + role_label(model.role) + " role");
+    }
+    if (!ic_valid(model.role, model.ic)) {
+      fail("model '" + model.name + "': ic '" + model.ic +
+           "' is not an IC recipe of the " + role_label(model.role) +
+           " role");
+    }
+    if (is_dynamic(model.role) || model.role == Role::stellar) {
+      if (model.n == 0) {
+        fail("model '" + model.name + "' declares no particles (n = 0)");
+      }
+    } else if (model.n != 0) {
+      fail("field model '" + model.name +
+           "' declares particles; field kernels evaluate, they do not own "
+           "state");
+    }
+    if (is_dynamic(model.role)) any_dynamic = true;
+
+    if (model.role == Role::stellar) {
+      int target = find(model.of);
+      if (model.of.empty() || target < 0) {
+        fail("stellar model '" + model.name + "' must name the gravity "
+             "model its masses flow into (of = ...)");
+      }
+      if (models[static_cast<std::size_t>(target)].role != Role::gravity) {
+        fail("stellar model '" + model.name + "': of = '" + model.of +
+             "' is not a gravity model");
+      }
+      if (!model.feedback.empty()) {
+        int sink = find(model.feedback);
+        if (sink < 0 ||
+            models[static_cast<std::size_t>(sink)].role != Role::hydro) {
+          fail("stellar model '" + model.name + "': feedback = '" +
+               model.feedback + "' is not a hydro model");
+        }
+      }
+    } else if (!model.of.empty() || !model.feedback.empty()) {
+      fail("model '" + model.name +
+           "' sets stellar wiring (of/feedback) but is not a stellar model");
+    }
+  }
+  if (!any_dynamic) fail("declares no dynamic (gravity/hydro) model");
+
+  std::vector<bool> field_used(models.size(), false);
+  for (const CouplingSpec& coupling : couplings) {
+    std::string label =
+        "coupling '" + (coupling.name.empty() ? "?" : coupling.name) + "'";
+    int field = find(coupling.field);
+    if (field < 0) {
+      fail(label + " references unknown field model '" + coupling.field +
+           "'");
+    }
+    if (models[static_cast<std::size_t>(field)].role != Role::coupler) {
+      fail(label + ": '" + coupling.field + "' is not a field model");
+    }
+    field_used[static_cast<std::size_t>(field)] = true;
+    for (const std::string& end : {coupling.a, coupling.b}) {
+      int slot = find(end);
+      if (slot < 0) {
+        fail(label + " references unknown model '" + end + "'");
+      }
+      if (!is_dynamic(models[static_cast<std::size_t>(slot)].role)) {
+        fail(label + ": '" + end + "' is not a dynamic model");
+      }
+    }
+    if (coupling.a == coupling.b) {
+      fail(label + " couples '" + coupling.a + "' to itself");
+    }
+    if (coupling.every < 1) fail(label + ": every must be >= 1");
+    if (iterations % coupling.every != 0) {
+      // A truncated window would end after an opening kick whose closing
+      // half never fires — a silently lopsided trajectory.
+      fail(label + ": iterations (" + std::to_string(iterations) +
+           ") must cover whole coupling windows (every = " +
+           std::to_string(coupling.every) + ")");
+    }
+  }
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    if (models[i].role == Role::coupler && !field_used[i]) {
+      fail("field model '" + models[i].name +
+           "' is not referenced by any coupling");
+    }
+  }
+
+  // Fault policy: a kill switch on a spec that cannot recover would be
+  // silently ignored — make it a validation error instead.
+  if (!kill_host.empty() && !checkpointing) {
+    fail("kill_host is set but checkpointing is off — the fault policy "
+         "would be silently ignored");
+  }
+  if (!kill_host.empty() && kill_after_iteration < 1) {
+    fail("kill_host is set but kill_after_iteration names no step");
+  }
+  if (!kill_host.empty() && kill_after_iteration > iterations) {
+    fail("kill_after_iteration (" + std::to_string(kill_after_iteration) +
+         ") is past the end of the run (" + std::to_string(iterations) +
+         " iterations) — the fault would silently never fire");
+  }
+  if (kill_host.empty() && kill_after_iteration >= 1) {
+    fail("kill_after_iteration is set but kill_host names no host");
+  }
+}
+
+sched::Workload ExperimentSpec::workload() const {
+  sched::Workload load;
+  load.dt = dt;
+  load.iterations = iterations;
+  load.se_every = se_every;
+  load.with_stellar_evolution = false;
+  for (const ModelSpec& model : models) {
+    sched::ModelLoad entry;
+    entry.name = model.name;
+    entry.role = model.role;
+    entry.n = model.n;
+    entry.kernel = model.kernel == "auto" ? "" : model.kernel;
+    entry.nranks = model.nranks;
+    if (model.role == Role::stellar) {
+      entry.of = find(model.of);
+      load.with_stellar_evolution = true;
+    }
+    load.models.push_back(std::move(entry));
+  }
+  for (const CouplingSpec& coupling : couplings) {
+    load.couplings.push_back(
+        {find(coupling.field), find(coupling.a), find(coupling.b),
+         coupling.every});
+  }
+  // Legacy scalar mirror (display + any classic-path consumer).
+  for (const ModelSpec& model : models) {
+    if (model.role == Role::gravity) {
+      load.n_stars = model.n;
+      break;
+    }
+  }
+  load.n_gas = 0;
+  for (const ModelSpec& model : models) {
+    if (model.role == Role::hydro) {
+      load.n_gas = model.n;
+      break;
+    }
+  }
+  return load;
+}
+
+// -------------------------------------------------------------- INI parse
+
+namespace {
+
+Vec3 parse_vec3(const std::string& text, const std::string& where) {
+  std::istringstream in(text);
+  Vec3 value{};
+  if (!(in >> value.x >> value.y >> value.z)) {
+    throw ConfigError(where + ": expected three numbers, got '" + text + "'");
+  }
+  return value;
+}
+
+Role parse_role(const std::string& text, const std::string& where) {
+  if (text == "gravity") return Role::gravity;
+  if (text == "hydro") return Role::hydro;
+  if (text == "field" || text == "coupler") return Role::coupler;
+  if (text == "stellar") return Role::stellar;
+  throw ConfigError(where + ": unknown role '" + text +
+                    "' (gravity|hydro|field|stellar)");
+}
+
+}  // namespace
+
+bool config_declares_experiment(const util::Config& config) {
+  for (const std::string& section : config.sections()) {
+    if (util::starts_with(section, "model ")) return true;
+  }
+  return false;
+}
+
+ExperimentSpec ExperimentSpec::from_config(const util::Config& config) {
+  ExperimentSpec spec;
+  if (config.has_section("experiment")) {
+    const std::string s = "experiment";
+    spec.name = config.get_or(s, "name", spec.name);
+    spec.dt = config.get_double_or(s, "dt", spec.dt);
+    spec.iterations =
+        static_cast<int>(config.get_int_or(s, "iterations", spec.iterations));
+    spec.se_every =
+        static_cast<int>(config.get_int_or(s, "se_every", spec.se_every));
+    spec.seed = static_cast<std::uint64_t>(
+        config.get_int_or(s, "seed", static_cast<long>(spec.seed)));
+    std::string path = config.get_or(s, "datapath", "pipelined");
+    if (path == "pipelined") {
+      spec.datapath = Datapath::pipelined;
+    } else if (path == "synchronous") {
+      spec.datapath = Datapath::synchronous;
+    } else {
+      throw ConfigError("experiment: unknown datapath '" + path + "'");
+    }
+    spec.myr_per_nbody_time =
+        config.get_double_or(s, "myr_per_nbody_time", spec.myr_per_nbody_time);
+    spec.feedback_efficiency = config.get_double_or(s, "feedback_efficiency",
+                                                    spec.feedback_efficiency);
+    spec.wind_specific_energy = config.get_double_or(
+        s, "wind_specific_energy", spec.wind_specific_energy);
+    spec.supernova_energy =
+        config.get_double_or(s, "supernova_energy", spec.supernova_energy);
+    spec.checkpointing =
+        config.get_bool_or(s, "checkpointing", spec.checkpointing);
+    spec.kill_host = config.get_or(s, "kill_host", "");
+    spec.kill_after_iteration = static_cast<int>(
+        config.get_int_or(s, "kill_after_iteration", -1));
+    spec.client = config.get_or(s, "client", "");
+  }
+
+  for (const std::string& section : config.sections()) {
+    if (util::starts_with(section, "model ")) {
+      ModelSpec model;
+      model.name = util::trim(section.substr(6));
+      model.role = parse_role(config.get(section, "role"), section);
+      model.kernel = config.get_or(section, "kernel", "auto");
+      model.n = static_cast<std::size_t>(config.get_int_or(section, "n", 0));
+      model.nranks =
+          static_cast<int>(config.get_int_or(section, "nranks", 0));
+      model.nodes = static_cast<int>(config.get_int_or(section, "nodes", 1));
+      model.eps2 = config.get_double_or(section, "eps2", model.eps2);
+      model.eta = config.get_double_or(section, "eta", model.eta);
+      model.theta = config.get_double_or(section, "theta", model.theta);
+      model.ic = config.get_or(section, "ic", "");
+      model.total_mass =
+          config.get_double_or(section, "total_mass", model.total_mass);
+      model.radius = config.get_double_or(section, "radius", model.radius);
+      model.u_frac = config.get_double_or(section, "u_frac", model.u_frac);
+      if (config.has_key(section, "offset")) {
+        model.offset = parse_vec3(config.get(section, "offset"), section);
+      }
+      if (config.has_key(section, "velocity")) {
+        model.bulk_velocity =
+            parse_vec3(config.get(section, "velocity"), section);
+      }
+      model.ensure_massive =
+          config.get_double_or(section, "ensure_massive", 0.0);
+      model.of = config.get_or(section, "of", "");
+      model.feedback = config.get_or(section, "feedback", "");
+      model.place = config.get_or(section, "place", "");
+      spec.models.push_back(std::move(model));
+    } else if (util::starts_with(section, "coupling ")) {
+      CouplingSpec coupling;
+      coupling.name = util::trim(section.substr(9));
+      coupling.field = config.get(section, "field");
+      coupling.a = config.get(section, "a");
+      coupling.b = config.get(section, "b");
+      coupling.every =
+          static_cast<int>(config.get_int_or(section, "every", 1));
+      spec.couplings.push_back(std::move(coupling));
+    }
+  }
+  return spec;
+}
+
+// ------------------------------------------------------------- placement
+
+namespace {
+
+/// Default worker spec of a pinned model (the scheduler builds its own for
+/// free models): kernel "auto" resolves by the target host's GPU.
+amuse::WorkerSpec pinned_worker_spec(const ModelSpec& model,
+                                     const sim::Host& host, bool local) {
+  amuse::WorkerSpec spec;
+  bool gpu = host.gpu().has_value();
+  switch (model.role) {
+    case Role::gravity:
+      spec.code = model.kernel == "auto"
+                      ? (gpu ? "phigrape-gpu" : "phigrape")
+                      : model.kernel;
+      spec.ncores = spec.code == "phigrape" ? 2 : 1;
+      break;
+    case Role::coupler:
+      spec.code = model.kernel == "auto" ? (gpu ? "octgrav" : "fi")
+                                         : model.kernel;
+      spec.ncores = spec.code == "fi" ? 2 : 1;
+      break;
+    case Role::hydro:
+      spec.code = "gadget";
+      spec.nranks = model.nranks > 0 ? model.nranks : (local ? 2 : model.nodes);
+      spec.ncores = local ? 1 : 2;
+      break;
+    case Role::stellar:
+      spec.code = "sse";
+      break;
+  }
+  return spec;
+}
+
+std::optional<sched::Assignment> resolve_pin(JungleTestbed& bed,
+                                             const ModelSpec& model,
+                                             sim::Host& client) {
+  if (model.place.empty()) return std::nullopt;
+  sched::Assignment pin;
+  if (model.place == "local") {
+    pin.host = &client;
+    pin.spec = pinned_worker_spec(model, client, /*local=*/true);
+    pin.nodes = 1;
+  } else {
+    auto parts = util::split(model.place, '/');
+    const gat::Resource& resource = bed.deployer().resource(parts[0]);
+    pin.resource = resource.name;
+    const sim::Host* host = nullptr;
+    if (parts.size() > 1) {
+      for (const sim::Host* node : resource.nodes) {
+        if (node != nullptr && node->name() == parts[1]) host = node;
+      }
+      if (host == nullptr) {
+        throw ConfigError("model '" + model.name + "': place = '" +
+                          model.place + "' names no node of resource '" +
+                          resource.name + "'");
+      }
+    } else if (!resource.nodes.empty()) {
+      host = resource.nodes.front();
+    } else {
+      host = resource.frontend;
+    }
+    if (host == nullptr) {
+      throw ConfigError("model '" + model.name + "': resource '" +
+                        resource.name + "' has no usable node");
+    }
+    pin.host = host;
+    pin.spec = pinned_worker_spec(model, *host, /*local=*/false);
+    pin.nodes = std::max(1, model.nodes);
+  }
+  return pin;
+}
+
+sim::Host& client_of(JungleTestbed& bed, const ExperimentSpec& spec) {
+  return spec.client.empty() ? bed.client_host()
+                             : bed.network().host(spec.client);
+}
+
+sched::Placement plan_in(JungleTestbed& bed, const ExperimentSpec& spec,
+                         sim::Host& client,
+                         const sched::Scheduler& scheduler) {
+  sched::Workload load = spec.workload();
+  std::vector<std::optional<sched::Assignment>> pins;
+  pins.reserve(spec.models.size());
+  for (const ModelSpec& model : spec.models) {
+    pins.push_back(resolve_pin(bed, model, client));
+  }
+  sched::Placement plan = scheduler.plan(load, pins);
+  // The spec's numeric kernel parameters always win (they are physics, not
+  // placement); codes and widths were already constrained via the workload.
+  for (std::size_t i = 0; i < spec.models.size(); ++i) {
+    plan.roles[i].spec.eps2 = spec.models[i].eps2;
+    plan.roles[i].spec.eta = spec.models[i].eta;
+    plan.roles[i].spec.theta = spec.models[i].theta;
+  }
+  return plan;
+}
+
+}  // namespace
+
+sched::Placement plan_experiment(JungleTestbed& bed,
+                                 const ExperimentSpec& spec) {
+  spec.validate();
+  sim::Host& client = client_of(bed, spec);
+  sched::Scheduler scheduler(bed.network(), client,
+                             bed.deployer().resources());
+  return plan_in(bed, spec, client, scheduler);
+}
+
+// ------------------------------------------------------------------ runner
+
+namespace {
+
+/// Live clients + checkpoints of one model of the running graph. Exactly
+/// one of the client pointers is set, matching the model's role.
+struct ModelRuntime {
+  std::unique_ptr<GravityClient> gravity;
+  std::unique_ptr<HydroClient> hydro;
+  std::unique_ptr<FieldClient> field;
+  std::unique_ptr<StellarClient> stellar;
+
+  GravityCheckpoint grav_save;
+  HydroCheckpoint hydro_save;
+  FieldCheckpoint field_save;
+  std::vector<double> zams;
+
+  DynamicsClient* dynamics() {
+    if (gravity) return gravity.get();
+    return hydro.get();
+  }
+  RpcClient& rpc() {
+    if (gravity) return gravity->rpc();
+    if (hydro) return hydro->rpc();
+    if (field) return field->rpc();
+    return stellar->rpc();
+  }
+  void close() {
+    if (gravity) gravity->close();
+    if (hydro) hydro->close();
+    if (field) field->close();
+    if (stellar) stellar->close();
+  }
+};
+
+std::unique_ptr<RpcClient> start_assignment(JungleTestbed& bed,
+                                            sim::Host& client,
+                                            DaemonClient& daemon_client,
+                                            const sched::Assignment& a) {
+  if (a.local()) {
+    return start_local_worker(bed.sockets(), bed.network(), client, client,
+                              a.spec, ChannelKind::mpi);
+  }
+  return daemon_client.start_worker(a.spec, a.resource, a.nodes);
+}
+
+Bridge::Config bridge_config(const ExperimentSpec& spec) {
+  Bridge::Config config;
+  config.dt = spec.dt;
+  config.se_every = spec.se_every;
+  config.synchronous_datapath = spec.datapath == Datapath::synchronous;
+  config.myr_per_nbody_time = spec.myr_per_nbody_time;
+  config.feedback_efficiency = spec.feedback_efficiency;
+  config.wind_specific_energy = spec.wind_specific_energy;
+  config.supernova_energy = spec.supernova_energy;
+  return config;
+}
+
+}  // namespace
+
+Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
+  spec.validate();
+  sim::Host& client = client_of(bed, spec);
+  bed.daemon(client);  // paper step 3: "start the Ibis-Daemon"
+
+  sched::Scheduler scheduler(bed.network(), client,
+                             bed.deployer().resources());
+  sched::Workload load = spec.workload();
+  sched::Placement plan = plan_in(bed, spec, client, scheduler);
+
+  std::size_t n_models = spec.models.size();
+  Result result;
+  result.experiment = spec.name;
+  result.iterations = spec.iterations;
+  result.placement = plan.describe();
+  result.modeled_seconds_per_iteration = plan.modeled_seconds_per_iteration;
+
+  bed.simulation().spawn("amuse-script", [&] {
+    DaemonClient daemon_client(bed.sockets(), client);
+    std::vector<ModelRuntime> models(n_models);
+
+    // Start every model's worker in declaration order.
+    auto start_model = [&](std::size_t i) {
+      const ModelSpec& model = spec.models[i];
+      auto rpc = start_assignment(bed, client, daemon_client, plan.roles[i]);
+      switch (model.role) {
+        case Role::gravity:
+          models[i].gravity = std::make_unique<GravityClient>(std::move(rpc));
+          break;
+        case Role::hydro:
+          models[i].hydro = std::make_unique<HydroClient>(std::move(rpc));
+          break;
+        case Role::coupler:
+          models[i].field = std::make_unique<FieldClient>(std::move(rpc));
+          break;
+        case Role::stellar:
+          models[i].stellar = std::make_unique<StellarClient>(std::move(rpc));
+          break;
+      }
+    };
+    for (std::size_t i = 0; i < n_models; ++i) start_model(i);
+
+    bool synchronous = spec.datapath == Datapath::synchronous;
+    auto apply_datapath = [&] {
+      // The baseline mode turns the delta exchange off end to end so the
+      // wire behaves exactly like the pre-overhaul full-fetch path.
+      for (ModelRuntime& model : models) {
+        if (model.gravity) model.gravity->set_delta_exchange(!synchronous);
+        if (model.hydro) model.hydro->set_delta_exchange(!synchronous);
+        if (model.field) model.field->set_delta_exchange(!synchronous);
+        if (model.stellar) model.stellar->set_delta_exchange(!synchronous);
+      }
+    };
+    apply_datapath();
+
+    // Initial conditions: every model draws from one seeded stream in
+    // declaration order, so the spec is a reproducible experiment.
+    util::Rng rng(spec.seed);
+    for (std::size_t i = 0; i < n_models; ++i) {
+      const ModelSpec& model = spec.models[i];
+      switch (model.role) {
+        case Role::gravity: {
+          auto body = ic::plummer_sphere(model.n, rng);
+          double scale_r = model.radius > 0.0 ? model.radius : 1.0;
+          double scale_m = model.total_mass;
+          if (scale_m != 1.0 || scale_r != 1.0) {
+            double scale_v = std::sqrt(scale_m / scale_r);
+            for (double& m : body.mass) m *= scale_m;
+            for (Vec3& p : body.position) p = p * scale_r;
+            for (Vec3& v : body.velocity) v = v * scale_v;
+          }
+          if (model.offset.norm2() > 0.0 ||
+              model.bulk_velocity.norm2() > 0.0) {
+            for (Vec3& p : body.position) p = p + model.offset;
+            for (Vec3& v : body.velocity) v = v + model.bulk_velocity;
+          }
+          models[i].gravity->add_particles(body.mass, body.position,
+                                           body.velocity);
+          // Checkpoints start as the initial conditions: a worker lost on
+          // the very first step rolls back to t=0.
+          models[i].grav_save.state =
+              GravityState{std::move(body.mass), std::move(body.position),
+                           std::move(body.velocity)};
+          models[i].grav_save.eps2 = model.eps2;
+          models[i].grav_save.eta = model.eta;
+          break;
+        }
+        case Role::hydro: {
+          double radius = model.radius > 0.0 ? model.radius : 1.5;
+          auto cloud = ic::gas_sphere(model.n, rng, model.total_mass, radius,
+                                      model.u_frac);
+          if (model.offset.norm2() > 0.0 ||
+              model.bulk_velocity.norm2() > 0.0) {
+            for (Vec3& p : cloud.position) p = p + model.offset;
+            for (Vec3& v : cloud.velocity) v = v + model.bulk_velocity;
+          }
+          models[i].hydro->add_gas(cloud.mass, cloud.position, cloud.velocity,
+                                   cloud.internal_energy);
+          models[i].hydro_save.state =
+              HydroState{std::move(cloud.mass), std::move(cloud.position),
+                         std::move(cloud.velocity),
+                         std::move(cloud.internal_energy), {}};
+          models[i].hydro_save.eps2 = model.eps2;
+          models[i].hydro_save.theta = model.theta;
+          break;
+        }
+        case Role::stellar: {
+          models[i].zams = ic::salpeter_masses(model.n, rng);
+          if (model.ensure_massive > 0.0) {
+            models[i].zams[0] = model.ensure_massive;
+          }
+          models[i].stellar->add_stars(models[i].zams);
+          break;
+        }
+        case Role::coupler:
+          break;
+      }
+    }
+
+    // Wire the bridge graph: dynamic models become systems, couplings
+    // resolve to system indices, stellar models to their typed targets.
+    std::vector<int> system_of(n_models, -1);
+    auto build_bridge = [&](double t_offset, int step_offset) {
+      std::vector<Bridge::System> systems;
+      for (std::size_t i = 0; i < n_models; ++i) {
+        if (models[i].dynamics() == nullptr) continue;
+        system_of[i] = static_cast<int>(systems.size());
+        systems.push_back({spec.models[i].name, models[i].dynamics()});
+      }
+      std::vector<Bridge::Coupling> couplings;
+      for (const CouplingSpec& coupling : spec.couplings) {
+        couplings.push_back(
+            {models[static_cast<std::size_t>(spec.find(coupling.field))]
+                 .field.get(),
+             system_of[static_cast<std::size_t>(spec.find(coupling.a))],
+             system_of[static_cast<std::size_t>(spec.find(coupling.b))],
+             coupling.every});
+      }
+      std::vector<Bridge::Stellar> stellar;
+      for (std::size_t i = 0; i < n_models; ++i) {
+        if (!models[i].stellar) continue;
+        const ModelSpec& model = spec.models[i];
+        Bridge::Stellar link;
+        link.client = models[i].stellar.get();
+        link.into =
+            models[static_cast<std::size_t>(spec.find(model.of))].gravity.get();
+        link.feedback =
+            model.feedback.empty()
+                ? nullptr
+                : models[static_cast<std::size_t>(spec.find(model.feedback))]
+                      .hydro.get();
+        stellar.push_back(link);
+      }
+      Bridge::Config config = bridge_config(spec);
+      config.t_offset = t_offset;
+      config.step_offset = step_offset;
+      return std::make_unique<Bridge>(std::move(systems),
+                                      std::move(couplings),
+                                      std::move(stellar), config);
+    };
+    auto bridge = build_bridge(0.0, 0);
+
+    bool fault_tolerant = spec.checkpointing;
+
+    // The fault path: exclude what died, re-place the affected models, and
+    // roll every evolving worker back to the last consistent checkpoint
+    // (restarted integrators start at t=0; the new bridge carries the
+    // clock offset, the SE mass mappings and the SE cadence phase forward).
+    auto recover = [&](const WorkerDiedError& death, int completed) {
+      log::warn("experiment") << "recovering from: " << death.what();
+      if (death.cause() == WorkerDiedError::Cause::host_crash &&
+          !death.host().empty()) {
+        scheduler.exclude_host(death.host());
+        // A dead *frontend* takes its whole resource out of play: jobs
+        // submit through it even when the compute nodes survive.
+        std::string owner = scheduler.resource_of(death.host());
+        if (!owner.empty()) {
+          const gat::Resource& res = bed.deployer().resource(owner);
+          if (res.frontend != nullptr &&
+              res.frontend->name() == death.host()) {
+            scheduler.exclude_resource(owner);
+          }
+        }
+      }
+      bool any_dead = false;
+      for (std::size_t i = 0; i < n_models; ++i) {
+        if (models[i].rpc().alive()) continue;
+        any_dead = true;
+        const sched::Assignment& was = plan.roles[i];
+        if (was.local()) {
+          throw CodeError("the client machine lost its own worker ('" +
+                          spec.models[i].name + "'); nothing to re-place "
+                          "onto");
+        }
+        if (death.cause() != WorkerDiedError::Cause::host_crash) {
+          scheduler.exclude_resource(was.resource);
+        }
+        plan.roles[i] = scheduler.replace(load, plan, static_cast<int>(i));
+      }
+      if (!any_dead) throw death;  // stale report; cannot recover
+
+      double t_done = completed * spec.dt;
+      std::vector<std::pair<std::vector<double>, std::vector<double>>>
+          mappings;
+      for (std::size_t link = 0, i = 0; i < n_models; ++i) {
+        if (!models[i].stellar) continue;
+        mappings.push_back(bridge->se_mapping(link++));
+      }
+
+      // All dynamic models share the bridge clock: they roll back together
+      // so their restarted integrators agree at t=0 (+ offset). Field and
+      // stellar workers are replaced only when they died.
+      for (std::size_t i = 0; i < n_models; ++i) {
+        ModelRuntime& model = models[i];
+        if (model.gravity) {
+          model.gravity->close();
+          start_model(i);
+          restore_gravity(*model.gravity, model.grav_save);
+        } else if (model.hydro) {
+          model.hydro->close();
+          start_model(i);
+          restore_hydro(*model.hydro, model.hydro_save);
+        } else if (model.field) {
+          if (model.field->rpc().alive()) continue;
+          model.field->close();
+          start_model(i);
+          restore_field(*model.field, model.field_save);
+        } else if (model.stellar) {
+          if (model.stellar->rpc().alive()) continue;
+          model.stellar->close();
+          start_model(i);
+          model.stellar->add_stars(model.zams);
+          if (t_done > 0.0) {
+            model.stellar->evolve_to(t_done * spec.myr_per_nbody_time);
+          }
+        }
+      }
+
+      // Fresh clients start with empty delta caches, and restarted workers
+      // mint a fresh state-id instance: nothing cached before the rollback
+      // (client states, coupler sources/accels) can be mistaken for
+      // current content during the replay.
+      apply_datapath();
+
+      bridge = build_bridge(t_done, completed);
+      for (std::size_t link = 0; link < mappings.size(); ++link) {
+        bridge->set_se_mapping(std::move(mappings[link].first),
+                               std::move(mappings[link].second), link);
+      }
+      // Re-score the whole post-fault placement so the dashboard's
+      // modeled-vs-measured panel describes what is actually running.
+      scheduler.score(load, plan);
+      result.placement = plan.describe();
+      result.modeled_seconds_per_iteration =
+          plan.modeled_seconds_per_iteration;
+    };
+
+    bed.network().reset_traffic();
+    double wall_start = bed.simulation().now();
+    int completed = 0;
+    bool killed = false;
+    while (completed < spec.iterations) {
+      try {
+        bridge->step();
+        if (fault_tolerant) {
+          // Checkpointing itself talks to the workers and can die mid-way:
+          // stage into temporaries and commit together, so the saves (and
+          // `completed`, bumped after) always describe one consistent step
+          // — a partial set would desynchronize the restarted models.
+          std::vector<GravityCheckpoint> grav_now(n_models);
+          std::vector<HydroCheckpoint> hydro_now(n_models);
+          std::vector<FieldCheckpoint> field_now(n_models);
+          for (std::size_t i = 0; i < n_models; ++i) {
+            if (models[i].gravity) {
+              grav_now[i] = checkpoint_gravity(*models[i].gravity);
+              grav_now[i].eps2 = spec.models[i].eps2;
+              grav_now[i].eta = spec.models[i].eta;
+            } else if (models[i].hydro) {
+              hydro_now[i] = checkpoint_hydro(*models[i].hydro);
+              hydro_now[i].eps2 = spec.models[i].eps2;
+              hydro_now[i].theta = spec.models[i].theta;
+            } else if (models[i].field) {
+              field_now[i] = checkpoint_field(*models[i].field);
+            }
+          }
+          for (std::size_t i = 0; i < n_models; ++i) {
+            if (models[i].gravity) {
+              models[i].grav_save = std::move(grav_now[i]);
+            } else if (models[i].hydro) {
+              models[i].hydro_save = std::move(hydro_now[i]);
+            } else if (models[i].field) {
+              models[i].field_save = std::move(field_now[i]);
+            }
+          }
+        }
+        ++completed;
+        if (fault_tolerant && !killed && !spec.kill_host.empty() &&
+            completed == spec.kill_after_iteration) {
+          killed = true;
+          bed.network().host(spec.kill_host).crash();
+        }
+      } catch (const WorkerDiedError& death) {
+        if (!fault_tolerant ||
+            ++result.restarts > 2 * static_cast<int>(n_models)) {
+          throw;
+        }
+        recover(death, completed);
+      }
+    }
+    double wall = bed.simulation().now() - wall_start;
+    result.seconds_per_iteration = wall / spec.iterations;
+
+    // Final observables. The pipelined path only moved mass+position
+    // during coupling; pull the full states (velocities, internal energy)
+    // once for the diagnostics, plus each model's energies.
+    std::vector<double> star_mass;
+    std::vector<Vec3> star_pos;
+    std::vector<double> gas_mass, gas_u;
+    std::vector<Vec3> gas_pos, gas_vel;
+    for (std::size_t i = 0; i < n_models; ++i) {
+      const ModelSpec& model = spec.models[i];
+      if (!models[i].gravity && !models[i].hydro) continue;
+      ModelResult state;
+      state.name = model.name;
+      state.role = model.role;
+      if (models[i].gravity) {
+        state.gravity = models[i].gravity->get_state();
+        auto [kinetic, potential] = models[i].gravity->energies();
+        state.kinetic = kinetic;
+        state.potential = potential;
+        star_mass.insert(star_mass.end(), state.gravity.mass.begin(),
+                         state.gravity.mass.end());
+        star_pos.insert(star_pos.end(), state.gravity.position.begin(),
+                        state.gravity.position.end());
+      } else {
+        state.hydro = models[i].hydro->get_state();
+        auto [kinetic, thermal, potential] = models[i].hydro->energies();
+        state.kinetic = kinetic;
+        state.thermal = thermal;
+        state.potential = potential;
+        gas_mass.insert(gas_mass.end(), state.hydro.mass.begin(),
+                        state.hydro.mass.end());
+        gas_pos.insert(gas_pos.end(), state.hydro.position.begin(),
+                       state.hydro.position.end());
+        gas_vel.insert(gas_vel.end(), state.hydro.velocity.begin(),
+                       state.hydro.velocity.end());
+        gas_u.insert(gas_u.end(), state.hydro.internal_energy.begin(),
+                     state.hydro.internal_energy.end());
+      }
+      result.models.push_back(std::move(state));
+    }
+    if (!gas_mass.empty()) {
+      result.bound_gas_fraction = diagnostics::bound_gas_fraction(
+          gas_mass, gas_pos, gas_vel, gas_u, star_mass, star_pos);
+    }
+
+    for (ModelRuntime& model : models) model.close();
+  });
+  bed.simulation().run();
+
+  for (const auto& link : bed.network().traffic_report()) {
+    // WAN = anything that is not a host loopback or an intra-site LAN.
+    bool wan = link.name != "loopback" && link.name.rfind("lan:", 0) != 0;
+    if (!wan) continue;
+    result.wan_bytes += link.bytes_by_class[0] + link.bytes_by_class[1] +
+                        link.bytes_by_class[2] + link.bytes_by_class[3];
+    result.wan_ipl_bytes +=
+        link.bytes_by_class[static_cast<int>(sim::TrafficClass::ipl)];
+  }
+  result.wan_ipl_bytes_per_step =
+      spec.iterations > 0 ? result.wan_ipl_bytes / spec.iterations : 0.0;
+
+  // Dashboard: the Figs 10/11 analog plus the placement panel — which
+  // machine ran which model, and modeled vs. measured cost.
+  std::ostringstream panel;
+  panel << bed.deployer().dashboard();
+  panel << "-- placement (" << spec.name << ") --\n";
+  for (std::size_t i = 0; i < plan.roles.size(); ++i) {
+    const sched::Assignment& a = plan.roles[i];
+    panel << "  " << plan.names[i] << " ("
+          << sched::role_name(plan.kinds[i]) << "): " << a.spec.code << " @ "
+          << a.where() << " modeled compute=" << a.compute_seconds
+          << " s comm=" << a.comm_seconds << " s\n";
+  }
+  panel << "  modeled=" << result.modeled_seconds_per_iteration
+        << " s/iter measured=" << result.seconds_per_iteration << " s/iter";
+  if (result.restarts > 0) panel << " restarts=" << result.restarts;
+  panel << "\n";
+  result.dashboard = panel.str();
+  return result;
+}
+
+Result run_experiment(const ExperimentSpec& spec) {
+  JungleTestbed bed;
+  return run_experiment(bed, spec);
+}
+
+Result run_experiment_config(const util::Config& config) {
+  JungleTestbed bed(config);
+  return run_experiment(bed, ExperimentSpec::from_config(config));
+}
+
+}  // namespace jungle::amuse::experiment

@@ -34,6 +34,9 @@ enum class Fn : std::uint16_t {
   grav_kick_all = 15,
   grav_set_masses = 16,
   grav_get_time = 17,
+  /// Sparse mass update: [i32 indices][f64 masses] — the delta-compressed
+  /// form of the stellar-evolution mass channel.
+  grav_set_masses_sparse = 18,
 
   // GravityField (Octgrav / Fi)
   field_set_sources = 30,
@@ -60,6 +63,9 @@ enum class Fn : std::uint16_t {
   se_get_supernovae = 73,
   se_get_mass_loss = 74,
   se_get_luminosities = 75,
+  /// Delta-compressed mass fetch: only masses that changed since the last
+  /// exchange travel ([u64 flags][indices][values], or a full array).
+  se_get_mass_updates = 76,
 };
 
 /// Reply status on the wire.

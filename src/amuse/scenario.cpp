@@ -1,13 +1,6 @@
 #include "amuse/scenario.hpp"
 
-#include <array>
 #include <cmath>
-#include <sstream>
-
-#include "amuse/diagnostics.hpp"
-#include "amuse/faults.hpp"
-#include "amuse/ic.hpp"
-#include "util/logging.hpp"
 
 namespace jungle::amuse::scenario {
 
@@ -35,499 +28,157 @@ double paper_seconds_per_iteration(Kind kind) noexcept {
   return std::nan("");
 }
 
-JungleTestbed::JungleTestbed(bool verbose) {
-  using sim::net::gbit;
-  using sim::net::ms;
-  if (verbose) log::set_threshold(log::Level::info);
-
-  // Effective per-core/GPU rates for irregular tree/N-body/SPH kernels
-  // (a few percent of peak — see DESIGN.md calibration notes).
-  net_.add_site("vu", 0.1 * ms, 1 * gbit);
-  net_.add_site("seattle", 0.1 * ms, 1 * gbit);
-  net_.add_site("uva", 0.05 * ms, 10 * gbit);
-  net_.add_site("delft", 0.05 * ms, 10 * gbit);
-  net_.add_site("leiden", 0.1 * ms, 1 * gbit);
-  net_.add_site("das-vu", 2e-6, 32 * gbit);  // cluster interconnect
-
-  sim::Host& desktop = net_.add_host("desktop", "vu", 4, 0.15);
-  desktop.set_gpu(sim::GpuSpec{"geforce-9600gt", 1.2});
-  net_.add_host("laptop", "seattle", 2, 0.12);
-
-  sim::Host& lgm_fs = net_.add_host("fs-lgm", "leiden", 8, 0.3);
-  lgm_fs.firewall().allow_inbound = false;  // ssh only, hub tunnels
-  sim::Host& lgm_node = net_.add_host("lgm-node", "leiden", 8, 0.3);
-  lgm_node.set_gpu(sim::GpuSpec{"tesla-c2050", 6.0});
-
-  net_.add_host("fs-uva", "uva", 8, 0.3);
-  net_.add_host("uva-node", "uva", 8, 0.3);
-
-  net_.add_host("fs-delft", "delft", 8, 0.3);
-  for (int i = 0; i < 2; ++i) {
-    sim::Host& node =
-        net_.add_host("delft-gpu" + std::to_string(i), "delft", 8, 0.3);
-    node.set_gpu(sim::GpuSpec{"gtx480", 2.4});
-  }
-
-  net_.add_host("fs-dasvu", "das-vu", 8, 0.3);
-  for (int i = 0; i < 8; ++i) {
-    net_.add_host("dasvu" + std::to_string(i), "das-vu", 8, 0.3);
-  }
-
-  // Lightpaths of Figs 9/12.
-  net_.add_link("vu", "uva", 0.2 * ms, 10 * gbit, "starplane-uva");
-  net_.add_link("vu", "delft", 0.5 * ms, 10 * gbit, "starplane-delft");
-  net_.add_link("vu", "leiden", 0.5 * ms, 1 * gbit, "lgm-lightpath");
-  net_.add_link("vu", "das-vu", 0.05 * ms, 10 * gbit, "vu-campus");
-  net_.add_link("seattle", "vu", 45 * ms, 1 * gbit, "transatlantic");
-  net_.set_loopback(5e-6, 10 * gbit);
-
-  client_ = &desktop;
-  deployer_ = std::make_unique<deploy::Deployer>(net_, sockets_, desktop);
-  auto cluster = [&](const std::string& name, const std::string& frontend,
-                     std::vector<std::string> node_names) {
-    gat::Resource resource;
-    resource.name = name;
-    resource.middleware = "sge";
-    resource.frontend = &net_.host(frontend);
-    for (const auto& node : node_names) {
-      resource.nodes.push_back(&net_.host(node));
-    }
-    resource.queue_base_delay = 1.0;
-    resource.queue = std::make_shared<gat::ClusterQueue>(sim_);
-    resource.queue->set_nodes(resource.nodes);
-    deployer_->add_resource(resource);
-  };
-  cluster("lgm", "fs-lgm", {"lgm-node"});
-  cluster("das4-uva", "fs-uva", {"uva-node"});
-  cluster("das4-delft", "fs-delft", {"delft-gpu0", "delft-gpu1"});
-  cluster("das4-vu", "fs-dasvu",
-          {"dasvu0", "dasvu1", "dasvu2", "dasvu3", "dasvu4", "dasvu5",
-           "dasvu6", "dasvu7"});
-}
-
-JungleTestbed::JungleTestbed(const util::Config& config, bool verbose) {
-  if (verbose) log::set_threshold(log::Level::info);
-  deploy::build_topology(config, net_);
-  auto names = net_.host_names();
-  if (names.empty()) {
-    throw ConfigError("scenario topology declares no hosts");
-  }
-  std::string client_name = config.has_section("scenario")
-                                ? config.get_or("scenario", "client", names[0])
-                                : names[0];
-  client_ = &net_.host(client_name);
-  deployer_ = std::make_unique<deploy::Deployer>(net_, sockets_, *client_);
-  deployer_->add_resources(deploy::resources_from_config(config, net_));
-}
-
-sim::Host& JungleTestbed::client_host() {
-  if (client_ == nullptr) throw ConfigError("testbed has no client host");
-  return *client_;
-}
-
-IbisDaemon& JungleTestbed::daemon(sim::Host& client) {
-  if (!daemon_) {
-    daemon_ = std::make_unique<IbisDaemon>(*deployer_, net_, sockets_, client);
-  }
-  return *daemon_;
-}
-
-namespace {
-
-struct Workers {
-  std::unique_ptr<GravityClient> stars;
-  std::unique_ptr<HydroClient> gas;
-  std::unique_ptr<FieldClient> coupler;
-  std::unique_ptr<StellarClient> se;
-};
-
-sched::Workload workload_from(const Options& options) {
-  sched::Workload load;
-  load.n_stars = options.n_stars;
-  load.n_gas = options.n_gas;
-  load.dt = options.dt;
-  load.iterations = options.iterations;
-  load.with_stellar_evolution = options.with_stellar_evolution;
-  load.se_every = options.se_every;
-  return load;
-}
-
-/// The paper's hand-coded Kind tables, expressed as placements so the same
-/// start/score machinery serves them and autoplace alike.
-sched::Placement builtin_placement(JungleTestbed& bed, Kind kind,
-                                   sim::Host& client) {
+experiment::ExperimentSpec classic_spec(Kind kind, const Options& options) {
+  using experiment::ExperimentSpec;
+  using experiment::ModelSpec;
   using sched::Role;
-  sched::Placement p;
-  auto local = [&](Role role, amuse::WorkerSpec spec) {
-    sched::Assignment a;
-    a.host = &client;
-    a.spec = std::move(spec);
-    p.role(role) = std::move(a);
-  };
-  auto remote = [&](Role role, const std::string& resource,
-                    const std::string& host, amuse::WorkerSpec spec,
-                    int nodes = 1) {
-    sched::Assignment a;
-    a.resource = resource;
-    a.host = &bed.network().host(host);
-    a.spec = std::move(spec);
-    a.nodes = nodes;
-    p.role(role) = std::move(a);
-  };
 
-  WorkerSpec grav_cpu{.code = "phigrape", .ncores = 2};
-  WorkerSpec grav_gpu{.code = "phigrape-gpu"};
-  WorkerSpec fi{.code = "fi", .ncores = 2};
-  WorkerSpec octgrav{.code = "octgrav"};
-  WorkerSpec gadget_local{.code = "gadget", .nranks = 2, .ncores = 1};
-  WorkerSpec gadget_cluster{.code = "gadget", .nranks = 8, .ncores = 2};
-  WorkerSpec sse{.code = "sse"};
+  if (kind != Kind::autoplace &&
+      (!options.kill_host.empty() || options.kill_after_iteration >= 1)) {
+    throw ConfigError(std::string("Options::kill_host is only honored by "
+                                  "Kind::autoplace (no recovery path on ") +
+                      kind_name(kind) + "); refusing to ignore it");
+  }
 
+  ExperimentSpec spec;
+  spec.name = kind_name(kind);
+  spec.dt = options.dt;
+  spec.iterations = options.iterations;
+  spec.se_every = options.se_every;
+  spec.seed = options.seed;
+  spec.datapath = options.datapath;
+  // time scale: ~0.47 Myr per N-body time for 1000 MSun / 1 pc; SN energy
+  // scaled into N-body units for a 2 M_cluster gas cloud.
+  spec.myr_per_nbody_time = 0.47;
+  spec.feedback_efficiency = 0.1;
+  spec.wind_specific_energy = 5.0;
+  spec.supernova_energy = 40.0;
+
+  // The four models of the embedded-cluster simulation, declared in the
+  // historic worker start order (stars, coupler, gas, stellar).
+  ModelSpec stars;
+  stars.name = "stars";
+  stars.role = Role::gravity;
+  stars.n = options.n_stars;
+  stars.ic = "plummer";
+
+  ModelSpec tides;
+  tides.name = "tides";
+  tides.role = Role::coupler;
+
+  ModelSpec gas;
+  gas.name = "gas";
+  gas.role = Role::hydro;
+  gas.n = options.n_gas;
+  gas.ic = "gas-sphere";
+  gas.total_mass = 2.0;  // the natal cloud outweighs the cluster 2:1
+  gas.radius = 1.5;
+
+  ModelSpec se;
+  se.name = "se";
+  se.role = Role::stellar;
+  se.n = options.n_stars;
+  se.ic = "salpeter";
+  se.ensure_massive = 20.0;  // at least one star that will go off
+  se.of = "stars";
+  se.feedback = "gas";
+
+  // The paper's hand-coded Kind tables, expressed as placement pins so the
+  // same plan/score machinery serves them and autoplace alike.
   switch (kind) {
     case Kind::local_cpu:
-      local(Role::gravity, grav_cpu);
-      local(Role::coupler, fi);
-      local(Role::hydro, gadget_local);
-      local(Role::stellar, sse);
+      stars.kernel = "phigrape";
+      stars.place = "local";
+      tides.kernel = "fi";
+      tides.place = "local";
+      gas.nranks = 2;
+      gas.place = "local";
+      se.place = "local";
       break;
     case Kind::local_gpu:
-      local(Role::gravity, grav_gpu);
-      local(Role::coupler, octgrav);
-      local(Role::hydro, gadget_local);
-      local(Role::stellar, sse);
+      stars.kernel = "phigrape-gpu";
+      stars.place = "local";
+      tides.kernel = "octgrav";
+      tides.place = "local";
+      gas.nranks = 2;
+      gas.place = "local";
+      se.place = "local";
       break;
     case Kind::remote_gpu:
-      local(Role::gravity, grav_gpu);
-      remote(Role::coupler, "lgm", "lgm-node", octgrav);
-      local(Role::hydro, gadget_local);
-      local(Role::stellar, sse);
+      stars.kernel = "phigrape-gpu";
+      stars.place = "local";
+      tides.kernel = "octgrav";
+      tides.place = "lgm/lgm-node";
+      gas.nranks = 2;
+      gas.place = "local";
+      se.place = "local";
       break;
     case Kind::jungle:
     case Kind::sc11:
-      remote(Role::gravity, "lgm", "lgm-node", grav_gpu);
-      remote(Role::coupler, "das4-delft", "delft-gpu0", octgrav);
-      remote(Role::hydro, "das4-vu", "dasvu0", gadget_cluster, 8);
-      remote(Role::stellar, "das4-uva", "uva-node", sse);
+      stars.kernel = "phigrape-gpu";
+      stars.place = "lgm/lgm-node";
+      tides.kernel = "octgrav";
+      tides.place = "das4-delft/delft-gpu0";
+      gas.nranks = 8;
+      gas.nodes = 8;
+      gas.place = "das4-vu/dasvu0";
+      se.place = "das4-uva/uva-node";
       break;
     case Kind::autoplace:
-      throw ConfigError("autoplace has no built-in table; use the scheduler");
+      // No pins: the scheduler places the full role set, checkpointing
+      // each step so dead workers can be re-placed mid-run.
+      spec.checkpointing = true;
+      spec.kill_host = options.kill_host;
+      spec.kill_after_iteration = options.kill_after_iteration;
+      break;
   }
-  return p;
+  if (kind == Kind::sc11) spec.client = "laptop";
+
+  spec.models = {stars, tides, gas};
+  // Without stellar evolution the SE model is simply absent from the graph
+  // (the stars/gas draws come first in the IC stream, so the trajectory is
+  // unchanged either way).
+  if (options.with_stellar_evolution) spec.models.push_back(se);
+  spec.couplings = {{"stars-gas", "tides", "stars", "gas", 1}};
+  return spec;
 }
-
-std::unique_ptr<RpcClient> start_assignment(JungleTestbed& bed,
-                                            sim::Host& client,
-                                            DaemonClient& daemon_client,
-                                            const sched::Assignment& a) {
-  if (a.local()) {
-    return start_local_worker(bed.sockets(), bed.network(), client, client,
-                              a.spec, ChannelKind::mpi);
-  }
-  return daemon_client.start_worker(a.spec, a.resource, a.nodes);
-}
-
-Workers start_placement(JungleTestbed& bed, sim::Host& client,
-                        DaemonClient& daemon_client,
-                        const sched::Placement& p) {
-  using sched::Role;
-  Workers workers;
-  workers.stars = std::make_unique<GravityClient>(
-      start_assignment(bed, client, daemon_client, p.role(Role::gravity)));
-  workers.coupler = std::make_unique<FieldClient>(
-      start_assignment(bed, client, daemon_client, p.role(Role::coupler)));
-  workers.gas = std::make_unique<HydroClient>(
-      start_assignment(bed, client, daemon_client, p.role(Role::hydro)));
-  workers.se = std::make_unique<StellarClient>(
-      start_assignment(bed, client, daemon_client, p.role(Role::stellar)));
-  return workers;
-}
-
-/// The placement a configuration runs: the scheduler's plan for autoplace,
-/// the scored hard-coded table otherwise. Shared by run_in_bed and
-/// placement_for so the test helper can never diverge from what actually
-/// executes.
-sched::Placement plan_placement(JungleTestbed& bed, Kind kind,
-                                sim::Host& client,
-                                const sched::Scheduler& scheduler,
-                                const sched::Workload& load) {
-  if (kind == Kind::autoplace) return scheduler.plan(load);
-  sched::Placement plan = builtin_placement(bed, kind, client);
-  scheduler.score(load, plan);
-  return plan;
-}
-
-Bridge::Config bridge_config(const Options& options) {
-  Bridge::Config config;
-  config.dt = options.dt;
-  config.se_every = options.se_every;
-  config.synchronous_datapath = options.datapath == Datapath::synchronous;
-  // time scale: ~0.47 Myr per N-body time for 1000 MSun / 1 pc; SN energy
-  // scaled into N-body units for a 2 M_cluster gas cloud.
-  config.myr_per_nbody_time = 0.47;
-  config.feedback_efficiency = 0.1;
-  config.wind_specific_energy = 5.0;
-  config.supernova_energy = 40.0;
-  return config;
-}
-
-Result run_in_bed(JungleTestbed& bed, Kind kind, const Options& options) {
-  sim::Host& client =
-      kind == Kind::sc11 ? bed.laptop() : bed.client_host();
-  bed.daemon(client);  // paper step 3: "start the Ibis-Daemon"
-
-  sched::Scheduler scheduler(bed.network(), client,
-                             bed.deployer().resources());
-  sched::Workload load = workload_from(options);
-  sched::Placement plan = plan_placement(bed, kind, client, scheduler, load);
-
-  Result result;
-  result.kind = kind;
-  result.iterations = options.iterations;
-  result.placement = plan.describe();
-  result.modeled_seconds_per_iteration = plan.modeled_seconds_per_iteration;
-
-  bed.simulation().spawn("amuse-script", [&] {
-    DaemonClient daemon_client(bed.sockets(), client);
-    Workers workers = start_placement(bed, client, daemon_client, plan);
-    bool synchronous = options.datapath == Datapath::synchronous;
-    auto apply_datapath = [&] {
-      // The baseline mode turns the delta exchange off end to end so the
-      // wire behaves exactly like the pre-overhaul full-fetch path.
-      workers.stars->set_delta_exchange(!synchronous);
-      workers.gas->set_delta_exchange(!synchronous);
-      workers.coupler->set_delta_exchange(!synchronous);
-    };
-    apply_datapath();
-
-    // Initial conditions: the embedded star cluster of [11].
-    util::Rng rng(options.seed);
-    auto model = ic::plummer_sphere(options.n_stars, rng);
-    workers.stars->add_particles(model.mass, model.position, model.velocity);
-    auto cloud = ic::gas_sphere(options.n_gas, rng, 2.0, 1.5);
-    workers.gas->add_gas(cloud.mass, cloud.position, cloud.velocity,
-                         cloud.internal_energy);
-    auto zams = ic::salpeter_masses(options.n_stars, rng);
-    zams[0] = 20.0;  // at least one star that will go off
-    workers.se->add_stars(zams);
-
-    Bridge::Config config = bridge_config(options);
-    StellarClient* se =
-        options.with_stellar_evolution ? workers.se.get() : nullptr;
-    auto bridge = std::make_unique<Bridge>(*workers.stars, *workers.gas,
-                                           *workers.coupler, se, config);
-
-    // Checkpoints start as the initial conditions: a worker lost on the
-    // very first step rolls back to t=0.
-    GravityCheckpoint grav_save;
-    grav_save.state =
-        GravityState{model.mass, model.position, model.velocity};
-    HydroCheckpoint hydro_save;
-    hydro_save.state = HydroState{cloud.mass, cloud.position, cloud.velocity,
-                                  cloud.internal_energy, {}};
-    FieldCheckpoint field_save;
-
-    bool fault_tolerant = kind == Kind::autoplace;
-
-    // The fault path: exclude what died, re-place the affected roles, and
-    // roll every evolving worker back to the last consistent checkpoint
-    // (restarted integrators start at t=0; the new bridge carries the clock
-    // offset, the SE mass mapping and the SE cadence phase forward).
-    auto recover = [&](const WorkerDiedError& death, int completed) {
-      using sched::Role;
-      log::warn("scenario") << "recovering from: " << death.what();
-      if (death.cause() == WorkerDiedError::Cause::host_crash &&
-          !death.host().empty()) {
-        scheduler.exclude_host(death.host());
-        // A dead *frontend* takes its whole resource out of play: jobs
-        // submit through it even when the compute nodes survive.
-        std::string owner = scheduler.resource_of(death.host());
-        if (!owner.empty()) {
-          const gat::Resource& res = bed.deployer().resource(owner);
-          if (res.frontend != nullptr &&
-              res.frontend->name() == death.host()) {
-            scheduler.exclude_resource(owner);
-          }
-        }
-      }
-      std::array<std::pair<Role, bool>, sched::kRoles> liveness{{
-          {Role::gravity, workers.stars->rpc().alive()},
-          {Role::hydro, workers.gas->rpc().alive()},
-          {Role::coupler, workers.coupler->rpc().alive()},
-          {Role::stellar, workers.se->rpc().alive()},
-      }};
-      bool any_dead = false;
-      for (auto [role, alive] : liveness) {
-        if (alive) continue;
-        any_dead = true;
-        const sched::Assignment& was = plan.role(role);
-        if (was.local()) {
-          throw CodeError("the client machine lost its own worker (" +
-                          std::string(sched::role_name(role)) +
-                          "); nothing to re-place onto");
-        }
-        if (death.cause() != WorkerDiedError::Cause::host_crash) {
-          scheduler.exclude_resource(was.resource);
-        }
-        plan.role(role) = scheduler.replace(load, plan, role);
-      }
-      if (!any_dead) throw death;  // stale report; cannot recover
-
-      double t_done = completed * options.dt;
-      auto [zams_se, zams_dyn] = bridge->se_mapping();
-
-      // Gravity and hydro share the bridge clock: both roll back together
-      // so their restarted integrators agree at t=0 (+ offset).
-      workers.stars->close();
-      workers.stars = std::make_unique<GravityClient>(start_assignment(
-          bed, client, daemon_client, plan.role(Role::gravity)));
-      restore_gravity(*workers.stars, grav_save);
-      workers.gas->close();
-      workers.gas = std::make_unique<HydroClient>(start_assignment(
-          bed, client, daemon_client, plan.role(Role::hydro)));
-      restore_hydro(*workers.gas, hydro_save);
-      if (!workers.coupler->rpc().alive()) {
-        workers.coupler->close();
-        workers.coupler = std::make_unique<FieldClient>(start_assignment(
-            bed, client, daemon_client, plan.role(Role::coupler)));
-        restore_field(*workers.coupler, field_save);
-      }
-      if (!workers.se->rpc().alive()) {
-        workers.se->close();
-        workers.se = std::make_unique<StellarClient>(start_assignment(
-            bed, client, daemon_client, plan.role(Role::stellar)));
-        workers.se->add_stars(zams);
-        if (t_done > 0.0) {
-          workers.se->evolve_to(t_done * config.myr_per_nbody_time);
-        }
-      }
-
-      // Fresh clients start with empty delta caches, and restarted workers
-      // mint a fresh state-id instance: nothing cached before the rollback
-      // (client states, coupler sources/accels) can be mistaken for
-      // current content during the replay.
-      apply_datapath();
-
-      Bridge::Config restarted = config;
-      restarted.t_offset = t_done;
-      restarted.step_offset = completed;
-      se = options.with_stellar_evolution ? workers.se.get() : nullptr;
-      bridge = std::make_unique<Bridge>(*workers.stars, *workers.gas,
-                                        *workers.coupler, se, restarted);
-      bridge->set_se_mapping(std::move(zams_se), std::move(zams_dyn));
-      // Re-score the whole post-fault placement so the dashboard's
-      // modeled-vs-measured panel describes what is actually running.
-      scheduler.score(load, plan);
-      result.placement = plan.describe();
-      result.modeled_seconds_per_iteration =
-          plan.modeled_seconds_per_iteration;
-    };
-
-    bed.network().reset_traffic();
-    double wall_start = bed.simulation().now();
-    int completed = 0;
-    bool killed = false;
-    while (completed < options.iterations) {
-      try {
-        bridge->step();
-        if (fault_tolerant) {
-          // Checkpointing itself talks to the workers and can die mid-way:
-          // stage into temporaries and commit all three together, so the
-          // saves (and `completed`, bumped after) always describe one
-          // consistent step — a partial set would desynchronize the
-          // restarted models.
-          GravityCheckpoint grav_now = checkpoint_gravity(*workers.stars);
-          HydroCheckpoint hydro_now = checkpoint_hydro(*workers.gas);
-          FieldCheckpoint field_now = checkpoint_field(*workers.coupler);
-          grav_save = std::move(grav_now);
-          hydro_save = std::move(hydro_now);
-          field_save = std::move(field_now);
-        }
-        ++completed;
-        if (fault_tolerant && !killed && !options.kill_host.empty() &&
-            completed == options.kill_after_iteration) {
-          killed = true;
-          bed.network().host(options.kill_host).crash();
-        }
-      } catch (const WorkerDiedError& death) {
-        if (!fault_tolerant || ++result.restarts > 2 * sched::kRoles) throw;
-        recover(death, completed);
-      }
-    }
-    double wall = bed.simulation().now() - wall_start;
-    result.seconds_per_iteration = wall / options.iterations;
-
-    // Fig-6 observable after the run. The pipelined path only moved
-    // mass+position during coupling; pull the full states (velocities,
-    // internal energy) once for the diagnostics.
-    HydroState gas_state = workers.gas->get_state();
-    GravityState star_state = workers.stars->get_state();
-    if (!gas_state.mass.empty()) {
-      result.bound_gas_fraction = diagnostics::bound_gas_fraction(
-          gas_state.mass, gas_state.position, gas_state.velocity,
-          gas_state.internal_energy, star_state.mass, star_state.position);
-    }
-
-    workers.stars->close();
-    workers.gas->close();
-    workers.coupler->close();
-    workers.se->close();
-  });
-  bed.simulation().run();
-
-  for (const auto& link : bed.network().traffic_report()) {
-    // WAN = anything that is not a host loopback or an intra-site LAN.
-    bool wan =
-        link.name != "loopback" && link.name.rfind("lan:", 0) != 0;
-    if (!wan) continue;
-    result.wan_bytes += link.bytes_by_class[0] + link.bytes_by_class[1] +
-                        link.bytes_by_class[2] + link.bytes_by_class[3];
-    result.wan_ipl_bytes +=
-        link.bytes_by_class[static_cast<int>(sim::TrafficClass::ipl)];
-  }
-  result.wan_ipl_bytes_per_step =
-      options.iterations > 0 ? result.wan_ipl_bytes / options.iterations : 0.0;
-
-  // Dashboard: the Figs 10/11 analog plus the placement panel — which
-  // machine ran which kernel, and modeled vs. measured cost.
-  std::ostringstream panel;
-  panel << bed.deployer().dashboard();
-  panel << "-- placement (" << kind_name(kind) << ") --\n";
-  for (int i = 0; i < sched::kRoles; ++i) {
-    const sched::Assignment& a = plan.roles[i];
-    panel << "  " << sched::role_name(static_cast<sched::Role>(i)) << ": "
-          << a.spec.code << " @ " << a.where()
-          << " modeled compute=" << a.compute_seconds
-          << " s comm=" << a.comm_seconds << " s\n";
-  }
-  panel << "  modeled=" << result.modeled_seconds_per_iteration
-        << " s/iter measured=" << result.seconds_per_iteration << " s/iter";
-  if (result.restarts > 0) panel << " restarts=" << result.restarts;
-  panel << "\n";
-  result.dashboard = panel.str();
-  return result;
-}
-
-}  // namespace
 
 sched::Placement placement_for(JungleTestbed& bed, Kind kind,
                                const Options& options) {
-  sim::Host& client =
-      kind == Kind::sc11 ? bed.laptop() : bed.client_host();
-  sched::Scheduler scheduler(bed.network(), client,
-                             bed.deployer().resources());
-  return plan_placement(bed, kind, client, scheduler,
-                        workload_from(options));
+  return experiment::plan_experiment(bed, classic_spec(kind, options));
 }
 
 Result run_scenario(Kind kind, const Options& options) {
   JungleTestbed bed;
-  return run_in_bed(bed, kind, options);
+  return experiment::run_experiment(bed, classic_spec(kind, options));
 }
 
 Result run_scenario_config(const util::Config& config,
                            const Options& options) {
   JungleTestbed bed(config);
-  return run_in_bed(bed, Kind::autoplace, options);
+  if (experiment::config_declares_experiment(config)) {
+    // The INI's graph defines the run; the caller's Options only
+    // parameterize the *classic* embedded cluster. Accepting a fault
+    // injection here and not firing it would be silent option loss.
+    if (!options.kill_host.empty() || options.kill_after_iteration >= 1) {
+      throw ConfigError(
+          "Options::kill_host is ignored when the config declares its own "
+          "[model ...] graph; put the fault policy in the [experiment] "
+          "section instead");
+    }
+    return experiment::run_experiment(
+        bed, experiment::ExperimentSpec::from_config(config));
+  }
+  if (config.has_section("experiment")) {
+    // An [experiment] section with no [model ...] sections would have all
+    // its knobs silently replaced by the caller's Options — option loss.
+    throw ConfigError(
+        "config has an [experiment] section but declares no [model ...] "
+        "sections; declare the model graph (or drop the section to run "
+        "the classic embedded cluster under autoplace)");
+  }
+  return experiment::run_experiment(bed, classic_spec(Kind::autoplace,
+                                                      options));
 }
 
 }  // namespace jungle::amuse::scenario

@@ -1,16 +1,22 @@
 #pragma once
 
-#include <memory>
 #include <string>
 
-#include "amuse/bridge.hpp"
-#include "amuse/clients.hpp"
-#include "amuse/daemon.hpp"
-#include "deploy/deploy.hpp"
-#include "sched/scheduler.hpp"
-#include "util/config.hpp"
+#include "amuse/experiment.hpp"
 
 namespace jungle::amuse::scenario {
+
+/// The classic paper configurations, kept as thin wrappers over the
+/// composable Experiment API: each Kind is a canned ExperimentSpec
+/// (classic_spec) flowing through the one experiment path — declarative
+/// model graph, graph validation, scheduler placement of the full role set,
+/// generalized bridge. New multi-model runs should use
+/// experiment::ExperimentSpec (or an INI with [model ...] / [coupling ...]
+/// sections) directly instead of adding kinds here.
+
+using experiment::Datapath;
+using experiment::JungleTestbed;
+using experiment::Result;
 
 /// The evaluation configurations of §6 (Figs 9 and 12):
 ///   local_cpu  — desktop only, Fi + phiGRAPE(CPU)           (353 s/iter)
@@ -27,13 +33,6 @@ enum class Kind { local_cpu, local_gpu, remote_gpu, jungle, sc11, autoplace };
 const char* kind_name(Kind kind) noexcept;
 double paper_seconds_per_iteration(Kind kind) noexcept;  // NaN where untimed
 
-/// Which client<->worker data path the coupling script runs.
-///   pipelined   — concurrent per-phase RPCs, delta state exchange, striped
-///                 bulk transfers (the wide-area data path overhaul).
-///   synchronous — the pre-overhaul serial path with full state fetches;
-///                 kept as the measured baseline (bit-identical physics).
-enum class Datapath { pipelined, synchronous };
-
 struct Options {
   std::size_t n_stars = 1000;   // the embedded cluster of [11]
   std::size_t n_gas = 10000;
@@ -44,70 +43,20 @@ struct Options {
   std::uint64_t seed = 20120301;
   Datapath datapath = Datapath::pipelined;
   /// Fault injection, honored by Kind::autoplace only (the one kind with a
-  /// recovery path; other kinds ignore it): crash `kill_host` once
-  /// `kill_after_iteration` bridge steps have completed. Empty / negative
-  /// disables.
+  /// recovery path). Setting it on any other kind is a ConfigError — a
+  /// silently ignored kill switch is option loss, not a default.
   std::string kill_host;
   int kill_after_iteration = -1;
 };
 
-struct Result {
-  Kind kind;
-  int iterations = 0;
-  double seconds_per_iteration = 0.0;   // virtual
-  double coupling_seconds_per_iteration = 0.0;
-  double evolve_seconds_per_iteration = 0.0;
-  double wan_bytes = 0.0;               // bytes that crossed any WAN link
-  double wan_ipl_bytes = 0.0;
-  /// Coupling traffic (IPL class) that crossed a WAN link, per bridge step
-  /// — the wire cost the delta exchange minimizes (bench_datapath's gate).
-  double wan_ipl_bytes_per_step = 0.0;
-  double bound_gas_fraction = 1.0;      // after the run
-  std::string dashboard;                // Figs 10/11 text analog
-  std::string placement;                // kernel->host map that actually ran
-  double modeled_seconds_per_iteration = 0.0;  // scheduler's prediction
-  int restarts = 0;                     // fault-path re-placements performed
-};
+/// The embedded-cluster experiment of one paper configuration, as a spec:
+/// four models (stars / tides / gas / se), one coupling, the kind's
+/// placement pins. This is what run_scenario executes.
+experiment::ExperimentSpec classic_spec(Kind kind, const Options& options);
 
-/// The Jungle of Figs 9/12: Seattle laptop, VU desktop + DAS-4 VU cluster,
-/// DAS-4 UvA node, DAS-4 Delft GPU nodes, LGM in Leiden; lightpaths
-/// between them. Owned by the caller via this handle.
-class JungleTestbed {
- public:
-  explicit JungleTestbed(bool verbose = false);
-  /// Build the testbed from a deploy INI instead (sites/hosts/links and
-  /// [resource ...] sections, plus an optional `[scenario] client = HOST`).
-  /// This is what makes any topology file a runnable scenario.
-  explicit JungleTestbed(const util::Config& config, bool verbose = false);
-  /// Unwind all simulated processes before the network/sockets they touch.
-  ~JungleTestbed() { sim_.shutdown(); }
-  JungleTestbed(const JungleTestbed&) = delete;
-  JungleTestbed& operator=(const JungleTestbed&) = delete;
-
-  sim::Simulation& simulation() noexcept { return sim_; }
-  sim::Network& network() noexcept { return net_; }
-  smartsockets::SmartSockets& sockets() noexcept { return sockets_; }
-  deploy::Deployer& deployer() noexcept { return *deployer_; }
-  IbisDaemon& daemon(sim::Host& client);
-
-  sim::Host& desktop() { return net_.host("desktop"); }
-  sim::Host& laptop() { return net_.host("laptop"); }
-  /// The machine the coupling script runs on: the INI's `[scenario]`
-  /// client, or the desktop on the built-in testbed.
-  sim::Host& client_host();
-
- private:
-  sim::Simulation sim_;
-  sim::Network net_{sim_};
-  smartsockets::SmartSockets sockets_{net_};
-  std::unique_ptr<deploy::Deployer> deployer_;
-  std::unique_ptr<IbisDaemon> daemon_;
-  sim::Host* client_ = nullptr;
-};
-
-/// The modeled placement a configuration runs: the hard-coded paper tables
-/// for the classic kinds, the scheduler's plan for autoplace. Costs are
-/// filled through the scheduler's model either way, which is how the
+/// The modeled placement a configuration runs: the paper tables (as spec
+/// pins) for the classic kinds, the scheduler's plan for autoplace. Costs
+/// are filled through the scheduler's model either way, which is how the
 /// dashboard shows modeled-vs-measured and how tests check that autoplace
 /// never does worse (on the model) than the Fig-12 map.
 sched::Placement placement_for(JungleTestbed& bed, Kind kind,
@@ -118,7 +67,9 @@ sched::Placement placement_for(JungleTestbed& bed, Kind kind,
 Result run_scenario(Kind kind, const Options& options);
 
 /// Autoplace on an arbitrary INI topology: build the jungle from `config`,
-/// let the scheduler place the kernels, run. No new C++ per topology.
+/// let the scheduler place the kernels, run. When the INI declares its own
+/// experiment graph ([model ...] sections) that graph runs instead of the
+/// classic embedded cluster. No new C++ per topology or per experiment.
 Result run_scenario_config(const util::Config& config, const Options& options);
 
 }  // namespace jungle::amuse::scenario

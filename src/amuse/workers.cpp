@@ -72,20 +72,28 @@ util::ByteWriter delta_state_reply(const StateEpochs& epochs,
   return result;
 }
 
-/// Apply a kick frame: either the shipped Δv array (cached for later) or a
-/// replay of the previous one (flags: kick_flags::repeat).
-std::span<const Vec3> read_kick(util::ByteReader& args,
-                                std::vector<Vec3>& cache) {
+/// A decoded kick frame: the acceleration to apply and the dt to multiply
+/// it by on this side of the wire (Δv_i = accel_i * dt).
+struct KickFrame {
+  std::span<const Vec3> accel;
+  double dt = 1.0;
+};
+
+/// Apply a kick frame: either the shipped accel array (cached for later) or
+/// a replay of the previous one (flags: kick_flags::repeat) under the dt
+/// that always rides along.
+KickFrame read_kick(util::ByteReader& args, std::vector<Vec3>& cache) {
   auto flags = args.get<std::uint64_t>();
+  double dt = args.get<double>();
   if (flags & kick_flags::repeat) {
     if (cache.empty()) {
       throw CodeError("kick repeat with no cached kick");
     }
-    return cache;
+    return {cache, dt};
   }
-  auto kicks = args.get_span<Vec3>();
-  cache.assign(kicks.begin(), kicks.end());
-  return cache;
+  auto accel = args.get_span<Vec3>();
+  cache.assign(accel.begin(), accel.end());
+  return {cache, dt};
 }
 
 }  // namespace
@@ -151,9 +159,9 @@ Dispatcher make_gravity_dispatcher(
         return result;
       }
       case Fn::grav_kick_all: {
-        auto kicks = read_kick(args, *kick_cache);
-        for (std::size_t i = 0; i < kicks.size(); ++i) {
-          integrator->kick(static_cast<int>(i), kicks[i]);
+        KickFrame kick = read_kick(args, *kick_cache);
+        for (std::size_t i = 0; i < kick.accel.size(); ++i) {
+          integrator->kick(static_cast<int>(i), kick.accel[i] * kick.dt);
         }
         epochs->bump(state_field::velocity);
         return result;
@@ -164,6 +172,20 @@ Dispatcher make_gravity_dispatcher(
           integrator->set_mass(static_cast<int>(i), masses[i]);
         }
         epochs->bump(state_field::mass);
+        return result;
+      }
+      case Fn::grav_set_masses_sparse: {
+        auto indices = args.get_span<std::int32_t>();
+        // An odd index count leaves the next span 4-byte aligned; copy out.
+        auto masses = args.get_vector<double>();
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+          integrator->set_mass(indices[i], masses[i]);
+        }
+        // Same side effect as the full-array channel even when nothing
+        // changed: the next evolve starts from a fresh force evaluation,
+        // keeping the delta-compressed form bit-identical to the baseline.
+        integrator->invalidate_forces();
+        if (!indices.empty()) epochs->bump(state_field::mass);
         return result;
       }
       case Fn::grav_get_time: {
@@ -277,12 +299,40 @@ Dispatcher make_field_dispatcher(std::shared_ptr<kernels::TreeField> field,
 
 Dispatcher make_se_dispatcher(
     std::shared_ptr<kernels::StellarEvolution> stellar, WorkerCost cost) {
-  return [stellar, cost](Fn fn, util::ByteReader& args) -> util::ByteWriter {
+  // Masses as of the last delta exchange: the baseline the changed-star
+  // diff is taken against. A restarted worker starts empty, so the first
+  // exchange after a fault rollback is always a full one.
+  auto reported = std::make_shared<std::vector<double>>();
+  return [stellar, cost,
+          reported](Fn fn, util::ByteReader& args) -> util::ByteWriter {
     util::ByteWriter result = reply_writer();
     switch (fn) {
       case Fn::se_add_stars: {
         auto masses = args.get_vector<double>();
         for (double mass : masses) stellar->add_star(mass);
+        return result;
+      }
+      case Fn::se_get_mass_updates: {
+        auto client_holds = args.get<std::uint64_t>();
+        std::vector<double> current = stellar->masses();
+        if (client_holds != current.size() ||
+            reported->size() != current.size()) {
+          result.put<std::uint64_t>(se_mass_flags::full);
+          result.put_vector(current);
+        } else {
+          std::vector<std::int32_t> indices;
+          std::vector<double> values;
+          for (std::size_t i = 0; i < current.size(); ++i) {
+            if (current[i] != (*reported)[i]) {
+              indices.push_back(static_cast<std::int32_t>(i));
+              values.push_back(current[i]);
+            }
+          }
+          result.put<std::uint64_t>(0);
+          result.put_vector(indices);
+          result.put_vector(values);
+        }
+        *reported = std::move(current);
         return result;
       }
       case Fn::se_evolve_to: {
@@ -381,9 +431,9 @@ util::ByteWriter hydro_common(kernels::SphSystem& sph, Fn fn,
       return result;
     }
     case Fn::hydro_kick_all: {
-      auto kicks = read_kick(args, kick_cache);
-      for (std::size_t i = 0; i < kicks.size(); ++i) {
-        sph.kick(static_cast<int>(i), kicks[i]);
+      KickFrame kick = read_kick(args, kick_cache);
+      for (std::size_t i = 0; i < kick.accel.size(); ++i) {
+        sph.kick(static_cast<int>(i), kick.accel[i] * kick.dt);
       }
       epochs.bump(state_field::velocity);
       return result;

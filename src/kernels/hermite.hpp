@@ -45,6 +45,10 @@ class HermiteIntegrator {
   void set_mass(int index, double mass) { mass_.at(index) = mass; dirty_ = true; }
   void set_position(int index, Vec3 p) { pos_.at(index) = p; dirty_ = true; }
   void set_velocity(int index, Vec3 v) { vel_.at(index) = v; dirty_ = true; }
+  /// Force a fresh force evaluation at the next evolve even when no state
+  /// changed — the mass-update channel invalidates unconditionally, so the
+  /// sparse (delta-compressed) and full-array forms stay bit-identical.
+  void invalidate_forces() noexcept { dirty_ = true; }
 
   /// Velocity kick (bridge coupling applies cross-forces this way).
   void kick(int index, Vec3 delta_v) { vel_.at(index) += delta_v; }

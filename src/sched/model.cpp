@@ -41,22 +41,54 @@ LinkCost link_between(const sim::Network& net, const sim::Host& client,
   return link;
 }
 
-DatapathBytes datapath_bytes(const Workload& load) {
-  double n_s = static_cast<double>(load.n_stars);
-  double n_g = static_cast<double>(load.n_gas);
-  DatapathBytes bytes;
+Workload Workload::normalized() const {
+  Workload load = *this;
+  if (!load.models.empty()) return load;
+  // The classic embedded-cluster quadruple, in the historic planner's loop
+  // nesting order (gravity, hydro, coupler, stellar).
+  load.models.push_back({"gravity", Role::gravity, load.n_stars, -1, "", 0});
+  load.models.push_back({"hydro", Role::hydro, load.n_gas, -1, "", 0});
+  load.models.push_back({"coupler", Role::coupler, 0, -1, "", 0});
+  if (load.with_stellar_evolution) {
+    load.models.push_back({"stellar", Role::stellar, load.n_stars, 0, "", 0});
+  }
+  load.couplings.push_back({2, 0, 1, 1});
+  return load;
+}
+
+double state_fetch_bytes(std::size_t n) {
   // A post-evolve state fetch ships the changed positions (mass unchanged,
   // velocities not requested by the coupling mask): 24 B/particle + span
   // framing, on top of the per-call overhead.
-  bytes.grav_state_fetch = kCallOverheadBytes + n_s * 24.0;
-  bytes.hydro_state_fetch = kCallOverheadBytes + n_g * 24.0;
+  return kCallOverheadBytes + static_cast<double>(n) * 24.0;
+}
+
+double coupling_upload_bytes(std::size_t n_a, std::size_t n_b) {
   // The post-evolve coupler queries upload both directions' fresh inputs:
-  // gas sources (mass+pos) + star points, star sources + gas points.
-  bytes.coupler_upload = 2.0 * kCallOverheadBytes + (n_g * 32.0 + n_s * 24.0) +
-                         (n_s * 32.0 + n_g * 24.0);
-  bytes.coupler_reply = (n_s + n_g) * 24.0;
-  bytes.grav_kick = kCallOverheadBytes + n_s * 24.0;
-  bytes.hydro_kick = kCallOverheadBytes + n_g * 24.0;
+  // b's sources (mass+pos) + a's points, a's sources + b's points.
+  double a = static_cast<double>(n_a);
+  double b = static_cast<double>(n_b);
+  return 2.0 * kCallOverheadBytes + (b * 32.0 + a * 24.0) +
+         (a * 32.0 + b * 24.0);
+}
+
+double coupling_reply_bytes(std::size_t n_a, std::size_t n_b) {
+  return static_cast<double>(n_a + n_b) * 24.0;
+}
+
+double kick_bytes(std::size_t n) {
+  return kCallOverheadBytes + kKickHeaderBytes + static_cast<double>(n) * 24.0;
+}
+
+DatapathBytes datapath_bytes(const Workload& load) {
+  DatapathBytes bytes;
+  bytes.grav_state_fetch = state_fetch_bytes(load.n_stars);
+  bytes.hydro_state_fetch = state_fetch_bytes(load.n_gas);
+  bytes.coupler_upload = coupling_upload_bytes(load.n_stars, load.n_gas);
+  bytes.coupler_reply = coupling_reply_bytes(load.n_stars, load.n_gas);
+  bytes.grav_kick = kick_bytes(load.n_stars);
+  bytes.hydro_kick = kick_bytes(load.n_gas);
+  bytes.kick_repeat = kCallOverheadBytes + kKickHeaderBytes;
   bytes.idle_call = kCallOverheadBytes;
   return bytes;
 }
@@ -74,44 +106,43 @@ double device_rate_flops(const sim::Host& host, bool gpu, int ncores) {
   return host.cpu_gflops_per_core() * 1e9 * used;
 }
 
-double gravity_compute_seconds(const Workload& load, double rate) {
+double gravity_compute_seconds(std::size_t n_stars, double dt, double rate) {
   if (rate <= 0.0) return 1e18;
-  double n = static_cast<double>(load.n_stars);
-  double substeps = std::max(1.0, load.dt * kGravSubstepsPerTime);
+  double n = static_cast<double>(n_stars);
+  double substeps = std::max(1.0, dt * kGravSubstepsPerTime);
   return substeps * n * n * kernels::HermiteIntegrator::kFlopsPerPair / rate;
 }
 
-double coupler_compute_seconds(const Workload& load, double rate) {
+double coupler_compute_seconds(std::size_t n_a, std::size_t n_b,
+                               double rate) {
   if (rate <= 0.0) return 1e18;
-  double n_s = static_cast<double>(load.n_stars);
-  double n_g = static_cast<double>(load.n_gas);
-  // Per cross_kick: rebuild both source trees, evaluate the field of the
-  // gas at the stars and vice versa; two cross_kicks per iteration.
-  double build = (n_s + n_g) * kernels::BarnesHutTree::kBuildFlopsPerParticle;
-  double interactions =
-      n_s * tree_interactions_per_target(load.n_gas) +
-      n_g * tree_interactions_per_target(load.n_stars);
+  double a = static_cast<double>(n_a);
+  double b = static_cast<double>(n_b);
+  // One recompute of the pair: rebuild both source trees, evaluate the
+  // field of b at a's particles and vice versa. (The coupler recomputes
+  // once per bridge step — the other cross-kick is a cache hit.)
+  double build = (a + b) * kernels::BarnesHutTree::kBuildFlopsPerParticle;
+  double interactions = a * tree_interactions_per_target(n_b) +
+                        b * tree_interactions_per_target(n_a);
   double flops =
-      2.0 * (build +
-             interactions * kernels::BarnesHutTree::kFlopsPerInteraction);
+      build + interactions * kernels::BarnesHutTree::kFlopsPerInteraction;
   return flops / rate;
 }
 
-double stellar_compute_seconds(const Workload& load, double rate) {
-  if (!load.with_stellar_evolution) return 0.0;
+double stellar_compute_seconds(std::size_t n, int se_every, double rate) {
   if (rate <= 0.0) return 1e18;
-  double per_exchange = static_cast<double>(load.n_stars) * 500.0;
-  return per_exchange / rate / std::max(1, load.se_every);
+  double per_exchange = static_cast<double>(n) * 500.0;
+  return per_exchange / rate / std::max(1, se_every);
 }
 
-double hydro_compute_seconds(const Workload& load, double rate, int nranks,
-                             const LinkCost& interconnect) {
+double hydro_compute_seconds(std::size_t n_gas, double dt, double rate,
+                             int nranks, const LinkCost& interconnect) {
   if (rate <= 0.0) return 1e18;
-  double n = static_cast<double>(load.n_gas);
-  double substeps = std::max(1.0, load.dt * kSphSubstepsPerTime);
+  double n = static_cast<double>(n_gas);
+  double substeps = std::max(1.0, dt * kSphSubstepsPerTime);
   double per_substep =
       n * kSphNeighbours * kernels::SphSystem::kFlopsPerNeighbour +
-      n * tree_interactions_per_target(load.n_gas) *
+      n * tree_interactions_per_target(n_gas) *
           kernels::SphSystem::kFlopsPerTreeInteraction +
       n * kernels::BarnesHutTree::kBuildFlopsPerParticle;
   double ranks = std::max(1, nranks);

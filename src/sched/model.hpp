@@ -3,16 +3,51 @@
 #include <array>
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "sim/host.hpp"
 #include "sim/network.hpp"
 
 namespace jungle::sched {
 
-/// What one bridge iteration of the embedded-cluster simulation does, in
-/// numbers the cost model can price: particle counts, the bridge timestep
-/// (which sets the kernels' substep counts) and the run length (which sets
-/// the horizon queue delays amortize over). Mirrors scenario::Options.
+/// The model-kernel classes the scheduler knows how to place. `gravity`
+/// and `hydro` evolve concurrently (bridge phase 2); `coupler` sits on the
+/// serial coupling path; `stellar` exchanges state every n-th step.
+enum class Role : int { gravity = 0, hydro = 1, coupler = 2, stellar = 3 };
+inline constexpr int kRoles = 4;
+const char* role_name(Role role) noexcept;
+
+/// One model of an experiment graph, in the numbers the cost model prices.
+struct ModelLoad {
+  std::string name;
+  Role role = Role::gravity;
+  std::size_t n = 0;     // particles (gravity/hydro) or stars (stellar)
+  int of = -1;           // stellar: index of the gravity model SE feeds
+  /// Kernel restriction ("" = any candidate of the role; otherwise only
+  /// candidates whose worker code matches, e.g. "phigrape-gpu").
+  std::string kernel;
+  /// Explicit MPI width for hydro (0 = let the scheduler size it).
+  int nranks = 0;
+};
+
+/// One pairwise coupling of the graph: `field` (an index into models, role
+/// coupler) bridges dynamic models `a` and `b` every `every`-th step.
+struct CouplingLoad {
+  int field = -1;
+  int a = -1;
+  int b = -1;
+  int every = 1;
+};
+
+/// What one bridge iteration of an experiment does, in numbers the cost
+/// model can price: the model graph (particle counts and coupling shape),
+/// the bridge timestep (which sets the kernels' substep counts) and the
+/// run length (which sets the horizon queue delays amortize over).
+///
+/// The legacy scalar fields describe the classic embedded-cluster
+/// quadruple; when `models` is empty, normalized() derives that graph from
+/// them — which is how pre-experiment callers (and the classic scenario
+/// kinds) keep pricing exactly as before.
 struct Workload {
   std::size_t n_stars = 1000;
   std::size_t n_gas = 10000;
@@ -20,6 +55,14 @@ struct Workload {
   int iterations = 2;
   bool with_stellar_evolution = true;
   int se_every = 4;
+
+  std::vector<ModelLoad> models;
+  std::vector<CouplingLoad> couplings;
+
+  /// A copy whose graph is populated: the declared graph verbatim, or the
+  /// classic gravity/hydro/coupler/stellar quadruple built from the scalar
+  /// fields (slot order matches the historic planner's loop nesting).
+  Workload normalized() const;
 };
 
 // ---- calibration constants (see DESIGN.md, "Placement cost model") ----
@@ -75,24 +118,35 @@ LinkCost link_between(const sim::Network& net, const sim::Host& client,
 // (measured against scenario runs: see DESIGN.md "Wide-area data path"),
 // not the naive full-state volumes. One bridge step runs two cross-kicks:
 // the post-evolve one moves changed positions, fresh coupler sources/points
-// and full kicks; the post-kick one is all cache hits — header-only RPCs.
+// and fresh accel+dt kicks; the post-kick one is all cache hits —
+// header-only RPCs and 16-byte kick repeats.
 
 /// Fixed per-RPC overhead: frame header + connection framing + the delta
 /// bookkeeping fields (ids/masks) of a state exchange.
 inline constexpr double kCallOverheadBytes = 104.0;
+/// Payload of a kick frame beyond the accel span: [u64 flags][f64 dt].
+inline constexpr double kKickHeaderBytes = 16.0;
+
+// Per-call payload volumes, mirroring the frame layouts in
+// amuse/clients.cpp. `n_a`/`n_b` are the two coupled systems' sizes.
+double state_fetch_bytes(std::size_t n);                    // changed positions
+double coupling_upload_bytes(std::size_t n_a, std::size_t n_b);
+double coupling_reply_bytes(std::size_t n_a, std::size_t n_b);
+double kick_bytes(std::size_t n);                           // accel + dt
 
 struct DatapathBytes {
   double grav_state_fetch = 0;   // changed star positions after an evolve
   double hydro_state_fetch = 0;  // changed gas positions after an evolve
   double coupler_upload = 0;     // both directions' sources + points
   double coupler_reply = 0;      // both directions' accelerations
-  double grav_kick = 0;
+  double grav_kick = 0;          // fresh accel + dt
   double hydro_kick = 0;
-  double idle_call = 0;          // header-only RPC (cache hit / kick repeat)
+  double kick_repeat = 0;        // unchanged accel: flags + dt only
+  double idle_call = 0;          // header-only RPC (cache hit)
 };
 
-/// Payload-per-call volumes of one steady-state bridge iteration, mirroring
-/// the frame layouts in amuse/clients.cpp.
+/// Payload-per-call volumes of one steady-state bridge iteration of the
+/// classic embedded-cluster graph.
 DatapathBytes datapath_bytes(const Workload& load);
 
 /// Mean Barnes-Hut interactions per evaluation point against `n_sources`.
@@ -105,12 +159,16 @@ double device_rate_flops(const sim::Host& host, bool gpu, int ncores);
 
 // Per-iteration *compute* seconds of each model kernel on a device of
 // `rate` flops/s. The formulas mirror the flop charges in amuse/workers.cpp.
-double gravity_compute_seconds(const Workload& load, double rate);
-double coupler_compute_seconds(const Workload& load, double rate);
-double stellar_compute_seconds(const Workload& load, double rate);
+double gravity_compute_seconds(std::size_t n, double dt, double rate);
+/// One cross-gravity recompute between systems of `n_a` and `n_b`
+/// particles: rebuild both source trees, evaluate both directions. The
+/// coupler recomputes once per bridge step (the other cross-kick is a
+/// cache hit).
+double coupler_compute_seconds(std::size_t n_a, std::size_t n_b, double rate);
+double stellar_compute_seconds(std::size_t n, int se_every, double rate);
 /// `nranks` partitions the SPH phases; `interconnect` prices the slice
 /// exchanges between ranks (the resource's LAN, or loopback when single).
-double hydro_compute_seconds(const Workload& load, double rate, int nranks,
-                             const LinkCost& interconnect);
+double hydro_compute_seconds(std::size_t n, double dt, double rate,
+                             int nranks, const LinkCost& interconnect);
 
 }  // namespace jungle::sched

@@ -21,12 +21,49 @@ const char* role_name(Role role) noexcept {
   return "?";
 }
 
+Placement::Placement() {
+  // The classic quadruple shape, for hand-built placements and the legacy
+  // scenario tables.
+  kinds = {Role::gravity, Role::hydro, Role::coupler, Role::stellar};
+  for (Role kind : kinds) names.push_back(role_name(kind));
+  roles.resize(kinds.size());
+}
+
+Placement::Placement(const Workload& load) {
+  Workload normal = load.normalized();
+  for (const ModelLoad& model : normal.models) {
+    kinds.push_back(model.role);
+    names.push_back(model.name);
+  }
+  roles.resize(kinds.size());
+}
+
+int Placement::slot_of(Role r) const noexcept {
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    if (kinds[i] == r) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Assignment& Placement::role(Role r) {
+  int slot = slot_of(r);
+  if (slot < 0) {
+    throw CodeError(std::string("placement has no ") + role_name(r) +
+                    " slot");
+  }
+  return roles[static_cast<std::size_t>(slot)];
+}
+
+const Assignment& Placement::role(Role r) const {
+  return const_cast<Placement*>(this)->role(r);
+}
+
 std::string Placement::describe() const {
   std::ostringstream out;
-  for (int i = 0; i < kRoles; ++i) {
+  for (std::size_t i = 0; i < roles.size(); ++i) {
     const Assignment& a = roles[i];
     if (i) out << ", ";
-    out << role_name(static_cast<Role>(i)) << "=" << a.spec.code;
+    out << (i < names.size() ? names[i] : "?") << "=" << a.spec.code;
     if (a.spec.nranks > 1) out << "[" << a.spec.nranks << "]";
     out << "@" << a.where();
   }
@@ -112,13 +149,20 @@ const sim::Host* first_cpu(const std::vector<const sim::Host*>& nodes) {
   return nodes.front();
 }
 
+/// Couplings a slot participates in fire at most every `every`-th step;
+/// its wire volume scales by the highest frequency among them.
+double coupling_weight(int every) { return 1.0 / std::max(1, every); }
+
 }  // namespace
 
-std::vector<Assignment> Scheduler::candidates(Role role,
-                                              const Workload& load) const {
+std::vector<Assignment> Scheduler::candidates(const ModelLoad& model) const {
   std::vector<Assignment> options;
   auto add = [&](const std::string& resource, const sim::Host* host,
                  amuse::WorkerSpec spec, int nodes) {
+    if (!model.kernel.empty() && model.kernel != "auto" &&
+        spec.code != model.kernel) {
+      return;
+    }
     Assignment a;
     a.resource = resource;
     a.host = host;
@@ -129,7 +173,7 @@ std::vector<Assignment> Scheduler::candidates(Role role,
 
   // The client machine itself, over a local channel (no deployment).
   if (usable(client_)) {
-    switch (role) {
+    switch (model.role) {
       case Role::gravity:
         add("", &client_, gravity_spec(client_.gpu().has_value()), 1);
         break;
@@ -137,7 +181,8 @@ std::vector<Assignment> Scheduler::candidates(Role role,
         add("", &client_, coupler_spec(client_.gpu().has_value()), 1);
         break;
       case Role::hydro:
-        add("", &client_, hydro_spec(2, 1), 1);
+        add("", &client_, hydro_spec(model.nranks > 0 ? model.nranks : 2, 1),
+            1);
         break;
       case Role::stellar:
         add("", &client_, amuse::WorkerSpec{.code = "sse"}, 1);
@@ -157,10 +202,11 @@ std::vector<Assignment> Scheduler::candidates(Role role,
     }
     std::vector<const sim::Host*> live = live_nodes(resource);
     if (live.empty()) continue;
-    switch (role) {
+    switch (model.role) {
       case Role::gravity:
       case Role::coupler: {
-        auto spec_for = role == Role::gravity ? gravity_spec : coupler_spec;
+        auto spec_for =
+            model.role == Role::gravity ? gravity_spec : coupler_spec;
         if (const sim::Host* gpu_node = first_gpu(live)) {
           add(resource.name, gpu_node, spec_for(true), 1);
         }
@@ -170,8 +216,13 @@ std::vector<Assignment> Scheduler::candidates(Role role,
       case Role::hydro: {
         if (live.size() >= 2) {
           int nodes = static_cast<int>(std::min<std::size_t>(live.size(), 8));
+          if (model.nranks > 0) {
+            nodes = std::min(nodes, model.nranks);
+          }
           add(resource.name, first_cpu(live), hydro_spec(nodes, 2), nodes);
         } else {
+          // A single live node runs one rank regardless of the requested
+          // width (there is nothing to partition over).
           add(resource.name, live.front(), hydro_spec(1, 2), 1);
         }
         break;
@@ -182,7 +233,6 @@ std::vector<Assignment> Scheduler::candidates(Role role,
         break;
     }
   }
-  (void)load;
   return options;
 }
 
@@ -212,124 +262,188 @@ bool Scheduler::fits(const Placement& placement) const {
 }
 
 double Scheduler::score(const Workload& load, Placement& placement) const {
-  double n_s = static_cast<double>(load.n_stars);
-
-  std::array<LinkCost, kRoles> wire;
-  for (int i = 0; i < kRoles; ++i) {
-    const Assignment& a = placement.roles[i];
-    wire[i] = a.host != nullptr ? link_between(net_, client_, *a.host)
-                                : LinkCost{.reachable = false};
+  Workload normal = load.normalized();
+  if (placement.roles.size() != normal.models.size()) {
+    throw CodeError("sched: placement has " +
+                    std::to_string(placement.roles.size()) +
+                    " slots for a graph of " +
+                    std::to_string(normal.models.size()) + " models");
   }
-  auto link = [&](Role r) -> const LinkCost& {
-    return wire[static_cast<int>(r)];
-  };
-  auto rate = [&](Role r) {
-    const Assignment& a = placement.role(r);
+  return score_graph(normal, placement);
+}
+
+double Scheduler::score_graph(const Workload& load,
+                              Placement& placement) const {
+  const std::vector<ModelLoad>& models = load.models;
+  int slots = static_cast<int>(models.size());
+
+  std::vector<LinkCost> wire(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    const Assignment& a = placement.roles[static_cast<std::size_t>(i)];
+    wire[static_cast<std::size_t>(i)] =
+        a.host != nullptr ? link_between(net_, client_, *a.host)
+                          : LinkCost{.reachable = false};
+  }
+  auto rate = [&](int i) {
+    const Assignment& a = placement.roles[static_cast<std::size_t>(i)];
     return a.host != nullptr
                ? device_rate_flops(*a.host, a.spec.needs_gpu(), a.spec.ncores)
                : 0.0;
   };
+  for (Assignment& a : placement.roles) {
+    a.compute_seconds = 0.0;
+    a.comm_seconds = 0.0;
+    a.queue_seconds = 0.0;
+  }
 
-  // --- evolve phase: both models advance concurrently (bridge Fig 7) ---
-  Assignment& grav = placement.role(Role::gravity);
-  Assignment& hydro = placement.role(Role::hydro);
-  grav.compute_seconds = gravity_compute_seconds(load, rate(Role::gravity));
-  LinkCost interconnect{};
-  if (hydro.host != nullptr) {
-    // Ranks sharing one machine exchange slices over loopback; a cluster
-    // job pays the path between two of the resource's nodes (its LAN).
-    interconnect = link_between(net_, *hydro.host, *hydro.host);
-    if (!hydro.local() && hydro.nodes > 1) {
-      for (const gat::Resource& r : resources_) {
-        if (r.name != hydro.resource) continue;
-        auto nodes = r.compute_hosts();
-        if (nodes.size() >= 2) {
-          interconnect = link_between(net_, *nodes[0], *nodes[1]);
+  // --- evolve phase: all dynamic models advance concurrently (Fig 7) ---
+  double evolve = 0.0;
+  for (int i = 0; i < slots; ++i) {
+    const ModelLoad& model = models[static_cast<std::size_t>(i)];
+    Assignment& a = placement.roles[static_cast<std::size_t>(i)];
+    if (model.role == Role::gravity) {
+      a.compute_seconds = gravity_compute_seconds(model.n, load.dt, rate(i));
+    } else if (model.role == Role::hydro) {
+      LinkCost interconnect{};
+      if (a.host != nullptr) {
+        // Ranks sharing one machine exchange slices over loopback; a
+        // cluster job pays the path between two of the resource's nodes
+        // (its LAN).
+        interconnect = link_between(net_, *a.host, *a.host);
+        if (!a.local() && a.nodes > 1) {
+          for (const gat::Resource& r : resources_) {
+            if (r.name != a.resource) continue;
+            auto nodes = r.compute_hosts();
+            if (nodes.size() >= 2) {
+              interconnect = link_between(net_, *nodes[0], *nodes[1]);
+            }
+          }
         }
       }
+      a.compute_seconds = hydro_compute_seconds(model.n, load.dt, rate(i),
+                                                a.spec.nranks, interconnect);
+    } else {
+      continue;
     }
+    evolve = std::max(evolve,
+                      a.compute_seconds + wire[static_cast<std::size_t>(i)].rtt_s);
   }
-  hydro.compute_seconds = hydro_compute_seconds(
-      load, rate(Role::hydro), hydro.spec.nranks, interconnect);
-  double evolve =
-      std::max(grav.compute_seconds + link(Role::gravity).rtt_s,
-               hydro.compute_seconds + link(Role::hydro).rtt_s);
 
-  // --- coupling phase: the pipelined cross-kick, twice per step ---
-  // Each phase (state fetch, field queries, kicks) issues both sides as
-  // concurrent futures: one round trip per phase, with the two coupler
-  // directions sharing the client<->coupler wire (their bytes add). The
-  // post-kick cross-kick is all delta-cache hits — header-only RPCs — while
-  // the post-evolve one moves the changed positions and fresh field inputs.
-  DatapathBytes wire_bytes = datapath_bytes(load);
-  Assignment& coup = placement.role(Role::coupler);
-  coup.compute_seconds = coupler_compute_seconds(load, rate(Role::coupler));
-  auto cross_kick = [&](bool fresh) {
-    double fetch = std::max(
-        link(Role::gravity)
-            .call_seconds(fresh ? wire_bytes.grav_state_fetch
-                                : wire_bytes.idle_call),
-        link(Role::hydro).call_seconds(fresh ? wire_bytes.hydro_state_fetch
-                                             : wire_bytes.idle_call));
-    double field = link(Role::coupler)
-                       .call_seconds(fresh ? wire_bytes.coupler_upload +
-                                                 wire_bytes.coupler_reply
-                                           : 2.0 * wire_bytes.idle_call);
-    double kick = std::max(
-        link(Role::gravity)
-            .call_seconds(fresh ? wire_bytes.grav_kick
-                                : wire_bytes.idle_call),
-        link(Role::hydro).call_seconds(fresh ? wire_bytes.hydro_kick
-                                             : wire_bytes.idle_call));
-    return fetch + field + kick;
-  };
-  double grav_coupling =
-      link(Role::gravity).call_seconds(wire_bytes.grav_state_fetch) +
-      link(Role::gravity).call_seconds(wire_bytes.grav_kick) +
-      2.0 * link(Role::gravity).call_seconds(wire_bytes.idle_call);
-  double hydro_coupling =
-      link(Role::hydro).call_seconds(wire_bytes.hydro_state_fetch) +
-      link(Role::hydro).call_seconds(wire_bytes.hydro_kick) +
-      2.0 * link(Role::hydro).call_seconds(wire_bytes.idle_call);
-  double coup_transfers =
-      link(Role::coupler)
-          .call_seconds(wire_bytes.coupler_upload + wire_bytes.coupler_reply) +
-      link(Role::coupler).call_seconds(2.0 * wire_bytes.idle_call);
-  // The coupler recomputes only when its inputs changed (once per step).
-  coup.compute_seconds /= 2.0;
-  double coupling = cross_kick(true) + cross_kick(false) +
-                    coup.compute_seconds;
-  grav.comm_seconds = grav_coupling + link(Role::gravity).rtt_s;
-  hydro.comm_seconds = hydro_coupling + link(Role::hydro).rtt_s;
-  coup.comm_seconds = coup_transfers;
+  // --- coupling phases: the pipelined cross-kick, twice per step ---
+  // Each phase (state fetch, field queries, kicks) issues every system's
+  // calls as concurrent futures: one round trip per phase, with couplings
+  // sharing a field worker adding their bytes on its wire. The post-kick
+  // cross-kick is all delta-cache hits — header-only RPCs and 16-byte kick
+  // repeats — while the post-evolve one moves the changed positions, fresh
+  // field inputs and fresh accel+dt kicks. Couplings with a slower cadence
+  // weigh in at their firing frequency.
+  double coupling = 0.0;
+  if (!load.couplings.empty()) {
+    // Highest firing frequency per dynamic slot, 0 when uncoupled.
+    std::vector<double> freq(static_cast<std::size_t>(slots), 0.0);
+    for (const CouplingLoad& c : load.couplings) {
+      double w = coupling_weight(c.every);
+      freq[static_cast<std::size_t>(c.a)] =
+          std::max(freq[static_cast<std::size_t>(c.a)], w);
+      freq[static_cast<std::size_t>(c.b)] =
+          std::max(freq[static_cast<std::size_t>(c.b)], w);
+    }
 
-  // --- stellar evolution: every n-th step, small exchanges ---
-  Assignment& se = placement.role(Role::stellar);
-  se.compute_seconds = stellar_compute_seconds(load, rate(Role::stellar));
+    double fetch_fresh = 0.0, kick_fresh = 0.0;
+    double fetch_idle = 0.0, kick_idle = 0.0;
+    for (int i = 0; i < slots; ++i) {
+      if (freq[static_cast<std::size_t>(i)] <= 0.0) continue;
+      const ModelLoad& model = models[static_cast<std::size_t>(i)];
+      const LinkCost& link = wire[static_cast<std::size_t>(i)];
+      double w = freq[static_cast<std::size_t>(i)];
+      double fetch = link.call_seconds(state_fetch_bytes(model.n));
+      double kick = link.call_seconds(kick_bytes(model.n));
+      double idle = link.call_seconds(kCallOverheadBytes);
+      double repeat =
+          link.call_seconds(kCallOverheadBytes + kKickHeaderBytes);
+      fetch_fresh = std::max(fetch_fresh, w * fetch);
+      kick_fresh = std::max(kick_fresh, w * kick);
+      fetch_idle = std::max(fetch_idle, w * idle);
+      kick_idle = std::max(kick_idle, w * repeat);
+      Assignment& a = placement.roles[static_cast<std::size_t>(i)];
+      a.comm_seconds += w * (fetch + kick + idle + repeat) + link.rtt_s;
+    }
+
+    // Field workers answer their couplings' queries concurrently with each
+    // other; couplings sharing one field worker serialize on its wire.
+    double field_fresh = 0.0, field_idle = 0.0, field_compute = 0.0;
+    for (int f = 0; f < slots; ++f) {
+      if (models[static_cast<std::size_t>(f)].role != Role::coupler) continue;
+      const LinkCost& link = wire[static_cast<std::size_t>(f)];
+      double fresh_bytes = 0.0, idle_calls = 0.0, compute = 0.0;
+      bool used = false;
+      for (const CouplingLoad& c : load.couplings) {
+        if (c.field != f) continue;
+        used = true;
+        double w = coupling_weight(c.every);
+        std::size_t n_a = models[static_cast<std::size_t>(c.a)].n;
+        std::size_t n_b = models[static_cast<std::size_t>(c.b)].n;
+        fresh_bytes +=
+            w * (coupling_upload_bytes(n_a, n_b) + coupling_reply_bytes(n_a, n_b));
+        idle_calls += w * 2.0;
+        compute += w * coupler_compute_seconds(n_a, n_b, rate(f));
+      }
+      if (!used) continue;
+      double fresh = link.call_seconds(fresh_bytes);
+      double idle = link.call_seconds(idle_calls * kCallOverheadBytes);
+      field_fresh = std::max(field_fresh, fresh);
+      field_idle = std::max(field_idle, idle);
+      field_compute = std::max(field_compute, compute);
+      Assignment& a = placement.roles[static_cast<std::size_t>(f)];
+      a.compute_seconds = compute;
+      a.comm_seconds = fresh + idle;
+    }
+
+    coupling = (fetch_fresh + field_fresh + kick_fresh) +
+               (fetch_idle + field_idle + kick_idle) + field_compute;
+  }
+
+  // --- stellar evolution: every n-th step, small delta exchanges ---
+  // A stellar slot only appears in the graph when SE is on (normalized()
+  // omits it otherwise), so every one present is priced.
   double stellar = 0.0;
-  if (load.with_stellar_evolution) {
+  for (int i = 0; i < slots; ++i) {
+    if (models[static_cast<std::size_t>(i)].role != Role::stellar) continue;
+    const ModelLoad& model = models[static_cast<std::size_t>(i)];
+    Assignment& a = placement.roles[static_cast<std::size_t>(i)];
+    double n = static_cast<double>(model.n);
+    a.compute_seconds =
+        stellar_compute_seconds(model.n, load.se_every, rate(i));
+    const LinkCost& se_link = wire[static_cast<std::size_t>(i)];
+    const LinkCost& grav_link =
+        model.of >= 0 && model.of < slots
+            ? wire[static_cast<std::size_t>(model.of)]
+            : se_link;
     // Masses over, masses back, supernovae; one delta state fetch on the
-    // gravity side (mass changed by the previous update) + new masses out.
+    // gravity side (mass changed by the previous update) + the changed
+    // masses out.
     double per_exchange =
-        3.0 * link(Role::stellar).call_seconds(n_s * 8.0) +
-        link(Role::gravity).call_seconds(n_s * 8.0 + kCallOverheadBytes) +
-        link(Role::gravity).call_seconds(n_s * 8.0);
-    se.comm_seconds = per_exchange / std::max(1, load.se_every);
-    stellar = se.comm_seconds + se.compute_seconds;
+        3.0 * se_link.call_seconds(n * 8.0) +
+        grav_link.call_seconds(n * 8.0 + kCallOverheadBytes) +
+        grav_link.call_seconds(n * 8.0);
+    a.comm_seconds = per_exchange / std::max(1, load.se_every);
+    stellar += a.comm_seconds + a.compute_seconds;
   }
 
   // --- one-time costs, amortized over the production horizon ---
   double horizon =
       std::max(static_cast<double>(load.iterations), kAmortizeIterationsFloor);
   double queue_total = 0.0;
-  for (int i = 0; i < kRoles; ++i) {
-    Assignment& a = placement.roles[i];
+  for (int i = 0; i < slots; ++i) {
+    Assignment& a = placement.roles[static_cast<std::size_t>(i)];
     a.queue_seconds = 0.0;
     if (a.local()) continue;
     for (const gat::Resource& r : resources_) {
       if (r.name != a.resource) continue;
-      double startup = r.queue_base_delay +
-                       kStageInBytes / std::max(wire[i].bandwidth_Bps, 1.0);
+      double startup =
+          r.queue_base_delay +
+          kStageInBytes /
+              std::max(wire[static_cast<std::size_t>(i)].bandwidth_Bps, 1.0);
       a.queue_seconds = startup / horizon;
     }
     queue_total += a.queue_seconds;
@@ -341,34 +455,100 @@ double Scheduler::score(const Workload& load, Placement& placement) const {
 }
 
 Placement Scheduler::plan(const Workload& load) const {
-  auto gravity = candidates(Role::gravity, load);
-  auto hydro = candidates(Role::hydro, load);
-  auto coupler = candidates(Role::coupler, load);
-  auto stellar = candidates(Role::stellar, load);
+  return plan(load, {});
+}
 
-  Placement best;
+Placement Scheduler::plan(
+    const Workload& load,
+    const std::vector<std::optional<Assignment>>& pins) const {
+  Workload normal = load.normalized();
+  std::size_t slots = normal.models.size();
+  if (!pins.empty() && pins.size() != slots) {
+    throw CodeError("sched: pin vector does not match the model graph");
+  }
+
+  // Candidate set per slot (a pinned slot has exactly its pin).
+  std::vector<std::vector<Assignment>> options(slots);
+  double combinations = 1.0;
+  for (std::size_t i = 0; i < slots; ++i) {
+    if (i < pins.size() && pins[i].has_value()) {
+      options[i] = {*pins[i]};
+    } else {
+      options[i] = candidates(normal.models[i]);
+    }
+    if (options[i].empty()) {
+      throw CodeError("sched: no feasible placement for model '" +
+                      normal.models[i].name + "'");
+    }
+    combinations *= static_cast<double>(options[i].size());
+  }
+
+  Placement best(normal);
   double best_cost = std::numeric_limits<double>::infinity();
   bool found = false;
-  for (const Assignment& g : gravity) {
-    for (const Assignment& h : hydro) {
-      for (const Assignment& c : coupler) {
-        for (const Assignment& s : stellar) {
-          Placement trial;
-          trial.role(Role::gravity) = g;
-          trial.role(Role::hydro) = h;
-          trial.role(Role::coupler) = c;
-          trial.role(Role::stellar) = s;
+  Placement trial(normal);
+
+  // Exhaustive argmin when the product space is small (the classic
+  // quadruple and every few-model experiment); deterministic coordinate
+  // descent for graphs too large to enumerate.
+  constexpr double kExhaustiveLimit = 200000.0;
+  if (combinations <= kExhaustiveLimit) {
+    std::vector<std::size_t> pick(slots, 0);
+    auto evaluate = [&] {
+      for (std::size_t i = 0; i < slots; ++i) trial.roles[i] = options[i][pick[i]];
+      if (!fits(trial)) return;
+      double cost = score_graph(normal, trial);
+      if (cost < best_cost) {
+        best = trial;
+        best_cost = cost;
+        found = true;
+      }
+    };
+    // Odometer enumeration in slot-major order (the historic nested-loop
+    // order for the classic quadruple, so tie-breaking is unchanged).
+    while (true) {
+      evaluate();
+      std::size_t slot = slots;
+      while (slot > 0) {
+        --slot;
+        if (++pick[slot] < options[slot].size()) break;
+        pick[slot] = 0;
+        if (slot == 0) {
+          slot = slots;  // odometer rolled over: done
+          break;
+        }
+      }
+      if (slot == slots) break;
+    }
+  } else {
+    // Greedy seed (first feasible candidate per slot), then coordinate
+    // descent until a full pass yields no improvement.
+    for (std::size_t i = 0; i < slots; ++i) trial.roles[i] = options[i][0];
+    if (fits(trial)) {
+      best = trial;
+      best_cost = score_graph(normal, best);
+      found = true;
+    }
+    for (int pass = 0; pass < 16; ++pass) {
+      bool improved = false;
+      for (std::size_t i = 0; i < slots; ++i) {
+        for (const Assignment& candidate : options[i]) {
+          trial = best;
+          trial.roles[i] = candidate;
           if (!fits(trial)) continue;
-          double cost = score(load, trial);
+          double cost = score_graph(normal, trial);
           if (cost < best_cost) {
             best = trial;
             best_cost = cost;
             found = true;
+            improved = true;
           }
         }
       }
+      if (!improved) break;
     }
   }
+
   if (!found) {
     throw CodeError("sched: no feasible placement for the workload");
   }
@@ -378,28 +558,44 @@ Placement Scheduler::plan(const Workload& load) const {
 }
 
 Assignment Scheduler::replace(const Workload& load, const Placement& current,
-                              Role failed) const {
+                              int slot) const {
+  Workload normal = load.normalized();
+  if (slot < 0 || static_cast<std::size_t>(slot) >= normal.models.size()) {
+    throw CodeError("sched: replace slot out of range");
+  }
   Assignment best;
   double best_cost = std::numeric_limits<double>::infinity();
   bool found = false;
-  for (const Assignment& candidate : candidates(failed, load)) {
+  for (const Assignment& candidate :
+       candidates(normal.models[static_cast<std::size_t>(slot)])) {
     Placement trial = current;
-    trial.role(failed) = candidate;
+    trial.roles[static_cast<std::size_t>(slot)] = candidate;
     if (!fits(trial)) continue;
-    double cost = score(load, trial);
+    double cost = score_graph(normal, trial);
     if (cost < best_cost) {
-      best = trial.role(failed);
+      best = trial.roles[static_cast<std::size_t>(slot)];
       best_cost = cost;
       found = true;
     }
   }
   if (!found) {
-    throw CodeError(std::string("sched: no feasible replacement for ") +
-                    role_name(failed));
+    throw CodeError("sched: no feasible replacement for model '" +
+                    normal.models[static_cast<std::size_t>(slot)].name + "'");
   }
-  log::warn("sched") << "re-placing " << role_name(failed) << " onto "
-                     << best.where();
+  log::warn("sched") << "re-placing "
+                     << normal.models[static_cast<std::size_t>(slot)].name
+                     << " onto " << best.where();
   return best;
+}
+
+Assignment Scheduler::replace(const Workload& load, const Placement& current,
+                              Role failed) const {
+  int slot = current.slot_of(failed);
+  if (slot < 0) {
+    throw CodeError(std::string("sched: no ") + role_name(failed) +
+                    " slot to replace");
+  }
+  return replace(load, current, slot);
 }
 
 }  // namespace jungle::sched

@@ -1,6 +1,6 @@
 #pragma once
 
-#include <array>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -11,14 +11,6 @@
 #include "sim/network.hpp"
 
 namespace jungle::sched {
-
-/// The four model kernels of the embedded-cluster simulation, as placement
-/// roles. `gravity` and `hydro` evolve concurrently (bridge phase 2);
-/// `coupler` sits on the serial coupling path; `stellar` exchanges state
-/// every n-th step.
-enum class Role : int { gravity = 0, hydro = 1, coupler = 2, stellar = 3 };
-inline constexpr int kRoles = 4;
-const char* role_name(Role role) noexcept;
 
 /// One kernel -> machine decision: which resource runs it (empty string =
 /// the client machine itself, over a local channel), which worker variant
@@ -39,30 +31,48 @@ struct Assignment {
   }
 };
 
-/// A full kernel->host mapping plus its modeled per-iteration cost — what
-/// scenario::run executes instead of the hard-coded Kind tables.
+/// A full model->host mapping for an experiment graph plus its modeled
+/// per-iteration cost — one Assignment per model of the (normalized)
+/// Workload, in the same slot order, with the model names and role kinds
+/// riding along for display and the role() compatibility accessors.
 struct Placement {
-  std::array<Assignment, kRoles> roles;
+  std::vector<Assignment> roles;
+  std::vector<Role> kinds;
+  std::vector<std::string> names;
   double modeled_seconds_per_iteration = 0.0;
 
-  Assignment& role(Role r) { return roles[static_cast<int>(r)]; }
-  const Assignment& role(Role r) const { return roles[static_cast<int>(r)]; }
+  /// The classic quadruple shape (gravity, hydro, coupler, stellar) — what
+  /// hand-built placements and the legacy scenario tables populate.
+  Placement();
+  /// One empty slot per model of the (normalized) workload's graph.
+  explicit Placement(const Workload& load);
 
-  /// One line per role: "gravity=phigrape-gpu@lgm/lgm-node ..." — shown on
+  std::size_t size() const noexcept { return roles.size(); }
+  int slot_of(Role r) const noexcept;
+
+  /// First slot of the given kernel class — the classic quadruple's
+  /// accessor (every classic placement has exactly one of each).
+  Assignment& role(Role r);
+  const Assignment& role(Role r) const;
+
+  /// One entry per model: "stars=phigrape-gpu@lgm/lgm-node, ..." — shown on
   /// the dashboard next to the measured cost.
   std::string describe() const;
 };
 
 /// Adaptive placement scheduler: scores candidate kernel->host assignments
 /// against the jungle's discovered resources and network topology, and
-/// emits the cheapest feasible Placement. Also the fault path's brain: when
-/// a worker dies, exclude what failed and re-place the affected role on the
-/// best surviving machine.
+/// emits the cheapest feasible Placement for an arbitrary experiment graph
+/// (any number of models, not just the classic quadruple). Also the fault
+/// path's brain: when a worker dies, exclude what failed and re-place the
+/// affected model on the best surviving machine.
 ///
 /// Invariants (tested):
-///  - plan() is an exhaustive argmin over the candidate space, so its
-///    modeled cost is <= the modeled cost of any hand-coded placement
-///    built from the same resources (in particular the paper's Fig-12 map).
+///  - plan() is an exhaustive argmin over the candidate space (graphs too
+///    large to enumerate fall back to deterministic coordinate descent),
+///    so for classic-sized graphs its modeled cost is <= the modeled cost
+///    of any hand-coded placement built from the same resources (in
+///    particular the paper's Fig-12 map).
 ///  - Modeled cost is monotone in link latency and in queue delay.
 ///  - Excluded hosts/resources never appear in a plan or replacement.
 class Scheduler {
@@ -75,17 +85,24 @@ class Scheduler {
   /// A resource became unreachable (link fault): drop it wholesale.
   void exclude_resource(const std::string& resource_name);
 
-  /// Cheapest feasible placement for the workload. Throws CodeError when a
-  /// role cannot be placed anywhere.
+  /// Cheapest feasible placement for the workload's graph. Throws
+  /// CodeError when a model cannot be placed anywhere.
   Placement plan(const Workload& load) const;
+  /// Same, honoring per-slot pins (a pinned slot's assignment is fixed;
+  /// empty optionals are planned). `pins` indexes the normalized graph.
+  Placement plan(const Workload& load,
+                 const std::vector<std::optional<Assignment>>& pins) const;
 
-  /// Re-place one role after a failure, keeping every other role pinned.
-  /// Accounts for the nodes the surviving roles still occupy.
+  /// Re-place one slot after a failure, keeping every other slot pinned.
+  /// Accounts for the nodes the surviving models still occupy.
+  Assignment replace(const Workload& load, const Placement& current,
+                     int slot) const;
   Assignment replace(const Workload& load, const Placement& current,
                      Role failed) const;
 
-  /// Score an externally built placement (e.g. a hard-coded Kind table):
-  /// fills the per-role cost fields and the total, and returns the total.
+  /// Score an externally built placement (e.g. a hard-coded scenario
+  /// table): fills the per-slot cost fields and the total, and returns the
+  /// total. The placement's slots must match the workload's graph.
   double score(const Workload& load, Placement& placement) const;
 
   /// Name of the resource whose frontend/nodes include `host_name`
@@ -97,11 +114,12 @@ class Scheduler {
   }
 
  private:
-  std::vector<Assignment> candidates(Role role, const Workload& load) const;
+  std::vector<Assignment> candidates(const ModelLoad& model) const;
   bool usable(const sim::Host& host) const;
   /// Nodes of `resource` still usable (up, not excluded).
   std::vector<const sim::Host*> live_nodes(const gat::Resource& resource) const;
   bool fits(const Placement& placement) const;
+  double score_graph(const Workload& normalized, Placement& placement) const;
 
   const sim::Network& net_;
   const sim::Host& client_;
