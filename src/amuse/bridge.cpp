@@ -5,6 +5,7 @@
 #include <iterator>
 #include <limits>
 
+#include "amuse/faultpoint.hpp"
 #include "util/logging.hpp"
 
 namespace jungle::amuse {
@@ -82,7 +83,8 @@ Bridge::Bridge(std::vector<System> systems, std::vector<Coupling> couplings,
                std::vector<Stellar> stellar, Config config)
     : systems_(std::move(systems)),
       couplings_(std::move(couplings)),
-      config_(config) {
+      config_(config),
+      time_(config.t_start) {
   if (systems_.empty()) {
     throw CodeError("bridge: no systems to evolve");
   }
@@ -263,11 +265,13 @@ void Bridge::step() {
   double dt = config_.dt;
   int step_index = config_.step_offset + steps_;
 
+  faultpoint::reach(faultpoint::Point::step_top_kick, step_index);
   std::vector<int> top = active_couplings(step_index, /*bottom=*/false);
   if (!top.empty()) cross_kick(top);
 
   // Parallel evolve: all systems advance concurrently; total wall time is
   // max over the systems' evolves + messaging — the Jungle payoff.
+  faultpoint::reach(faultpoint::Point::step_evolve, step_index);
   std::vector<Future> evolving;
   evolving.reserve(systems_.size());
   for (System& system : systems_) {
@@ -276,6 +280,7 @@ void Bridge::step() {
   trace_.push_back("evolve:parallel");
   for (Future& future : evolving) future.get();
 
+  faultpoint::reach(faultpoint::Point::step_bottom_kick, step_index);
   std::vector<int> bottom = active_couplings(step_index, /*bottom=*/true);
   if (!bottom.empty()) cross_kick(bottom);
 
@@ -284,6 +289,7 @@ void Bridge::step() {
 
   if (!stellar_.empty() &&
       (config_.step_offset + steps_) % config_.se_every == 0) {
+    faultpoint::reach(faultpoint::Point::step_stellar, step_index);
     stellar_update();
   }
 }

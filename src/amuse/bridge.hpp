@@ -72,6 +72,12 @@ class Bridge {
     /// continue from the sum, while evolve targets restart at zero.
     double t_offset = 0.0;
     int step_offset = 0;
+    /// Absolute-clock restart (the bit-exact rollback convention): the
+    /// bridge clock begins at these exact bits — the committed checkpoint's
+    /// time — and workers restored at the same absolute time receive evolve
+    /// targets identical to the fault-free run's. Leave 0 with t_offset for
+    /// the legacy shifted-clock convention.
+    double t_start = 0.0;
     /// Run the pre-overhaul serial coupling path (full state fetches, one
     /// RPC at a time). Benchmarks and the bit-exactness test use it.
     bool synchronous_datapath = false;

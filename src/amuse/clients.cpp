@@ -159,6 +159,25 @@ double GravityClient::model_time() {
   return rpc_->call_sync(Fn::grav_get_time, {}).get<double>();
 }
 
+void GravityClient::get_dynamics(std::vector<Vec3>& acc,
+                                 std::vector<Vec3>& jerk,
+                                 double& model_time) {
+  auto reader = rpc_->call_sync(Fn::grav_get_dynamics, {});
+  model_time = reader.get<double>();
+  acc = reader.get_vector<Vec3>();
+  jerk = reader.get_vector<Vec3>();
+}
+
+void GravityClient::set_dynamics(std::span<const Vec3> acc,
+                                 std::span<const Vec3> jerk,
+                                 double model_time) {
+  util::ByteWriter args = RpcClient::request();
+  args.put<double>(model_time);
+  put_span_of(args, acc);
+  put_span_of(args, jerk);
+  rpc_->call_sync(Fn::grav_set_dynamics, std::move(args));
+}
+
 void FieldClient::set_sources(std::span<const double> masses,
                               std::span<const Vec3> positions) {
   util::ByteWriter args = RpcClient::request();
@@ -308,6 +327,12 @@ void HydroClient::inject(std::span<const std::int32_t> indices,
 
 double HydroClient::model_time() {
   return rpc_->call_sync(Fn::hydro_get_time, {}).get<double>();
+}
+
+void HydroClient::set_time(double model_time) {
+  util::ByteWriter args = RpcClient::request();
+  args.put<double>(model_time);
+  rpc_->call_sync(Fn::hydro_set_time, std::move(args));
 }
 
 void StellarClient::add_stars(std::span<const double> zams_masses) {

@@ -131,6 +131,14 @@ class GravityClient : public DynamicsClient {
   void set_masses_sparse(std::span<const std::int32_t> indices,
                          std::span<const double> masses);
   double model_time() override;
+  /// Fetch the integrator's dynamic state — corrector-stage forces plus the
+  /// absolute model time — for checkpointing.
+  void get_dynamics(std::vector<Vec3>& acc, std::vector<Vec3>& jerk,
+                    double& model_time);
+  /// Install checkpointed dynamics into a fresh worker: the replayed step
+  /// then resumes the checkpointed integrator's exact substep sequence.
+  void set_dynamics(std::span<const Vec3> acc, std::span<const Vec3> jerk,
+                    double model_time);
 
   void set_delta_exchange(bool enabled) override {
     info_.delta_enabled = enabled;
@@ -238,6 +246,10 @@ class HydroClient : public DynamicsClient {
   void inject(std::span<const std::int32_t> indices,
               std::span<const double> delta_u);
   double model_time() override;
+  /// Restore the absolute model clock into a fresh worker (checkpoint
+  /// restart) so it accepts the same absolute evolve targets as the one it
+  /// replaces.
+  void set_time(double model_time);
 
   void set_delta_exchange(bool enabled) override {
     info_.delta_enabled = enabled;

@@ -1,5 +1,6 @@
 #include "amuse/daemon.hpp"
 
+#include "amuse/faultpoint.hpp"
 #include "util/logging.hpp"
 
 namespace jungle::amuse {
@@ -213,6 +214,10 @@ void IbisDaemon::serve_client(
         fail(job->error_message());
         return;
       }
+      if (job->state() == gat::JobState::stopped) {
+        fail("worker exited before joining the pool");
+        return;
+      }
       for (const auto& member : ibis_->members()) {
         if (member.name == proxy_name) {
           proxy_id = member;
@@ -317,6 +322,28 @@ void IbisDaemon::serve_client(
 // -------------------------------------------------------- script client
 
 std::unique_ptr<RpcClient> DaemonClient::start_worker(
+    const WorkerSpec& spec, const std::string& resource, int nodes) {
+  faultpoint::reach(faultpoint::Point::spawn_worker, -1,
+                    spec.code + "@" + resource);
+  // Deployment crosses a queue, a WAN and a remote frontend; transient
+  // hiccups (a queue briefly full, a frontend rebooting) deserve a bounded
+  // retry with backoff before the failure is escalated to the fault path.
+  constexpr int kAttempts = 3;
+  constexpr double kBackoff = 0.5;  // virtual seconds, doubles per retry
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return start_worker_once(spec, resource, nodes);
+    } catch (const CodeError& failure) {
+      if (attempt >= kAttempts) throw;
+      log::warn("amuse") << "worker start attempt " << attempt << "/"
+                         << kAttempts << " failed (" << failure.what()
+                         << "); retrying";
+      local_.simulation().sleep(kBackoff * attempt);
+    }
+  }
+}
+
+std::unique_ptr<RpcClient> DaemonClient::start_worker_once(
     const WorkerSpec& spec, const std::string& resource, int nodes) {
   auto connection = sockets_.connect(local_, local_, IbisDaemon::kService,
                                      sim::TrafficClass::control);

@@ -68,12 +68,18 @@ class DaemonClient {
       : sockets_(sockets), local_(local) {}
 
   /// Throws CodeError when the daemon reports a startup failure (e.g. the
-  /// resource has no GPU or the middleware is unreachable).
+  /// resource has no GPU or the middleware is unreachable). Startup
+  /// failures are retried a few times with backoff first — deployment
+  /// crosses queues and WANs, where transient refusals are normal.
   std::unique_ptr<RpcClient> start_worker(const WorkerSpec& spec,
                                           const std::string& resource,
                                           int nodes = 1);
 
  private:
+  std::unique_ptr<RpcClient> start_worker_once(const WorkerSpec& spec,
+                                               const std::string& resource,
+                                               int nodes);
+
   smartsockets::SmartSockets& sockets_;
   sim::Host& local_;
 };

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "amuse/diagnostics.hpp"
+#include "amuse/faultpoint.hpp"
 #include "amuse/faults.hpp"
 #include "amuse/ic.hpp"
 #include "util/logging.hpp"
@@ -171,6 +172,7 @@ void ExperimentSpec::validate() const {
   if (dt <= 0.0) fail("dt must be positive");
   if (iterations < 1) fail("iterations must be >= 1");
   if (se_every < 1) fail("se_every must be >= 1");
+  if (rpc_timeout < 0.0) fail("rpc_timeout must be >= 0 (0 disables it)");
 
   bool any_dynamic = false;
   for (const ModelSpec& model : models) {
@@ -390,6 +392,8 @@ ExperimentSpec ExperimentSpec::from_config(const util::Config& config) {
     spec.kill_host = config.get_or(s, "kill_host", "");
     spec.kill_after_iteration = static_cast<int>(
         config.get_int_or(s, "kill_after_iteration", -1));
+    spec.rpc_timeout =
+        config.get_double_or(s, "rpc_timeout", spec.rpc_timeout);
     spec.client = config.get_or(s, "client", "");
   }
 
@@ -551,17 +555,15 @@ sched::Placement plan_experiment(JungleTestbed& bed,
 
 namespace {
 
-/// Live clients + checkpoints of one model of the running graph. Exactly
-/// one of the client pointers is set, matching the model's role.
+/// Live clients of one model of the running graph. Exactly one of the
+/// client pointers is set, matching the model's role. Checkpoints live in
+/// one graph-wide GraphCheckpoint (atomic commit), not per model.
 struct ModelRuntime {
   std::unique_ptr<GravityClient> gravity;
   std::unique_ptr<HydroClient> hydro;
   std::unique_ptr<FieldClient> field;
   std::unique_ptr<StellarClient> stellar;
 
-  GravityCheckpoint grav_save;
-  HydroCheckpoint hydro_save;
-  FieldCheckpoint field_save;
   std::vector<double> zams;
 
   DynamicsClient* dynamics() {
@@ -632,6 +634,7 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
     auto start_model = [&](std::size_t i) {
       const ModelSpec& model = spec.models[i];
       auto rpc = start_assignment(bed, client, daemon_client, plan.roles[i]);
+      rpc->set_call_timeout(spec.rpc_timeout);
       switch (model.role) {
         case Role::gravity:
           models[i].gravity = std::make_unique<GravityClient>(std::move(rpc));
@@ -647,7 +650,104 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
           break;
       }
     };
-    for (std::size_t i = 0; i < n_models; ++i) start_model(i);
+    bool fault_tolerant = spec.checkpointing;
+
+    // ----- the fault path: exclude what died, re-place the affected
+    // models, and roll every evolving worker back to the last committed
+    // graph checkpoint (restarted integrators start at t=0; the new bridge
+    // carries the clock offset, the SE mass mappings and the SE cadence
+    // phase forward). Recovery itself is built to survive further faults:
+    // every sub-step that talks to the jungle sits in a bounded retry, so a
+    // second death while re-placing the first is handled, not fatal.
+
+    // Replacement/retry budget across the whole run — generous enough for
+    // cascaded faults, small enough to turn a re-place livelock (a hole,
+    // if one existed) into a hard error rather than an endless loop.
+    int replace_attempts = 0;
+    const int kReplaceBudget = 8 * static_cast<int>(n_models) + 8;
+    auto spend_attempt = [&] {
+      if (++replace_attempts > kReplaceBudget) {
+        throw CodeError("fault recovery exceeded its replacement budget (" +
+                        std::to_string(kReplaceBudget) + " attempts)");
+      }
+    };
+
+    // Global exclusions derived from one death report. Per-worker causes
+    // are handled per model in recover(); this handles what the report
+    // itself names (the crashed host, and its whole resource when the dead
+    // machine is a frontend — jobs submit through it even when the compute
+    // nodes survive).
+    auto note_death = [&](const WorkerDiedError& death) {
+      log::warn("experiment") << "recovering from: " << death.what();
+      faultpoint::reach(faultpoint::Point::recover_exclude, -1, death.host());
+      if (death.cause() == WorkerDiedError::Cause::host_crash &&
+          !death.host().empty()) {
+        scheduler.exclude_host(death.host());
+        std::string owner = scheduler.resource_of(death.host());
+        if (!owner.empty()) {
+          const gat::Resource& res = bed.deployer().resource(owner);
+          if (res.frontend != nullptr &&
+              res.frontend->name() == death.host()) {
+            scheduler.exclude_resource(owner);
+          }
+        }
+      }
+    };
+
+    // A model needs re-placing when its client was poisoned *or* its host
+    // is gone and the client just has not noticed yet (no RPC since the
+    // crash) — restarting onto a dead machine would only fail later.
+    auto model_dead = [&](std::size_t i) {
+      if (!models[i].rpc().alive()) return true;
+      const sched::Assignment& a = plan.roles[i];
+      return !a.local() && a.host != nullptr && !a.host->is_up();
+    };
+
+    auto replace_slot = [&](std::size_t i) {
+      spend_attempt();
+      plan.roles[i] = scheduler.replace(load, plan, static_cast<int>(i));
+      // Physics, not placement: the replacement keeps the spec's kernel
+      // parameters, exactly as plan_in installs them at first placement.
+      plan.roles[i].spec.eps2 = spec.models[i].eps2;
+      plan.roles[i].spec.eta = spec.models[i].eta;
+      plan.roles[i].spec.theta = spec.models[i].theta;
+    };
+
+    // Initial deployment is as exposed to the jungle as any later step: a
+    // node can crash mid-spawn, a frontend can die holding half the graph.
+    // Same policy as recovery — exclude what failed, re-place, try again.
+    for (std::size_t i = 0; i < n_models; ++i) {
+      for (;;) {
+        try {
+          start_model(i);
+          break;
+        } catch (const WorkerDiedError& death) {
+          if (!fault_tolerant || plan.roles[i].local()) throw;
+          ++result.restarts;
+          note_death(death);
+          if (death.cause() != WorkerDiedError::Cause::host_crash) {
+            scheduler.exclude_resource(plan.roles[i].resource);
+          }
+          replace_slot(i);
+        } catch (const CodeError& startup) {
+          if (!fault_tolerant || plan.roles[i].local()) throw;
+          ++result.restarts;
+          log::warn("experiment")
+              << "re-placing '" << spec.models[i].name
+              << "' after startup failure: " << startup.what();
+          scheduler.exclude_resource(plan.roles[i].resource);
+          replace_slot(i);
+        }
+      }
+    }
+    if (result.restarts > 0) {
+      // Initial deployment already deviated from the planned placement:
+      // re-score so the dashboard describes what is actually running.
+      scheduler.score(load, plan);
+      result.placement = plan.describe();
+      result.modeled_seconds_per_iteration =
+          plan.modeled_seconds_per_iteration;
+    }
 
     bool synchronous = spec.datapath == Datapath::synchronous;
     auto apply_datapath = [&] {
@@ -661,6 +761,11 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
       }
     };
     apply_datapath();
+
+    // The last committed graph-wide checkpoint: one object, installed by a
+    // single move after every model captured — all models commit or none.
+    GraphCheckpoint committed;
+    committed.resize(n_models);
 
     // Initial conditions: every model draws from one seeded stream in
     // declaration order, so the spec is a reproducible experiment.
@@ -686,12 +791,12 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
           models[i].gravity->add_particles(body.mass, body.position,
                                            body.velocity);
           // Checkpoints start as the initial conditions: a worker lost on
-          // the very first step rolls back to t=0.
-          models[i].grav_save.state =
+          // the very first step rolls back to t=0 (epoch 0).
+          committed.gravity[i].state =
               GravityState{std::move(body.mass), std::move(body.position),
                            std::move(body.velocity)};
-          models[i].grav_save.eps2 = model.eps2;
-          models[i].grav_save.eta = model.eta;
+          committed.gravity[i].eps2 = model.eps2;
+          committed.gravity[i].eta = model.eta;
           break;
         }
         case Role::hydro: {
@@ -705,12 +810,12 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
           }
           models[i].hydro->add_gas(cloud.mass, cloud.position, cloud.velocity,
                                    cloud.internal_energy);
-          models[i].hydro_save.state =
+          committed.hydro[i].state =
               HydroState{std::move(cloud.mass), std::move(cloud.position),
                          std::move(cloud.velocity),
                          std::move(cloud.internal_energy), {}};
-          models[i].hydro_save.eps2 = model.eps2;
-          models[i].hydro_save.theta = model.theta;
+          committed.hydro[i].eps2 = model.eps2;
+          committed.hydro[i].theta = model.theta;
           break;
         }
         case Role::stellar: {
@@ -729,7 +834,7 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
     // Wire the bridge graph: dynamic models become systems, couplings
     // resolve to system indices, stellar models to their typed targets.
     std::vector<int> system_of(n_models, -1);
-    auto build_bridge = [&](double t_offset, int step_offset) {
+    auto build_bridge = [&](double t_start, int step_offset) {
       std::vector<Bridge::System> systems;
       for (std::size_t i = 0; i < n_models; ++i) {
         if (models[i].dynamics() == nullptr) continue;
@@ -761,7 +866,10 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
         stellar.push_back(link);
       }
       Bridge::Config config = bridge_config(spec);
-      config.t_offset = t_offset;
+      // Absolute-clock restart: rebuilt bridges continue from the committed
+      // checkpoint's exact clock bits, and restored workers carry the same
+      // absolute time — evolve targets replay the fault-free sequence.
+      config.t_start = t_start;
       config.step_offset = step_offset;
       return std::make_unique<Bridge>(std::move(systems),
                                       std::move(couplings),
@@ -769,31 +877,10 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
     };
     auto bridge = build_bridge(0.0, 0);
 
-    bool fault_tolerant = spec.checkpointing;
-
-    // The fault path: exclude what died, re-place the affected models, and
-    // roll every evolving worker back to the last consistent checkpoint
-    // (restarted integrators start at t=0; the new bridge carries the
-    // clock offset, the SE mass mappings and the SE cadence phase forward).
-    auto recover = [&](const WorkerDiedError& death, int completed) {
-      log::warn("experiment") << "recovering from: " << death.what();
-      if (death.cause() == WorkerDiedError::Cause::host_crash &&
-          !death.host().empty()) {
-        scheduler.exclude_host(death.host());
-        // A dead *frontend* takes its whole resource out of play: jobs
-        // submit through it even when the compute nodes survive.
-        std::string owner = scheduler.resource_of(death.host());
-        if (!owner.empty()) {
-          const gat::Resource& res = bed.deployer().resource(owner);
-          if (res.frontend != nullptr &&
-              res.frontend->name() == death.host()) {
-            scheduler.exclude_resource(owner);
-          }
-        }
-      }
+    auto recover = [&](const WorkerDiedError& death) {
       bool any_dead = false;
       for (std::size_t i = 0; i < n_models; ++i) {
-        if (models[i].rpc().alive()) continue;
+        if (!model_dead(i)) continue;
         any_dead = true;
         const sched::Assignment& was = plan.roles[i];
         if (was.local()) {
@@ -801,14 +888,30 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
                           spec.models[i].name + "'); nothing to re-place "
                           "onto");
         }
-        if (death.cause() != WorkerDiedError::Cause::host_crash) {
+        // Per-worker cause: a crashed host is already excluded; anything
+        // else (link fault, timeout, unknown) condemns the whole resource —
+        // the machine may be fine, the route to it is not.
+        RpcClient& rpc = models[i].rpc();
+        if (!rpc.alive() &&
+            rpc.death_cause() != WorkerDiedError::Cause::host_crash) {
           scheduler.exclude_resource(was.resource);
         }
-        plan.roles[i] = scheduler.replace(load, plan, static_cast<int>(i));
+        replace_slot(i);
       }
-      if (!any_dead) throw death;  // stale report; cannot recover
+      if (!any_dead) {
+        // Stale report: nothing is actually dead. Escalate as a plain
+        // CodeError — rethrowing the WorkerDiedError would bounce between
+        // here and the double-fault retry loop forever.
+        throw CodeError(std::string("unrecoverable death report (no model "
+                                    "affected): ") +
+                        death.what());
+      }
 
-      double t_done = completed * spec.dt;
+      // The rollback target is the clock of the checkpoint we restore
+      // from — paired by construction, not re-derived as epoch * dt (the
+      // accumulated sum and the product can differ in the last ulp, and
+      // bit-exact replay needs the accumulated bits).
+      double t_done = committed.time;
       std::vector<std::pair<std::vector<double>, std::vector<double>>>
           mappings;
       for (std::size_t link = 0, i = 0; i < n_models; ++i) {
@@ -818,29 +921,53 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
 
       // All dynamic models share the bridge clock: they roll back together
       // so their restarted integrators agree at t=0 (+ offset). Field and
-      // stellar workers are replaced only when they died.
+      // stellar workers are replaced only when they died. Each model's
+      // close/start/restore can itself be hit by a fault (a fresh host
+      // crashing mid-restore, a frontend dying between the re-place
+      // decision and the submit): exclude what failed, pick another target
+      // and try again, within the budget.
       for (std::size_t i = 0; i < n_models; ++i) {
         ModelRuntime& model = models[i];
-        if (model.gravity) {
-          model.gravity->close();
-          start_model(i);
-          restore_gravity(*model.gravity, model.grav_save);
-        } else if (model.hydro) {
-          model.hydro->close();
-          start_model(i);
-          restore_hydro(*model.hydro, model.hydro_save);
-        } else if (model.field) {
-          if (model.field->rpc().alive()) continue;
-          model.field->close();
-          start_model(i);
-          restore_field(*model.field, model.field_save);
-        } else if (model.stellar) {
-          if (model.stellar->rpc().alive()) continue;
-          model.stellar->close();
-          start_model(i);
-          model.stellar->add_stars(model.zams);
-          if (t_done > 0.0) {
-            model.stellar->evolve_to(t_done * spec.myr_per_nbody_time);
+        bool dynamic = model.gravity != nullptr || model.hydro != nullptr;
+        if (!dynamic && !model_dead(i)) continue;
+        for (;;) {
+          try {
+            model.close();
+            start_model(i);
+            if (model.gravity) {
+              restore_gravity(*model.gravity, committed.gravity[i]);
+            } else if (model.hydro) {
+              restore_hydro(*model.hydro, committed.hydro[i]);
+            } else if (model.field) {
+              restore_field(*model.field, committed.field[i]);
+            } else if (model.stellar) {
+              model.stellar->add_stars(model.zams);
+              if (t_done > 0.0) {
+                model.stellar->evolve_to(t_done * spec.myr_per_nbody_time);
+              }
+            }
+            break;
+          } catch (const WorkerDiedError& again) {
+            // The replacement (or the machine it landed on) died while we
+            // were restoring into it.
+            note_death(again);
+            if (plan.roles[i].local()) throw;
+            RpcClient& rpc = models[i].rpc();
+            if (!rpc.alive() &&
+                rpc.death_cause() != WorkerDiedError::Cause::host_crash) {
+              scheduler.exclude_resource(plan.roles[i].resource);
+            }
+            replace_slot(i);
+          } catch (const CodeError& startup) {
+            // The daemon could not start the worker (e.g. the frontend
+            // died between the re-place decision and the submit). The
+            // resource is not usable right now — place elsewhere.
+            if (plan.roles[i].local()) throw;
+            log::warn("experiment")
+                << "re-placing '" << spec.models[i].name
+                << "' after startup failure: " << startup.what();
+            scheduler.exclude_resource(plan.roles[i].resource);
+            replace_slot(i);
           }
         }
       }
@@ -851,7 +978,8 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
       // current content during the replay.
       apply_datapath();
 
-      bridge = build_bridge(t_done, completed);
+      faultpoint::reach(faultpoint::Point::recover_rebuild, committed.epoch);
+      bridge = build_bridge(t_done, committed.epoch);
       for (std::size_t link = 0; link < mappings.size(); ++link) {
         bridge->set_se_mapping(std::move(mappings[link].first),
                                std::move(mappings[link].second), link);
@@ -873,33 +1001,56 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
         bridge->step();
         if (fault_tolerant) {
           // Checkpointing itself talks to the workers and can die mid-way:
-          // stage into temporaries and commit together, so the saves (and
-          // `completed`, bumped after) always describe one consistent step
-          // — a partial set would desynchronize the restarted models.
-          std::vector<GravityCheckpoint> grav_now(n_models);
-          std::vector<HydroCheckpoint> hydro_now(n_models);
-          std::vector<FieldCheckpoint> field_now(n_models);
+          // stage the whole graph into a fresh snapshot, then install it
+          // with one move — the commit is atomic across the graph, so no
+          // interleaving of deaths can leave mixed-epoch checkpoints.
+          GraphCheckpoint staged;
+          staged.epoch = completed + 1;
+          staged.time = bridge->time();
+          staged.resize(n_models);
           for (std::size_t i = 0; i < n_models; ++i) {
+            faultpoint::reach(faultpoint::Point::ckpt_capture, completed,
+                              spec.models[i].name);
             if (models[i].gravity) {
-              grav_now[i] = checkpoint_gravity(*models[i].gravity);
-              grav_now[i].eps2 = spec.models[i].eps2;
-              grav_now[i].eta = spec.models[i].eta;
+              staged.gravity[i] = checkpoint_gravity(*models[i].gravity);
+              staged.gravity[i].eps2 = spec.models[i].eps2;
+              staged.gravity[i].eta = spec.models[i].eta;
             } else if (models[i].hydro) {
-              hydro_now[i] = checkpoint_hydro(*models[i].hydro);
-              hydro_now[i].eps2 = spec.models[i].eps2;
-              hydro_now[i].theta = spec.models[i].theta;
+              staged.hydro[i] = checkpoint_hydro(*models[i].hydro);
+              staged.hydro[i].eps2 = spec.models[i].eps2;
+              staged.hydro[i].theta = spec.models[i].theta;
             } else if (models[i].field) {
-              field_now[i] = checkpoint_field(*models[i].field);
+              staged.field[i] = checkpoint_field(*models[i].field);
             }
           }
+          // Named per-model commit slots: the window where a non-atomic
+          // protocol would interleave. Injections here prove there is no
+          // state in which some models committed and others did not.
           for (std::size_t i = 0; i < n_models; ++i) {
-            if (models[i].gravity) {
-              models[i].grav_save = std::move(grav_now[i]);
-            } else if (models[i].hydro) {
-              models[i].hydro_save = std::move(hydro_now[i]);
-            } else if (models[i].field) {
-              models[i].field_save = std::move(field_now[i]);
+            faultpoint::Context slot;
+            slot.point = faultpoint::Point::ckpt_commit;
+            slot.iteration = completed;
+            slot.detail = spec.models[i].name;
+            if (faultpoint::active()) {
+              // Per-model digest: lets the explorer name the model that
+              // diverged, not just the epoch.
+              if (models[i].gravity) {
+                slot.digest = digest(staged.gravity[i]);
+              } else if (models[i].hydro) {
+                slot.digest = digest(staged.hydro[i]);
+              } else if (models[i].field) {
+                slot.digest = digest(staged.field[i]);
+              }
             }
+            faultpoint::reach(slot);
+          }
+          committed = std::move(staged);
+          if (faultpoint::active()) {
+            faultpoint::Context done;
+            done.point = faultpoint::Point::ckpt_committed;
+            done.iteration = completed;
+            done.digest = digest(committed);
+            faultpoint::reach(done);
           }
         }
         ++completed;
@@ -909,11 +1060,24 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
           bed.network().host(spec.kill_host).crash();
         }
       } catch (const WorkerDiedError& death) {
-        if (!fault_tolerant ||
-            ++result.restarts > 2 * static_cast<int>(n_models)) {
-          throw;
+        if (!fault_tolerant) throw;
+        ++result.restarts;
+        spend_attempt();
+        // Recovery can itself be interrupted by another death (a double
+        // fault): keep recovering until a round goes through cleanly.
+        WorkerDiedError current = death;
+        for (;;) {
+          try {
+            note_death(current);
+            recover(current);
+            break;
+          } catch (const WorkerDiedError& again) {
+            ++result.restarts;
+            spend_attempt();
+            current = again;
+          }
         }
-        recover(death, completed);
+        completed = committed.epoch;
       }
     }
     double wall = bed.simulation().now() - wall_start;

@@ -103,6 +103,12 @@ struct ExperimentSpec {
   std::string kill_host;
   int kill_after_iteration = -1;
 
+  /// Per-call RPC reply deadline (virtual seconds; 0 disables). A worker
+  /// that stops answering — hung process, silently black-holed route —
+  /// surfaces as WorkerDiedError(cause=timeout) instead of deadlocking the
+  /// bridge. The default is far above any modeled call, far below forever.
+  double rpc_timeout = 3600.0;
+
   /// Host the coupling script runs on ("" = the testbed's client host).
   std::string client;
 

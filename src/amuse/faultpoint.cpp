@@ -1,0 +1,61 @@
+#include "amuse/faultpoint.hpp"
+
+#include "util/error.hpp"
+
+namespace jungle::amuse::faultpoint {
+
+namespace {
+
+// One hook per process: the explorer drives one simulated world at a time.
+Hook g_hook;
+
+constexpr const char* kNames[kPointCount] = {
+    "step.top_kick",   "step.evolve",     "step.bottom_kick",
+    "step.stellar",    "ckpt.capture",    "ckpt.commit",
+    "ckpt.committed",  "recover.exclude", "recover.replace",
+    "recover.restore", "recover.rebuild", "spawn.worker",
+};
+
+}  // namespace
+
+const char* name(Point point) noexcept {
+  int index = static_cast<int>(point);
+  if (index < 0 || index >= kPointCount) return "?";
+  return kNames[index];
+}
+
+bool parse(const std::string& text, Point& out) noexcept {
+  for (int i = 0; i < kPointCount; ++i) {
+    if (text == kNames[i]) {
+      out = static_cast<Point>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+ScopedHook::ScopedHook(Hook hook) {
+  if (g_hook) {
+    throw CodeError("faultpoint: a hook is already installed");
+  }
+  g_hook = std::move(hook);
+}
+
+ScopedHook::~ScopedHook() { g_hook = nullptr; }
+
+bool active() noexcept { return static_cast<bool>(g_hook); }
+
+void reach(const Context& context) {
+  if (g_hook) g_hook(context);
+}
+
+void reach(Point point, int iteration, const std::string& detail) {
+  if (!g_hook) return;
+  Context context;
+  context.point = point;
+  context.iteration = iteration;
+  context.detail = detail;
+  g_hook(context);
+}
+
+}  // namespace jungle::amuse::faultpoint

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace jungle::amuse::faultpoint {
+
+/// Named, injectable steps of the checkpoint / re-place / rollback
+/// protocol. The fault-schedule explorer (src/explore/) installs a hook and
+/// crashes hosts or drops links exactly when the run reaches one of these
+/// points — turning "a worker died during checkpoint commit" or "a second
+/// death while re-placing the first" from a race into a replayable
+/// schedule. Instrumented code calls reach() at each point; with no hook
+/// installed the calls are a branch on a bool.
+enum class Point : int {
+  // Bridge phases of one kick-evolve-kick step (Fig 7).
+  step_top_kick = 0,
+  step_evolve,
+  step_bottom_kick,
+  step_stellar,
+  // Checkpointing: per-model capture, per-model commit slot (the window
+  // the atomic graph commit closes), and the committed snapshot (carries
+  // the state digest golden-run comparisons key on).
+  ckpt_capture,
+  ckpt_commit,
+  ckpt_committed,
+  // Recovery: exclusion of what died, per-slot re-place decision,
+  // per-model state restore, and the bridge rebuild that re-arms the run.
+  recover_exclude,
+  recover_replace,
+  recover_restore,
+  recover_rebuild,
+  // Worker deployment through the daemon (initial start and re-place).
+  spawn_worker,
+};
+constexpr int kPointCount = 12;
+
+const char* name(Point point) noexcept;
+/// Inverse of name(); false when `text` names no point.
+bool parse(const std::string& text, Point& out) noexcept;
+
+/// What the run was doing when it reached a fault point.
+struct Context {
+  Point point = Point::step_top_kick;
+  /// 0-based bridge-step index the protocol is working on; -1 for points
+  /// reached outside a specific step (recovery internals, worker spawn).
+  int iteration = -1;
+  /// Model / worker / resource label ("" when not applicable).
+  std::string detail;
+  /// ckpt_committed only: digest of the just-committed graph checkpoint.
+  std::uint64_t digest = 0;
+};
+
+using Hook = std::function<void(const Context&)>;
+
+/// Installs a process-wide hook for the lifetime of the object (RAII).
+/// One hook at a time; the simulator runs one process at a time, so no
+/// synchronization is needed. The hook may crash hosts / drop links but
+/// must not throw.
+class ScopedHook {
+ public:
+  explicit ScopedHook(Hook hook);
+  ~ScopedHook();
+  ScopedHook(const ScopedHook&) = delete;
+  ScopedHook& operator=(const ScopedHook&) = delete;
+};
+
+/// True when a hook is installed (lets call sites skip digest computation
+/// and other reach-only work on normal runs).
+bool active() noexcept;
+
+void reach(const Context& context);
+void reach(Point point, int iteration = -1, const std::string& detail = "");
+
+}  // namespace jungle::amuse::faultpoint

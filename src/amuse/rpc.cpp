@@ -23,7 +23,27 @@ util::ByteWriter make_reply_frame(std::uint32_t request_id, RpcStatus status) {
 }  // namespace
 
 util::ByteReader Future::get() {
-  RpcReply reply = state_->box.get();
+  RpcReply reply;
+  if (state_->timeout_s > 0.0) {
+    auto maybe = state_->box.get_for(state_->timeout_s);
+    if (!maybe) {
+      // Deadline passed with no reply: poison the issuing client. That
+      // deposits a death reply for this call too (it is still pending),
+      // which the blocking get() below picks up immediately.
+      if (state_->on_timeout) state_->on_timeout();
+      maybe = state_->box.get_for(0.0);
+      if (!maybe) {
+        // The call was no longer pending (defensive; should not happen).
+        throw WorkerDiedError(state_->worker, "",
+                              WorkerDiedError::Cause::timeout,
+                              "no reply within " +
+                                  std::to_string(state_->timeout_s) + " s");
+      }
+    }
+    reply = std::move(*maybe);
+  } else {
+    reply = state_->box.get();
+  }
   if (reply.status == RpcStatus::ok) {
     return util::ByteReader(std::move(reply.frame), reply.payload_offset);
   }
@@ -125,6 +145,14 @@ void RpcClient::poison(const std::string& reason, WorkerDiedError::Cause cause,
 Future RpcClient::call(Fn fn, util::ByteWriter arguments) {
   auto state = std::make_shared<Future::State>(home_.simulation());
   state->worker = label_;
+  if (call_timeout_s_ > 0.0) {
+    state->timeout_s = call_timeout_s_;
+    state->on_timeout = [this] {
+      poison("no reply within " + std::to_string(call_timeout_s_) +
+                 " s (worker hung or route black-holed)",
+             WorkerDiedError::Cause::timeout);
+    };
+  }
   if (dead_) {
     state->box.put(death_reply());
     return Future(state);

@@ -37,6 +37,13 @@ enum class Fn : std::uint16_t {
   /// Sparse mass update: [i32 indices][f64 masses] — the delta-compressed
   /// form of the stellar-evolution mass channel.
   grav_set_masses_sparse = 18,
+  /// Dynamic integrator state for bit-exact restart: the corrector-stage
+  /// accelerations/jerks carried across evolve() calls plus the absolute
+  /// model time. Fetched at checkpoint capture, installed into a fresh
+  /// replacement so the replayed step resumes golden's exact substep
+  /// sequence instead of re-deriving forces (and diverging by roundoff).
+  grav_get_dynamics = 19,
+  grav_set_dynamics = 20,
 
   // GravityField (Octgrav / Fi)
   field_set_sources = 30,
@@ -55,6 +62,9 @@ enum class Fn : std::uint16_t {
   hydro_kick_all = 55,
   hydro_inject = 56,
   hydro_get_time = 57,
+  /// Absolute-clock restore for checkpoint restart (SPH re-derives density
+  /// and forces every substep; the clock is its only carried dynamic state).
+  hydro_set_time = 58,
 
   // StellarEvolution (SSE)
   se_add_stars = 70,
@@ -126,12 +136,22 @@ class ConnectionPipe : public MessagePipe {
 
 /// Client-side future (CP.60). get() blocks the calling process until the
 /// reply lands; throws CodeError when the worker reported an error or died.
+/// When the issuing client set a call timeout, get() waits at most that
+/// many virtual seconds and then reports the worker dead (cause=timeout) —
+/// a hung-but-alive worker surfaces as a WorkerDiedError the fault path
+/// can recover from instead of deadlocking the bridge. A Future must not
+/// outlive the RpcClient that issued it (the pump feeds it).
 class Future {
  public:
   struct State {
     explicit State(sim::Simulation& sim) : box(sim) {}
     sim::Mailbox<RpcReply> box;
     std::string worker;  // label of the client that issued the call
+    double timeout_s = 0.0;  // 0 = wait forever
+    /// Poisons the issuing client when the wait expires, so every other
+    /// outstanding call on the same pipe fails too (one hung worker, one
+    /// death report — not one timeout per call).
+    std::function<void()> on_timeout;
   };
 
   explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
@@ -167,6 +187,18 @@ class RpcClient {
   bool alive() const noexcept { return !dead_; }
   const std::string& label() const noexcept { return label_; }
 
+  /// Per-call reply deadline in virtual seconds (0 = wait forever, the
+  /// default). Applies to calls issued after the setter.
+  void set_call_timeout(double timeout_s) noexcept {
+    call_timeout_s_ = timeout_s;
+  }
+  double call_timeout() const noexcept { return call_timeout_s_; }
+
+  /// What poisoned this client (meaningful once !alive()): recovery uses
+  /// the cause per worker, not just the first error it happened to catch.
+  WorkerDiedError::Cause death_cause() const noexcept { return death_cause_; }
+  const std::string& death_host() const noexcept { return death_host_; }
+
   /// Fail every outstanding and future call (used by the daemon client when
   /// the registry reports the worker died). `cause`/`host` record what the
   /// transport knew about the failure for WorkerDiedError.
@@ -181,6 +213,7 @@ class RpcClient {
   sim::Host& home_;
   std::unique_ptr<MessagePipe> pipe_;
   std::string label_;
+  double call_timeout_s_ = 0.0;
   std::uint32_t next_request_ = 1;
   std::map<std::uint32_t, std::shared_ptr<Future::State>> pending_;
   bool dead_ = false;

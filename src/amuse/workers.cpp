@@ -192,6 +192,20 @@ Dispatcher make_gravity_dispatcher(
         result.put<double>(integrator->time());
         return result;
       }
+      case Fn::grav_get_dynamics: {
+        result.put<double>(integrator->time());
+        result.put_span_view(
+            std::span<const Vec3>(integrator->accelerations()));
+        result.put_span_view(std::span<const Vec3>(integrator->jerks()));
+        return result;
+      }
+      case Fn::grav_set_dynamics: {
+        double time = args.get<double>();
+        auto acc = args.get_vector<Vec3>();
+        auto jerk = args.get_vector<Vec3>();
+        integrator->restore_dynamics(std::move(acc), std::move(jerk), time);
+        return result;
+      }
       default:
         throw CodeError("phigrape: unsupported function id " +
                         std::to_string(static_cast<int>(fn)));
@@ -450,6 +464,10 @@ util::ByteWriter hydro_common(kernels::SphSystem& sph, Fn fn,
     }
     case Fn::hydro_get_time: {
       result.put<double>(sph.time());
+      return result;
+    }
+    case Fn::hydro_set_time: {
+      sph.set_time(args.get<double>());
       return result;
     }
     default:

@@ -31,6 +31,15 @@ void run_allocated_job(Broker& broker, std::shared_ptr<Job> job,
     if (!any_gpu) throw GatError("resource " + resource.name + " has no GPU");
   }
 
+  // The submission pipeline runs on the front-end: if that machine dies
+  // before the job is handed to a compute node, nothing is left to ever
+  // move the state — error the job so waiters see the loss.
+  frontend->on_crash([job, frontend_name = frontend->name()] {
+    if (job->state() == JobState::running) return;  // already off-frontend
+    job->set_state(JobState::error,
+                   "frontend " + frontend_name + " went down during submit");
+  });
+
   frontend->spawn("gat-submit:" + desc.name, [&broker, job, desc, &resource,
                                               submit_delay] {
     sim::Simulation& sim = broker.network().simulation();
@@ -80,6 +89,17 @@ void run_allocated_job(Broker& broker, std::shared_ptr<Job> job,
           });
       job->set_allocation(allocated, main_pid);
       job->set_state(JobState::running);
+      // A node crash kills the job's processes outright — the main body
+      // never gets to run its error path, so report the loss from here.
+      // (set_state is a no-op once the job is terminal.)
+      for (sim::Host* node : allocated) {
+        node->on_crash([job, release, node_name = node->name()] {
+          if (job->state() != JobState::running) return;
+          release();
+          job->set_state(JobState::error,
+                         "node " + node_name + " went down");
+        });
+      }
     } catch (const Error& failure) {
       job->set_state(JobState::error, failure.what());
     }

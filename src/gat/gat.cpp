@@ -80,18 +80,33 @@ std::vector<sim::Host*> ClusterQueue::free_matching(int count,
   return matching;
 }
 
-std::vector<sim::Host*> ClusterQueue::acquire(int count, bool needs_gpu) {
-  // Fail fast when the cluster can never satisfy the request.
-  int capable = 0;
+void ClusterQueue::set_nodes(std::vector<sim::Host*> nodes) {
+  nodes_ = std::move(nodes);
+  // A crashing node frees its queue slot (its job is dead anyway) and wakes
+  // waiters, whose capability re-check below turns "waiting for a node that
+  // will never come back" into a queue error instead of a silent hang.
   for (sim::Host* node : nodes_) {
-    if (!needs_gpu || node->gpu()) ++capable;
+    node->on_crash([this, node] {
+      busy_.erase(std::remove(busy_.begin(), busy_.end(), node), busy_.end());
+      node_freed_.notify_all();
+    });
   }
-  if (capable < count) {
-    throw GatError("cluster cannot satisfy request for " +
-                   std::to_string(count) +
-                   (needs_gpu ? " GPU nodes" : " nodes"));
-  }
+}
+
+std::vector<sim::Host*> ClusterQueue::acquire(int count, bool needs_gpu) {
   while (true) {
+    // Fail fast when the cluster can never satisfy the request — counting
+    // only nodes that are still up, and re-counting after every wait (the
+    // last GPU node may have crashed while we were queued).
+    int capable = 0;
+    for (sim::Host* node : nodes_) {
+      if (node->is_up() && (!needs_gpu || node->gpu())) ++capable;
+    }
+    if (capable < count) {
+      throw GatError("cluster cannot satisfy request for " +
+                     std::to_string(count) +
+                     (needs_gpu ? " GPU nodes" : " nodes"));
+    }
     auto taken = free_matching(count, needs_gpu);
     if (static_cast<int>(taken.size()) == count) {
       busy_.insert(busy_.end(), taken.begin(), taken.end());
@@ -159,6 +174,11 @@ double FileService::copy(sim::Host& from, sim::Host& to, double bytes) {
   double start = sim.now();
   sim::Signal done(sim);
   bool delivered = false;
+  // Ride out transient outages, but give up on a route that stays dark —
+  // an unreachable stage-in must surface as a job error, not a hang.
+  constexpr int kMaxRetries = 20;
+  constexpr double kRetryDelay = 0.5;
+  int retries = 0;
   while (!delivered) {
     auto arrival =
         net_.send(from, to, bytes, sim::TrafficClass::file, [&] {
@@ -166,7 +186,12 @@ double FileService::copy(sim::Host& from, sim::Host& to, double bytes) {
           done.notify_all();
         });
     if (!arrival) {
-      sim.sleep(0.5);  // link down: retry the copy
+      if (++retries > kMaxRetries) {
+        throw GatError("file staging " + from.name() + " -> " + to.name() +
+                       " failed: route down for " +
+                       std::to_string(kMaxRetries * kRetryDelay) + " s");
+      }
+      sim.sleep(kRetryDelay);  // link down: retry the copy
       continue;
     }
     while (!delivered) done.wait();

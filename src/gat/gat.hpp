@@ -92,10 +92,13 @@ class ClusterQueue {
  public:
   explicit ClusterQueue(sim::Simulation& sim) : node_freed_(sim) {}
 
-  void set_nodes(std::vector<sim::Host*> nodes) { nodes_ = std::move(nodes); }
+  /// Also hooks each node's crash notification: a crashed node leaves the
+  /// busy set (its job died with it) and waiters re-check feasibility.
+  void set_nodes(std::vector<sim::Host*> nodes);
 
   /// Block until `count` nodes (optionally GPU nodes) are free, then take
-  /// them. Throws GatError if the request can never be satisfied.
+  /// them. Throws GatError if the request can never be satisfied — nodes
+  /// that are down don't count, including ones that crash while we queue.
   std::vector<sim::Host*> acquire(int count, bool needs_gpu);
   void release(const std::vector<sim::Host*>& taken);
 

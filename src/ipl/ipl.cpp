@@ -331,17 +331,33 @@ void ReceivePort::accept_loop() {
           queue_.put(Message{source, util::ByteReader(std::move(*bytes))});
         }
       } catch (const ConnectError&) {
-        // Sender's host died. Higher layers learn of it via the registry's
-        // died event; the reader just winds down.
+        // Sender's connection reset (host crash or dead route). Poison the
+        // queue so blocked receive() callers wake with a ConnectError — a
+        // silent wind-down would leave them parked on a queue nobody will
+        // ever feed again (the proxy-side leak the fault explorer flags).
+        queue_.put(Message{{}, util::ByteReader({}), true});
       }
     }));
   }
 }
 
-ReceivePort::Message ReceivePort::receive() { return queue_.get(); }
+ReceivePort::Message ReceivePort::receive() {
+  Message message = queue_.get();
+  if (message.poison) {
+    // Keep the port poisoned for any other blocked reader.
+    queue_.put(Message{{}, util::ByteReader({}), true});
+    throw ConnectError("receive port '" + name_ + "': sender connection reset");
+  }
+  return message;
+}
 
 std::optional<ReceivePort::Message> ReceivePort::receive_for(double timeout_s) {
-  return queue_.get_for(timeout_s);
+  auto message = queue_.get_for(timeout_s);
+  if (message && message->poison) {
+    queue_.put(Message{{}, util::ByteReader({}), true});
+    throw ConnectError("receive port '" + name_ + "': sender connection reset");
+  }
+  return message;
 }
 
 }  // namespace jungle::ipl

@@ -98,6 +98,10 @@ class ReceivePort {
   struct Message {
     IbisIdentifier source;
     util::ByteReader reader;
+    /// Queued when a sender's connection breaks abnormally (host crash or
+    /// dead route): receive() turns it into a ConnectError instead of
+    /// leaving callers blocked on a queue nobody will ever feed again.
+    bool poison = false;
   };
 
   ReceivePort(Ibis& ibis, std::string name);

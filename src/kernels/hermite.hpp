@@ -53,6 +53,25 @@ class HermiteIntegrator {
   /// Velocity kick (bridge coupling applies cross-forces this way).
   void kick(int index, Vec3 delta_v) { vel_.at(index) += delta_v; }
 
+  /// Dynamic state carried across evolve() calls. The corrector stores the
+  /// forces it evaluated at the *predicted* positions, which differ from a
+  /// fresh evaluation at the corrected state by roundoff — so a restarted
+  /// integrator that recomputes forces diverges from one that kept running.
+  /// Checkpoint/restore moves these verbatim to keep replay bit-exact.
+  const std::vector<Vec3>& accelerations() const noexcept { return acc_; }
+  const std::vector<Vec3>& jerks() const noexcept { return jerk_; }
+
+  /// Install checkpointed dynamics: forces as the corrector left them and
+  /// the absolute model time. Marks forces clean — the next evolve() resumes
+  /// the exact substep sequence the checkpointed integrator would have run.
+  void restore_dynamics(std::vector<Vec3> acc, std::vector<Vec3> jerk,
+                        double time) {
+    acc_ = std::move(acc);
+    jerk_ = std::move(jerk);
+    time_ = time;
+    dirty_ = false;
+  }
+
   Params& params() noexcept { return params_; }
 
   /// Pool for the parallel force path; nullptr (default) uses

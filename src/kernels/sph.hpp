@@ -60,6 +60,10 @@ class SphSystem {
   /// Kick-drift positions/velocities for [lo, hi).
   void integrate(std::size_t lo, std::size_t hi, double dt);
   void advance_time(double dt) { time_ += dt; }
+  /// Restore the absolute model clock into a fresh system (checkpoint
+  /// restart). Forces and density are re-derived per substep, so the clock
+  /// is the only dynamic state a restarted SPH system needs back.
+  void set_time(double t) noexcept { time_ = t; }
 
   // -- state access --
   const std::vector<double>& masses() const noexcept { return mass_; }

@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "amuse/faultpoint.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -563,6 +564,11 @@ Assignment Scheduler::replace(const Workload& load, const Placement& current,
   if (slot < 0 || static_cast<std::size_t>(slot) >= normal.models.size()) {
     throw CodeError("sched: replace slot out of range");
   }
+  // Named re-place step: the fault-schedule explorer injects a second
+  // fault exactly here to exercise "death while re-placing the first".
+  amuse::faultpoint::reach(
+      amuse::faultpoint::Point::recover_replace, -1,
+      normal.models[static_cast<std::size_t>(slot)].name);
   Assignment best;
   double best_cost = std::numeric_limits<double>::infinity();
   bool found = false;

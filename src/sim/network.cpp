@@ -238,11 +238,29 @@ std::optional<double> Network::send(const Host& from, const Host& to,
 void Network::set_link_down(const std::string& name, bool down) {
   for (auto& link : wan_links_) {
     if (link->name == name) {
+      if (link->down == down) return;
       link->down = down;
+      for (auto& watcher : link_watchers_) watcher(name, down);
       return;
     }
   }
   throw ConfigError("unknown link " + name);
+}
+
+bool Network::route_up(const Host& from, const Host& to) {
+  if (&from == &to) return true;
+  try {
+    for (const Link* link : path_links(from, to)) {
+      if (link->down) return false;
+    }
+  } catch (const ConnectError&) {
+    return false;
+  }
+  return true;
+}
+
+void Network::watch_links(std::function<void(const std::string&, bool)> watcher) {
+  link_watchers_.push_back(std::move(watcher));
 }
 
 std::vector<Network::LinkReport> Network::traffic_report() const {

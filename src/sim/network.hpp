@@ -131,7 +131,20 @@ class Network {
                              int streams = 1);
 
   /// Mark a WAN link down/up by name (transient failure injection).
+  /// Notifies link watchers after flipping the state.
   void set_link_down(const std::string& name, bool down);
+
+  /// True when every link on the routed path between the hosts is up
+  /// (loopback always is; false when no route exists at all). Transports
+  /// use this to decide whether an established connection still has a live
+  /// route under it.
+  bool route_up(const Host& from, const Host& to);
+
+  /// Observe link state changes (name, down). Fired by set_link_down for
+  /// each transition — the simulated analog of carrier-loss notifications
+  /// that lets idle connections discover a dead route instead of blocking
+  /// on it forever. Watchers live as long as the network.
+  void watch_links(std::function<void(const std::string&, bool)> watcher);
 
   struct LinkReport {
     std::string name;
@@ -166,6 +179,7 @@ class Network {
   double loopback_lat_ = 5 * net::us;
   double loopback_bw_ = 10.0 * net::gbit;
   Link loopback_stats_{"loopback", "", "", 0, 0};
+  std::vector<std::function<void(const std::string&, bool)>> link_watchers_;
 };
 
 }  // namespace jungle::sim

@@ -72,6 +72,15 @@ std::size_t Simulation::live_processes() const {
   return live;
 }
 
+std::vector<std::string> Simulation::live_process_names() const {
+  std::unique_lock lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& pcb : processes_) {
+    if (pcb->state != PState::finished) names.push_back(pcb->name);
+  }
+  return names;
+}
+
 ProcessId Simulation::spawn(std::string name, std::function<void()> body) {
   return spawn_at(now_, std::move(name), std::move(body));
 }

@@ -110,6 +110,9 @@ class Simulation {
 
   /// Number of processes that have not finished.
   std::size_t live_processes() const;
+  /// Names of the unfinished processes — the resource-leak diagnostics the
+  /// fault explorer prints when a recovery leaves orphans behind.
+  std::vector<std::string> live_process_names() const;
 
  private:
   friend class Signal;

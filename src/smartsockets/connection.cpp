@@ -13,6 +13,15 @@ namespace {
 constexpr double kFrameOverheadBytes = 32.0;
 // Retry pause when a hop's link is down (transient-failure handling).
 constexpr double kRetryDelay = 0.05;
+// Down-link retries per frame before the connection is declared dead:
+// 100 * 0.05 s = a 5-second outage rides through, anything longer breaks.
+constexpr int kMaxHopRetries = 100;
+// Idle connections have no frame in flight to exhaust that retry budget, so
+// they learn of a dead route from the network's link watcher instead: when a
+// link on the route stays down this long, the connection breaks (the
+// keepalive-timeout analog). Matches the in-flight budget so both detection
+// paths declare death on the same outage length.
+constexpr double kLinkDetectTimeout = kMaxHopRetries * kRetryDelay;
 }  // namespace
 
 int stripe_count(double bytes) noexcept {
@@ -130,7 +139,33 @@ Pipe::make(sim::Network& net, sim::TrafficClass cls,
   };
   host_a->on_crash(breaker);
   host_b->on_crash(breaker);
+  // A dead *route* must also break the connection, even when no frame is in
+  // flight to exhaust the hop-retry budget — otherwise the far side of a cut
+  // WAN link blocks in recv() forever (the leaked-worker hole the fault
+  // explorer flags). On a link-down event, any pipe whose route lost
+  // connectivity re-checks after the keepalive timeout and breaks if the
+  // outage persists.
+  if (host_a != host_b) {
+    sim::Network* net_ptr = &net;
+    net.watch_links([weak, net_ptr](const std::string&, bool down) {
+      if (!down) return;
+      auto alive = weak.lock();
+      if (!alive || alive->route_alive()) return;
+      net_ptr->simulation().after(kLinkDetectTimeout, [weak] {
+        if (auto still = weak.lock()) {
+          if (!still->route_alive()) still->break_both();
+        }
+      });
+    });
+  }
   return {a, b};
+}
+
+bool Pipe::route_alive() const {
+  for (std::size_t i = 0; i + 1 < hops_.size(); ++i) {
+    if (!net_.route_up(*hops_[i], *hops_[i + 1])) return false;
+  }
+  return true;
 }
 
 void Pipe::route(ConnectionEnd* from_end, ConnectionEnd::Frame frame) {
@@ -166,7 +201,15 @@ void Pipe::hop(bool forward, std::size_t hop_index,
                            streams);
   if (!arrival) {
     // Transient failure: retry this hop after a pause (paper §5: "our
-    // communication library can handle transient network failures").
+    // communication library can handle transient network failures"). A
+    // *persistent* outage must not retry forever — after the budget runs
+    // out the connection is declared broken (the TCP-reset analog), so
+    // readers wake with a ConnectError and the layers above can recover
+    // instead of silently hanging behind an endless retry loop.
+    if (++frame_ptr->retries > kMaxHopRetries) {
+      break_both();
+      return;
+    }
     net_.simulation().after(kRetryDelay,
                             [self, forward, hop_index, frame_ptr]() mutable {
                               self->hop(forward, hop_index,

@@ -65,6 +65,10 @@ class ConnectionEnd {
     std::uint64_t seq;
     std::vector<std::uint8_t> bytes;
     bool eof = false;
+    /// Down-link retries already spent on this frame. Retrying survives
+    /// transient outages; a frame that exhausts its budget declares the
+    /// connection dead (the TCP-reset analog) — see Pipe::hop.
+    int retries = 0;
   };
 
   void deliver(Frame frame);  // called at the receiving side, in order seq
@@ -102,6 +106,11 @@ class Pipe : public std::enable_shared_from_this<Pipe> {
   void route(ConnectionEnd* from_end, ConnectionEnd::Frame frame);
 
   void break_both();
+
+  /// True while every hop of the route still has its links up. Consulted by
+  /// the link watcher: a route that stays dead past the keepalive timeout
+  /// breaks the pipe even with no frame in flight.
+  bool route_alive() const;
 
   ConnectionEnd* a = nullptr;  // initiator
   ConnectionEnd* b = nullptr;  // acceptor

@@ -40,10 +40,12 @@ class CodeError : public Error {
 /// layer knew about the failure, so recovery code (the placement scheduler's
 /// fault path) can exclude the right resource: a *host crash* means the
 /// machine is gone, a *link fault* means the machine may be fine but the
-/// route to it is not.
+/// route to it is not, a *timeout* means the worker stopped answering (hung
+/// process, or a silently black-holed route) — treated like a link fault,
+/// since the machine cannot be trusted either way.
 class WorkerDiedError : public CodeError {
  public:
-  enum class Cause { host_crash, link_fault, unknown };
+  enum class Cause { host_crash, link_fault, timeout, unknown };
 
   WorkerDiedError(std::string worker, std::string host, Cause cause,
                   const std::string& detail)

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "amuse/experiment.hpp"
+#include "amuse/faultpoint.hpp"
+#include "amuse/faults.hpp"
+#include "sim/network.hpp"
+
+using namespace jungle;
+using namespace jungle::amuse;
+using namespace jungle::amuse::experiment;
+
+// Standalone regression cases for interleavings the fault-schedule explorer
+// (src/explore/) found and this PR fixed. Each test installs a faultpoint
+// hook directly — no Explorer involved — so the cases stay runnable and
+// debuggable as ordinary unit tests. The invariant throughout: whatever the
+// schedule breaks, recovery must land the physics bit-for-bit back on the
+// fault-free trajectory (same checkpoint-digest hash family as the
+// protocol itself) without leaking simulated processes.
+
+namespace {
+
+std::string example_ini(const std::string& name) {
+  std::string path =
+      std::string(JUNGLE_SOURCE_DIR) + "/examples/experiments/" + name;
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// One injection: crash a host (or cut a WAN link) the `occurrence`-th time
+/// the run reaches (point, iteration). Iteration -1 addresses points hit
+/// outside a bridge step (recovery internals, worker spawn); occurrence -1
+/// means "the first reach after the previous shot fired" — handy for points
+/// like spawn.worker that also fire during startup, where the absolute
+/// occurrence index depends on the topology rather than the scenario.
+struct Shot {
+  faultpoint::Point point;
+  int iteration = 0;
+  int occurrence = 0;
+  bool cut_link = false;
+  std::string victim;
+};
+
+struct Outcome {
+  bool completed = false;
+  std::string error;
+  int restarts = 0;
+  int fired = 0;
+  std::uint64_t digest = 0;
+  double energy = 0.0;
+  std::size_t live = 0;
+};
+
+Outcome run_triple_plummer(const std::vector<Shot>& shots) {
+  util::Config config = util::Config::parse(example_ini("triple-plummer.ini"));
+  ExperimentSpec spec = ExperimentSpec::from_config(config);
+  spec.checkpointing = true;
+
+  JungleTestbed bed(config);
+  Outcome out;
+  std::map<std::pair<int, int>, int> seen;
+  std::size_t next = 0;
+  {
+    faultpoint::ScopedHook guard([&](const faultpoint::Context& ctx) {
+      int occurrence = seen[{static_cast<int>(ctx.point), ctx.iteration}]++;
+      if (next >= shots.size()) return;
+      const Shot& shot = shots[next];
+      if (shot.point != ctx.point || shot.iteration != ctx.iteration) return;
+      if (shot.occurrence >= 0 && shot.occurrence != occurrence) return;
+      ++next;
+      if (shot.cut_link) {
+        bed.network().set_link_down(shot.victim, true);
+      } else {
+        sim::Host* victim = bed.network().find_host(shot.victim);
+        if (victim != nullptr && victim->is_up()) victim->crash();
+      }
+    });
+    try {
+      Result result = run_experiment(bed, spec);
+      out.completed = true;
+      out.restarts = result.restarts;
+      // Digest the final states through the checkpoint layer's own hash so
+      // "matches the fault-free run" means bit-for-bit, not approximately.
+      GraphCheckpoint fin;
+      fin.epoch = result.iterations;
+      fin.resize(result.models.size());
+      for (std::size_t i = 0; i < result.models.size(); ++i) {
+        const ModelResult& model = result.models[i];
+        if (model.role == sched::Role::gravity)
+          fin.gravity[i].state = model.gravity;
+        else if (model.role == sched::Role::hydro)
+          fin.hydro[i].state = model.hydro;
+        out.energy += model.kinetic + model.potential + model.thermal;
+      }
+      out.digest = digest(fin);
+    } catch (const std::exception& error) {
+      out.error = error.what();
+    }
+  }
+  out.fired = static_cast<int>(next);
+  out.live = bed.simulation().live_processes();
+  return out;
+}
+
+const Outcome& golden() {
+  static Outcome gold = run_triple_plummer({});
+  return gold;
+}
+
+void expect_recovered_on_golden(const Outcome& out) {
+  ASSERT_TRUE(out.completed) << out.error;
+  EXPECT_EQ(out.digest, golden().digest);
+  EXPECT_NEAR(out.energy, golden().energy,
+              1e-8 * std::max(1.0, std::fabs(golden().energy)));
+  // Crashed hosts take their own processes down, so fewer survivors than
+  // the golden run is fine; more means recovery leaked one.
+  EXPECT_LE(out.live, golden().live);
+}
+
+}  // namespace
+
+TEST(Faults, FaultFreeBaselineIsHealthy) {
+  const Outcome& gold = golden();
+  ASSERT_TRUE(gold.completed) << gold.error;
+  EXPECT_EQ(gold.restarts, 0);
+  EXPECT_NE(gold.digest, 0u);
+  EXPECT_LT(gold.energy, 0.0);  // three bound clusters
+}
+
+TEST(Faults, CrashDuringCommitRollsBackAtomically) {
+  // Explorer schedule "ckpt.commit@0#0=crash:node0": the field worker's
+  // host dies inside the per-model commit loop of epoch 1, with a bridge
+  // step still to run. The graph-wide atomic commit must not leave a
+  // half-staged snapshot behind: the next step's death notice triggers a
+  // re-place and a rollback onto a *consistent* epoch, landing the replay
+  // on the golden trajectory — a partial commit would leave mixed-epoch
+  // checkpoints and a diverged final digest.
+  Outcome out = run_triple_plummer(
+      {Shot{faultpoint::Point::ckpt_commit, 0, 0, false, "node0"}});
+  EXPECT_EQ(out.fired, 1);
+  EXPECT_GE(out.restarts, 1);
+  expect_recovered_on_golden(out);
+}
+
+TEST(Faults, CrashDuringCaptureReplaysBitExact) {
+  // Explorer schedule "ckpt.capture@0#0=crash:node0": death while the very
+  // first checkpoint is being captured forces a rollback to the initial
+  // conditions. This is the interleaving that exposed the corrector-force
+  // hole: a restored integrator that re-evaluates forces instead of
+  // carrying the checkpointed ones diverges by roundoff in its first step.
+  Outcome out = run_triple_plummer(
+      {Shot{faultpoint::Point::ckpt_capture, 0, 0, false, "node0"}});
+  EXPECT_EQ(out.fired, 1);
+  EXPECT_GE(out.restarts, 1);
+  expect_recovered_on_golden(out);
+}
+
+TEST(Faults, DoubleFaultDuringReplaceRecovers) {
+  // Explorer schedule "step.evolve@1#0=crash:node0;
+  // recover.replace@-1#0=crash:node1": the second cluster node dies while
+  // recovery is still re-placing the victims of the first crash. The
+  // replace loop must fold the new death into its exclusions and keep
+  // going, not wedge on a worker it was about to start.
+  Outcome out = run_triple_plummer(
+      {Shot{faultpoint::Point::step_evolve, 1, 0, false, "node0"},
+       Shot{faultpoint::Point::recover_replace, -1, 0, false, "node1"}});
+  EXPECT_EQ(out.fired, 2);
+  EXPECT_GE(out.restarts, 1);
+  expect_recovered_on_golden(out);
+}
+
+TEST(Faults, WanCutMidStepBreaksIdleConnectionsToo) {
+  // Explorer schedule "step.evolve@0#0=link:metro-wan": cutting the only
+  // WAN link strands the cluster-side workers. Connections with a frame in
+  // flight notice via retry exhaustion, but *idle* pipes (and receive-port
+  // readers parked behind them) used to block forever — the leaked-process
+  // hole. The link watcher's keepalive timeout must break them so every
+  // stranded reader unwinds with a ConnectError and recovery proceeds.
+  Outcome out = run_triple_plummer(
+      {Shot{faultpoint::Point::step_evolve, 0, 0, true, "metro-wan"}});
+  EXPECT_EQ(out.fired, 1);
+  EXPECT_GE(out.restarts, 1);
+  expect_recovered_on_golden(out);
+}
+
+TEST(Faults, CrashDuringReplaceSpawnRetries) {
+  // Explorer schedule "spawn.worker@-1#0=crash:node1" layered after a
+  // first crash: the daemon's bounded spawn retry must absorb a resource
+  // dying at the worst moment — exactly when a replacement is being
+  // started on it — and fall back to another node.
+  Outcome out = run_triple_plummer(
+      {Shot{faultpoint::Point::step_top_kick, 1, 0, false, "node0"},
+       Shot{faultpoint::Point::spawn_worker, -1, -1, false, "node1"}});
+  EXPECT_GE(out.fired, 1);  // second shot only fires if recovery respawns
+  EXPECT_GE(out.restarts, 1);
+  expect_recovered_on_golden(out);
+}

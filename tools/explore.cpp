@@ -1,0 +1,132 @@
+// explore — fault-schedule explorer CLI.
+//
+//   explore <experiment.ini> [--max-faults N] [--max-schedules N]
+//           [--iterations N] [--no-links] [--fail-out FILE]
+//   explore <experiment.ini> --replay "<schedule>"
+//
+// Enumerates fault schedules against the experiment's checkpoint /
+// re-place / rollback protocol and verifies the recovery invariants after
+// every run (see DESIGN.md, "Fault model & schedule exploration"). Exits 1
+// when any schedule violates an invariant; each violating schedule is a
+// one-line repro for --replay. --fail-out appends violating schedules to a
+// file (one per line) for CI artifact upload.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explore/explore.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <experiment.ini> [--max-faults N] [--max-schedules N]"
+               " [--iterations N] [--no-links] [--fail-out FILE]"
+               " [--replay \"<schedule>\"]\n";
+  return 2;
+}
+
+void describe(const jungle::explore::RunReport& report) {
+  std::cout << "  completed:      " << (report.completed ? "yes" : "no")
+            << (report.completed ? "" : " (" + report.error + ")") << "\n"
+            << "  faults fired:   " << report.fired << "\n"
+            << "  recoveries:     " << report.restarts << "\n"
+            << "  final digest:   " << std::hex << report.final_digest
+            << std::dec << "\n"
+            << "  live processes: " << report.live_processes << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string ini_path;
+  std::string replay;
+  std::string fail_out;
+  jungle::explore::Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (++i >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[i];
+    };
+    if (arg == "--max-faults")
+      options.max_faults = std::stoi(value());
+    else if (arg == "--max-schedules")
+      options.max_schedules = std::stoi(value());
+    else if (arg == "--iterations")
+      options.iterations = std::stoi(value());
+    else if (arg == "--no-links")
+      options.link_faults = false;
+    else if (arg == "--replay")
+      replay = value();
+    else if (arg == "--fail-out")
+      fail_out = value();
+    else if (arg == "--help" || arg == "-h")
+      return usage(argv[0]);
+    else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option " << arg << "\n";
+      return usage(argv[0]);
+    } else if (ini_path.empty())
+      ini_path = arg;
+    else
+      return usage(argv[0]);
+  }
+  if (ini_path.empty()) return usage(argv[0]);
+
+  try {
+    std::ifstream in(ini_path);
+    if (!in) {
+      std::cerr << "cannot read " << ini_path << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    jungle::explore::Explorer explorer(
+        jungle::util::Config::parse(text.str()), options);
+
+    if (!replay.empty()) {
+      // One deterministic run of the given schedule, checked against the
+      // golden run — the repro path for explorer- or CI-found violations.
+      jungle::explore::Schedule schedule =
+          jungle::explore::parse_schedule(replay);
+      jungle::explore::RunReport report = explorer.run_schedule(schedule);
+      std::cout << "replay " << jungle::explore::format_schedule(schedule)
+                << "\n";
+      describe(report);
+      std::vector<jungle::explore::Violation> violations;
+      explorer.check(schedule, report, violations);
+      for (const auto& violation : violations)
+        std::cout << "VIOLATION: " << violation.what << "\n";
+      return violations.empty() ? 0 : 1;
+    }
+
+    jungle::explore::Explorer::Summary summary = explorer.explore();
+    std::cout << "golden run:\n";
+    describe(explorer.golden());
+    std::cout << "explored " << summary.schedules << " fault schedule(s), "
+              << summary.pruned << " pruned as equivalent, "
+              << summary.violations.size() << " invariant violation(s)\n";
+    if (!summary.violations.empty()) {
+      std::ofstream fail;
+      if (!fail_out.empty()) fail.open(fail_out, std::ios::app);
+      for (const auto& violation : summary.violations) {
+        std::cout << "VIOLATION: " << violation.what << "\n"
+                  << "  replay: --replay \"" << violation.schedule << "\"\n";
+        if (fail.is_open())
+          fail << violation.schedule << "  # " << violation.what << "\n";
+      }
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "explore: " << error.what() << "\n";
+    return 2;
+  }
+}
