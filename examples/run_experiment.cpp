@@ -4,29 +4,70 @@
 // scenario kinds. See examples/experiments/ for specs.
 //
 //   ./build/run_experiment examples/experiments/triple-plummer.ini
+//
+// Pass --trace[=PATH] (or set JUNGLE_TRACE=PATH) to record every RPC,
+// kernel and bridge phase as a Chrome trace-event file (load it in
+// chrome://tracing or https://ui.perfetto.dev), plus a metrics dump
+// (PATH with a -metrics.json suffix) holding the registry snapshot and
+// the per-iteration log.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "amuse/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace jungle;
 using namespace jungle::amuse::experiment;
 
+namespace {
+
+std::string metrics_path_for(const std::string& trace_path) {
+  std::string base = trace_path;
+  if (base.size() > 5 && base.rfind(".json") == base.size() - 5) {
+    base.resize(base.size() - 5);
+  }
+  return base + "-metrics.json";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s EXPERIMENT_INI\n", argv[0]);
+  std::string ini_path;
+  std::string trace_path;
+  if (const char* env = std::getenv("JUNGLE_TRACE")) {
+    trace_path = *env != '\0' ? env : "trace.json";
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--trace") {
+      trace_path = "trace.json";
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (ini_path.empty()) {
+      ini_path = arg;
+    } else {
+      ini_path.clear();
+      break;
+    }
+  }
+  if (ini_path.empty()) {
+    std::fprintf(stderr, "usage: %s EXPERIMENT_INI [--trace[=PATH]]\n",
+                 argv[0]);
     return 2;
   }
-  std::ifstream in(argv[1]);
+  std::ifstream in(ini_path);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", ini_path.c_str());
     return 2;
   }
   std::ostringstream text;
   text << in.rdbuf();
 
+  if (!trace_path.empty()) obs::trace::set_enabled(true);
   try {
     util::Config config = util::Config::parse(text.str());
     Result result = run_experiment_config(config);
@@ -44,6 +85,18 @@ int main(int argc, char** argv) {
     }
     if (result.bound_gas_fraction < 1.0) {
       std::printf("  bound gas fraction: %.3f\n", result.bound_gas_fraction);
+    }
+    if (!trace_path.empty()) {
+      obs::trace::write_chrome_trace(trace_path);
+      std::string metrics_path = metrics_path_for(trace_path);
+      std::ofstream metrics(metrics_path);
+      metrics << "{\"metrics\": " << obs::metrics::snapshot_json()
+              << ",\n \"iterations\": "
+              << amuse::diagnostics::iteration_json(result.iteration_log)
+              << "}\n";
+      std::printf("wrote %zu spans to %s, metrics to %s\n",
+                  obs::trace::recorded(), trace_path.c_str(),
+                  metrics_path.c_str());
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "experiment failed: %s\n", error.what());

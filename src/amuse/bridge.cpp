@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "amuse/faultpoint.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace jungle::amuse {
@@ -162,21 +163,25 @@ void Bridge::cross_kick(const std::vector<int>& active) {
   // Phase 1 — every involved system's state, fetched concurrently: one
   // round trip, and only the fields the coupling consumes (mass+position)
   // that actually changed since the cached copy.
-  std::vector<Future> state_replies;
-  state_replies.reserve(involved.size());
-  for (int i : involved) {
-    state_replies.push_back(
-        systems_[i].dynamics->request_state(state_field::coupling));
-  }
-  for (std::size_t k = 0; k < involved.size(); ++k) {
-    systems_[involved[k]].dynamics->merge_state(state_replies[k],
-                                                state_field::coupling);
+  {
+    obs::trace::Span phase = obs::trace::span("state_fetch", "bridge");
+    std::vector<Future> state_replies;
+    state_replies.reserve(involved.size());
+    for (int i : involved) {
+      state_replies.push_back(
+          systems_[i].dynamics->request_state(state_field::coupling));
+    }
+    for (std::size_t k = 0; k < involved.size(); ++k) {
+      systems_[involved[k]].dynamics->merge_state(state_replies[k],
+                                                  state_field::coupling);
+    }
   }
 
   // Phase 2 — every cross-gravity query in flight together, ordered by
   // target system. Sources and evaluation points ride along only when
   // their content id changed; an unchanged pair is answered from the
   // coupler's cache without recompute.
+  obs::trace::Span queries_phase = obs::trace::span("field_queries", "bridge");
   std::vector<PendingQuery> queries;
   for (int target : involved) {
     for (int c : active) {
@@ -216,6 +221,8 @@ void Bridge::cross_kick(const std::vector<int>& active) {
     kicks_done.push_back(
         systems_[target].dynamics->kick_async(kick.accel(), kick.dt()));
   }
+  queries_phase.end();
+  obs::trace::Span kicks_phase = obs::trace::span("kicks", "bridge");
   for (Future& done : kicks_done) done.get();
 }
 
@@ -267,22 +274,31 @@ void Bridge::step() {
 
   faultpoint::reach(faultpoint::Point::step_top_kick, step_index);
   std::vector<int> top = active_couplings(step_index, /*bottom=*/false);
-  if (!top.empty()) cross_kick(top);
+  if (!top.empty()) {
+    obs::trace::Span phase = obs::trace::span("cross_kick:top", "bridge");
+    cross_kick(top);
+  }
 
   // Parallel evolve: all systems advance concurrently; total wall time is
   // max over the systems' evolves + messaging — the Jungle payoff.
   faultpoint::reach(faultpoint::Point::step_evolve, step_index);
-  std::vector<Future> evolving;
-  evolving.reserve(systems_.size());
-  for (System& system : systems_) {
-    evolving.push_back(system.dynamics->evolve_async(time_ + dt));
+  {
+    obs::trace::Span phase = obs::trace::span("evolve", "bridge");
+    std::vector<Future> evolving;
+    evolving.reserve(systems_.size());
+    for (System& system : systems_) {
+      evolving.push_back(system.dynamics->evolve_async(time_ + dt));
+    }
+    trace_.push_back("evolve:parallel");
+    for (Future& future : evolving) future.get();
   }
-  trace_.push_back("evolve:parallel");
-  for (Future& future : evolving) future.get();
 
   faultpoint::reach(faultpoint::Point::step_bottom_kick, step_index);
   std::vector<int> bottom = active_couplings(step_index, /*bottom=*/true);
-  if (!bottom.empty()) cross_kick(bottom);
+  if (!bottom.empty()) {
+    obs::trace::Span phase = obs::trace::span("cross_kick:bottom", "bridge");
+    cross_kick(bottom);
+  }
 
   time_ += dt;
   ++steps_;
@@ -290,6 +306,7 @@ void Bridge::step() {
   if (!stellar_.empty() &&
       (config_.step_offset + steps_) % config_.se_every == 0) {
     faultpoint::reach(faultpoint::Point::step_stellar, step_index);
+    obs::trace::Span phase = obs::trace::span("stellar_update", "bridge");
     stellar_update();
   }
 }

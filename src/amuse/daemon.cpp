@@ -15,6 +15,7 @@ void put_spec(util::ByteWriter& writer, const WorkerSpec& spec) {
   writer.put<double>(spec.eps2);
   writer.put<double>(spec.eta);
   writer.put<double>(spec.theta);
+  writer.put_string(spec.meter);
 }
 
 WorkerSpec get_spec(util::ByteReader& reader) {
@@ -25,6 +26,7 @@ WorkerSpec get_spec(util::ByteReader& reader) {
   spec.eps2 = reader.get<double>();
   spec.eta = reader.get<double>();
   spec.theta = reader.get<double>();
+  spec.meter = reader.get_string();
   return spec;
 }
 
@@ -262,7 +264,8 @@ void IbisDaemon::serve_client(
         event.id.name == proxy_name) {
       *worker_dead = true;
       try {
-        // Same 8-byte header as a reply frame (id 0 marks the notice).
+        // Same fixed header as a reply frame (id 0 marks the notice; the
+        // zero-filled prefix leaves the span field 0 = untraced).
         util::ByteWriter notice(kFrameHeaderBytes);
         notice.patch<std::uint32_t>(0, kDeathNoticeId);
         notice.patch<std::uint8_t>(

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "kernels/bhtree.hpp"
+#include "util/strings.hpp"
 
 namespace jungle::amuse::diagnostics {
 
@@ -87,6 +89,43 @@ double virial_ratio(std::span<const double> mass, std::span<const Vec3> pos,
     }
   }
   return potential != 0.0 ? -2.0 * kinetic / potential : 0.0;
+}
+
+std::string iteration_table(std::span<const IterationReport> log) {
+  std::ostringstream out;
+  out << "-- iterations --\n";
+  for (const IterationReport& row : log) {
+    out << "  #" << row.iteration << ": " << row.seconds << " s, wan="
+        << util::format_bytes(row.wan_bytes) << ", flops=" << row.flops
+        << ", compute=" << row.compute_seconds << " s, substeps="
+        << row.substeps << ", rpcs=" << row.rpc_calls;
+    if (row.replay) out << " [REPLAY]";
+    if (row.restarts > 0) out << " [restarts=" << row.restarts << "]";
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string iteration_json(std::span<const IterationReport> log) {
+  std::ostringstream out;
+  out.precision(15);
+  out << "[";
+  bool first = true;
+  for (const IterationReport& row : log) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"iteration\": " << row.iteration
+        << ", \"seconds\": " << row.seconds
+        << ", \"wan_bytes\": " << row.wan_bytes
+        << ", \"flops\": " << row.flops
+        << ", \"compute_seconds\": " << row.compute_seconds
+        << ", \"substeps\": " << row.substeps
+        << ", \"rpc_calls\": " << row.rpc_calls
+        << ", \"replay\": " << (row.replay ? "true" : "false")
+        << ", \"restarts\": " << row.restarts << "}";
+  }
+  out << "\n]\n";
+  return out.str();
 }
 
 }  // namespace jungle::amuse::diagnostics

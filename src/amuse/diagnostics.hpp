@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "kernels/vec3.hpp"
@@ -8,6 +10,29 @@
 namespace jungle::amuse::diagnostics {
 
 using kernels::Vec3;
+
+/// Per-iteration observability record, assembled by the experiment runner
+/// from metrics-registry and network-traffic deltas at each bridge-step
+/// boundary: what one step cost, and whether it re-executed work that a
+/// rollback threw away.
+struct IterationReport {
+  int iteration = 0;             // 1-based bridge step this row describes
+  double seconds = 0.0;          // virtual seconds the step took
+  double wan_bytes = 0.0;        // WAN bytes the step moved (all classes)
+  double flops = 0.0;            // kernel flops charged across all workers
+  double compute_seconds = 0.0;  // modeled kernel compute time, summed
+  std::uint64_t substeps = 0;    // integrator substeps, summed
+  std::uint64_t rpc_calls = 0;   // client->worker calls issued
+  bool replay = false;           // step re-run after a rollback
+  int restarts = 0;              // fault recoveries charged to this step
+};
+
+/// Human-readable table of the per-iteration log (dashboard panel).
+/// Replayed steps are marked so recovery work is visible at a glance.
+std::string iteration_table(std::span<const IterationReport> log);
+
+/// The same log as a JSON array (machine-readable diagnostics dump).
+std::string iteration_json(std::span<const IterationReport> log);
 
 /// Mass-weighted centre of mass.
 Vec3 centre_of_mass(std::span<const double> mass, std::span<const Vec3> pos);

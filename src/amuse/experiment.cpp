@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <optional>
 #include <sstream>
 
@@ -9,6 +10,7 @@
 #include "amuse/faultpoint.hpp"
 #include "amuse/faults.hpp"
 #include "amuse/ic.hpp"
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -22,6 +24,9 @@ JungleTestbed::JungleTestbed(bool verbose) {
   using sim::net::gbit;
   using sim::net::ms;
   if (verbose) log::set_threshold(log::Level::info);
+  obs::trace::bind_clock(
+      this, [this] { return sim_.now(); },
+      [this] { return sim_.current_name(); });
 
   // Effective per-core/GPU rates for irregular tree/N-body/SPH kernels
   // (a few percent of peak — see DESIGN.md calibration notes).
@@ -77,6 +82,7 @@ JungleTestbed::JungleTestbed(bool verbose) {
     }
     resource.queue_base_delay = 1.0;
     resource.queue = std::make_shared<gat::ClusterQueue>(sim_);
+    resource.queue->set_meter(resource.name);
     resource.queue->set_nodes(resource.nodes);
     deployer_->add_resource(resource);
   };
@@ -90,6 +96,9 @@ JungleTestbed::JungleTestbed(bool verbose) {
 
 JungleTestbed::JungleTestbed(const util::Config& config, bool verbose) {
   if (verbose) log::set_threshold(log::Level::info);
+  obs::trace::bind_clock(
+      this, [this] { return sim_.now(); },
+      [this] { return sim_.current_name(); });
   deploy::build_topology(config, net_);
   auto names = net_.host_names();
   if (names.empty()) {
@@ -285,6 +294,17 @@ void ExperimentSpec::validate() const {
   if (kill_host.empty() && kill_after_iteration >= 1) {
     fail("kill_after_iteration is set but kill_host names no host");
   }
+
+  // Drift-triggered migration reuses the checkpoint/rollback machinery —
+  // without checkpointing there is no consistent state to migrate.
+  if (replan && !checkpointing) {
+    fail("replan is set but checkpointing is off — migration needs a "
+         "committed checkpoint to restore from");
+  }
+  if (!(replan_drift > 1.0)) {
+    fail("replan_drift must be a factor > 1, got " +
+         std::to_string(replan_drift));
+  }
 }
 
 sched::Workload ExperimentSpec::workload() const {
@@ -395,6 +415,9 @@ ExperimentSpec ExperimentSpec::from_config(const util::Config& config) {
     spec.rpc_timeout =
         config.get_double_or(s, "rpc_timeout", spec.rpc_timeout);
     spec.client = config.get_or(s, "client", "");
+    spec.replan = config.get_bool_or(s, "replan", spec.replan);
+    spec.replan_drift =
+        config.get_double_or(s, "replan_drift", spec.replan_drift);
   }
 
   for (const std::string& section : config.sections()) {
@@ -536,6 +559,9 @@ sched::Placement plan_in(JungleTestbed& bed, const ExperimentSpec& spec,
     plan.roles[i].spec.eps2 = spec.models[i].eps2;
     plan.roles[i].spec.eta = spec.models[i].eta;
     plan.roles[i].spec.theta = spec.models[i].theta;
+    // Worker-side metrics carry the model name, not the kernel code, so
+    // worker.<name>.* lines up with the plan's roles and rpc.<name>.*.
+    plan.roles[i].spec.meter = spec.models[i].name;
   }
   return plan;
 }
@@ -633,8 +659,13 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
     // Start every model's worker in declaration order.
     auto start_model = [&](std::size_t i) {
       const ModelSpec& model = spec.models[i];
+      obs::trace::Span spawn =
+          obs::trace::span("spawn:" + model.name, "deploy");
       auto rpc = start_assignment(bed, client, daemon_client, plan.roles[i]);
       rpc->set_call_timeout(spec.rpc_timeout);
+      // Client-side RPC metrics under the model name, matching the
+      // worker-side series wired through WorkerSpec::meter.
+      rpc->set_meter(model.name);
       switch (model.role) {
         case Role::gravity:
           models[i].gravity = std::make_unique<GravityClient>(std::move(rpc));
@@ -711,6 +742,7 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
       plan.roles[i].spec.eps2 = spec.models[i].eps2;
       plan.roles[i].spec.eta = spec.models[i].eta;
       plan.roles[i].spec.theta = spec.models[i].theta;
+      plan.roles[i].spec.meter = spec.models[i].name;
     };
 
     // Initial deployment is as exposed to the jungle as any later step: a
@@ -992,18 +1024,185 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
           plan.modeled_seconds_per_iteration;
     };
 
+    // Drift-triggered migration: the same machinery as fault recovery, but
+    // from a healthy state — the committed checkpoint equals the live
+    // state, so restoring into the new placement replays nothing. Only
+    // models whose assignment actually changed are moved; a death mid-move
+    // falls through to the ordinary recovery path.
+    auto migrate_to = [&](sched::Placement fresh) {
+      ++result.replans;
+      obs::metrics::counter("sched.replans").increment();
+      obs::trace::Span span = obs::trace::span("migrate", "sched");
+      double t_done = committed.time;
+      std::vector<std::pair<std::vector<double>, std::vector<double>>>
+          mappings;
+      for (std::size_t link = 0, i = 0; i < n_models; ++i) {
+        if (!models[i].stellar) continue;
+        mappings.push_back(bridge->se_mapping(link++));
+      }
+      std::vector<bool> moved(n_models, false);
+      for (std::size_t i = 0; i < n_models; ++i) {
+        moved[i] = fresh.roles[i].where() != plan.roles[i].where();
+      }
+      plan = std::move(fresh);
+      for (std::size_t i = 0; i < n_models; ++i) {
+        if (!moved[i]) continue;
+        ModelRuntime& model = models[i];
+        model.close();
+        start_model(i);
+        if (model.gravity) {
+          restore_gravity(*model.gravity, committed.gravity[i]);
+        } else if (model.hydro) {
+          restore_hydro(*model.hydro, committed.hydro[i]);
+        } else if (model.field) {
+          restore_field(*model.field, committed.field[i]);
+        } else if (model.stellar) {
+          model.stellar->add_stars(model.zams);
+          if (t_done > 0.0) {
+            model.stellar->evolve_to(t_done * spec.myr_per_nbody_time);
+          }
+        }
+      }
+      apply_datapath();
+      bridge = build_bridge(t_done, committed.epoch);
+      for (std::size_t link = 0; link < mappings.size(); ++link) {
+        bridge->set_se_mapping(std::move(mappings[link].first),
+                               std::move(mappings[link].second), link);
+      }
+      scheduler.score(load, plan);
+      result.placement = plan.describe();
+      result.modeled_seconds_per_iteration =
+          plan.modeled_seconds_per_iteration;
+    };
+
     bed.network().reset_traffic();
+
+    // ----- observability cursors: every per-iteration figure is a delta of
+    // monotone counters (the registry is process-global and never reset by
+    // a run), so reports stay correct across rollbacks and repeated runs.
+    struct MetricCursor {
+      std::vector<double> compute_s;  // per model, worker-side
+      double flops = 0.0;
+      double compute_total = 0.0;
+      double substeps = 0.0;
+      double rpc_calls = 0.0;
+    };
+    auto read_metrics = [&] {
+      MetricCursor cursor;
+      cursor.compute_s.resize(n_models);
+      for (std::size_t i = 0; i < n_models; ++i) {
+        const std::string& name = spec.models[i].name;
+        cursor.compute_s[i] =
+            obs::metrics::counter_value("worker." + name + ".compute_s");
+        cursor.compute_total += cursor.compute_s[i];
+        cursor.flops +=
+            obs::metrics::counter_value("worker." + name + ".flops");
+        cursor.substeps +=
+            obs::metrics::counter_value("worker." + name + ".substeps");
+        cursor.rpc_calls +=
+            obs::metrics::counter_value("rpc." + name + ".calls");
+      }
+      return cursor;
+    };
+    auto wan_link_bytes = [&] {
+      std::map<std::string, double> by_link;
+      for (const auto& link : bed.network().traffic_report()) {
+        if (link.name == "loopback" || link.name.rfind("lan:", 0) == 0) {
+          continue;
+        }
+        by_link[link.name] += link.bytes_by_class[0] +
+                              link.bytes_by_class[1] +
+                              link.bytes_by_class[2] + link.bytes_by_class[3];
+      }
+      return by_link;
+    };
+    auto wan_total = [](const std::map<std::string, double>& by_link) {
+      double total = 0.0;
+      for (const auto& [name, bytes] : by_link) total += bytes;
+      return total;
+    };
+
+    // ----- the calibration loop: the first cleanly measured iteration
+    // closes the scheduler's modeled-vs-measured gap. Per-role measured
+    // compute (worker.<name>.compute_s deltas) calibrates the flop charges;
+    // the running placement is re-scored with the calibrated model, and —
+    // when the spec opts in — a drift past the bound triggers a proactive
+    // re-plan with migration at the checkpoint boundary.
+    bool calibrated = false;
+    auto calibrate = [&](const MetricCursor& before,
+                         const MetricCursor& after) {
+      calibrated = true;
+      sched::Calibration calibration;
+      double pre_drift = 0.0;
+      std::ostringstream table;
+      table << "calibrated cost table (iteration 1):";
+      for (std::size_t i = 0; i < n_models; ++i) {
+        double measured = after.compute_s[i] - before.compute_s[i];
+        double modeled = plan.roles[i].compute_seconds;
+        if (measured <= 0.0 || modeled <= 0.0) continue;
+        double ratio = measured / modeled;
+        calibration.set_scale(spec.models[i].name, ratio);
+        pre_drift = std::max(pre_drift, std::max(ratio, 1.0 / ratio));
+        obs::metrics::gauge("sched.drift." + spec.models[i].name).set(ratio);
+        table << " " << spec.models[i].name << ": measured=" << measured
+              << " s modeled=" << modeled << " s scale="
+              << calibration.scale_for(spec.models[i].name) << ";";
+      }
+      result.precalibration_drift = pre_drift;
+      obs::metrics::gauge("sched.precalibration_drift").set(pre_drift);
+      scheduler.set_calibration(calibration);
+
+      // Re-score a copy: modeled_seconds_per_iteration stays the original
+      // (uncalibrated) prediction, the calibrated figure rides alongside.
+      sched::Placement scored = plan;
+      scheduler.score(load, scored);
+      result.calibrated_seconds_per_iteration =
+          scored.modeled_seconds_per_iteration;
+      double post_drift = 0.0;
+      for (std::size_t i = 0; i < n_models; ++i) {
+        double measured = after.compute_s[i] - before.compute_s[i];
+        double modeled = scored.roles[i].compute_seconds;
+        if (measured <= 0.0 || modeled <= 0.0) continue;
+        double ratio = measured / modeled;
+        post_drift = std::max(post_drift, std::max(ratio, 1.0 / ratio));
+      }
+      result.compute_drift = post_drift;
+      obs::metrics::gauge("sched.compute_drift").set(post_drift);
+      log::info("sched") << table.str() << " drift " << pre_drift
+                         << "x -> " << post_drift << "x, calibrated modeled="
+                         << result.calibrated_seconds_per_iteration
+                         << " s/iter";
+      return pre_drift;
+    };
+
     double wall_start = bed.simulation().now();
     int completed = 0;
     bool killed = false;
+    // Replay detection: a step whose index was already attempted re-runs
+    // work a rollback threw away (with per-step checkpoints the rollback
+    // target is always the last *completed* step, so the replayed step is
+    // the attempted-and-killed one).
+    int attempted_steps = 0;
+    int restarts_mark = result.restarts;
+    double iter_start = bed.simulation().now();
+    MetricCursor metric_cursor = read_metrics();
+    std::map<std::string, double> link_cursor = wan_link_bytes();
     while (completed < spec.iterations) {
       try {
-        bridge->step();
+        bool replaying = completed + 1 <= attempted_steps;
+        attempted_steps = std::max(attempted_steps, completed + 1);
+        {
+          obs::trace::Span iter = obs::trace::span(
+              "iteration:" + std::to_string(completed + 1), "experiment");
+          bridge->step();
+        }
         if (fault_tolerant) {
           // Checkpointing itself talks to the workers and can die mid-way:
           // stage the whole graph into a fresh snapshot, then install it
           // with one move — the commit is atomic across the graph, so no
           // interleaving of deaths can leave mixed-epoch checkpoints.
+          obs::trace::Span ckpt = obs::trace::span("checkpoint", "fault");
+          double ckpt_start = bed.simulation().now();
           GraphCheckpoint staged;
           staged.epoch = completed + 1;
           staged.time = bridge->time();
@@ -1052,8 +1251,70 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
             done.digest = digest(committed);
             faultpoint::reach(done);
           }
+          obs::metrics::counter("fault.checkpoints").increment();
+          obs::metrics::histogram("fault.checkpoint_s")
+              .observe(bed.simulation().now() - ckpt_start);
         }
         ++completed;
+
+        // --- per-iteration report: deltas across the step just done ---
+        MetricCursor metrics_now = read_metrics();
+        std::map<std::string, double> links_now = wan_link_bytes();
+        diagnostics::IterationReport row;
+        row.iteration = completed;
+        row.seconds = bed.simulation().now() - iter_start;
+        row.wan_bytes = wan_total(links_now) - wan_total(link_cursor);
+        row.flops = metrics_now.flops - metric_cursor.flops;
+        row.compute_seconds =
+            metrics_now.compute_total - metric_cursor.compute_total;
+        row.substeps = static_cast<std::uint64_t>(
+            metrics_now.substeps - metric_cursor.substeps + 0.5);
+        row.rpc_calls = static_cast<std::uint64_t>(
+            metrics_now.rpc_calls - metric_cursor.rpc_calls + 0.5);
+        row.replay = replaying;
+        row.restarts = result.restarts - restarts_mark;
+        if (row.replay) {
+          obs::metrics::counter("fault.replayed_steps").increment();
+        }
+        result.iteration_log.push_back(row);
+
+        if (!calibrated && !row.replay && row.restarts == 0) {
+          double drift = calibrate(metric_cursor, metrics_now);
+          std::ostringstream links;
+          links << "per-link WAN volume (iteration 1):";
+          for (const auto& [name, bytes] : links_now) {
+            double delta = bytes - link_cursor[name];
+            if (delta <= 0.0) continue;
+            links << " " << name << "=" << util::format_bytes(delta);
+          }
+          log::info("sched") << links.str();
+
+          // Proactive re-plan: when the measured world disagrees with the
+          // model past the bound, ask the calibrated scheduler for a fresh
+          // placement and migrate at this checkpoint boundary — but only
+          // when the move actually pays for itself.
+          if (spec.replan && drift > spec.replan_drift) {
+            sched::Placement fresh = plan_in(bed, spec, client, scheduler);
+            bool moved = false;
+            for (std::size_t i = 0; i < n_models; ++i) {
+              if (fresh.roles[i].where() != plan.roles[i].where()) {
+                moved = true;
+              }
+            }
+            if (moved && fresh.modeled_seconds_per_iteration <
+                             0.95 * result.calibrated_seconds_per_iteration) {
+              log::info("sched")
+                  << "re-planning after drift " << drift << "x > "
+                  << spec.replan_drift << "x: " << fresh.describe();
+              migrate_to(std::move(fresh));
+            }
+          }
+        }
+        restarts_mark = result.restarts;
+        metric_cursor = std::move(metrics_now);
+        link_cursor = std::move(links_now);
+        iter_start = bed.simulation().now();
+
         if (fault_tolerant && !killed && !spec.kill_host.empty() &&
             completed == spec.kill_after_iteration) {
           killed = true;
@@ -1061,6 +1322,9 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
         }
       } catch (const WorkerDiedError& death) {
         if (!fault_tolerant) throw;
+        obs::trace::Span rollback = obs::trace::span("recover", "fault");
+        double recover_start = bed.simulation().now();
+        obs::metrics::counter("fault.rollbacks").increment();
         ++result.restarts;
         spend_attempt();
         // Recovery can itself be interrupted by another death (a double
@@ -1078,6 +1342,13 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
           }
         }
         completed = committed.epoch;
+        obs::metrics::histogram("fault.recover_s")
+            .observe(bed.simulation().now() - recover_start);
+        // The aborted step's partial work must not pollute the replay
+        // row's figures: restart every cursor at the rollback point.
+        metric_cursor = read_metrics();
+        link_cursor = wan_link_bytes();
+        iter_start = bed.simulation().now();
       }
     }
     double wall = bed.simulation().now() - wall_start;
@@ -1158,7 +1429,14 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
   panel << "  modeled=" << result.modeled_seconds_per_iteration
         << " s/iter measured=" << result.seconds_per_iteration << " s/iter";
   if (result.restarts > 0) panel << " restarts=" << result.restarts;
+  if (result.replans > 0) panel << " replans=" << result.replans;
   panel << "\n";
+  if (result.calibrated_seconds_per_iteration > 0.0) {
+    panel << "  calibrated=" << result.calibrated_seconds_per_iteration
+          << " s/iter drift=" << result.precalibration_drift << "x -> "
+          << result.compute_drift << "x\n";
+  }
+  panel << diagnostics::iteration_table(result.iteration_log);
   result.dashboard = panel.str();
   return result;
 }

@@ -7,7 +7,9 @@
 #include "amuse/bridge.hpp"
 #include "amuse/clients.hpp"
 #include "amuse/daemon.hpp"
+#include "amuse/diagnostics.hpp"
 #include "deploy/deploy.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "util/config.hpp"
 
@@ -112,6 +114,15 @@ struct ExperimentSpec {
   /// Host the coupling script runs on ("" = the testbed's client host).
   std::string client;
 
+  /// Closed-loop scheduling: after the first measured iteration calibrates
+  /// the cost model, re-plan proactively when the measured/modeled compute
+  /// drift of any role exceeds `replan_drift` (a factor, > 1), and migrate
+  /// to the new placement at the checkpoint boundary when it is actually
+  /// faster. Calibration itself always runs; `replan` gates only the
+  /// migration. Requires checkpointing (validated).
+  bool replan = false;
+  double replan_drift = 4.0;
+
   /// Graph validation: throws ConfigError naming the offending model or
   /// coupling. Checks (among others) that coupling endpoints resolve to
   /// dynamic models, field references resolve to field models, no field
@@ -158,6 +169,21 @@ struct Result {
   double modeled_seconds_per_iteration = 0.0;  // scheduler's prediction
   int restarts = 0;                     // fault-path re-placements performed
   std::vector<ModelResult> models;      // final states, declaration order
+
+  // --- observability: the modeled-vs-measured loop ---
+  /// Per-iteration metric/traffic deltas; replayed steps marked distinctly.
+  std::vector<diagnostics::IterationReport> iteration_log;
+  /// Worst per-role measured/modeled compute ratio (max of r, 1/r) before
+  /// calibration — how wrong the static cost model was on this run.
+  double precalibration_drift = 0.0;
+  /// The same ratio after the first measured iteration calibrated the
+  /// per-model flop charges (0 when no iteration completed cleanly).
+  double compute_drift = 0.0;
+  /// Modeled s/iter of the running placement re-scored with the calibrated
+  /// cost model (modeled_seconds_per_iteration stays uncalibrated).
+  double calibrated_seconds_per_iteration = 0.0;
+  /// Drift-triggered migrations performed (spec.replan).
+  int replans = 0;
 };
 
 /// The Jungle of Figs 9/12: Seattle laptop, VU desktop + DAS-4 VU cluster,
@@ -171,7 +197,10 @@ class JungleTestbed {
   /// This is what makes any topology file a runnable experiment.
   explicit JungleTestbed(const util::Config& config, bool verbose = false);
   /// Unwind all simulated processes before the network/sockets they touch.
-  ~JungleTestbed() { sim_.shutdown(); }
+  ~JungleTestbed() {
+    obs::trace::unbind_clock(this);
+    sim_.shutdown();
+  }
   JungleTestbed(const JungleTestbed&) = delete;
   JungleTestbed& operator=(const JungleTestbed&) = delete;
 

@@ -1,5 +1,6 @@
 #include "amuse/faultpoint.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace jungle::amuse::faultpoint {
@@ -45,12 +46,33 @@ ScopedHook::~ScopedHook() { g_hook = nullptr; }
 
 bool active() noexcept { return static_cast<bool>(g_hook); }
 
+namespace {
+
+// Count hook-visible reaches per point (fault.point.<name>), so a fault
+// exploration's metrics show which schedule points actually fired. Counter
+// pointers are cached; normal (hook-less) runs skip this entirely.
+void meter(Point point) {
+  static obs::metrics::Counter* counters[kPointCount] = {};
+  int index = static_cast<int>(point);
+  if (index < 0 || index >= kPointCount) return;
+  if (counters[index] == nullptr) {
+    counters[index] =
+        &obs::metrics::counter(std::string("fault.point.") + kNames[index]);
+  }
+  counters[index]->increment();
+}
+
+}  // namespace
+
 void reach(const Context& context) {
-  if (g_hook) g_hook(context);
+  if (!g_hook) return;
+  meter(context.point);
+  g_hook(context);
 }
 
 void reach(Point point, int iteration, const std::string& detail) {
   if (!g_hook) return;
+  meter(point);
   Context context;
   context.point = point;
   context.iteration = iteration;

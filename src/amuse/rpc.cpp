@@ -6,10 +6,11 @@ namespace jungle::amuse {
 
 namespace {
 
-// Reply header field offsets (see the frame layout note in rpc.hpp).
+// Header field offsets (see the frame layout note in rpc.hpp).
 constexpr std::size_t kIdOffset = 0;
 constexpr std::size_t kFnOffset = 4;
 constexpr std::size_t kStatusOffset = 4;
+constexpr std::size_t kSpanOffset = 8;
 
 /// Frame a header-only reply (ping, death notices built client-side).
 util::ByteWriter make_reply_frame(std::uint32_t request_id, RpcStatus status) {
@@ -21,6 +22,44 @@ util::ByteWriter make_reply_frame(std::uint32_t request_id, RpcStatus status) {
 }
 
 }  // namespace
+
+const char* fn_name(Fn fn) noexcept {
+  switch (fn) {
+    case Fn::ping: return "ping";
+    case Fn::stop: return "stop";
+    case Fn::grav_set_params: return "grav_set_params";
+    case Fn::grav_add_particles: return "grav_add_particles";
+    case Fn::grav_evolve: return "grav_evolve";
+    case Fn::grav_get_state: return "grav_get_state";
+    case Fn::grav_get_energies: return "grav_get_energies";
+    case Fn::grav_kick_all: return "grav_kick_all";
+    case Fn::grav_set_masses: return "grav_set_masses";
+    case Fn::grav_get_time: return "grav_get_time";
+    case Fn::grav_set_masses_sparse: return "grav_set_masses_sparse";
+    case Fn::grav_get_dynamics: return "grav_get_dynamics";
+    case Fn::grav_set_dynamics: return "grav_set_dynamics";
+    case Fn::field_set_sources: return "field_set_sources";
+    case Fn::field_accel_at: return "field_accel_at";
+    case Fn::field_accel_for: return "field_accel_for";
+    case Fn::hydro_set_params: return "hydro_set_params";
+    case Fn::hydro_add_gas: return "hydro_add_gas";
+    case Fn::hydro_evolve: return "hydro_evolve";
+    case Fn::hydro_get_state: return "hydro_get_state";
+    case Fn::hydro_get_energies: return "hydro_get_energies";
+    case Fn::hydro_kick_all: return "hydro_kick_all";
+    case Fn::hydro_inject: return "hydro_inject";
+    case Fn::hydro_get_time: return "hydro_get_time";
+    case Fn::hydro_set_time: return "hydro_set_time";
+    case Fn::se_add_stars: return "se_add_stars";
+    case Fn::se_evolve_to: return "se_evolve_to";
+    case Fn::se_get_masses: return "se_get_masses";
+    case Fn::se_get_supernovae: return "se_get_supernovae";
+    case Fn::se_get_mass_loss: return "se_get_mass_loss";
+    case Fn::se_get_luminosities: return "se_get_luminosities";
+    case Fn::se_get_mass_updates: return "se_get_mass_updates";
+  }
+  return "unknown";
+}
 
 util::ByteReader Future::get() {
   RpcReply reply;
@@ -60,7 +99,15 @@ util::ByteReader Future::get() {
 RpcClient::RpcClient(sim::Host& home, std::unique_ptr<MessagePipe> pipe,
                      std::string label)
     : home_(home), pipe_(std::move(pipe)), label_(std::move(label)) {
+  set_meter(label_);
   pump_pid_ = home_.spawn("rpc-pump:" + label_, [this] { pump(); });
+}
+
+void RpcClient::set_meter(const std::string& meter) {
+  m_calls_ = &obs::metrics::counter("rpc." + meter + ".calls");
+  m_bytes_out_ = &obs::metrics::counter("rpc." + meter + ".bytes_out");
+  m_bytes_in_ = &obs::metrics::counter("rpc." + meter + ".bytes_in");
+  m_latency_ = &obs::metrics::histogram("rpc." + meter + ".latency_s");
 }
 
 RpcClient::~RpcClient() {
@@ -90,6 +137,7 @@ void RpcClient::pump() {
       auto cause = static_cast<WorkerDiedError::Cause>(
           reader.get<std::uint8_t>());
       reader.get<std::uint16_t>();  // header padding
+      auto reply_span = reader.get<std::uint64_t>();
       if (request_id == kDeathNoticeId) {
         // Connection-level death notice from the daemon: the registry saw
         // the worker's host die. Carries the host name and cause.
@@ -104,13 +152,20 @@ void RpcClient::pump() {
                            << request_id;
         continue;
       }
+      Future::State& state = *it->second;
+      if (state.span.active()) {
+        state.span.note_remote(reply_span);
+        state.span.end();
+      }
+      m_latency_->observe(home_.simulation().now() - state.t_sent);
       RpcReply reply;
       reply.status = status;
       // Hand the whole frame over; the payload is read in place behind the
       // header — the reply bytes are never copied out of the receive buffer.
       reply.payload_offset = reader.cursor();
       reply.frame = std::move(reader).release();
-      it->second->box.put(std::move(reply));
+      m_bytes_in_->add(static_cast<double>(reply.frame.size()));
+      state.box.put(std::move(reply));
       pending_.erase(it);
     }
   } catch (const ConnectError& failure) {
@@ -137,6 +192,7 @@ void RpcClient::poison(const std::string& reason, WorkerDiedError::Cause cause,
     death_host_ = host;
   }
   for (auto& [id, state] : pending_) {
+    state->span.end();  // never answered; close so the trace stays balanced
     state->box.put(death_reply());
   }
   pending_.clear();
@@ -158,6 +214,9 @@ Future RpcClient::call(Fn fn, util::ByteWriter arguments) {
     return Future(state);
   }
   std::uint32_t request_id = next_request_++;
+  state->t_sent = home_.simulation().now();
+  state->span =
+      obs::trace::async_span(std::string("rpc:") + fn_name(fn), "rpc");
   pending_[request_id] = state;
   // Writers built via request() already reserve the header: patch it in
   // place and ship the buffer — the payload is not copied again. Plain
@@ -171,11 +230,17 @@ Future RpcClient::call(Fn fn, util::ByteWriter arguments) {
   }
   frame.patch<std::uint32_t>(kIdOffset, request_id);
   frame.patch<std::uint16_t>(kFnOffset, static_cast<std::uint16_t>(fn));
+  // Trace context: the worker-side span parents under this in-flight call.
+  frame.patch<std::uint64_t>(kSpanOffset, state->span.id());
+  auto bytes = std::move(frame).take();
+  m_calls_->increment();
+  m_bytes_out_->add(static_cast<double>(bytes.size()));
   try {
-    pipe_->send_bytes(std::move(frame).take());
+    pipe_->send_bytes(std::move(bytes));
   } catch (const ConnectError& failure) {
     pending_.erase(request_id);
     poison(failure.what(), WorkerDiedError::Cause::link_fault);
+    state->span.end();
     state->box.put(death_reply());
   }
   return Future(state);
@@ -210,7 +275,13 @@ void WorkerServer::run() {
       auto request_id = reader.get<std::uint32_t>();
       auto fn = static_cast<Fn>(reader.get<std::uint16_t>());
       reader.get<std::uint16_t>();  // header padding
+      auto wire_span = reader.get<std::uint64_t>();
       if (fn == Fn::stop) return;
+      // The worker-side span parents under the wire-propagated client span,
+      // so kernel spans opened inside the dispatcher nest correctly across
+      // hosts. Its id is echoed in the reply header for the flow arrow.
+      obs::trace::Span serve =
+          obs::trace::server_span(fn_name(fn), "serve", wire_span);
       util::ByteWriter reply;
       if (fn == Fn::ping) {
         reply = make_reply_frame(request_id, RpcStatus::ok);
@@ -236,6 +307,8 @@ void WorkerServer::run() {
               what.size()));
         }
       }
+      reply.patch<std::uint64_t>(kSpanOffset, serve.id());
+      serve.end();
       pipe_->send_bytes(std::move(reply).take());
     }
   } catch (const ConnectError&) {

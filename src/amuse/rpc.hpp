@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/mailbox.hpp"
 #include "smartsockets/connection.hpp"
 #include "util/bytebuffer.hpp"
@@ -78,16 +80,22 @@ enum class Fn : std::uint16_t {
   se_get_mass_updates = 76,
 };
 
+/// Short name of a function id, for span labels and log lines.
+const char* fn_name(Fn fn) noexcept;
+
 /// Reply status on the wire.
 enum class RpcStatus : std::uint8_t { ok = 0, code_error = 1, worker_died = 2 };
 
-/// Both frame directions carry a fixed 8-byte header; the payload is simply
+/// Both frame directions carry a fixed 16-byte header; the payload is simply
 /// the rest of the frame (no inner length prefix, no extra payload copy):
-///   request:  [u32 request_id][u16 fn][u16 zero]          + payload
-///   reply:    [u32 request_id][u8 status][u8 cause][u16 zero] + payload
-/// The 8-byte size also keeps payload array fields 8-aligned in the receive
-/// buffer, which is what makes ByteReader::get_span views legal.
-constexpr std::size_t kFrameHeaderBytes = 8;
+///   request:  [u32 request_id][u16 fn][u16 zero][u64 span_id]          + payload
+///   reply:    [u32 request_id][u8 status][u8 cause][u16 zero][u64 span_id] + payload
+/// span_id is the trace context: requests carry the caller's current span
+/// so worker-side spans parent under the client call across hosts; replies
+/// echo the server-side span that handled the call (0 = untraced). The
+/// 16-byte size keeps payload array fields 8-aligned in the receive buffer,
+/// which is what makes ByteReader::get_span views legal.
+constexpr std::size_t kFrameHeaderBytes = 16;
 
 struct RpcReply {
   RpcStatus status = RpcStatus::ok;
@@ -148,6 +156,10 @@ class Future {
     sim::Mailbox<RpcReply> box;
     std::string worker;  // label of the client that issued the call
     double timeout_s = 0.0;  // 0 = wait forever
+    double t_sent = 0.0;     // virtual send time (latency histogram)
+    /// Client-side RPC span, open while the call is in flight (the pump
+    /// ends it on reply or poison). Inactive when tracing is off.
+    obs::trace::Span span;
     /// Poisons the issuing client when the wait expires, so every other
     /// outstanding call on the same pipe fails too (one hung worker, one
     /// death report — not one timeout per call).
@@ -206,6 +218,11 @@ class RpcClient {
               WorkerDiedError::Cause cause = WorkerDiedError::Cause::unknown,
               const std::string& host = "");
 
+  /// Name this client's metrics series rpc.<meter>.{calls,bytes_out,
+  /// bytes_in,latency_s}. Defaults to the label; the experiment runner sets
+  /// the model name so worker meters and RPC meters line up.
+  void set_meter(const std::string& meter);
+
  private:
   void pump();
   RpcReply death_reply() const;
@@ -222,6 +239,10 @@ class RpcClient {
   WorkerDiedError::Cause death_cause_ = WorkerDiedError::Cause::unknown;
   sim::ProcessId pump_pid_ = 0;
   bool closed_ = false;
+  obs::metrics::Counter* m_calls_ = nullptr;
+  obs::metrics::Counter* m_bytes_out_ = nullptr;
+  obs::metrics::Counter* m_bytes_in_ = nullptr;
+  obs::metrics::Histogram* m_latency_ = nullptr;
 };
 
 /// Worker-side dispatcher: maps a function id + argument reader to a result.

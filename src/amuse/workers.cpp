@@ -16,8 +16,17 @@ namespace {
 
 // Charge `flops` to the worker's host/device, blocking its process for the
 // modelled duration. Small trivial calls stay cheap via a floor of zero.
+// Metered cost structs also record the flops and modeled seconds, and the
+// blocking interval shows up as a "compute" span nested under the serving
+// RPC span.
 void charge(const WorkerCost& cost, double flops) {
   if (flops <= 0.0 || cost.host == nullptr) return;
+  if (cost.flops != nullptr) {
+    cost.flops->add(flops);
+    cost.compute_s->add(
+        cost.host->compute_time(flops, cost.device, cost.ncores));
+  }
+  obs::trace::Span span = obs::trace::span("compute", "kernel");
   cost.host->compute(flops, cost.device, cost.ncores);
 }
 
@@ -124,7 +133,12 @@ Dispatcher make_gravity_dispatcher(
       case Fn::grav_evolve: {
         double t_end = args.get<double>();
         auto before = integrator->pair_evaluations();
+        auto steps_before = integrator->substeps();
         integrator->evolve(t_end);
+        if (cost.substeps != nullptr) {
+          cost.substeps->add(
+              static_cast<double>(integrator->substeps() - steps_before));
+        }
         charge(cost, static_cast<double>(integrator->pair_evaluations() -
                                          before) *
                          kernels::HermiteIntegrator::kFlopsPerPair);
@@ -493,7 +507,12 @@ Dispatcher make_hydro_dispatcher(std::shared_ptr<kernels::SphSystem> sph,
       double t_end = args.get<double>();
       auto ngb_before = sph->neighbour_interactions();
       auto tree_before = sph->tree_interactions();
+      auto steps_before = sph->substeps();
       sph->evolve(t_end);
+      if (cost.substeps != nullptr) {
+        cost.substeps->add(
+            static_cast<double>(sph->substeps() - steps_before));
+      }
       charge(cost,
              static_cast<double>(sph->neighbour_interactions() - ngb_before) *
                      kernels::SphSystem::kFlopsPerNeighbour +
@@ -560,6 +579,16 @@ void ParallelSph::parallel_steps(mpi::Comm& comm, double t_end) {
   // computes its slice, and slice results travel over the (simulated)
   // interconnect. Identical structure to small-scale Gadget runs.
   sim::Host& my_host = comm.host();
+  // Rank 0 doubles as the meter: its flops/seconds are representative of
+  // the elapsed compute (ranks run the same-sized slices in lockstep).
+  auto charge_rank = [&](double flops) {
+    if (comm.rank() == 0 && m_flops_ != nullptr) {
+      m_flops_->add(flops);
+      m_compute_s_->add(my_host.compute_time(flops, sim::DeviceKind::cpu,
+                                             ncores_per_rank_));
+    }
+    my_host.compute(flops, sim::DeviceKind::cpu, ncores_per_rank_);
+  };
   auto flatten = [](std::span<const Vec3> values, std::size_t lo,
                     std::size_t hi) {
     std::vector<double> flat;
@@ -577,17 +606,14 @@ void ParallelSph::parallel_steps(mpi::Comm& comm, double t_end) {
     // Tree + grid build: rank 0 builds the real structures (shared memory);
     // every rank pays the build cost, as in a replicated tree code.
     if (comm.rank() == 0) sph_.prepare_step();
-    my_host.compute(static_cast<double>(sph_.size()) *
-                        kernels::BarnesHutTree::kBuildFlopsPerParticle,
-                    sim::DeviceKind::cpu, ncores_per_rank_);
+    charge_rank(static_cast<double>(sph_.size()) *
+                kernels::BarnesHutTree::kBuildFlopsPerParticle);
     comm.barrier();
 
     auto ngb0 = sph_.neighbour_interactions();
     sph_.compute_density(lo, hi);
-    my_host.compute(
-        static_cast<double>(sph_.neighbour_interactions() - ngb0) *
-            kernels::SphSystem::kFlopsPerNeighbour,
-        sim::DeviceKind::cpu, ncores_per_rank_);
+    charge_rank(static_cast<double>(sph_.neighbour_interactions() - ngb0) *
+                kernels::SphSystem::kFlopsPerNeighbour);
     // Exchange the density/smoothing slices (real values, real bytes).
     std::vector<double> rho_slice(sph_.densities().begin() + lo,
                                   sph_.densities().begin() + hi);
@@ -596,12 +622,10 @@ void ParallelSph::parallel_steps(mpi::Comm& comm, double t_end) {
     auto ngb1 = sph_.neighbour_interactions();
     auto tree1 = sph_.tree_interactions();
     sph_.compute_forces(lo, hi);
-    my_host.compute(
-        static_cast<double>(sph_.neighbour_interactions() - ngb1) *
-                kernels::SphSystem::kFlopsPerNeighbour +
-            static_cast<double>(sph_.tree_interactions() - tree1) *
-                kernels::SphSystem::kFlopsPerTreeInteraction,
-        sim::DeviceKind::cpu, ncores_per_rank_);
+    charge_rank(static_cast<double>(sph_.neighbour_interactions() - ngb1) *
+                    kernels::SphSystem::kFlopsPerNeighbour +
+                static_cast<double>(sph_.tree_interactions() - tree1) *
+                    kernels::SphSystem::kFlopsPerTreeInteraction);
 
     double dt = comm.allreduce_min(sph_.timestep(lo, hi));
     dt = std::min(dt, t_end - t);
@@ -622,7 +646,12 @@ Dispatcher make_parallel_hydro_dispatcher(std::shared_ptr<ParallelSph> sph,
     if (fn == Fn::hydro_evolve) {
       util::ByteWriter result = reply_writer();
       double t_end = args.get<double>();
+      auto steps_before = sph->sph().substeps();
       sph->evolve(t_end);  // cost charged per rank inside
+      if (cost.substeps != nullptr) {
+        cost.substeps->add(
+            static_cast<double>(sph->sph().substeps() - steps_before));
+      }
       epochs->bump(kHydroEvolveBumps);
       return result;
     }
@@ -639,6 +668,10 @@ void run_worker(std::unique_ptr<MessagePipe> pipe, const WorkerSpec& spec,
   cost.host = primary;
   cost.ncores = spec.ncores;
   cost.device = spec.needs_gpu() ? sim::DeviceKind::gpu : sim::DeviceKind::cpu;
+  const std::string meter = spec.meter.empty() ? spec.code : spec.meter;
+  cost.flops = &obs::metrics::counter("worker." + meter + ".flops");
+  cost.compute_s = &obs::metrics::counter("worker." + meter + ".compute_s");
+  cost.substeps = &obs::metrics::counter("worker." + meter + ".substeps");
 
   // All kernels share the process-wide thread pool (JUNGLE_THREADS lanes):
   // the simulated hosts model *virtual* cost, while the pool makes the real
@@ -672,6 +705,7 @@ void run_worker(std::unique_ptr<MessagePipe> pipe, const WorkerSpec& spec,
     } else {
       parallel = std::make_shared<ParallelSph>(net, hosts, spec.nranks,
                                                params, spec.ncores);
+      parallel->set_meters(cost.flops, cost.compute_s);
       parallel->sph().set_thread_pool(&pool);
       dispatcher = make_parallel_hydro_dispatcher(parallel, cost);
     }

@@ -20,6 +20,12 @@ struct WorkerCost {
   sim::Host* host = nullptr;
   sim::DeviceKind device = sim::DeviceKind::cpu;
   int ncores = 1;
+  /// Worker-side meters (null = unmetered). run_worker wires them to
+  /// worker.<meter>.{flops,compute_s,substeps} so the scheduler can compare
+  /// measured compute against its model per role.
+  obs::metrics::Counter* flops = nullptr;
+  obs::metrics::Counter* compute_s = nullptr;
+  obs::metrics::Counter* substeps = nullptr;
 };
 
 /// The model kernels of the embedded-cluster simulation (paper §6), by
@@ -34,6 +40,10 @@ struct WorkerSpec {
   double eps2 = 1e-4;
   double eta = 0.02;   // phigrape accuracy
   double theta = 0.6;  // tree opening angle
+  /// Metrics series name for this worker's meters (empty = use `code`).
+  /// The experiment runner sets the model name so two workers running the
+  /// same code keep separate series.
+  std::string meter;
 
   bool needs_gpu() const {
     return code == "phigrape-gpu" || code == "octgrav";
@@ -70,6 +80,14 @@ class ParallelSph {
   void evolve(double t_end);
   void stop();
 
+  /// Meter rank-0's compute (flops + modeled seconds — representative of
+  /// elapsed time, the ranks being symmetric).
+  void set_meters(obs::metrics::Counter* flops,
+                  obs::metrics::Counter* compute_s) noexcept {
+    m_flops_ = flops;
+    m_compute_s_ = compute_s;
+  }
+
   mpi::MpiWorld& world() noexcept { return world_; }
 
  private:
@@ -81,6 +99,8 @@ class ParallelSph {
   mpi::MpiWorld world_;
   int ncores_per_rank_;
   bool stopped_ = false;
+  obs::metrics::Counter* m_flops_ = nullptr;
+  obs::metrics::Counter* m_compute_s_ = nullptr;
 };
 
 Dispatcher make_parallel_hydro_dispatcher(std::shared_ptr<ParallelSph> sph,

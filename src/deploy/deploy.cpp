@@ -96,6 +96,7 @@ std::vector<gat::Resource> resources_from_config(const util::Config& config,
         resource.middleware == "globus") {
       resource.queue =
           std::make_shared<gat::ClusterQueue>(net.simulation());
+      resource.queue->set_meter(resource.name);
       resource.queue->set_nodes(resource.compute_hosts());
     }
     resources.push_back(std::move(resource));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "gat/adapters.hpp"
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace jungle::gat {
@@ -88,9 +89,19 @@ void ClusterQueue::set_nodes(std::vector<sim::Host*> nodes) {
   for (sim::Host* node : nodes_) {
     node->on_crash([this, node] {
       busy_.erase(std::remove(busy_.begin(), busy_.end(), node), busy_.end());
+      update_gauges();
       node_freed_.notify_all();
     });
   }
+  update_gauges();
+}
+
+void ClusterQueue::update_gauges() const {
+  if (meter_.empty()) return;
+  obs::metrics::gauge("gat.queue." + meter_ + ".busy")
+      .set(static_cast<double>(busy_nodes()));
+  obs::metrics::gauge("gat.queue." + meter_ + ".total")
+      .set(static_cast<double>(total_nodes()));
 }
 
 std::vector<sim::Host*> ClusterQueue::acquire(int count, bool needs_gpu) {
@@ -110,6 +121,7 @@ std::vector<sim::Host*> ClusterQueue::acquire(int count, bool needs_gpu) {
     auto taken = free_matching(count, needs_gpu);
     if (static_cast<int>(taken.size()) == count) {
       busy_.insert(busy_.end(), taken.begin(), taken.end());
+      update_gauges();
       return taken;
     }
     node_freed_.wait();
@@ -120,6 +132,7 @@ void ClusterQueue::release(const std::vector<sim::Host*>& taken) {
   for (sim::Host* node : taken) {
     busy_.erase(std::remove(busy_.begin(), busy_.end(), node), busy_.end());
   }
+  update_gauges();
   node_freed_.notify_all();
 }
 

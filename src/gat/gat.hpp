@@ -96,6 +96,10 @@ class ClusterQueue {
   /// busy set (its job died with it) and waiters re-check feasibility.
   void set_nodes(std::vector<sim::Host*> nodes);
 
+  /// Export queue depth as gauges gat.queue.<name>.{busy,total} (kept
+  /// current on every acquire/release/crash).
+  void set_meter(std::string name) { meter_ = std::move(name); }
+
   /// Block until `count` nodes (optionally GPU nodes) are free, then take
   /// them. Throws GatError if the request can never be satisfied — nodes
   /// that are down don't count, including ones that crash while we queue.
@@ -107,10 +111,12 @@ class ClusterQueue {
 
  private:
   std::vector<sim::Host*> free_matching(int count, bool needs_gpu) const;
+  void update_gauges() const;
 
   std::vector<sim::Host*> nodes_;
   std::vector<sim::Host*> busy_;
   sim::Signal node_freed_;
+  std::string meter_;
 };
 
 /// A compute resource as described in the deployment configuration file

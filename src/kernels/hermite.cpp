@@ -173,6 +173,7 @@ void HermiteIntegrator::evolve(double t_end) {
       jerk_[i] = new_jerk[i];
     }
     time_ += dt;
+    ++substeps_;
   }
   time_ = t_end;
 }

@@ -85,6 +85,10 @@ class HermiteIntegrator {
   std::uint64_t pair_evaluations() const noexcept { return pairs_; }
   static constexpr double kFlopsPerPair = 60.0;  // acc + jerk, incl. sqrt
 
+  /// Integrator substeps taken since construction (the adaptive shared-dt
+  /// loop inside evolve) — what the scheduler's substep model estimates.
+  std::uint64_t substeps() const noexcept { return substeps_; }
+
  private:
   void compute_forces(const std::vector<Vec3>& positions,
                       const std::vector<Vec3>& velocities,
@@ -97,6 +101,7 @@ class HermiteIntegrator {
   std::vector<Vec3> pos_, vel_, acc_, jerk_;
   bool dirty_ = true;  // forces need a fresh evaluation
   std::uint64_t pairs_ = 0;
+  std::uint64_t substeps_ = 0;
   util::ThreadPool* pool_ = nullptr;
   // SoA scratch for the tiled parallel force path, reused across steps.
   std::vector<double> sx_, sy_, sz_, svx_, svy_, svz_;

@@ -152,6 +152,7 @@ util::ThreadPool& SphSystem::resolve_pool() const {
 }
 
 void SphSystem::prepare_step() {
+  ++substeps_;
   build_grid();
   if (params_.self_gravity) {
     tree_ = BarnesHutTree(params_.theta, params_.eps2);

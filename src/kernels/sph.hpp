@@ -101,6 +101,9 @@ class SphSystem {
   /// Neighbour-pair and tree interaction counts (cost model input).
   std::uint64_t neighbour_interactions() const noexcept { return ngb_count_; }
   std::uint64_t tree_interactions() const noexcept { return tree_count_; }
+  /// Global adaptive steps taken (prepare_step calls) — counts once per
+  /// substep in both the serial and the rank-parallel evolve paths.
+  std::uint64_t substeps() const noexcept { return substeps_; }
   static constexpr double kFlopsPerNeighbour = 60.0;
   static constexpr double kFlopsPerTreeInteraction = 24.0;
 
@@ -137,6 +140,7 @@ class SphSystem {
 
   std::uint64_t ngb_count_ = 0;
   std::uint64_t tree_count_ = 0;
+  std::uint64_t substeps_ = 0;
 };
 
 }  // namespace jungle::kernels

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -121,9 +123,10 @@ LinkCost link_between(const sim::Network& net, const sim::Host& client,
 // and fresh accel+dt kicks; the post-kick one is all cache hits —
 // header-only RPCs and 16-byte kick repeats.
 
-/// Fixed per-RPC overhead: frame header + connection framing + the delta
-/// bookkeeping fields (ids/masks) of a state exchange.
-inline constexpr double kCallOverheadBytes = 104.0;
+/// Fixed per-RPC overhead: frame header (16 bytes each direction, with the
+/// trace span id) + connection framing + the delta bookkeeping fields
+/// (ids/masks) of a state exchange.
+inline constexpr double kCallOverheadBytes = 120.0;
 /// Payload of a kick frame beyond the accel span: [u64 flags][f64 dt].
 inline constexpr double kKickHeaderBytes = 16.0;
 
@@ -170,5 +173,27 @@ double stellar_compute_seconds(std::size_t n, int se_every, double rate);
 /// exchanges between ranks (the resource's LAN, or loopback when single).
 double hydro_compute_seconds(std::size_t n, double dt, double rate,
                              int nranks, const LinkCost& interconnect);
+
+/// Measured-vs-modeled compute correction, fed back from the first traced
+/// iteration: per-model multipliers the scorer applies to its modeled
+/// compute seconds (the substep-count formulas above systematically
+/// underestimate the kernels' adaptive stepping). Scales clamp to
+/// [1/64, 64] so one bad measurement cannot wedge the planner.
+struct Calibration {
+  static constexpr double kMinScale = 1.0 / 64.0;
+  static constexpr double kMaxScale = 64.0;
+
+  std::map<std::string, double> compute_scale;  // model name -> multiplier
+
+  bool empty() const noexcept { return compute_scale.empty(); }
+  void set_scale(const std::string& model, double scale) {
+    if (!(scale > 0.0)) return;  // reject nonsense (<=0, NaN)
+    compute_scale[model] = std::clamp(scale, kMinScale, kMaxScale);
+  }
+  double scale_for(const std::string& model) const noexcept {
+    auto it = compute_scale.find(model);
+    return it != compute_scale.end() ? it->second : 1.0;
+  }
+};
 
 }  // namespace jungle::sched

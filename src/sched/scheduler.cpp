@@ -303,7 +303,8 @@ double Scheduler::score_graph(const Workload& load,
     const ModelLoad& model = models[static_cast<std::size_t>(i)];
     Assignment& a = placement.roles[static_cast<std::size_t>(i)];
     if (model.role == Role::gravity) {
-      a.compute_seconds = gravity_compute_seconds(model.n, load.dt, rate(i));
+      a.compute_seconds = calibration_.scale_for(model.name) *
+                          gravity_compute_seconds(model.n, load.dt, rate(i));
     } else if (model.role == Role::hydro) {
       LinkCost interconnect{};
       if (a.host != nullptr) {
@@ -321,8 +322,10 @@ double Scheduler::score_graph(const Workload& load,
           }
         }
       }
-      a.compute_seconds = hydro_compute_seconds(model.n, load.dt, rate(i),
-                                                a.spec.nranks, interconnect);
+      a.compute_seconds =
+          calibration_.scale_for(model.name) *
+          hydro_compute_seconds(model.n, load.dt, rate(i), a.spec.nranks,
+                                interconnect);
     } else {
       continue;
     }
@@ -390,6 +393,7 @@ double Scheduler::score_graph(const Workload& load,
         compute += w * coupler_compute_seconds(n_a, n_b, rate(f));
       }
       if (!used) continue;
+      compute *= calibration_.scale_for(models[static_cast<std::size_t>(f)].name);
       double fresh = link.call_seconds(fresh_bytes);
       double idle = link.call_seconds(idle_calls * kCallOverheadBytes);
       field_fresh = std::max(field_fresh, fresh);
@@ -413,8 +417,8 @@ double Scheduler::score_graph(const Workload& load,
     const ModelLoad& model = models[static_cast<std::size_t>(i)];
     Assignment& a = placement.roles[static_cast<std::size_t>(i)];
     double n = static_cast<double>(model.n);
-    a.compute_seconds =
-        stellar_compute_seconds(model.n, load.se_every, rate(i));
+    a.compute_seconds = calibration_.scale_for(model.name) *
+                        stellar_compute_seconds(model.n, load.se_every, rate(i));
     const LinkCost& se_link = wire[static_cast<std::size_t>(i)];
     const LinkCost& grav_link =
         model.of >= 0 && model.of < slots

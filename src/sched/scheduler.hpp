@@ -105,6 +105,15 @@ class Scheduler {
   /// total. The placement's slots must match the workload's graph.
   double score(const Workload& load, Placement& placement) const;
 
+  /// Install a measured-vs-modeled compute correction: subsequent plan()/
+  /// score()/replace() calls multiply each model's modeled compute seconds
+  /// by its calibration scale. The experiment runner feeds this from the
+  /// first traced iteration's per-role meters.
+  void set_calibration(Calibration calibration) {
+    calibration_ = std::move(calibration);
+  }
+  const Calibration& calibration() const noexcept { return calibration_; }
+
   /// Name of the resource whose frontend/nodes include `host_name`
   /// ("" when it is the client or unknown).
   std::string resource_of(const std::string& host_name) const;
@@ -126,6 +135,7 @@ class Scheduler {
   const std::vector<gat::Resource>& resources_;
   std::set<std::string> dead_hosts_;
   std::set<std::string> dead_resources_;
+  Calibration calibration_;
 };
 
 }  // namespace jungle::sched

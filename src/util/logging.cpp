@@ -2,21 +2,36 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+
+#include "obs/trace.hpp"
 
 namespace jungle::log {
 
 namespace {
 
-std::atomic<Level> g_threshold{Level::warn};
+Level initial_threshold() {
+  const char* env = std::getenv("JUNGLE_LOG");
+  return env != nullptr ? parse_level(env) : Level::warn;
+}
+
+std::atomic<Level> g_threshold{initial_threshold()};
 
 std::mutex g_sink_mutex;
-Sink g_sink;  // empty => default stderr sink
+Sink g_sink;                       // empty => default stderr sink
+StructuredSink g_structured_sink;  // set => takes precedence
 
-void default_sink(Level level, const std::string& component,
-                  const std::string& message) {
-  std::fprintf(stderr, "[%-5s] %s: %s\n", level_name(level), component.c_str(),
-               message.c_str());
+void default_sink(const Record& record) {
+  if (record.span != 0) {
+    std::fprintf(stderr, "[%-5s] %s: %s (span %llu)\n",
+                 level_name(record.level), record.component.c_str(),
+                 record.message.c_str(),
+                 static_cast<unsigned long long>(record.span));
+  } else {
+    std::fprintf(stderr, "[%-5s] %s: %s\n", level_name(record.level),
+                 record.component.c_str(), record.message.c_str());
+  }
 }
 
 }  // namespace
@@ -27,6 +42,15 @@ void set_threshold(Level level) noexcept {
   g_threshold.store(level, std::memory_order_relaxed);
 }
 
+Level parse_level(const std::string& name, Level fallback) noexcept {
+  if (name == "debug") return Level::debug;
+  if (name == "info") return Level::info;
+  if (name == "warn") return Level::warn;
+  if (name == "error") return Level::error;
+  if (name == "off") return Level::off;
+  return fallback;
+}
+
 Sink set_sink(Sink sink) {
   std::lock_guard lock(g_sink_mutex);
   Sink previous = std::move(g_sink);
@@ -34,13 +58,27 @@ Sink set_sink(Sink sink) {
   return previous;
 }
 
+StructuredSink set_structured_sink(StructuredSink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  StructuredSink previous = std::move(g_structured_sink);
+  g_structured_sink = std::move(sink);
+  return previous;
+}
+
 void emit(Level level, const std::string& component, const std::string& message) {
   if (level < threshold()) return;
+  Record record;
+  record.level = level;
+  record.component = component;
+  record.message = message;
+  record.span = obs::trace::current_span();
   std::lock_guard lock(g_sink_mutex);
-  if (g_sink) {
+  if (g_structured_sink) {
+    g_structured_sink(record);
+  } else if (g_sink) {
     g_sink(level, component, message);
   } else {
-    default_sink(level, component, message);
+    default_sink(record);
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -9,14 +10,34 @@ namespace jungle::log {
 enum class Level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
 
 /// Global threshold; messages below it are dropped before formatting cost.
+/// Initialized from the JUNGLE_LOG environment variable when set (one of
+/// debug|info|warn|error|off); defaults to warn.
 Level threshold() noexcept;
 void set_threshold(Level level) noexcept;
+
+/// Parse a JUNGLE_LOG value; unknown strings fall back to `fallback`.
+Level parse_level(const std::string& name, Level fallback = Level::warn) noexcept;
 
 /// Sink receives (level, component, message). Default prints to stderr.
 /// Tests install a capture sink; returns the previous sink so it can be
 /// restored (RAII helper below).
 using Sink = std::function<void(Level, const std::string&, const std::string&)>;
 Sink set_sink(Sink sink);
+
+/// Structured form of a log line: what the plain sink flattens to text,
+/// plus the trace context captured at emit time. The default stderr sink
+/// appends "(span N)" when a span is active, so log lines can be matched
+/// against the trace dump.
+struct Record {
+  Level level = Level::info;
+  std::string component;
+  std::string message;
+  std::uint64_t span = 0;  // obs::trace::current_span() at emit; 0 = none
+};
+
+/// Structured sink; when set it takes precedence over the plain Sink.
+using StructuredSink = std::function<void(const Record&)>;
+StructuredSink set_structured_sink(StructuredSink sink);
 
 void emit(Level level, const std::string& component, const std::string& message);
 
@@ -32,6 +53,19 @@ class ScopedSink {
 
  private:
   Sink previous_;
+};
+
+/// RAII capture of structured records for tests.
+class ScopedStructuredSink {
+ public:
+  explicit ScopedStructuredSink(StructuredSink sink)
+      : previous_(set_structured_sink(std::move(sink))) {}
+  ~ScopedStructuredSink() { set_structured_sink(previous_); }
+  ScopedStructuredSink(const ScopedStructuredSink&) = delete;
+  ScopedStructuredSink& operator=(const ScopedStructuredSink&) = delete;
+
+ private:
+  StructuredSink previous_;
 };
 
 namespace detail {

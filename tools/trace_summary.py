@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Sanity-check and summarize a Chrome trace-event dump.
+
+Usage: trace_summary.py TRACE_JSON
+
+Loads the traceEvents written by obs::trace::write_chrome_trace and
+asserts the structural invariants CI relies on:
+
+  * every complete ("X") event has a non-negative duration;
+  * every span naming a parent can resolve it (no orphan spans);
+  * child spans nest inside their parent's [begin, end] interval
+    (same-process parents only — cross-host children are linked by flow
+    events and may legitimately outlive the client call's span; client
+    "rpc" spans are async — issued in one bridge phase, awaited in a
+    later one — so only their begin must fall inside the parent);
+  * at least one span was recorded at all.
+
+Prints a per-category summary (count, total duration) and exits 1 on any
+violation, so it can gate CI directly.
+"""
+
+import collections
+import json
+import sys
+
+EPSILON_US = 0.5  # ulp slack on interval nesting comparisons
+
+
+def fail(message):
+    print(f"trace_summary: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1]) as handle:
+        trace = json.load(handle)
+    events = trace.get("traceEvents", [])
+    spans = {}
+    flows = {"s": 0, "f": 0}
+    for event in events:
+        phase = event.get("ph")
+        if phase == "X":
+            args = event.get("args", {})
+            span_id = args.get("span")
+            if span_id is None:
+                fail(f"X event without a span id: {event.get('name')}")
+            if event.get("dur", -1) < 0:
+                fail(f"span {span_id} ({event.get('name')}) has negative "
+                     f"duration {event.get('dur')}")
+            spans[span_id] = event
+        elif phase in flows:
+            flows[phase] += 1
+
+    if not spans:
+        fail("no spans recorded")
+
+    orphans = 0
+    for span_id, event in spans.items():
+        parent_id = event.get("args", {}).get("parent", 0)
+        if not parent_id:
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            orphans += 1
+            print(f"trace_summary: orphan span {span_id} "
+                  f"({event['name']}): parent {parent_id} not in trace",
+                  file=sys.stderr)
+            continue
+        # Nesting only holds within one simulated process; cross-host
+        # children are parented through the wire and checked via flows.
+        if (event.get("pid") == parent.get("pid")
+                and event.get("tid") == parent.get("tid")):
+            begin, end = event["ts"], event["ts"] + event["dur"]
+            pbegin = parent["ts"] - EPSILON_US
+            pend = parent["ts"] + parent["dur"] + EPSILON_US
+            if event.get("cat") == "rpc":
+                # Async: issued under the parent, reply awaited later.
+                end = begin
+            if begin < pbegin or end > pend:
+                fail(f"span {span_id} ({event['name']}) "
+                     f"[{begin}, {end}] escapes parent {parent_id} "
+                     f"({parent['name']}) [{pbegin}, {pend}]")
+    if orphans:
+        fail(f"{orphans} orphan span(s)")
+    if flows["s"] != flows["f"]:
+        fail(f"unbalanced flow events: {flows['s']} starts, "
+             f"{flows['f']} finishes")
+
+    by_category = collections.defaultdict(lambda: [0, 0.0])
+    cross_host = 0
+    for event in spans.values():
+        entry = by_category[event.get("cat", "?")]
+        entry[0] += 1
+        entry[1] += event["dur"]
+        parent_id = event.get("args", {}).get("parent", 0)
+        parent = spans.get(parent_id) if parent_id else None
+        if parent is not None and event.get("pid") != parent.get("pid"):
+            cross_host += 1
+
+    print(f"trace_summary: {len(spans)} spans, "
+          f"{flows['s']} flow links, {cross_host} cross-host parents")
+    for category in sorted(by_category):
+        count, total_us = by_category[category]
+        print(f"  {category:12s} {count:6d} spans  "
+              f"{total_us / 1e6:12.6f} virtual s")
+    print("trace_summary: OK")
+
+
+if __name__ == "__main__":
+    main()
