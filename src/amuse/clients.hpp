@@ -85,6 +85,13 @@ class DynamicsClient {
 
   virtual double model_time() = 0;
   virtual void set_delta_exchange(bool enabled) = 0;
+  /// Forget everything the delta protocol believes the *worker* holds —
+  /// called after a supervised in-place worker restart (cause=
+  /// process_crash), where the client object survives but the worker came
+  /// back blank. The state cache itself is kept: it is what gets restored
+  /// into the fresh worker. (The state-id instance nonce already makes
+  /// stale ids unmatchable; this clears the client half explicitly.)
+  virtual void reset_delta_caches() = 0;
   virtual RpcClient& rpc() = 0;
   virtual void close() = 0;
 };
@@ -145,6 +152,14 @@ class GravityClient : public DynamicsClient {
     kick_primed_ = false;
   }
 
+  void reset_delta_caches() override {
+    bool delta = info_.delta_enabled;
+    info_ = DeltaCacheInfo{};
+    info_.delta_enabled = delta;
+    last_kick_.clear();
+    kick_primed_ = false;
+  }
+
   RpcClient& rpc() noexcept override { return *rpc_; }
   void close() override { rpc_->close(); }
 
@@ -188,6 +203,10 @@ class FieldClient {
   const std::vector<Vec3>& finish_accel(FieldTag tag, Future& reply);
 
   void set_delta_exchange(bool enabled) { delta_enabled_ = enabled; }
+
+  /// Forget what the (restarted, blank) worker caches per tag; the last
+  /// sources sent are kept — they are the checkpoint to restore from.
+  void reset_delta_caches() { tags_.clear(); }
 
   RpcClient& rpc() noexcept { return *rpc_; }
   void close() { rpc_->close(); }
@@ -256,6 +275,14 @@ class HydroClient : public DynamicsClient {
     kick_primed_ = false;
   }
 
+  void reset_delta_caches() override {
+    bool delta = info_.delta_enabled;
+    info_ = DeltaCacheInfo{};
+    info_.delta_enabled = delta;
+    last_kick_.clear();
+    kick_primed_ = false;
+  }
+
   RpcClient& rpc() noexcept override { return *rpc_; }
   void close() override { rpc_->close(); }
 
@@ -287,6 +314,10 @@ class StellarClient {
   /// `false` restores the pre-delta full-array wire behaviour (the
   /// synchronous baseline).
   void set_delta_exchange(bool enabled) { delta_enabled_ = enabled; }
+
+  /// Drop the client-side mass cache so the next masses() exchange fetches
+  /// the full array from a restarted (blank) worker.
+  void reset_delta_caches() { mass_cache_.clear(); }
 
   RpcClient& rpc() noexcept { return *rpc_; }
   void close() { rpc_->close(); }

@@ -1,11 +1,28 @@
 #include "amuse/daemon.hpp"
 
+#include <algorithm>
+
 #include "amuse/faultpoint.hpp"
 #include "util/logging.hpp"
 
 namespace jungle::amuse {
 
 namespace {
+
+/// Supervision policy: a dead daemon/proxy process is restarted in place up
+/// to kSupervisorBudget times per supervised thing, with exponential backoff
+/// starting at kSupervisorBackoff and capped at kSupervisorBackoffCap. Past
+/// the budget the failure escalates to the PR 2 fault path (death notice +
+/// closed connection, host excluded by the experiment's scheduler).
+constexpr int kSupervisorBudget = 3;
+constexpr double kSupervisorBackoff = 0.5;    // virtual seconds
+constexpr double kSupervisorBackoffCap = 4.0;
+
+double supervisor_delay(int restart_index) noexcept {
+  double delay = kSupervisorBackoff;
+  for (int i = 0; i < restart_index; ++i) delay *= 2.0;
+  return std::min(delay, kSupervisorBackoffCap);
+}
 
 /// Serialize a WorkerSpec onto the daemon wire.
 void put_spec(util::ByteWriter& writer, const WorkerSpec& spec) {
@@ -68,10 +85,13 @@ IbisDaemon::IbisDaemon(deploy::Deployer& deployer, sim::Network& net,
   ibis_ = std::make_unique<ipl::Ibis>(sockets_, local_, "amuse-daemon",
                                       local_);
   listener_ = &sockets_.listen(local_, kService);
-  pids_.push_back(local_.spawn("amuse-daemon", [this] { accept_loop(); }));
+  accept_pid_ = local_.spawn("amuse-daemon", [this] { accept_loop(); });
+  pids_.push_back(accept_pid_);
+  supervise_accept_loop();
 }
 
 IbisDaemon::~IbisDaemon() {
+  stopping_ = true;  // supervisors must not resurrect what we tear down
   sim::Simulation& sim = local_.simulation();
   for (sim::ProcessId pid : pids_) sim.kill(pid);
   // The served processes hold ReceivePorts that reference our Ibis
@@ -93,12 +113,40 @@ void IbisDaemon::accept_loop() {
   }
 }
 
+void IbisDaemon::supervise_accept_loop() {
+  // Event-driven supervision: wake exactly when the accept loop finishes
+  // (no polling — a poll loop would keep the event queue alive forever).
+  // The loop never returns normally, so an exit means it was killed or its
+  // host crashed; only the former is recoverable in place. The listener's
+  // backlog mailbox keeps queued START connections across the gap, so a
+  // start_worker issued during the outage just blocks until the restarted
+  // loop accepts it.
+  local_.simulation().watch_exit(accept_pid_, [this] {
+    if (stopping_ || !local_.is_up()) return;
+    if (accept_restarts_ >= kSupervisorBudget) {
+      log::error("amuse") << "daemon accept loop died " << accept_restarts_
+                          << " times; giving up on supervised restart";
+      return;
+    }
+    double delay = supervisor_delay(accept_restarts_);
+    ++accept_restarts_;
+    log::warn("amuse") << "daemon accept loop died; supervised restart #"
+                       << accept_restarts_ << " in " << delay << " s";
+    local_.simulation().after(delay, [this] {
+      if (stopping_ || !local_.is_up()) return;
+      obs::metrics::counter("fault.supervisor_restarts").increment();
+      accept_pid_ = local_.spawn("amuse-daemon", [this] { accept_loop(); });
+      pids_.push_back(accept_pid_);
+      supervise_accept_loop();
+    });
+  });
+}
+
 void IbisDaemon::serve_client(
     std::shared_ptr<smartsockets::ConnectionEnd> connection) {
   // One worker per client connection: read START, deploy, then relay.
-  WorkerSpec spec;
-  std::string resource_name;
-  int nodes = 1;
+  auto channel = std::make_shared<WorkerChannel>();
+  channel->connection = connection;
   try {
     auto bytes = connection->recv();
     if (!bytes) return;
@@ -107,20 +155,19 @@ void IbisDaemon::serve_client(
     if (op != daemon_wire::Op::start) {
       throw WireError("daemon: expected START");
     }
-    spec = get_spec(reader);
-    resource_name = reader.get_string();
-    nodes = reader.get<std::int32_t>();
+    channel->spec = get_spec(reader);
+    channel->resource = reader.get_string();
+    channel->nodes = reader.get<std::int32_t>();
   } catch (const ConnectError&) {
     return;
   }
 
-  std::uint32_t worker_id = next_worker_id_++;
-  std::string proxy_name = "proxy-" + std::to_string(worker_id);
-  std::string reply_port = "rep-" + std::to_string(worker_id);
+  channel->id = next_worker_id_++;
+  channel->reply_port = "rep-" + std::to_string(channel->id);
 
   auto fail = [&](const std::string& reason) {
-    log::warn("amuse") << "daemon: worker " << spec.code << " on "
-                       << resource_name << " failed: " << reason;
+    log::warn("amuse") << "daemon: worker " << channel->spec.code << " on "
+                       << channel->resource << " failed: " << reason;
     try {
       util::ByteWriter frame;
       frame.put<std::uint8_t>(static_cast<std::uint8_t>(daemon_wire::Op::fail));
@@ -131,10 +178,97 @@ void IbisDaemon::serve_client(
     }
   };
 
+  // The reply port is bound before the first deploy and *shared by every
+  // proxy generation*: a supervised replacement connects its reply sender
+  // to the same port, so the upstream pump below never has to be rebuilt.
+  auto reply_receiver = ibis_->create_receive_port(channel->reply_port);
+
+  std::string error = deploy_proxy(channel, 0);
+  if (!error.empty()) {
+    fail(error);
+    return;
+  }
+
+  // Tell the script the worker is ready.
+  {
+    util::ByteWriter frame;
+    frame.put<std::uint8_t>(static_cast<std::uint8_t>(daemon_wire::Op::ready));
+    connection->send(std::move(frame).take());
+  }
+
+  // Upstream pump: proxy replies -> script. Survives proxy generations: the
+  // port poisons once per dead sender (a ConnectError out of receive), and
+  // the pump keeps receiving for the supervised successor.
+  ipl::ReceivePort* replies = reply_receiver.get();
+  sim::ProcessId upstream_pid = local_.spawn(
+      "daemon-upstream:" + std::to_string(channel->id),
+      [replies, connection] {
+        while (true) {
+          try {
+            auto message = replies->receive_consuming_poison();
+            auto payload = message.reader.get_vector<std::uint8_t>();
+            try {
+              connection->send(std::move(payload));
+            } catch (const ConnectError&) {
+              return;  // script side gone; the relay loop winds us down
+            }
+          } catch (const ConnectError&) {
+            // A proxy generation died; the port stays open for the next.
+          }
+        }
+      });
+  pids_.push_back(upstream_pid);
+
+  // Downstream pump: script frames -> proxy. Runs in this process and ends
+  // only when the script goes away: a dead proxy merely drops frames while
+  // the supervisor works (the script's RPC retry layer absorbs the gap, and
+  // non-retryable calls are failed by the death notice).
+  try {
+    while (true) {
+      auto bytes = connection->recv();
+      if (!bytes) {  // script closed: tell the proxy to shut down
+        if (channel->request_sender && !channel->worker_dead) {
+          util::ByteWriter frame;
+          frame.put_vector(std::vector<std::uint8_t>{});
+          try {
+            channel->request_sender->send(std::move(frame));
+          } catch (const ConnectError&) {
+          }
+        }
+        break;
+      }
+      if (channel->worker_dead || !channel->request_sender) {
+        continue;  // supervision window: drop the frame
+      }
+      util::ByteWriter frame;
+      frame.put_vector(*bytes);
+      try {
+        channel->request_sender->send(std::move(frame));
+      } catch (const ConnectError&) {
+        // Proxy died just now (the registry notice is still in flight):
+        // drop the frame and let the supervisor sort it out.
+      }
+    }
+  } catch (const ConnectError&) {
+    // Script side went away abnormally.
+  }
+  channel->closed = true;  // stand down any in-flight supervision
+  local_.simulation().kill(upstream_pid);
+}
+
+std::string IbisDaemon::deploy_proxy(
+    const std::shared_ptr<WorkerChannel>& channel, int generation) {
+  const WorkerSpec& spec = channel->spec;
+  // Generation-suffixed pool name: the registry remembers dead members, and
+  // the death watchers key on the name — a successor must be distinct.
+  std::string proxy_name = "proxy-" + std::to_string(channel->id);
+  if (generation > 0) proxy_name += "r" + std::to_string(generation);
+  std::string reply_port = channel->reply_port;
+
   // Deploy the worker job through IbisDeploy/JavaGAT.
   gat::JobDescription desc;
-  desc.name = spec.code + "-" + std::to_string(worker_id);
-  desc.node_count = nodes;
+  desc.name = spec.code + "-" + std::to_string(channel->id);
+  desc.node_count = channel->nodes;
   desc.needs_gpu = spec.needs_gpu();
   // Worker startup ships the model's input data set (rough size: the spec
   // is tiny, but the paper stages input files; give it a nominal 1 MB).
@@ -146,6 +280,7 @@ void IbisDaemon::serve_client(
                reply_port](gat::JobContext& context) {
     // == proxy process (runs on the allocated node) ==
     sim::Host& node = *context.hosts.front();
+    sim::ProcessId proxy_pid = node.simulation().current_pid();
     ipl::Ibis proxy_ibis(*sockets, node, proxy_name, *daemon_host);
     auto request_port = proxy_ibis.create_receive_port("req");
 
@@ -166,12 +301,23 @@ void IbisDaemon::serve_client(
     auto worker_conn =
         sockets->connect(node, node, service, sim::TrafficClass::control);
 
-    // Reply path: worker -> proxy -> daemon (IPL).
-    auto daemon_id = proxy_ibis.wait_for_member("amuse-daemon");
-    auto reply_sender = proxy_ibis.create_send_port("rep-out");
-    reply_sender->connect(daemon_id, reply_port);
+    // Reply path: worker -> proxy -> daemon (IPL). If the daemon's reply
+    // port is gone (the channel closed while this redeploy was in flight),
+    // take the just-spawned worker down with us — leaving it parked on the
+    // loopback would leak a process per failed restart attempt.
+    std::unique_ptr<ipl::SendPort> reply_sender;
+    try {
+      auto daemon_id = proxy_ibis.wait_for_member("amuse-daemon");
+      reply_sender = proxy_ibis.create_send_port("rep-out");
+      reply_sender->connect(daemon_id, reply_port);
+    } catch (const ConnectError&) {
+      worker_conn->abort();
+      throw;
+    }
+    ipl::Ibis* ibis_ptr = &proxy_ibis;
     sim::ProcessId upstream = node.spawn(
-        "proxy-upstream:" + proxy_name, [&worker_conn, &reply_sender] {
+        "proxy-upstream:" + proxy_name,
+        [&worker_conn, &reply_sender, ibis_ptr, proxy_pid, node_ptr] {
           try {
             while (auto bytes = worker_conn->recv()) {
               util::ByteWriter frame;
@@ -179,6 +325,16 @@ void IbisDaemon::serve_client(
               reply_sender->send(std::move(frame));
             }
           } catch (const ConnectError&) {
+            // The loopback broke abnormally: the worker *process* is dead
+            // (orderly teardown closes it, which is a clean EOF). The main
+            // relay may sit blocked in receive() with nothing to flush the
+            // failure out, so escalate from here: break the registry
+            // connection (died -> the daemon's supervisor takes over) and
+            // kill the relay so the job unwinds.
+            if (!node_ptr->simulation().kill_pending()) {
+              ibis_ptr->abort();
+              node_ptr->simulation().kill(proxy_pid);
+            }
           }
         });
 
@@ -192,6 +348,13 @@ void IbisDaemon::serve_client(
         worker_conn->send(std::move(payload));
       }
     } catch (const ConnectError&) {
+    } catch (const sim::ProcessKilled&) {
+      // Killed proxy (process-level fault injection): take the worker and
+      // the upstream pump down with us — a clean unwind would leave them
+      // blocked on pipes nobody will ever feed again.
+      worker_conn->abort();
+      node.simulation().kill(upstream);
+      throw;
     }
     worker_conn->close();
     node.simulation().kill(upstream);
@@ -199,26 +362,22 @@ void IbisDaemon::serve_client(
 
   std::shared_ptr<gat::Job> job;
   try {
-    job = deployer_.submit(desc, resource_name);
+    job = deployer_.submit(desc, channel->resource);
   } catch (const Error& failure) {
-    fail(failure.what());
-    return;
+    return failure.what();
   }
 
   // Wait for the proxy to join the pool (or the job to die trying).
-  auto reply_receiver = ibis_->create_receive_port(reply_port);
   ipl::IbisIdentifier proxy_id;
   bool proxy_up = false;
   try {
     // Watch both: job state errors and registry joins.
     while (!proxy_up) {
       if (job->state() == gat::JobState::error) {
-        fail(job->error_message());
-        return;
+        return job->error_message();
       }
       if (job->state() == gat::JobState::stopped) {
-        fail("worker exited before joining the pool");
-        return;
+        return "worker exited before joining the pool";
       }
       for (const auto& member : ibis_->members()) {
         if (member.name == proxy_name) {
@@ -230,96 +389,111 @@ void IbisDaemon::serve_client(
       if (!proxy_up) local_.simulation().sleep(0.05);
     }
   } catch (const Error& failure) {
-    fail(failure.what());
-    return;
+    return failure.what();
   }
 
-  auto request_sender = ibis_->create_send_port("req-" +
-                                                std::to_string(worker_id));
+  auto request_sender = ibis_->create_send_port(
+      "req-" + std::to_string(channel->id) + "g" + std::to_string(generation));
   try {
     request_sender->connect(proxy_id, "req");
   } catch (const ConnectError& failure) {
-    fail(failure.what());
+    return failure.what();
+  }
+
+  channel->job = job;
+  channel->node_name = job->hosts().empty() ? "" : job->hosts().front()->name();
+  channel->request_sender = std::move(request_sender);
+  channel->generation = generation;
+  watch_proxy(channel, proxy_name, generation);
+  return "";
+}
+
+void IbisDaemon::watch_proxy(const std::shared_ptr<WorkerChannel>& channel,
+                             const std::string& proxy_name, int generation) {
+  // Event listeners cannot be unregistered; the generation guard makes
+  // watchers of already-replaced proxies inert.
+  ibis_->on_event([this, channel, proxy_name,
+                   generation](const ipl::RegistryEvent& event) {
+    if (event.type != ipl::RegistryEventType::died) return;
+    if (event.id.name != proxy_name) return;
+    if (channel->generation != generation || channel->worker_dead) return;
+    if (stopping_ || channel->closed) return;
+    channel->worker_dead = true;  // relay drops frames from here on
+    pids_.push_back(
+        local_.spawn("proxy-supervisor:" + std::to_string(channel->id),
+                     [this, channel] { supervise_proxy(channel); }));
+  });
+}
+
+void IbisDaemon::supervise_proxy(std::shared_ptr<WorkerChannel> channel) {
+  // The registry saw this channel's proxy die. Pick the recovery tier:
+  // node host down -> not a process fault, straight to the PR 2 path
+  // (host_crash notice + close, scheduler excludes the host); otherwise
+  // redeploy on the *same resource* with capped exponential backoff and
+  // report process_crash on the still-open connection; budget exhausted or
+  // redeploy failing -> PR 2 path after all.
+  sim::Host* node = channel->job && !channel->job->hosts().empty()
+                        ? channel->job->hosts().front()
+                        : nullptr;
+  if (node != nullptr && !node->is_up()) {
+    send_death_notice(*channel, WorkerDiedError::Cause::host_crash,
+                      "registry reported the worker proxy died", true);
     return;
   }
-
-  // Tell the script the worker is ready.
-  {
-    util::ByteWriter frame;
-    frame.put<std::uint8_t>(static_cast<std::uint8_t>(daemon_wire::Op::ready));
-    connection->send(std::move(frame).take());
-  }
-
-  // If the worker's host crashes, the registry broadcasts `died`. Tell the
-  // script *which machine* was lost (death notice on request id 0) before
-  // breaking the connection, so the fault path can exclude the right
-  // resource rather than guessing; the close then poisons any future calls.
-  // shared_ptr: the listener stays registered after this frame unwinds.
-  auto worker_dead = std::make_shared<bool>(false);
-  std::string node_name =
-      job->hosts().empty() ? "" : job->hosts().front()->name();
-  ibis_->on_event([worker_dead, proxy_name, node_name, connection](
-                      const ipl::RegistryEvent& event) {
-    if (event.type == ipl::RegistryEventType::died &&
-        event.id.name == proxy_name) {
-      *worker_dead = true;
-      try {
-        // Same fixed header as a reply frame (id 0 marks the notice; the
-        // zero-filled prefix leaves the span field 0 = untraced).
-        util::ByteWriter notice(kFrameHeaderBytes);
-        notice.patch<std::uint32_t>(0, kDeathNoticeId);
-        notice.patch<std::uint8_t>(
-            4, static_cast<std::uint8_t>(RpcStatus::worker_died));
-        notice.patch<std::uint8_t>(
-            5, static_cast<std::uint8_t>(WorkerDiedError::Cause::host_crash));
-        notice.put_string(node_name);
-        notice.put_string("registry reported the worker proxy died");
-        connection->send(std::move(notice).take());
-      } catch (const ConnectError&) {
-        // Script side already gone; nothing left to notify.
-      }
-      connection->close();  // poisons the script's outstanding futures
+  while (channel->restarts < kSupervisorBudget) {
+    double delay = supervisor_delay(channel->restarts);
+    ++channel->restarts;
+    log::warn("amuse") << "daemon: worker " << channel->spec.code << " on "
+                       << channel->node_name
+                       << " died; supervised restart #" << channel->restarts
+                       << " in " << delay << " s";
+    local_.simulation().sleep(delay);
+    if (stopping_ || channel->closed) return;
+    std::string error = deploy_proxy(channel, channel->generation + 1);
+    if (error.empty()) {
+      obs::metrics::counter("fault.supervisor_restarts").increment();
+      // Notify *before* reopening the relay: the script's pending calls
+      // must fail over to the revive/restore path before any resent frame
+      // can reach the blank replacement worker.
+      send_death_notice(*channel, WorkerDiedError::Cause::process_crash,
+                        "worker process restarted in place on " +
+                            channel->node_name,
+                        false);
+      channel->worker_dead = false;
+      log::info("amuse") << "daemon: worker " << channel->spec.code
+                         << " restarted in place on " << channel->node_name;
+      return;
     }
-  });
+    log::warn("amuse") << "daemon: supervised restart of "
+                       << channel->spec.code << " failed: " << error;
+    if (stopping_ || channel->closed) return;
+  }
+  send_death_notice(*channel, WorkerDiedError::Cause::host_crash,
+                    "worker died and the in-place restart budget is spent",
+                    true);
+}
 
-  // Upstream pump: proxy replies -> script.
-  ipl::ReceivePort* replies = reply_receiver.get();
-  sim::ProcessId upstream_pid = local_.spawn(
-      "daemon-upstream:" + std::to_string(worker_id),
-      [replies, connection] {
-        try {
-          while (true) {
-            auto message = replies->receive();
-            auto payload = message.reader.get_vector<std::uint8_t>();
-            connection->send(std::move(payload));
-          }
-        } catch (const ConnectError&) {
-        }
-      });
-  pids_.push_back(upstream_pid);
-
-  // Downstream pump: script frames -> proxy. Runs in this process.
+void IbisDaemon::send_death_notice(WorkerChannel& channel,
+                                   WorkerDiedError::Cause cause,
+                                   const std::string& detail,
+                                   bool close_after) {
   try {
-    while (true) {
-      if (*worker_dead) break;
-      auto bytes = connection->recv();
-      if (!bytes) {  // script closed: tell the proxy to shut down
-        util::ByteWriter frame;
-        frame.put_vector(std::vector<std::uint8_t>{});
-        try {
-          request_sender->send(std::move(frame));
-        } catch (const ConnectError&) {
-        }
-        break;
-      }
-      util::ByteWriter frame;
-      frame.put_vector(*bytes);
-      request_sender->send(std::move(frame));
-    }
+    // Same fixed header as a reply frame (id 0 marks the notice; the
+    // zero-filled prefix leaves the span field 0 = untraced).
+    util::ByteWriter notice(kFrameHeaderBytes);
+    notice.patch<std::uint32_t>(0, kDeathNoticeId);
+    notice.patch<std::uint8_t>(
+        4, static_cast<std::uint8_t>(RpcStatus::worker_died));
+    notice.patch<std::uint8_t>(5, static_cast<std::uint8_t>(cause));
+    notice.put_string(channel.node_name);
+    notice.put_string(detail);
+    channel.connection->send(std::move(notice).take());
   } catch (const ConnectError&) {
-    // Script side or proxy side went away.
+    // Script side already gone; nothing left to notify.
   }
-  local_.simulation().kill(upstream_pid);
+  if (close_after) {
+    channel.connection->close();  // poisons the script's outstanding futures
+  }
 }
 
 // -------------------------------------------------------- script client

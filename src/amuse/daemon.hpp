@@ -29,6 +29,15 @@ std::unique_ptr<RpcClient> start_local_worker(
 /// request it deploys a job in the Jungle through IbisDeploy/JavaGAT,
 /// waits for the worker's proxy to join the IPL pool, and then relays
 /// request/reply frames between script and proxy over IPL.
+///
+/// Since PR 8 the daemon is *supervised*: its accept loop is watched and
+/// restarted in place (capped exponential backoff) when the process dies
+/// while the host is healthy, and every worker proxy gets a per-generation
+/// supervisor that redeploys a crashed proxy/worker pair on the same
+/// resource before falling back to the PR 2 re-placement path. A
+/// successful in-place restart reaches the script as a death notice with
+/// cause=process_crash on the *still-open* connection — the signal to
+/// revive the RPC client and restore state rather than exclude the host.
 class IbisDaemon {
  public:
   static constexpr const char* kService = "amuse-daemon";
@@ -45,8 +54,51 @@ class IbisDaemon {
   int workers_started() const noexcept { return next_worker_id_ - 1; }
 
  private:
+  /// Everything one script<->worker relay needs across proxy generations.
+  /// Shared between the serve_client relay loop, the per-generation death
+  /// watchers and the supervisor process; `generation` disambiguates events
+  /// from proxies that were already replaced.
+  struct WorkerChannel {
+    std::uint32_t id = 0;
+    WorkerSpec spec;
+    std::string resource;
+    int nodes = 1;
+    std::string reply_port;
+    std::shared_ptr<smartsockets::ConnectionEnd> connection;
+    std::shared_ptr<gat::Job> job;
+    std::unique_ptr<ipl::SendPort> request_sender;
+    std::string node_name;
+    /// True from the moment the proxy is known dead until a supervised
+    /// restart brings a successor up; the relay drops frames meanwhile.
+    bool worker_dead = false;
+    /// Set when the script's connection winds down: the reply port dies
+    /// with the relay, so any in-flight supervision must stand down
+    /// instead of redeploying a worker nobody will ever talk to.
+    bool closed = false;
+    int generation = 0;
+    int restarts = 0;
+  };
+
   void accept_loop();
+  void supervise_accept_loop();
   void serve_client(std::shared_ptr<smartsockets::ConnectionEnd> connection);
+
+  /// Deploy proxy generation `generation` for this channel: submit the job,
+  /// wait for the proxy to join the pool, connect the request path and arm
+  /// the death watcher. Returns "" on success, the failure reason otherwise.
+  std::string deploy_proxy(const std::shared_ptr<WorkerChannel>& channel,
+                           int generation);
+  /// Arm a died-event watcher for one proxy generation.
+  void watch_proxy(const std::shared_ptr<WorkerChannel>& channel,
+                   const std::string& proxy_name, int generation);
+  /// Supervisor body (own process): backoff, redeploy in place, and notify
+  /// the script — process_crash on success, host_crash (PR 2 fallback,
+  /// connection closed) when the node is gone or the budget is spent.
+  void supervise_proxy(std::shared_ptr<WorkerChannel> channel);
+  /// Death notice on request id 0; closes the connection when `close_after`
+  /// (the non-recoverable tier).
+  void send_death_notice(WorkerChannel& channel, WorkerDiedError::Cause cause,
+                         const std::string& detail, bool close_after);
 
   deploy::Deployer& deployer_;
   sim::Network& net_;
@@ -57,6 +109,9 @@ class IbisDaemon {
   smartsockets::ServerSocket* listener_ = nullptr;
   std::uint32_t next_worker_id_ = 1;
   std::vector<sim::ProcessId> pids_;
+  sim::ProcessId accept_pid_ = 0;
+  int accept_restarts_ = 0;
+  bool stopping_ = false;
 };
 
 /// Script-side access to the daemon. start_worker blocks until the remote

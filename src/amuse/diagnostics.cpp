@@ -99,6 +99,8 @@ std::string iteration_table(std::span<const IterationReport> log) {
         << util::format_bytes(row.wan_bytes) << ", flops=" << row.flops
         << ", compute=" << row.compute_seconds << " s, substeps="
         << row.substeps << ", rpcs=" << row.rpc_calls;
+    if (row.rpc_retries > 0) out << ", retries=" << row.rpc_retries;
+    if (row.degraded) out << " [DEGRADED]";
     if (row.replay) out << " [REPLAY]";
     if (row.restarts > 0) out << " [restarts=" << row.restarts << "]";
     out << "\n";
@@ -121,6 +123,8 @@ std::string iteration_json(std::span<const IterationReport> log) {
         << ", \"compute_seconds\": " << row.compute_seconds
         << ", \"substeps\": " << row.substeps
         << ", \"rpc_calls\": " << row.rpc_calls
+        << ", \"rpc_retries\": " << row.rpc_retries
+        << ", \"degraded\": " << (row.degraded ? "true" : "false")
         << ", \"replay\": " << (row.replay ? "true" : "false")
         << ", \"restarts\": " << row.restarts << "}";
   }

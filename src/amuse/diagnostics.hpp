@@ -23,6 +23,8 @@ struct IterationReport {
   double compute_seconds = 0.0;  // modeled kernel compute time, summed
   std::uint64_t substeps = 0;    // integrator substeps, summed
   std::uint64_t rpc_calls = 0;   // client->worker calls issued
+  std::uint64_t rpc_retries = 0;  // idempotent resends within the step
+  bool degraded = false;  // a bulk transfer ran on fewer streams than planned
   bool replay = false;           // step re-run after a rollback
   int restarts = 0;              // fault recoveries charged to this step
 };

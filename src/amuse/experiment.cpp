@@ -294,6 +294,16 @@ void ExperimentSpec::validate() const {
   if (kill_host.empty() && kill_after_iteration >= 1) {
     fail("kill_after_iteration is set but kill_host names no host");
   }
+  if (!kill_process.empty() && kill_host.empty()) {
+    fail("kill_process is set but kill_host names no host to kill it on");
+  }
+  if (!flap_link.empty() && flap_after_iteration < 1) {
+    fail("flap_link is set but flap_after_iteration names no step");
+  }
+  if (flap_link.empty() &&
+      (flap_after_iteration >= 1 || flap_streams > 0)) {
+    fail("flap injection is configured but flap_link names no link");
+  }
 
   // Drift-triggered migration reuses the checkpoint/rollback machinery —
   // without checkpointing there is no consistent state to migrate.
@@ -412,6 +422,16 @@ ExperimentSpec ExperimentSpec::from_config(const util::Config& config) {
     spec.kill_host = config.get_or(s, "kill_host", "");
     spec.kill_after_iteration = static_cast<int>(
         config.get_int_or(s, "kill_after_iteration", -1));
+    spec.kill_process = config.get_or(s, "kill_process", "");
+    spec.flap_link = config.get_or(s, "flap_link", "");
+    spec.flap_after_iteration = static_cast<int>(
+        config.get_int_or(s, "flap_after_iteration", -1));
+    spec.flap_down_s =
+        config.get_double_or(s, "flap_down_s", spec.flap_down_s);
+    spec.flap_streams = static_cast<int>(
+        config.get_int_or(s, "flap_streams", spec.flap_streams));
+    spec.flap_streams_heal_s = config.get_double_or(
+        s, "flap_streams_heal_s", spec.flap_streams_heal_s);
     spec.rpc_timeout =
         config.get_double_or(s, "rpc_timeout", spec.rpc_timeout);
     spec.client = config.get_or(s, "client", "");
@@ -745,6 +765,43 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
       plan.roles[i].spec.meter = spec.models[i].name;
     };
 
+    // In-place revive (PR 8): cause=process_crash means the daemon's
+    // supervisor already restarted the crashed worker on the same node and
+    // kept the relay open — revive the client over the same link and
+    // restore state into the blank replacement. No exclusions, no
+    // re-placement; the PR 2 path stays the fallback tier (the daemon
+    // reports host_crash when the node is gone or its restart budget is
+    // spent).
+    std::vector<bool> revived(n_models, false);
+    auto reset_model_caches = [&](ModelRuntime& model) {
+      if (model.gravity) {
+        model.gravity->reset_delta_caches();
+      } else if (model.hydro) {
+        model.hydro->reset_delta_caches();
+      } else if (model.field) {
+        model.field->reset_delta_caches();
+      } else if (model.stellar) {
+        model.stellar->reset_delta_caches();
+      }
+    };
+    auto try_revive = [&](std::size_t i) {
+      RpcClient& rpc = models[i].rpc();
+      if (rpc.alive() ||
+          rpc.death_cause() != WorkerDiedError::Cause::process_crash) {
+        return false;
+      }
+      const sched::Assignment& a = plan.roles[i];
+      if (a.local() || (a.host != nullptr && !a.host->is_up())) return false;
+      spend_attempt();
+      rpc.revive();
+      reset_model_caches(models[i]);
+      revived[i] = true;
+      log::info("experiment")
+          << "worker '" << spec.models[i].name
+          << "' restarted in place; reviving the client on the same link";
+      return true;
+    };
+
     // Initial deployment is as exposed to the jungle as any later step: a
     // node can crash mid-spawn, a frontend can die holding half the graph.
     // Same policy as recovery — exclude what failed, re-place, try again.
@@ -914,18 +971,23 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
       for (std::size_t i = 0; i < n_models; ++i) {
         if (!model_dead(i)) continue;
         any_dead = true;
+        if (try_revive(i)) continue;  // in-place restart: keep the slot
         const sched::Assignment& was = plan.roles[i];
         if (was.local()) {
           throw CodeError("the client machine lost its own worker ('" +
                           spec.models[i].name + "'); nothing to re-place "
                           "onto");
         }
-        // Per-worker cause: a crashed host is already excluded; anything
-        // else (link fault, timeout, unknown) condemns the whole resource —
-        // the machine may be fine, the route to it is not.
+        // Per-worker cause: a crashed host is already excluded; a process
+        // crash blames neither host nor resource (the machine restarted
+        // the worker fine — revive only failed because the node went down
+        // meanwhile); anything else (link fault, timeout, unknown)
+        // condemns the whole resource — the machine may be fine, the
+        // route to it is not.
         RpcClient& rpc = models[i].rpc();
         if (!rpc.alive() &&
-            rpc.death_cause() != WorkerDiedError::Cause::host_crash) {
+            rpc.death_cause() != WorkerDiedError::Cause::host_crash &&
+            rpc.death_cause() != WorkerDiedError::Cause::process_crash) {
           scheduler.exclude_resource(was.resource);
         }
         replace_slot(i);
@@ -961,11 +1023,15 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
       for (std::size_t i = 0; i < n_models; ++i) {
         ModelRuntime& model = models[i];
         bool dynamic = model.gravity != nullptr || model.hydro != nullptr;
-        if (!dynamic && !model_dead(i)) continue;
+        if (!dynamic && !model_dead(i) && !revived[i]) continue;
         for (;;) {
           try {
-            model.close();
-            start_model(i);
+            // A revived slot keeps its client and relay: the supervised
+            // replacement worker is blank, so it only needs the restore.
+            if (!revived[i]) {
+              model.close();
+              start_model(i);
+            }
             if (model.gravity) {
               restore_gravity(*model.gravity, committed.gravity[i]);
             } else if (model.hydro) {
@@ -983,10 +1049,13 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
             // The replacement (or the machine it landed on) died while we
             // were restoring into it.
             note_death(again);
+            if (try_revive(i)) continue;  // another supervised restart
+            revived[i] = false;  // fall back: rebuild client and placement
             if (plan.roles[i].local()) throw;
             RpcClient& rpc = models[i].rpc();
             if (!rpc.alive() &&
-                rpc.death_cause() != WorkerDiedError::Cause::host_crash) {
+                rpc.death_cause() != WorkerDiedError::Cause::host_crash &&
+                rpc.death_cause() != WorkerDiedError::Cause::process_crash) {
               scheduler.exclude_resource(plan.roles[i].resource);
             }
             replace_slot(i);
@@ -1086,6 +1155,8 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
       double compute_total = 0.0;
       double substeps = 0.0;
       double rpc_calls = 0.0;
+      double rpc_retries = 0.0;
+      double degraded_transfers = 0.0;
     };
     auto read_metrics = [&] {
       MetricCursor cursor;
@@ -1102,6 +1173,9 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
         cursor.rpc_calls +=
             obs::metrics::counter_value("rpc." + name + ".calls");
       }
+      cursor.rpc_retries = obs::metrics::counter_value("rpc.retries");
+      cursor.degraded_transfers =
+          static_cast<double>(bed.network().degraded_transfers());
       return cursor;
     };
     auto wan_link_bytes = [&] {
@@ -1178,6 +1252,7 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
     double wall_start = bed.simulation().now();
     int completed = 0;
     bool killed = false;
+    bool flapped = false;
     // Replay detection: a step whose index was already attempted re-runs
     // work a rollback threw away (with per-step checkpoints the rollback
     // target is always the last *completed* step, so the replayed step is
@@ -1271,10 +1346,20 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
             metrics_now.substeps - metric_cursor.substeps + 0.5);
         row.rpc_calls = static_cast<std::uint64_t>(
             metrics_now.rpc_calls - metric_cursor.rpc_calls + 0.5);
+        row.rpc_retries = static_cast<std::uint64_t>(
+            metrics_now.rpc_retries - metric_cursor.rpc_retries + 0.5);
+        row.degraded = metrics_now.degraded_transfers -
+                           metric_cursor.degraded_transfers >
+                       0.5;
         row.replay = replaying;
         row.restarts = result.restarts - restarts_mark;
         if (row.replay) {
           obs::metrics::counter("fault.replayed_steps").increment();
+        }
+        if (row.degraded) {
+          // A bulk transfer this step rode on fewer streams than planned
+          // (partial stripe failure): the step completed, degraded.
+          obs::metrics::counter("fault.degraded_iterations").increment();
         }
         result.iteration_log.push_back(row);
 
@@ -1318,7 +1403,25 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
         if (fault_tolerant && !killed && !spec.kill_host.empty() &&
             completed == spec.kill_after_iteration) {
           killed = true;
-          bed.network().host(spec.kill_host).crash();
+          if (spec.kill_process.empty()) {
+            bed.network().host(spec.kill_host).crash();
+          } else {
+            // Process-level fault: kill one process on the host (daemon,
+            // proxy, worker) and leave the machine up — this is the tier
+            // the supervisors recover in place.
+            bed.network().host(spec.kill_host).kill_process(
+                spec.kill_process);
+          }
+        }
+        if (!flapped && !spec.flap_link.empty() &&
+            completed == spec.flap_after_iteration) {
+          flapped = true;
+          if (spec.flap_streams > 0) {
+            bed.network().fail_streams(spec.flap_link, spec.flap_streams,
+                                       spec.flap_streams_heal_s);
+          } else {
+            bed.network().flap_link(spec.flap_link, spec.flap_down_s);
+          }
         }
       } catch (const WorkerDiedError& death) {
         if (!fault_tolerant) throw;

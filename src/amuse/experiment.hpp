@@ -101,9 +101,26 @@ struct ExperimentSpec {
   /// Fault policy: checkpoint every model after each step and re-place /
   /// roll back on worker death. kill_host/kill_after_iteration inject one
   /// host crash for testing — valid only with checkpointing on (validated).
+  /// kill_process narrows the same injection to one process on that host
+  /// (e.g. "amuse-daemon", "job", "worker"): the machine stays up and the
+  /// supervisors recover in place instead of re-placing.
   bool checkpointing = false;
   std::string kill_host;
   int kill_after_iteration = -1;
+  std::string kill_process;
+
+  /// Link-fault injection: after iteration `flap_after_iteration`, flap
+  /// `flap_link` down for `flap_down_s` virtual seconds (it heals by
+  /// itself), or — when `flap_streams` > 0 — fail that many of the link's
+  /// parallel streams instead, healing after `flap_streams_heal_s`. A flap
+  /// shorter than the outage grace budget is survived by the retry layer
+  /// without any rollback; a stream failure degrades bulk transfers to the
+  /// surviving streams (fault.degraded_iterations counts the steps hit).
+  std::string flap_link;
+  int flap_after_iteration = -1;
+  double flap_down_s = 2.0;
+  int flap_streams = 0;
+  double flap_streams_heal_s = 5.0;
 
   /// Per-call RPC reply deadline (virtual seconds; 0 disables). A worker
   /// that stops answering — hung process, silently black-holed route —

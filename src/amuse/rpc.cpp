@@ -1,5 +1,7 @@
 #include "amuse/rpc.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 namespace jungle::amuse {
@@ -9,8 +11,10 @@ namespace {
 // Header field offsets (see the frame layout note in rpc.hpp).
 constexpr std::size_t kIdOffset = 0;
 constexpr std::size_t kFnOffset = 4;
+constexpr std::size_t kFlagsOffset = 6;
 constexpr std::size_t kStatusOffset = 4;
 constexpr std::size_t kSpanOffset = 8;
+constexpr std::size_t kDeadlineOffset = 16;
 
 /// Frame a header-only reply (ping, death notices built client-side).
 util::ByteWriter make_reply_frame(std::uint32_t request_id, RpcStatus status) {
@@ -21,7 +25,60 @@ util::ByteWriter make_reply_frame(std::uint32_t request_id, RpcStatus status) {
   return frame;
 }
 
+/// Error reply with a message payload.
+util::ByteWriter make_error_frame(std::uint32_t request_id,
+                                  const std::string& what) {
+  util::ByteWriter reply = make_reply_frame(request_id, RpcStatus::code_error);
+  reply.put_bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(what.data()), what.size()));
+  return reply;
+}
+
+/// Deterministic backoff jitter in [0.5, 1.5): an FNV-1a hash of (worker
+/// label, request id, attempt) — no RNG, so a replayed fault schedule
+/// resends at bit-identical times, but concurrent retryers still spread out
+/// instead of thundering in lockstep.
+double jitter_factor(const std::string& label, std::uint32_t request_id,
+                     int attempt) noexcept {
+  std::uint64_t hash = 1469598103934665603ULL;
+  auto mix = [&hash](std::uint8_t byte) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;
+  };
+  for (char c : label) mix(static_cast<std::uint8_t>(c));
+  for (int i = 0; i < 4; ++i) {
+    mix(static_cast<std::uint8_t>(request_id >> (8 * i)));
+  }
+  mix(static_cast<std::uint8_t>(attempt));
+  return 0.5 + static_cast<double>(hash % 1024) / 1024.0;
+}
+
 }  // namespace
+
+bool retry_safe(Fn fn) noexcept {
+  switch (fn) {
+    case Fn::ping:
+    case Fn::grav_get_state:
+    case Fn::grav_get_energies:
+    case Fn::grav_get_time:
+    case Fn::grav_get_dynamics:
+    case Fn::grav_kick_all:  // repeat-kick: replay cache makes it exactly-once
+    case Fn::field_accel_at:
+    case Fn::field_accel_for:
+    case Fn::hydro_get_state:
+    case Fn::hydro_get_energies:
+    case Fn::hydro_get_time:
+    case Fn::hydro_kick_all:
+    case Fn::se_get_masses:
+    case Fn::se_get_supernovae:
+    case Fn::se_get_mass_loss:
+    case Fn::se_get_luminosities:
+    case Fn::se_get_mass_updates:
+      return true;
+    default:
+      return false;
+  }
+}
 
 const char* fn_name(Fn fn) noexcept {
   switch (fn) {
@@ -63,25 +120,67 @@ const char* fn_name(Fn fn) noexcept {
 
 util::ByteReader Future::get() {
   RpcReply reply;
-  if (state_->timeout_s > 0.0) {
-    auto maybe = state_->box.get_for(state_->timeout_s);
-    if (!maybe) {
-      // Deadline passed with no reply: poison the issuing client. That
-      // deposits a death reply for this call too (it is still pending),
-      // which the blocking get() below picks up immediately.
-      if (state_->on_timeout) state_->on_timeout();
-      maybe = state_->box.get_for(0.0);
-      if (!maybe) {
-        // The call was no longer pending (defensive; should not happen).
-        throw WorkerDiedError(state_->worker, "",
-                              WorkerDiedError::Cause::timeout,
-                              "no reply within " +
-                                  std::to_string(state_->timeout_s) + " s");
+  bool have = false;
+  bool expired = false;
+  double remaining = state_->timeout_s;  // 0 = wait forever
+  if (state_->resend && state_->soft_delay_s > 0.0) {
+    // Idempotent call: wait in soft-deadline slices, retransmitting the
+    // frame between slices (same request id, resend flag) with jittered,
+    // doubling backoff. A reply that was merely delayed — daemon restart,
+    // flapping link — lands during one of the waits; the worker dedups the
+    // extra frames and the pump drops the extra replies.
+    double base = state_->soft_delay_s;
+    for (int attempt = 0;; ++attempt) {
+      double wait =
+          base * jitter_factor(state_->worker, state_->request_id, attempt);
+      if (state_->timeout_s > 0.0) {
+        if (remaining <= 0.0) {
+          expired = true;
+          break;
+        }
+        wait = std::min(wait, remaining);
       }
+      auto maybe = state_->box.get_for(wait);
+      if (state_->timeout_s > 0.0) remaining -= wait;
+      if (maybe) {
+        reply = std::move(*maybe);
+        have = true;
+        break;
+      }
+      if (!state_->resend(attempt)) break;  // budget spent or pipe unusable
+      base *= 2.0;
     }
-    reply = std::move(*maybe);
-  } else {
-    reply = state_->box.get();
+  }
+  if (!have) {
+    if (state_->timeout_s > 0.0) {
+      if (!expired) {
+        auto maybe = state_->box.get_for(std::max(remaining, 0.0));
+        if (maybe) {
+          reply = std::move(*maybe);
+          have = true;
+        } else {
+          expired = true;
+        }
+      }
+      if (expired) {
+        // Hard deadline passed with no reply: poison the issuing client.
+        // That deposits a death reply for this call too (it is still
+        // pending), which the zero-wait get below picks up immediately.
+        rpc_deadline_misses_counter().increment();
+        if (state_->on_timeout) state_->on_timeout();
+        auto maybe = state_->box.get_for(0.0);
+        if (!maybe) {
+          // The call was no longer pending (defensive; should not happen).
+          throw WorkerDiedError(state_->worker, "",
+                                WorkerDiedError::Cause::timeout,
+                                "no reply within " +
+                                    std::to_string(state_->timeout_s) + " s");
+        }
+        reply = std::move(*maybe);
+      }
+    } else {
+      reply = state_->box.get();
+    }
   }
   if (reply.status == RpcStatus::ok) {
     return util::ByteReader(std::move(reply.frame), reply.payload_offset);
@@ -148,8 +247,15 @@ void RpcClient::pump() {
       }
       auto it = pending_.find(request_id);
       if (it == pending_.end()) {
-        log::warn("amuse") << label_ << ": reply for unknown request "
-                           << request_id;
+        if (recently_completed(request_id)) {
+          // The duplicate answer of a call that was also resent (or that
+          // raced a poison): expected traffic, drop it quietly.
+          log::debug("amuse") << label_ << ": dropped duplicate reply for "
+                              << request_id;
+        } else {
+          log::warn("amuse") << label_ << ": reply for unknown request "
+                             << request_id;
+        }
         continue;
       }
       Future::State& state = *it->second;
@@ -166,6 +272,7 @@ void RpcClient::pump() {
       reply.frame = std::move(reader).release();
       m_bytes_in_->add(static_cast<double>(reply.frame.size()));
       state.box.put(std::move(reply));
+      remember_completed(request_id);
       pending_.erase(it);
     }
   } catch (const ConnectError& failure) {
@@ -194,8 +301,30 @@ void RpcClient::poison(const std::string& reason, WorkerDiedError::Cause cause,
   for (auto& [id, state] : pending_) {
     state->span.end();  // never answered; close so the trace stays balanced
     state->box.put(death_reply());
+    // A late real reply (e.g. sent just before the worker died) should be
+    // dropped as a duplicate, not warned about as unknown.
+    remember_completed(id);
   }
   pending_.clear();
+}
+
+void RpcClient::revive() {
+  if (closed_) return;  // a closed client is gone for good
+  dead_ = false;
+  death_reason_.clear();
+  death_host_.clear();
+  death_cause_ = WorkerDiedError::Cause::unknown;
+}
+
+void RpcClient::remember_completed(std::uint32_t request_id) {
+  recent_[recent_pos_] = request_id;
+  recent_pos_ = (recent_pos_ + 1) % recent_.size();
+}
+
+bool RpcClient::recently_completed(std::uint32_t request_id) const noexcept {
+  if (request_id == 0) return false;
+  return std::find(recent_.begin(), recent_.end(), request_id) !=
+         recent_.end();
 }
 
 Future RpcClient::call(Fn fn, util::ByteWriter arguments) {
@@ -214,6 +343,7 @@ Future RpcClient::call(Fn fn, util::ByteWriter arguments) {
     return Future(state);
   }
   std::uint32_t request_id = next_request_++;
+  state->request_id = request_id;
   state->t_sent = home_.simulation().now();
   state->span =
       obs::trace::async_span(std::string("rpc:") + fn_name(fn), "rpc");
@@ -222,17 +352,46 @@ Future RpcClient::call(Fn fn, util::ByteWriter arguments) {
   // place and ship the buffer — the payload is not copied again. Plain
   // writers (e.g. the empty `{}` of parameterless calls) get wrapped.
   util::ByteWriter frame;
-  if (arguments.prefix() >= kFrameHeaderBytes) {
+  if (arguments.prefix() >= kRequestHeaderBytes) {
     frame = std::move(arguments);
   } else {
-    frame = util::ByteWriter(kFrameHeaderBytes);
+    frame = util::ByteWriter(kRequestHeaderBytes);
     frame.append(std::move(arguments));
   }
+  bool retryable = retry_safe(fn) && retry_max_resends_ > 0;
   frame.patch<std::uint32_t>(kIdOffset, request_id);
   frame.patch<std::uint16_t>(kFnOffset, static_cast<std::uint16_t>(fn));
+  frame.patch<std::uint16_t>(
+      kFlagsOffset, retryable ? rpc_flags::idempotent : std::uint16_t{0});
   // Trace context: the worker-side span parents under this in-flight call.
   frame.patch<std::uint64_t>(kSpanOffset, state->span.id());
+  frame.patch<double>(kDeadlineOffset,
+                      call_timeout_s_ > 0.0 ? state->t_sent + call_timeout_s_
+                                            : 0.0);
   auto bytes = std::move(frame).take();
+  if (retryable) {
+    // Keep a copy of the exact frame for retransmission. Reusing the id is
+    // the idempotency token: the worker replays the cached reply instead of
+    // executing again, and stale duplicates are dropped by the recent ring.
+    state->soft_delay_s = retry_soft_delay_s_;
+    state->resend = [this, request_id, fn, copy = bytes](int attempt) {
+      if (attempt >= retry_max_resends_) return false;
+      if (dead_ || closed_) return false;
+      if (pending_.find(request_id) == pending_.end()) return false;
+      auto resend_bytes = copy;
+      // Flags live at a little-endian u16; the resend bit fits the low byte.
+      resend_bytes[kFlagsOffset] |= rpc_flags::resend;
+      rpc_retries_counter().increment();
+      log::debug("amuse") << label_ << ": resend " << fn_name(fn) << " #"
+                          << request_id << " (attempt " << attempt + 1 << ")";
+      try {
+        pipe_->send_bytes(std::move(resend_bytes));
+      } catch (const ConnectError&) {
+        return false;  // pipe is gone; the pump will poison shortly
+      }
+      return true;
+    };
+  }
   m_calls_->increment();
   m_bytes_out_->add(static_cast<double>(bytes.size()));
   try {
@@ -254,7 +413,7 @@ void RpcClient::close() {
   if (closed_ || dead_) return;
   closed_ = true;
   try {
-    util::ByteWriter frame(kFrameHeaderBytes);
+    util::ByteWriter frame(kRequestHeaderBytes);
     frame.patch<std::uint32_t>(kIdOffset, 0);
     frame.patch<std::uint16_t>(kFnOffset,
                                static_cast<std::uint16_t>(Fn::stop));
@@ -266,6 +425,17 @@ void RpcClient::close() {
   home_.simulation().kill(pump_pid_);
 }
 
+void WorkerServer::cache_reply(std::uint32_t request_id,
+                               const std::vector<std::uint8_t>& bytes) {
+  if (replay_.emplace(request_id, bytes).second) {
+    replay_order_.push_back(request_id);
+    while (replay_order_.size() > kReplayCacheEntries) {
+      replay_.erase(replay_order_.front());
+      replay_order_.pop_front();
+    }
+  }
+}
+
 void WorkerServer::run() {
   try {
     while (true) {
@@ -274,9 +444,33 @@ void WorkerServer::run() {
       util::ByteReader reader(std::move(*bytes));
       auto request_id = reader.get<std::uint32_t>();
       auto fn = static_cast<Fn>(reader.get<std::uint16_t>());
-      reader.get<std::uint16_t>();  // header padding
+      auto flags = reader.get<std::uint16_t>();
       auto wire_span = reader.get<std::uint64_t>();
+      auto deadline = reader.get<double>();
       if (fn == Fn::stop) return;
+      if (flags & rpc_flags::resend) {
+        auto cached = replay_.find(request_id);
+        if (cached != replay_.end()) {
+          // Retransmission of a call that already executed: replay the
+          // cached reply bytes verbatim. Exactly-once execution is what
+          // makes retrying flagged state-touching calls (repeat kicks)
+          // safe; the client's recent-id ring absorbs the duplicates.
+          pipe_->send_bytes(cached->second);
+          continue;
+        }
+        // Not executed yet (the original frame is still in flight behind
+        // this one, or was never delivered): fall through and execute — the
+        // idempotent flag below caches this execution for later duplicates.
+      }
+      if (deadline > 0.0 && clock_ && clock_() > deadline) {
+        // The caller's hard deadline already passed: it has declared this
+        // worker dead and is recovering elsewhere. Refuse instead of
+        // executing — mutating state now would race the restore.
+        pipe_->send_bytes(
+            make_error_frame(request_id, "deadline expired before execution")
+                .take());
+        continue;
+      }
       // The worker-side span parents under the wire-propagated client span,
       // so kernel spans opened inside the dispatcher nest correctly across
       // hosts. Its id is echoed in the reply header for the flow arrow.
@@ -300,16 +494,14 @@ void WorkerServer::run() {
           reply.patch<std::uint8_t>(kStatusOffset,
                                     static_cast<std::uint8_t>(RpcStatus::ok));
         } catch (const Error& failure) {
-          std::string what = failure.what();
-          reply = make_reply_frame(request_id, RpcStatus::code_error);
-          reply.put_bytes(std::span<const std::uint8_t>(
-              reinterpret_cast<const std::uint8_t*>(what.data()),
-              what.size()));
+          reply = make_error_frame(request_id, failure.what());
         }
       }
       reply.patch<std::uint64_t>(kSpanOffset, serve.id());
       serve.end();
-      pipe_->send_bytes(std::move(reply).take());
+      auto reply_bytes = std::move(reply).take();
+      if (flags & rpc_flags::idempotent) cache_reply(request_id, reply_bytes);
+      pipe_->send_bytes(std::move(reply_bytes));
     }
   } catch (const ConnectError&) {
     // Client side vanished; worker just exits.

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -86,16 +88,41 @@ const char* fn_name(Fn fn) noexcept;
 /// Reply status on the wire.
 enum class RpcStatus : std::uint8_t { ok = 0, code_error = 1, worker_died = 2 };
 
-/// Both frame directions carry a fixed 16-byte header; the payload is simply
-/// the rest of the frame (no inner length prefix, no extra payload copy):
-///   request:  [u32 request_id][u16 fn][u16 zero][u64 span_id]          + payload
-///   reply:    [u32 request_id][u8 status][u8 cause][u16 zero][u64 span_id] + payload
+/// Fixed frame headers; the payload is simply the rest of the frame (no
+/// inner length prefix, no extra payload copy):
+///   request: [u32 request_id][u16 fn][u16 flags][u64 span_id][f64 deadline] + payload
+///   reply:   [u32 request_id][u8 status][u8 cause][u16 zero][u64 span_id]   + payload
 /// span_id is the trace context: requests carry the caller's current span
 /// so worker-side spans parent under the client call across hosts; replies
 /// echo the server-side span that handled the call (0 = untraced). The
-/// 16-byte size keeps payload array fields 8-aligned in the receive buffer,
-/// which is what makes ByteReader::get_span views legal.
-constexpr std::size_t kFrameHeaderBytes = 16;
+/// request id doubles as the call's *idempotency token*: a client-side
+/// resend reuses the id (with the resend flag set) and the worker replays
+/// the cached reply instead of executing twice. `deadline` is the absolute
+/// virtual time after which the client gives up (0 = none); a worker that
+/// receives an already-expired request refuses it instead of mutating state
+/// the caller is about to restore elsewhere. Both header sizes are multiples
+/// of 8, which keeps payload array fields 8-aligned in the receive buffer —
+/// that is what makes ByteReader::get_span views legal.
+constexpr std::size_t kFrameHeaderBytes = 16;    // reply header
+constexpr std::size_t kRequestHeaderBytes = 24;  // request header
+
+/// Request header flag bits.
+namespace rpc_flags {
+/// The call may execute at most once but be *asked* more than once: the
+/// worker caches the reply bytes keyed by request id so a resend replays
+/// the answer instead of re-executing.
+constexpr std::uint16_t idempotent = 1;
+/// This frame is a client-side retransmission of an earlier request (same
+/// id). The worker serves it from the replay cache when possible.
+constexpr std::uint16_t resend = 2;
+}  // namespace rpc_flags
+
+/// Whether a function is safe to retry across a transport wobble: state
+/// fetches and field queries (re-execution returns the same answer) and the
+/// repeat-kicks (the worker-side replay cache makes them exactly-once).
+/// Everything that advances model state irreversibly — evolve, set_masses,
+/// add_particles — is excluded and surfaces WorkerDiedError instead.
+bool retry_safe(Fn fn) noexcept;
 
 struct RpcReply {
   RpcStatus status = RpcStatus::ok;
@@ -155,6 +182,7 @@ class Future {
     explicit State(sim::Simulation& sim) : box(sim) {}
     sim::Mailbox<RpcReply> box;
     std::string worker;  // label of the client that issued the call
+    std::uint32_t request_id = 0;
     double timeout_s = 0.0;  // 0 = wait forever
     double t_sent = 0.0;     // virtual send time (latency histogram)
     /// Client-side RPC span, open while the call is in flight (the pump
@@ -164,6 +192,13 @@ class Future {
     /// outstanding call on the same pipe fails too (one hung worker, one
     /// death report — not one timeout per call).
     std::function<void()> on_timeout;
+    /// Retry plumbing, installed by the client for retry_safe calls: get()
+    /// waits in soft-deadline slices of (jittered, doubling) `soft_delay_s`
+    /// and invokes `resend(attempt)` between slices — the callback ships the
+    /// original frame again with the resend flag set and returns false once
+    /// the retry budget is spent or the pipe is unusable.
+    double soft_delay_s = 0.0;  // 0 = no client-side resends
+    std::function<bool(int)> resend;
   };
 
   explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
@@ -186,10 +221,12 @@ class RpcClient {
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
 
-  /// Argument writer with the frame header pre-reserved: call() patches the
-  /// id/function into it and ships the buffer as-is — the payload is never
-  /// copied into a second framing buffer.
-  static util::ByteWriter request() { return util::ByteWriter(kFrameHeaderBytes); }
+  /// Argument writer with the request header pre-reserved: call() patches
+  /// the id/function into it and ships the buffer as-is — the payload is
+  /// never copied into a second framing buffer.
+  static util::ByteWriter request() {
+    return util::ByteWriter(kRequestHeaderBytes);
+  }
 
   Future call(Fn fn, util::ByteWriter arguments);
   util::ByteReader call_sync(Fn fn, util::ByteWriter arguments);
@@ -218,6 +255,24 @@ class RpcClient {
               WorkerDiedError::Cause cause = WorkerDiedError::Cause::unknown,
               const std::string& host = "");
 
+  /// Un-poison after a supervised in-place restart (cause=process_crash):
+  /// the pipe to the daemon stayed open and a fresh worker now answers on
+  /// it, so this client can carry on — the caller is responsible for
+  /// restoring model state into the blank worker. Outstanding calls were
+  /// already failed by poison(); nothing is replayed.
+  void revive();
+
+  /// Client-side resend policy for retry_safe calls: after `soft_delay_s`
+  /// of virtual time without a reply the frame is retransmitted (same
+  /// request id, resend flag), with deterministic jitter and doubling
+  /// backoff, up to `max_resends` times. The default soft delay is far
+  /// above a healthy reply's latency, so fault-free runs never resend and
+  /// golden digests are unaffected. `max_resends = 0` disables retries.
+  void set_retry_policy(double soft_delay_s, int max_resends) noexcept {
+    retry_soft_delay_s_ = soft_delay_s;
+    retry_max_resends_ = max_resends;
+  }
+
   /// Name this client's metrics series rpc.<meter>.{calls,bytes_out,
   /// bytes_in,latency_s}. Defaults to the label; the experiment runner sets
   /// the model name so worker meters and RPC meters line up.
@@ -226,13 +281,22 @@ class RpcClient {
  private:
   void pump();
   RpcReply death_reply() const;
+  void remember_completed(std::uint32_t request_id);
+  bool recently_completed(std::uint32_t request_id) const noexcept;
 
   sim::Host& home_;
   std::unique_ptr<MessagePipe> pipe_;
   std::string label_;
   double call_timeout_s_ = 0.0;
+  double retry_soft_delay_s_ = 1.0;
+  int retry_max_resends_ = 6;
   std::uint32_t next_request_ = 1;
   std::map<std::uint32_t, std::shared_ptr<Future::State>> pending_;
+  /// Ring of recently answered request ids: a duplicate reply (the original
+  /// answer of a call that was also resent) is dropped quietly instead of
+  /// warning about an unknown request.
+  std::array<std::uint32_t, 64> recent_{};
+  std::size_t recent_pos_ = 0;
   bool dead_ = false;
   std::string death_reason_;
   std::string death_host_;
@@ -244,6 +308,16 @@ class RpcClient {
   obs::metrics::Counter* m_bytes_in_ = nullptr;
   obs::metrics::Histogram* m_latency_ = nullptr;
 };
+
+/// Global (not per-meter) retry telemetry — what the fault story is judged
+/// by: a flapping link shows up as rpc.retries > 0 with zero rollbacks, a
+/// hung worker as rpc.deadline_misses > 0.
+inline obs::metrics::Counter& rpc_retries_counter() {
+  return obs::metrics::counter("rpc.retries");
+}
+inline obs::metrics::Counter& rpc_deadline_misses_counter() {
+  return obs::metrics::counter("rpc.deadline_misses");
+}
 
 /// Worker-side dispatcher: maps a function id + argument reader to a result.
 /// Throwing CodeError inside produces an error reply (not a crash). Build
@@ -258,18 +332,38 @@ inline util::ByteWriter reply_writer() {
 }
 
 /// Worker-side request loop. Runs on the worker's own process until the
-/// client sends `stop` or the pipe closes/breaks.
+/// client sends `stop` or the pipe closes/breaks. Requests flagged
+/// idempotent have their reply bytes cached by request id; a flagged resend
+/// is answered from that cache without re-executing — the exactly-once
+/// guarantee that makes client-side retries of state-touching-but-safe
+/// calls (repeat kicks) sound. When a `clock` is provided, requests whose
+/// wire deadline already passed are refused with a code error instead of
+/// executed: the client has given up and is restoring state elsewhere.
 class WorkerServer {
  public:
-  WorkerServer(std::unique_ptr<MessagePipe> pipe, Dispatcher dispatcher)
-      : pipe_(std::move(pipe)), dispatcher_(std::move(dispatcher)) {}
+  WorkerServer(std::unique_ptr<MessagePipe> pipe, Dispatcher dispatcher,
+               std::function<double()> clock = {})
+      : pipe_(std::move(pipe)),
+        dispatcher_(std::move(dispatcher)),
+        clock_(std::move(clock)) {}
 
   /// Blocking; returns when the worker is told to stop.
   void run();
 
  private:
+  /// Replay cache entries kept (FIFO). Deep enough to cover every call a
+  /// client can have in flight at once; old entries cannot be resent anyway
+  /// once their reply was consumed.
+  static constexpr std::size_t kReplayCacheEntries = 64;
+
+  void cache_reply(std::uint32_t request_id,
+                   const std::vector<std::uint8_t>& bytes);
+
   std::unique_ptr<MessagePipe> pipe_;
   Dispatcher dispatcher_;
+  std::function<double()> clock_;
+  std::map<std::uint32_t, std::vector<std::uint8_t>> replay_;
+  std::deque<std::uint32_t> replay_order_;
 };
 
 }  // namespace jungle::amuse

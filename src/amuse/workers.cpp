@@ -716,7 +716,8 @@ void run_worker(std::unique_ptr<MessagePipe> pipe, const WorkerSpec& spec,
   log::info("amuse") << "worker " << spec.code << " serving on "
                      << primary->name() << " (" << pool.lanes()
                      << " kernel lanes)";
-  WorkerServer server(std::move(pipe), std::move(dispatcher));
+  WorkerServer server(std::move(pipe), std::move(dispatcher),
+                      [&net] { return net.simulation().now(); });
   server.run();
   if (parallel) {
     parallel->stop();

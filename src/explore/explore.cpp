@@ -20,8 +20,46 @@ namespace faultpoint = amuse::faultpoint;
 namespace {
 
 const char* kind_name(Injection::Kind kind) {
-  return kind == Injection::Kind::crash ? "crash" : "link";
+  switch (kind) {
+    case Injection::Kind::crash:
+      return "crash";
+    case Injection::Kind::link:
+      return "link";
+    case Injection::Kind::daemon:
+      return "daemon";
+    case Injection::Kind::proxy:
+      return "proxy";
+    case Injection::Kind::worker:
+      return "worker";
+    case Injection::Kind::timer:
+      return "timer";
+  }
+  return "crash";
 }
+
+bool parse_kind(const std::string& text, Injection::Kind& kind) {
+  if (text == "crash") {
+    kind = Injection::Kind::crash;
+  } else if (text == "link") {
+    kind = Injection::Kind::link;
+  } else if (text == "daemon") {
+    kind = Injection::Kind::daemon;
+  } else if (text == "proxy") {
+    kind = Injection::Kind::proxy;
+  } else if (text == "worker") {
+    kind = Injection::Kind::worker;
+  } else if (text == "timer") {
+    kind = Injection::Kind::timer;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Timer-tier skew: off the protocol-point grid on purpose. Not a multiple
+/// of the 0.05 s hop-retry tick, so the crash lands *between* whatever the
+/// addressed point and its successor are doing.
+constexpr double kTimerSkew = 0.075;
 
 // FNV-1a, same constants as the checkpoint digest (amuse/faults.cpp) — two
 // independent hash families buy nothing here.
@@ -84,12 +122,9 @@ Schedule parse_schedule(const std::string& text) {
       fail("iteration/occurrence must be integers");
     }
     std::string kind = item.substr(eq + 1, colon - eq - 1);
-    if (kind == "crash")
-      inj.kind = Injection::Kind::crash;
-    else if (kind == "link")
-      inj.kind = Injection::Kind::link;
-    else
-      fail("kind must be crash or link, got \"" + kind + "\"");
+    if (!parse_kind(kind, inj.kind))
+      fail("kind must be crash, link, daemon, proxy, worker or timer, "
+           "got \"" + kind + "\"");
     inj.victim = item.substr(colon + 1);
     if (inj.victim.empty()) fail("empty victim");
     schedule.push_back(std::move(inj));
@@ -105,11 +140,37 @@ ScheduleInjector::ScheduleInjector(sim::Network& net, Schedule schedule)
     : net_(&net), schedule_(std::move(schedule)) {}
 
 void ScheduleInjector::fire(const Injection& injection) {
-  if (injection.kind == Injection::Kind::crash) {
-    sim::Host* victim = net_->find_host(injection.victim);
-    if (victim && victim->is_up()) victim->crash();
-  } else {
-    net_->set_link_down(injection.victim, true);
+  sim::Host* victim = injection.kind == Injection::Kind::link
+                          ? nullptr
+                          : net_->find_host(injection.victim);
+  switch (injection.kind) {
+    case Injection::Kind::crash:
+      if (victim && victim->is_up()) victim->crash();
+      break;
+    case Injection::Kind::link:
+      net_->set_link_down(injection.victim, true);
+      break;
+    // Process-tier victims: kill one process, leave the machine up. A miss
+    // (no such process on this host right now) is a deliberate no-op — the
+    // DFS addresses every host at every point, and most are empty.
+    case Injection::Kind::daemon:
+      if (victim && victim->is_up()) victim->kill_process("amuse-daemon");
+      break;
+    case Injection::Kind::proxy:
+      if (victim && victim->is_up()) victim->kill_process("job");
+      break;
+    case Injection::Kind::worker:
+      if (victim && victim->is_up()) victim->kill_process("worker");
+      break;
+    case Injection::Kind::timer:
+      // Crash *between* protocol points: schedule it a fixed skew after
+      // this one instead of synchronously at it.
+      if (victim && victim->is_up()) {
+        net_->simulation().after(kTimerSkew, [victim] {
+          if (victim->is_up()) victim->crash();
+        });
+      }
+      break;
   }
 }
 
@@ -151,21 +212,33 @@ Explorer::Explorer(util::Config config, Options options)
   // Candidate victims: every host except the client machine (crashing the
   // script is game over, not a protocol scenario) and every WAN link. LAN
   // links and the loopback stay up — they model a machine's own wiring.
+  // The process tier (PR 8): the daemon lives on the client machine — that
+  // kill is survivable, so the client IS a daemon-victim; proxy/worker
+  // kills address the non-client hosts (a miss is a no-op); timer crashes
+  // address the same hosts as the crash tier, just off the point grid.
   amuse::experiment::JungleTestbed bed(config_);
   std::string client = bed.client_host().name();
+  auto add = [&](Injection::Kind kind, const std::string& victim) {
+    if (!options_.victim_kinds.empty() &&
+        options_.victim_kinds.count(kind) == 0) {
+      return;
+    }
+    Injection inj;
+    inj.kind = kind;
+    inj.victim = victim;
+    victims_.push_back(std::move(inj));
+  };
+  add(Injection::Kind::daemon, client);
   for (const std::string& host : bed.network().host_names()) {
     if (host == client) continue;
-    Injection inj;
-    inj.kind = Injection::Kind::crash;
-    inj.victim = host;
-    victims_.push_back(std::move(inj));
+    add(Injection::Kind::crash, host);
+    add(Injection::Kind::timer, host);
+    add(Injection::Kind::proxy, host);
+    add(Injection::Kind::worker, host);
   }
   for (const auto& link : bed.network().traffic_report()) {
     if (link.name == "loopback" || link.name.rfind("lan:", 0) == 0) continue;
-    Injection inj;
-    inj.kind = Injection::Kind::link;
-    inj.victim = link.name;
-    victims_.push_back(std::move(inj));
+    add(Injection::Kind::link, link.name);
   }
 }
 
@@ -297,10 +370,19 @@ void Explorer::dfs(const Schedule& base,
     for (const Injection& victim : victims_) {
       if (victim.kind == Injection::Kind::link && !options_.link_faults)
         continue;
-      // Re-killing a dead victim is a no-op run: skip it statically.
+      // Re-killing a dead victim is a no-op run: skip it statically. The
+      // process tier is exempt — a supervised restart brings the victim
+      // back, and killing it *again* (the double-fault mid-backoff case)
+      // is exactly what this tier is here to exercise.
+      bool repeatable = victim.kind == Injection::Kind::daemon ||
+                        victim.kind == Injection::Kind::proxy ||
+                        victim.kind == Injection::Kind::worker;
       bool already = false;
-      for (const Injection& prior : base)
-        already |= prior.kind == victim.kind && prior.victim == victim.victim;
+      if (!repeatable) {
+        for (const Injection& prior : base)
+          already |=
+              prior.kind == victim.kind && prior.victim == victim.victim;
+      }
       if (already) continue;
       if (!budget_left(summary)) return;
 

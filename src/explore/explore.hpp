@@ -36,9 +36,18 @@ struct Injection {
   /// n-th time the run reaches (point, iteration); replays re-visit the
   /// same point after a rollback, so the occurrence index disambiguates.
   int occurrence = 0;
-  enum class Kind { crash, link };
+  /// Victim tiers (PR 8 added the process-level and timer tiers):
+  ///   crash  — whole host down (the PR 2 scenario)
+  ///   link   — WAN link cut, stays down
+  ///   daemon — kill the amuse-daemon process on the host, machine stays up
+  ///   proxy  — kill the worker-proxy job process on the host
+  ///   worker — kill the native worker process on the host
+  ///   timer  — host crash, but *between* protocol points: fires a fixed
+  ///            skew after the addressed point instead of synchronously at
+  ///            it, exercising the windows the 12 points straddle.
+  enum class Kind { crash, link, daemon, proxy, worker, timer };
   Kind kind = Kind::crash;
-  /// Host name (crash) or WAN link name (link).
+  /// Host name (crash/daemon/proxy/worker/timer) or WAN link name (link).
   std::string victim;
 };
 
@@ -118,6 +127,9 @@ struct Options {
   bool link_faults = true; // also cut WAN links, not just crash hosts
   /// Energy drift tolerance relative to the golden run's total energy.
   double energy_tolerance = 1e-8;
+  /// Restrict the victim set to these kinds (empty = every kind). The CLI
+  /// spells Kind::crash "host".
+  std::set<Injection::Kind> victim_kinds;
 };
 
 class Explorer {

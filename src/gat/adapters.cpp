@@ -85,6 +85,14 @@ void run_allocated_job(Broker& broker, std::shared_ptr<Job> job,
             } catch (const Error& failure) {
               release();
               job->set_state(JobState::error, failure.what());
+            } catch (const sim::ProcessKilled&) {
+              // Process-level fault injection: the job process was killed
+              // while its node stayed up. Free the queue allocation and
+              // flag the job, then keep unwinding — otherwise the slot
+              // leaks and the job reads "running" forever.
+              release();
+              job->set_state(JobState::error, "job process was killed");
+              throw;
             }
           });
       job->set_allocation(allocated, main_pid);

@@ -160,16 +160,40 @@ Ibis::~Ibis() { leave(); }
 
 void Ibis::leave() {
   if (left_) return;
+  // A *killed* process gets no goodbye: unwinding through this destructor
+  // after a process-level fault must look to the registry exactly like a
+  // crash — connection reset, `died` broadcast — not a graceful LEAVE,
+  // or the death-notice machinery downstream would never fire.
+  if (host_.simulation().kill_pending()) {
+    abort();
+    return;
+  }
   left_ = true;
-  // The pump captures `this`; stop it before the members it touches die.
-  host_.simulation().kill(pump_pid_);
   try {
     util::ByteWriter bye;
     bye.put<std::uint8_t>(static_cast<std::uint8_t>(wire::Op::leave));
     registry_->send(std::move(bye).take());
+    // Close before killing the pump: the pump is the connection's reader,
+    // and killing a reader of a still-open pipe breaks it (connection
+    // reset) — which would turn this graceful leave into a `died`.
     registry_->close();
   } catch (const ConnectError&) {
     // Registry already unreachable; nothing to unwind.
+  }
+  // The pump captures `this`; stop it before the members it touches die.
+  host_.simulation().kill(pump_pid_);
+}
+
+void Ibis::abort() {
+  if (left_) return;
+  left_ = true;
+  // Break the registry connection without a LEAVE: the server's serve loop
+  // sees ConnectError and broadcasts `died` — the deliberate self-report of
+  // a proxy that lost its worker, and the unwind path of a killed process.
+  registry_->abort();
+  if (!(sim::Simulation::in_process() &&
+        host_.simulation().current_pid() == pump_pid_)) {
+    host_.simulation().kill(pump_pid_);
   }
 }
 
@@ -346,6 +370,16 @@ ReceivePort::Message ReceivePort::receive() {
   if (message.poison) {
     // Keep the port poisoned for any other blocked reader.
     queue_.put(Message{{}, util::ByteReader({}), true});
+    throw ConnectError("receive port '" + name_ + "': sender connection reset");
+  }
+  return message;
+}
+
+ReceivePort::Message ReceivePort::receive_consuming_poison() {
+  Message message = queue_.get();
+  if (message.poison) {
+    // Swallow it: the caller handles the error and blocks again for the
+    // next sender generation instead of spinning on a sticky marker.
     throw ConnectError("receive port '" + name_ + "': sender connection reset");
   }
   return message;

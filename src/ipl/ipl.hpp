@@ -111,6 +111,14 @@ class ReceivePort {
   Message receive();
   std::optional<Message> receive_for(double timeout_s);
 
+  /// Like receive(), but a poison marker is consumed rather than left in
+  /// the queue. For a port with a single long-lived reader that outlives
+  /// its senders (the daemon's reply pump spans proxy generations): the
+  /// caller sees one ConnectError per dead sender, then blocks again for
+  /// the successor. Every other caller wants the sticky poison of
+  /// receive(), which keeps waking the remaining blocked readers.
+  Message receive_consuming_poison();
+
   const std::string& name() const noexcept { return name_; }
 
  private:
@@ -160,8 +168,15 @@ class Ibis {
   /// First-come-first-elected election (blocking round trip to the server).
   IbisIdentifier elect(const std::string& election_name);
 
-  /// Graceful departure (also called by the destructor).
+  /// Graceful departure (also called by the destructor). If the calling
+  /// process has been killed, this degrades to abort(): SIGKILLed daemons
+  /// send no goodbyes.
   void leave();
+
+  /// Abnormal departure: break the registry connection so the server
+  /// broadcasts `died` (not `left`) — the deliberate way for a proxy to
+  /// report that its worker is gone and supervision should kick in.
+  void abort();
 
   std::unique_ptr<SendPort> create_send_port(const std::string& name) {
     return std::make_unique<SendPort>(*this, name);

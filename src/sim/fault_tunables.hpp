@@ -1,0 +1,17 @@
+#pragma once
+
+namespace jungle::sim::tunables {
+
+/// The one failure-detection budget shared by every transport-level
+/// detector. A frame stuck on a dead route retries every kHopRetryDelay
+/// seconds up to kMaxHopRetries times; an *idle* pipe learns about a dead
+/// route from a link watcher and re-checks after the same total grace.
+/// Keeping both derived from one pair of constants means "how long until a
+/// hard outage is declared" has exactly one answer (kOutageGraceSeconds) —
+/// and a *flap* shorter than that is, by definition, survivable: transports
+/// ride it out through retries and nothing is torn down.
+inline constexpr double kHopRetryDelay = 0.05;
+inline constexpr int kMaxHopRetries = 100;
+inline constexpr double kOutageGraceSeconds = kMaxHopRetries * kHopRetryDelay;
+
+}  // namespace jungle::sim::tunables

@@ -45,6 +45,16 @@ ProcessId Host::spawn(std::string process_name, std::function<void()> body) {
   return pid;
 }
 
+bool Host::kill_process(const std::string& segment) {
+  if (!up_) return false;
+  bool killed = sim_.kill_matching(name_ + "/", segment);
+  if (killed) {
+    log::warn("sim") << "process " << segment << " on host " << name_
+                     << " killed at t=" << sim_.now();
+  }
+  return killed;
+}
+
 void Host::crash() {
   if (!up_) return;
   up_ = false;

@@ -70,6 +70,12 @@ class Host {
   /// Fault injection: kill every process on this host and notify observers.
   /// If called from one of the host's own processes, that process dies last.
   void crash();
+
+  /// Process-level fault injection: kill the first live process on this
+  /// host whose name segment matches (see Simulation::kill_matching) — the
+  /// host stays up, supervisors may respawn the victim. Returns false when
+  /// no such process is alive.
+  bool kill_process(const std::string& segment);
   void restart() noexcept { up_ = true; }
   void on_crash(std::function<void()> callback) {
     crash_callbacks_.push_back(std::move(callback));

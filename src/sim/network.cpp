@@ -224,8 +224,13 @@ std::optional<double> Network::send(const Host& from, const Host& to,
                         << " lost: link " << link->name << " down";
       return std::nullopt;  // lost; transports above retry
     }
+    int usable = streams;
+    if (link->failed_streams > 0 && streams > 1) {
+      usable = std::max(1, streams - link->failed_streams);
+      if (usable < streams) ++degraded_transfers_;
+    }
     double start = std::max(t, link->busy_until);
-    double occupy = bytes / link->effective_bandwidth(streams);
+    double occupy = bytes / link->effective_bandwidth(usable);
     link->busy_until = start + occupy;
     link->bytes_by_class[static_cast<int>(cls)] += bytes;
     ++link->messages;
@@ -243,6 +248,34 @@ void Network::set_link_down(const std::string& name, bool down) {
       for (auto& watcher : link_watchers_) watcher(name, down);
       return;
     }
+  }
+  throw ConfigError("unknown link " + name);
+}
+
+void Network::flap_link(const std::string& name, double down_s) {
+  set_link_down(name, true);
+  sim_.after(down_s, [this, name] {
+    // The link may have been healed (or hard-killed) meanwhile; only undo
+    // our own drop.
+    for (auto& link : wan_links_) {
+      if (link->name == name && link->down) set_link_down(name, false);
+    }
+  });
+}
+
+void Network::fail_streams(const std::string& name, int failed,
+                           double heal_s) {
+  for (auto& link : wan_links_) {
+    if (link->name != name) continue;
+    link->failed_streams = std::max(0, failed);
+    if (failed > 0) {
+      log::warn("net") << "link " << name << ": " << failed
+                       << " stripe stream(s) failed at t=" << sim_.now();
+    }
+    if (failed > 0 && heal_s > 0) {
+      sim_.after(heal_s, [this, name] { fail_streams(name, 0); });
+    }
+    return;
   }
   throw ConfigError("unknown link " + name);
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -47,6 +48,11 @@ struct Link {
   double stream_bandwidth_Bps = 0.0;
   double busy_until = 0.0;
   bool down = false;
+  /// Partial stripe failure: this many of a transfer's parallel streams are
+  /// currently dead. Bulk transfers *degrade* to the surviving streams
+  /// (throughput drops, nothing is torn down) — the graceful-degradation
+  /// tier between "healthy" and "link down".
+  int failed_streams = 0;
   std::array<double, kTrafficClasses> bytes_by_class{};
   std::uint64_t messages = 0;
 
@@ -134,6 +140,22 @@ class Network {
   /// Notifies link watchers after flipping the state.
   void set_link_down(const std::string& name, bool down);
 
+  /// Flap injection: the link drops *now* and heals itself after `down_s`.
+  /// Distinct from a hard set_link_down — a flap shorter than
+  /// tunables::kOutageGraceSeconds is survivable by construction: in-flight
+  /// frames ride it out on the hop-retry budget and idle-pipe keepalives
+  /// re-check after the same grace, so nothing is torn down.
+  void flap_link(const std::string& name, double down_s);
+
+  /// Partial stream failure on a link: `failed` of a transfer's parallel
+  /// streams are dead, healing after `heal_s` (0 = until repaired by a
+  /// later call with failed=0). Transfers degrade to surviving streams;
+  /// degraded_transfers() counts how many sends were affected.
+  void fail_streams(const std::string& name, int failed, double heal_s = 0.0);
+  std::uint64_t degraded_transfers() const noexcept {
+    return degraded_transfers_;
+  }
+
   /// True when every link on the routed path between the hosts is up
   /// (loopback always is; false when no route exists at all). Transports
   /// use this to decide whether an established connection still has a live
@@ -180,6 +202,7 @@ class Network {
   double loopback_bw_ = 10.0 * net::gbit;
   Link loopback_stats_{"loopback", "", "", 0, 0};
   std::vector<std::function<void(const std::string&, bool)>> link_watchers_;
+  std::uint64_t degraded_transfers_ = 0;
 };
 
 }  // namespace jungle::sim

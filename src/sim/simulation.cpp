@@ -216,16 +216,80 @@ void Simulation::yield_now() {
 }
 
 void Simulation::kill(ProcessId pid) {
-  if (t_in_process && t_sim == this && pid == t_pid) {
-    throw ProcessKilled{};  // killing yourself: unwind right here
+  bool self = t_in_process && t_sim == this && pid == t_pid;
+  {
+    std::unique_lock lock(mutex_);
+    Pcb& pcb = *processes_.at(pid);
+    if (pcb.state == PState::finished) return;
+    // Marked even for a self-kill, so blocking primitives reached during the
+    // unwind return immediately instead of re-blocking, and kill_pending()
+    // tells teardown code to take the abnormal (no-goodbye) path.
+    pcb.kill = true;
+    if (!self && !shutting_down_) {
+      events_.push(Event{now_, next_seq_++, {}, pid, pcb.wake_gen, true});
+    }
   }
+  notify_kill_observers(pid);
+  if (self) throw ProcessKilled{};  // killing yourself: unwind right here
+}
+
+void Simulation::notify_kill_observers(ProcessId pid) {
+  // Index loop without the lock: observers call back into the simulation
+  // (breaking pipes schedules wake events) and may register further
+  // observers. Defunct ones (returning false) are compacted afterwards.
+  for (std::size_t i = 0; i < kill_observers_.size(); ++i) {
+    if (!kill_observers_[i]) continue;
+    if (!kill_observers_[i](pid)) kill_observers_[i] = nullptr;
+  }
+  std::erase_if(kill_observers_,
+                [](const std::function<bool(ProcessId)>& observer) {
+                  return observer == nullptr;
+                });
+}
+
+void Simulation::on_kill(std::function<bool(ProcessId)> observer) {
+  kill_observers_.push_back(std::move(observer));
+}
+
+bool Simulation::kill_matching(const std::string& prefix,
+                               const std::string& segment) {
+  ProcessId victim = 0;
+  bool found = false;
+  {
+    std::unique_lock lock(mutex_);
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+      const Pcb& pcb = *processes_[i];
+      if (pcb.state == PState::finished) continue;
+      const std::string& name = pcb.name;
+      if (name.size() < prefix.size() + segment.size()) continue;
+      if (name.compare(0, prefix.size(), prefix) != 0) continue;
+      if (name.compare(prefix.size(), segment.size(), segment) != 0) continue;
+      std::size_t end = prefix.size() + segment.size();
+      if (end != name.size() && name[end] != ':') continue;
+      victim = static_cast<ProcessId>(i);
+      found = true;
+      break;
+    }
+  }
+  if (found) kill(victim);
+  return found;
+}
+
+bool Simulation::kill_pending() const noexcept {
+  if (!t_in_process || t_sim != this) return false;
   std::unique_lock lock(mutex_);
+  return processes_.at(t_pid)->kill;
+}
+
+void Simulation::watch_exit(ProcessId pid, std::function<void()> callback) {
+  std::unique_lock lock(mutex_);
+  if (shutting_down_) return;
   Pcb& pcb = *processes_.at(pid);
-  if (pcb.state == PState::finished) return;
-  pcb.kill = true;
-  if (!shutting_down_) {
-    events_.push(Event{now_, next_seq_++, {}, pid, pcb.wake_gen, true});
+  if (pcb.state == PState::finished) {
+    events_.push(Event{now_, next_seq_++, std::move(callback), 0, 0, false});
+    return;
   }
+  pcb.exit_watchers.push_back(std::move(callback));
 }
 
 void Simulation::trampoline(ProcessId pid) {
@@ -254,6 +318,15 @@ void Simulation::trampoline(ProcessId pid) {
   }
   std::unique_lock lock(mutex_);
   pcb.state = PState::finished;
+  // Exit watchers (supervision) fire as ordinary events at the death
+  // timestamp — never during shutdown, when supervisors must not respawn.
+  if (!shutting_down_) {
+    for (auto& watcher : pcb.exit_watchers) {
+      events_.push(
+          Event{now_, next_seq_++, std::move(watcher), 0, 0, false});
+    }
+  }
+  pcb.exit_watchers.clear();
   process_active_ = false;
   scheduler_cv_.notify_one();
 }

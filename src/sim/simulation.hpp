@@ -93,6 +93,32 @@ class Simulation {
   /// blocking point. Killing a finished process is a no-op.
   void kill(ProcessId pid);
 
+  /// Kill the first live process whose name is `prefix` + `segment`, or
+  /// `prefix` + `segment` + ":...". Segment matching (rather than substring)
+  /// keeps victims crisp: "amuse-daemon" never matches
+  /// "amuse-daemon-client", while "worker" matches "worker:phigrape".
+  /// Returns false when nothing matched (the process-level analog of a
+  /// crash injection against an already-dead host).
+  bool kill_matching(const std::string& prefix, const std::string& segment);
+
+  /// True when the *calling* process has been killed and is (or should be)
+  /// unwinding. Protocol teardown consults this to pick the abnormal path:
+  /// a killed process gets no goodbye frames — its peers must find out the
+  /// hard way, exactly like a SIGKILLed daemon on a real machine.
+  bool kill_pending() const noexcept;
+
+  /// Observe kills injected with kill()/kill_matching() (not the mass
+  /// teardown of shutdown(), which owners sequence explicitly). Fired after
+  /// the kill is marked, before a self-kill unwinds. Return false to
+  /// unregister (defunct watchers prune themselves).
+  void on_kill(std::function<bool(ProcessId)> observer);
+
+  /// Run `callback` (as a scheduled event) when `pid` finishes — the
+  /// supervision primitive: no polling, so an idle simulation still drains.
+  /// Fires immediately (well: at the current timestamp) if `pid` already
+  /// finished.
+  void watch_exit(ProcessId pid, std::function<void()> callback);
+
   /// Kill and fully unwind every live process *now*. Owners of a
   /// Simulation must call this before destroying objects that process
   /// unwind paths may still touch (sockets, networks, daemons): the
@@ -129,6 +155,7 @@ class Simulation {
     PState state = PState::created;
     std::function<void()> body;
     std::exception_ptr error;
+    std::vector<std::function<void()>> exit_watchers;
   };
 
   struct Event {
@@ -168,6 +195,7 @@ class Simulation {
 
   void grant_and_wait(std::unique_lock<std::mutex>& lock, Pcb& pcb);
   void trampoline(ProcessId pid);
+  void notify_kill_observers(ProcessId pid);
 
   mutable std::mutex mutex_;
   std::condition_variable scheduler_cv_;
@@ -177,6 +205,7 @@ class Simulation {
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
   std::vector<std::unique_ptr<Pcb>> processes_;
+  std::vector<std::function<bool(ProcessId)>> kill_observers_;
   bool shutting_down_ = false;
 };
 

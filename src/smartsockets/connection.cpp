@@ -11,17 +11,16 @@ namespace {
 // Flat per-frame overhead: sequence number, length, connection id (models
 // the SmartSockets wire framing).
 constexpr double kFrameOverheadBytes = 32.0;
-// Retry pause when a hop's link is down (transient-failure handling).
-constexpr double kRetryDelay = 0.05;
-// Down-link retries per frame before the connection is declared dead:
-// 100 * 0.05 s = a 5-second outage rides through, anything longer breaks.
-constexpr int kMaxHopRetries = 100;
-// Idle connections have no frame in flight to exhaust that retry budget, so
-// they learn of a dead route from the network's link watcher instead: when a
-// link on the route stays down this long, the connection breaks (the
-// keepalive-timeout analog). Matches the in-flight budget so both detection
-// paths declare death on the same outage length.
-constexpr double kLinkDetectTimeout = kMaxHopRetries * kRetryDelay;
+// The outage budget is shared with every other failure detector
+// (sim/fault_tunables.hpp): a frame stuck on a down link retries every
+// kHopRetryDelay up to kMaxHopRetries times, and idle connections (no frame
+// in flight to exhaust that budget) learn of a dead route from the
+// network's link watcher and break after the same total grace
+// (kOutageGraceSeconds) — both detection paths declare death on the same
+// outage length.
+constexpr double kRetryDelay = sim::tunables::kHopRetryDelay;
+constexpr int kMaxHopRetries = sim::tunables::kMaxHopRetries;
+constexpr double kLinkDetectTimeout = sim::tunables::kOutageGraceSeconds;
 }  // namespace
 
 int stripe_count(double bytes) noexcept {
@@ -60,7 +59,13 @@ void ConnectionEnd::close() {
   pipe_->route(this, Frame{next_send_seq_++, {}, true});
 }
 
+void ConnectionEnd::abort() {
+  if (broken_) return;
+  pipe_->break_both();
+}
+
 std::optional<std::vector<std::uint8_t>> ConnectionEnd::recv() {
+  if (sim::Simulation::in_process()) last_user_ = sim_.current_pid();
   if (broken_ && incoming_.empty()) {
     throw ConnectError("connection to " + remote_host().name() + " broke");
   }
@@ -76,6 +81,7 @@ std::optional<std::vector<std::uint8_t>> ConnectionEnd::recv() {
 
 std::optional<std::vector<std::uint8_t>> ConnectionEnd::recv_for(
     double timeout_s) {
+  if (sim::Simulation::in_process()) last_user_ = sim_.current_pid();
   if (broken_ && incoming_.empty()) {
     throw ConnectError("connection to " + remote_host().name() + " broke");
   }
@@ -139,6 +145,24 @@ Pipe::make(sim::Network& net, sim::TrafficClass cls,
   };
   host_a->on_crash(breaker);
   host_b->on_crash(breaker);
+  // A killed *process* (process-level fault injection, not a host crash)
+  // takes its sockets down with it: when the last reader of either end is
+  // killed, the pipe breaks and the peer sees a connection reset. Ends that
+  // already closed are exempt — an orderly close followed by a teardown
+  // kill (the normal pump-shutdown sequence) must stay a clean EOF.
+  net.simulation().on_kill([weak](sim::ProcessId pid) {
+    auto alive = weak.lock();
+    if (!alive) return false;  // pipe gone: unregister
+    ConnectionEnd* ea = alive->a;
+    ConnectionEnd* eb = alive->b;
+    if (ea == nullptr || eb == nullptr) return true;
+    if (ea->closed_ || eb->closed_ || ea->broken_ || eb->broken_) return true;
+    if ((ea->last_user_ && *ea->last_user_ == pid) ||
+        (eb->last_user_ && *eb->last_user_ == pid)) {
+      alive->break_both();
+    }
+    return true;
+  });
   // A dead *route* must also break the connection, even when no frame is in
   // flight to exhaust the hop-retry budget — otherwise the far side of a cut
   // WAN link blocks in recv() forever (the leaked-worker hole the fault

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/fault_tunables.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/network.hpp"
 
@@ -47,6 +48,10 @@ class ConnectionEnd {
   /// Graceful shutdown; the peer's recv() returns nullopt after draining.
   void close();
 
+  /// Abnormal shutdown (connection reset): both ends break immediately, the
+  /// peer's recv() throws ConnectError. What a killed process's peers see.
+  void abort();
+
   bool broken() const noexcept { return broken_; }
   ConnectionKind kind() const noexcept { return kind_; }
   sim::Host& local_host() noexcept { return *local_; }
@@ -87,6 +92,11 @@ class ConnectionEnd {
   bool closed_ = false;
   double bytes_sent_ = 0;
   std::uint64_t striped_sends_ = 0;
+  /// The process last blocked in recv() on this end — the one holding the
+  /// "socket". When it is killed (process-level fault injection) the pipe
+  /// breaks, so peers observe a connection reset instead of blocking
+  /// forever on an end nobody will ever read again.
+  std::optional<sim::ProcessId> last_user_;
 };
 
 /// Shared state of a connection: the two ends plus the hop path the frames

@@ -45,7 +45,11 @@ class CodeError : public Error {
 /// since the machine cannot be trusted either way.
 class WorkerDiedError : public CodeError {
  public:
-  enum class Cause { host_crash, link_fault, timeout, unknown };
+  /// `process_crash` is the recoverable tier: the worker's *process* died
+  /// but its host is healthy and a supervisor already restarted the slot in
+  /// place — the client should revive and restore rather than re-place.
+  /// Appended last: the values travel as a wire byte in death notices.
+  enum class Cause { host_crash, link_fault, timeout, unknown, process_crash };
 
   WorkerDiedError(std::string worker, std::string host, Cause cause,
                   const std::string& detail)

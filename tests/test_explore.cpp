@@ -57,6 +57,23 @@ TEST(Explore, ScheduleFormatRoundTrips) {
   EXPECT_THROW(parse_schedule("step.evolve@0#0=crash:"), ConfigError);
 }
 
+TEST(Explore, ProcessTierKindsRoundTrip) {
+  // The PR 8 victim tiers survive the replay format: a failing schedule
+  // that kills a daemon or proxy replays as exactly that.
+  const std::string text =
+      "step.evolve@0#0=daemon:edge;step.evolve@1#0=proxy:node0;"
+      "ckpt.capture@1#0=worker:node0;ckpt.commit@1#1=timer:node1";
+  Schedule schedule = parse_schedule(text);
+  ASSERT_EQ(schedule.size(), 4u);
+  EXPECT_EQ(schedule[0].kind, Injection::Kind::daemon);
+  EXPECT_EQ(schedule[0].victim, "edge");
+  EXPECT_EQ(schedule[1].kind, Injection::Kind::proxy);
+  EXPECT_EQ(schedule[2].kind, Injection::Kind::worker);
+  EXPECT_EQ(schedule[3].kind, Injection::Kind::timer);
+  EXPECT_EQ(schedule[3].victim, "node1");
+  EXPECT_EQ(format_schedule(schedule), text);
+}
+
 TEST(Explore, GoldenRunIsHealthyAndListsVictims) {
   Options options;
   options.iterations = 2;
@@ -67,18 +84,45 @@ TEST(Explore, GoldenRunIsHealthyAndListsVictims) {
   EXPECT_EQ(gold.fired, 0);
   EXPECT_NE(gold.final_digest, 0u);
   ASSERT_EQ(gold.commits.size(), 2u);  // one committed checkpoint per step
-  // Candidate victims: every host but the client, plus the WAN link.
-  bool has_node0 = false, has_wan = false, has_client = false;
+  // Candidate victims: every host but the client for the crash/timer/
+  // process tiers, the WAN link, and the client *only* as a daemon victim
+  // (killing the daemon process is survivable; crashing the script's
+  // machine is not a protocol scenario).
+  bool has_node0 = false, has_wan = false, has_client_crash = false;
+  bool has_daemon = false, has_proxy = false, has_worker = false;
+  bool has_timer = false;
   for (const Injection& victim : explorer.candidate_victims()) {
     has_node0 |= victim.kind == Injection::Kind::crash &&
                  victim.victim == "node0";
     has_wan |= victim.kind == Injection::Kind::link &&
                victim.victim == "metro-wan";
-    has_client |= victim.victim == "edge";
+    has_client_crash |= victim.kind == Injection::Kind::crash &&
+                        victim.victim == "edge";
+    has_daemon |= victim.kind == Injection::Kind::daemon &&
+                  victim.victim == "edge";
+    has_proxy |= victim.kind == Injection::Kind::proxy;
+    has_worker |= victim.kind == Injection::Kind::worker;
+    has_timer |= victim.kind == Injection::Kind::timer;
   }
   EXPECT_TRUE(has_node0);
   EXPECT_TRUE(has_wan);
-  EXPECT_FALSE(has_client);
+  EXPECT_FALSE(has_client_crash);
+  EXPECT_TRUE(has_daemon);
+  EXPECT_TRUE(has_proxy);
+  EXPECT_TRUE(has_worker);
+  EXPECT_TRUE(has_timer);
+}
+
+TEST(Explore, VictimKindFilterRestrictsTheSet) {
+  Options options;
+  options.iterations = 2;
+  options.victim_kinds = {Injection::Kind::daemon, Injection::Kind::proxy};
+  Explorer explorer(triple_plummer(), options);
+  ASSERT_FALSE(explorer.candidate_victims().empty());
+  for (const Injection& victim : explorer.candidate_victims()) {
+    EXPECT_TRUE(victim.kind == Injection::Kind::daemon ||
+                victim.kind == Injection::Kind::proxy);
+  }
 }
 
 TEST(Explore, DepthBoundedEnumerationFindsNoViolations) {

@@ -8,9 +8,12 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "amuse/experiment.hpp"
 #include "amuse/faultpoint.hpp"
 #include "amuse/faults.hpp"
+#include "obs/metrics.hpp"
 #include "sim/network.hpp"
 
 using namespace jungle;
@@ -49,6 +52,10 @@ struct Shot {
   int occurrence = 0;
   bool cut_link = false;
   std::string victim;
+  /// Process-tier victim (PR 8): when non-empty, kill this process on the
+  /// victim host (e.g. "amuse-daemon", "job", "worker") instead of
+  /// crashing the machine — the supervised in-place recovery tier.
+  std::string kill_process;
 };
 
 struct Outcome {
@@ -59,12 +66,26 @@ struct Outcome {
   std::uint64_t digest = 0;
   double energy = 0.0;
   std::size_t live = 0;
+  std::string placement;
+  // Deltas of the process-global fault/RPC counters across this run.
+  double rollbacks = 0.0;
+  double rpc_retries = 0.0;
+  double supervisor_restarts = 0.0;
+  double degraded_iterations = 0.0;
 };
 
-Outcome run_triple_plummer(const std::vector<Shot>& shots) {
+Outcome run_triple_plummer(
+    const std::vector<Shot>& shots,
+    const std::function<void(ExperimentSpec&)>& mutate = {}) {
   util::Config config = util::Config::parse(example_ini("triple-plummer.ini"));
   ExperimentSpec spec = ExperimentSpec::from_config(config);
   spec.checkpointing = true;
+  if (mutate) mutate(spec);
+
+  double rollbacks0 = obs::metrics::counter_value("fault.rollbacks");
+  double retries0 = obs::metrics::counter_value("rpc.retries");
+  double restarts0 = obs::metrics::counter_value("fault.supervisor_restarts");
+  double degraded0 = obs::metrics::counter_value("fault.degraded_iterations");
 
   JungleTestbed bed(config);
   Outcome out;
@@ -82,13 +103,20 @@ Outcome run_triple_plummer(const std::vector<Shot>& shots) {
         bed.network().set_link_down(shot.victim, true);
       } else {
         sim::Host* victim = bed.network().find_host(shot.victim);
-        if (victim != nullptr && victim->is_up()) victim->crash();
+        if (victim != nullptr && victim->is_up()) {
+          if (shot.kill_process.empty()) {
+            victim->crash();
+          } else {
+            victim->kill_process(shot.kill_process);
+          }
+        }
       }
     });
     try {
       Result result = run_experiment(bed, spec);
       out.completed = true;
       out.restarts = result.restarts;
+      out.placement = result.placement;
       // Digest the final states through the checkpoint layer's own hash so
       // "matches the fault-free run" means bit-for-bit, not approximately.
       GraphCheckpoint fin;
@@ -109,6 +137,12 @@ Outcome run_triple_plummer(const std::vector<Shot>& shots) {
   }
   out.fired = static_cast<int>(next);
   out.live = bed.simulation().live_processes();
+  out.rollbacks = obs::metrics::counter_value("fault.rollbacks") - rollbacks0;
+  out.rpc_retries = obs::metrics::counter_value("rpc.retries") - retries0;
+  out.supervisor_restarts =
+      obs::metrics::counter_value("fault.supervisor_restarts") - restarts0;
+  out.degraded_iterations =
+      obs::metrics::counter_value("fault.degraded_iterations") - degraded0;
   return out;
 }
 
@@ -204,4 +238,126 @@ TEST(Faults, CrashDuringReplaceSpawnRetries) {
   EXPECT_GE(out.fired, 1);  // second shot only fires if recovery respawns
   EXPECT_GE(out.restarts, 1);
   expect_recovered_on_golden(out);
+}
+
+// ---------------------------------------------------------------------------
+// PR 8: the process-fault tier. Victims are single processes (daemon
+// accept loop, worker proxy, native worker) killed while their host stays
+// up; the supervisors must recover *in place* — same hosts, same placement,
+// no exclusions — and land the run back on the golden bits.
+// ---------------------------------------------------------------------------
+
+TEST(Faults, DaemonKillRestartsInPlace) {
+  // Kill the daemon's accept loop mid-run. Nothing is listening while the
+  // supervisor's backoff runs, but connect() backlogs into the server
+  // socket's mailbox, so the restart is invisible to everyone — no
+  // rollback, no re-placement, identical physics.
+  Outcome out = run_triple_plummer(
+      {Shot{faultpoint::Point::step_evolve, 0, 0, false, "edge",
+            "amuse-daemon"}});
+  EXPECT_EQ(out.fired, 1);
+  ASSERT_TRUE(out.completed) << out.error;
+  EXPECT_EQ(out.restarts, 0);  // host not excluded, nothing re-placed
+  EXPECT_GE(out.supervisor_restarts, 1.0);
+  EXPECT_EQ(out.digest, golden().digest);
+  EXPECT_EQ(out.placement, golden().placement);
+  EXPECT_LE(out.live, golden().live);
+}
+
+TEST(Faults, DaemonDoubleKillWithReplacementTraffic) {
+  // The double-fault case from the issue: the daemon is killed once per
+  // iteration (the second kill lands just after the first supervised
+  // restart, doubling the backoff), and then a node crash forces a
+  // re-place *through* the daemon while its second restart is still
+  // pending. start_worker's connect backlogs in the accept queue until
+  // the next accept-loop generation picks it up.
+  Outcome out = run_triple_plummer(
+      {Shot{faultpoint::Point::step_top_kick, 0, 0, false, "edge",
+            "amuse-daemon"},
+       Shot{faultpoint::Point::step_top_kick, 1, 0, false, "edge",
+            "amuse-daemon"},
+       Shot{faultpoint::Point::step_evolve, 1, -1, false, "node0"}});
+  EXPECT_GE(out.fired, 2);
+  EXPECT_GE(out.restarts, 1);
+  EXPECT_GE(out.supervisor_restarts, 2.0);
+  expect_recovered_on_golden(out);
+}
+
+TEST(Faults, ProxyKillRecoversInPlaceWithoutReplacement) {
+  // Kill the worker proxy (the gat job process) on the GPU node. The
+  // daemon's per-channel supervisor redeploys it on the *same* node and
+  // reports process_crash on the still-open relay; the script revives the
+  // client, restores the committed state into the blank replacement and
+  // replays — no exclusion, no re-placement.
+  Outcome out = run_triple_plummer(
+      {Shot{faultpoint::Point::step_evolve, 1, 0, false, "node0", "job"}});
+  EXPECT_EQ(out.fired, 1);
+  ASSERT_TRUE(out.completed) << out.error;
+  EXPECT_GE(out.restarts, 1);  // a rollback+replay, but in place
+  EXPECT_GE(out.supervisor_restarts, 1.0);
+  EXPECT_EQ(out.digest, golden().digest);
+  EXPECT_EQ(out.placement, golden().placement);
+  EXPECT_LE(out.live, golden().live);
+}
+
+TEST(Faults, WorkerKillEscalatesToSupervisedRestart) {
+  // Kill the *native worker* process, not its proxy. The proxy's loopback
+  // pump sees the abnormal break, escalates (aborts its registry
+  // connection and unwinds the relay), the registry broadcasts died, and
+  // from there recovery is the same supervised in-place path.
+  Outcome out = run_triple_plummer(
+      {Shot{faultpoint::Point::step_evolve, 1, 0, false, "node0", "worker"}});
+  EXPECT_EQ(out.fired, 1);
+  ASSERT_TRUE(out.completed) << out.error;
+  EXPECT_GE(out.restarts, 1);
+  EXPECT_GE(out.supervisor_restarts, 1.0);
+  EXPECT_EQ(out.digest, golden().digest);
+  EXPECT_EQ(out.placement, golden().placement);
+  EXPECT_LE(out.live, golden().live);
+}
+
+TEST(Faults, LinkFlapCompletesThroughRetriesWithoutRollback) {
+  // Flap the WAN link for less than the outage grace budget. Safe calls
+  // ride out the outage through hop retries plus idempotent resends; no
+  // worker is declared dead, nothing rolls back, and the physics is
+  // untouched — only the clock stretches.
+  Outcome out = run_triple_plummer({}, [](ExperimentSpec& spec) {
+    spec.flap_link = "metro-wan";
+    spec.flap_after_iteration = 1;
+    spec.flap_down_s = 2.0;
+  });
+  ASSERT_TRUE(out.completed) << out.error;
+  EXPECT_EQ(out.restarts, 0);
+  EXPECT_EQ(out.rollbacks, 0.0);
+  EXPECT_GE(out.rpc_retries, 1.0);
+  EXPECT_EQ(out.digest, golden().digest);
+  EXPECT_EQ(out.placement, golden().placement);
+}
+
+TEST(Faults, ProxyKillMidStripedTransferDegradesAndRecovers) {
+  // Large model: its state crosses the WAN striped over parallel streams.
+  // After iteration 1, most of the link's streams fail (they stay failed),
+  // so every later bulk transfer runs degraded on the survivors — and in
+  // the middle of the degraded checkpoint capture the proxy is killed.
+  // Both machineries must compose: degraded stripes for the bytes, the
+  // supervised in-place restart for the process.
+  auto enlarge = [](ExperimentSpec& spec) {
+    spec.models[0].n = 1400;  // 7 doubles/particle: ~78 KiB, > the 64 KiB stripe threshold
+  };
+  Outcome baseline = run_triple_plummer({}, enlarge);
+  ASSERT_TRUE(baseline.completed) << baseline.error;
+  Outcome out = run_triple_plummer(
+      {Shot{faultpoint::Point::ckpt_capture, 1, 0, false, "node0", "job"}},
+      [&](ExperimentSpec& spec) {
+        spec.models[0].n = 1400;
+        spec.flap_link = "metro-wan";
+        spec.flap_after_iteration = 1;
+        spec.flap_streams = 6;
+        spec.flap_streams_heal_s = 0.0;  // stay failed for the rest
+      });
+  ASSERT_TRUE(out.completed) << out.error;
+  EXPECT_EQ(out.fired, 1);
+  EXPECT_GE(out.degraded_iterations, 1.0);
+  EXPECT_EQ(out.digest, baseline.digest);
+  EXPECT_LE(out.live, baseline.live);
 }

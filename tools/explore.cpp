@@ -2,6 +2,7 @@
 //
 //   explore <experiment.ini> [--max-faults N] [--max-schedules N]
 //           [--iterations N] [--no-links] [--fail-out FILE]
+//           [--victims host,daemon,proxy,worker,timer,link]
 //   explore <experiment.ini> --replay "<schedule>"
 //
 // Enumerates fault schedules against the experiment's checkpoint /
@@ -26,8 +27,40 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <experiment.ini> [--max-faults N] [--max-schedules N]"
                " [--iterations N] [--no-links] [--fail-out FILE]"
+               " [--victims host,daemon,proxy,worker,timer,link]"
                " [--replay \"<schedule>\"]\n";
   return 2;
+}
+
+/// --victims value: comma-separated kinds; "host" is the whole-machine
+/// crash tier (Kind::crash on the wire format).
+std::set<jungle::explore::Injection::Kind> parse_victims(
+    const std::string& text) {
+  using Kind = jungle::explore::Injection::Kind;
+  std::set<Kind> kinds;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    if (item == "host" || item == "crash")
+      kinds.insert(Kind::crash);
+    else if (item == "link")
+      kinds.insert(Kind::link);
+    else if (item == "daemon")
+      kinds.insert(Kind::daemon);
+    else if (item == "proxy")
+      kinds.insert(Kind::proxy);
+    else if (item == "worker")
+      kinds.insert(Kind::worker);
+    else if (item == "timer")
+      kinds.insert(Kind::timer);
+    else {
+      std::cerr << "unknown victim kind \"" << item
+                << "\" (host, daemon, proxy, worker, timer, link)\n";
+      std::exit(2);
+    }
+  }
+  return kinds;
 }
 
 void describe(const jungle::explore::RunReport& report) {
@@ -64,6 +97,8 @@ int main(int argc, char** argv) {
       options.iterations = std::stoi(value());
     else if (arg == "--no-links")
       options.link_faults = false;
+    else if (arg == "--victims")
+      options.victim_kinds = parse_victims(value());
     else if (arg == "--replay")
       replay = value();
     else if (arg == "--fail-out")
