@@ -1,0 +1,154 @@
+// E-sharding — domain-decomposed gravity, measured: virtual seconds per
+// bridge iteration of one n=1024 Plummer model at workers = 1 / 2 / 4 on
+// the lan-dense topology (the scheduler co-places all shards on the
+// cluster's LAN), plus the f32-truncation effect on the WAN bytes of a
+// sharded model driven across a flagged edge uplink. Writes
+// BENCH_sharding.json; the headline number is the workers=4 speedup —
+// sharding must buy real iterations/second, or the K nodes are wasted.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "amuse/experiment.hpp"
+#include "amuse/ic.hpp"
+#include "kernels/morton.hpp"
+#include "util/rng.hpp"
+
+using namespace jungle;
+using namespace jungle::amuse::experiment;
+
+namespace {
+
+std::string topology_text(const char* name) {
+  std::string path =
+      std::string(JUNGLE_SOURCE_DIR) + "/examples/topologies/" + name;
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+ExperimentSpec sharded_spec(int workers, std::size_t n) {
+  ExperimentSpec spec;
+  spec.name = "sharding-w" + std::to_string(workers);
+  spec.iterations = 2;
+  ModelSpec gravity;
+  gravity.name = "gravity";
+  gravity.role = sched::Role::gravity;
+  gravity.kernel = "phigrape";
+  gravity.n = n;
+  gravity.workers = workers;
+  spec.models.push_back(gravity);
+  return spec;
+}
+
+struct Row {
+  std::string name;
+  double seconds_per_iteration;
+  double wan_ipl_bytes_per_step;
+  double items_per_second;  // real bridge iterations per wall second
+};
+
+Row run_row(const std::string& name, const std::string& topology,
+            const ExperimentSpec& spec) {
+  util::Config config = util::Config::parse(topology);
+  JungleTestbed bed(config);
+  auto wall_start = std::chrono::steady_clock::now();
+  Result result = run_experiment(bed, spec);
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+  return Row{name, result.seconds_per_iteration,
+             result.wan_ipl_bytes_per_step,
+             static_cast<double>(result.iterations) / wall};
+}
+
+// Real-time microbench of the decomposition primitive itself: the Morton
+// sort that turns a particle draw into contiguous shard blocks.
+void Sharding_MortonOrder(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  auto model = amuse::ic::plummer_sphere(n, rng);
+  for (auto _ : state) {
+    auto order = kernels::morton_order(model.position);
+    benchmark::DoNotOptimize(order.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(Sharding_MortonOrder)->Arg(1024)->Arg(8192)->Unit(
+    benchmark::kMillisecond);
+
+// The full sweep + JSON artifact, printed after the registered benchmarks.
+class ShardingReporter : public benchmark::ConsoleReporter {
+ public:
+  void Finalize() override {
+    const std::size_t n = 1024;
+    std::string lan = topology_text("lan-dense.ini");
+    std::vector<Row> rows;
+    for (int workers : {1, 2, 4}) {
+      rows.push_back(run_row("lan_workers" + std::to_string(workers), lan,
+                             sharded_spec(workers, n)));
+    }
+
+    // The f32 satellite: the same 4-shard model driven across the flagged
+    // edge uplink, with and without the truncation opt-in. Deterministic
+    // byte counts — the f32 row must ship measurably fewer WAN bytes.
+    std::string wan = topology_text("sharded-lan.ini");
+    std::string wan_f64 = wan;
+    auto flag = wan_f64.find("fp_truncate = true");
+    if (flag != std::string::npos) {
+      wan_f64.replace(flag, 18, "fp_truncate = false");
+    }
+    rows.push_back(run_row("wan_workers4_f32", wan, sharded_spec(4, n)));
+    rows.push_back(run_row("wan_workers4_f64", wan_f64, sharded_spec(4, n)));
+
+    std::printf(
+        "\n=== sharding: virtual s per iteration / WAN bytes per step ===\n");
+    for (const Row& row : rows) {
+      std::printf("  %-18s %10.4f s/iter   wan=%9.0f B/step\n",
+                  row.name.c_str(), row.seconds_per_iteration,
+                  row.wan_ipl_bytes_per_step);
+    }
+    double speedup4 =
+        rows[0].seconds_per_iteration / rows[2].seconds_per_iteration;
+    double f32_saving =
+        rows[4].wan_ipl_bytes_per_step / rows[3].wan_ipl_bytes_per_step;
+    std::printf("  workers=4: %.2fx faster iterations than workers=1\n",
+                speedup4);
+    std::printf("  f32 truncation: %.2fx fewer WAN bytes/step\n", f32_saving);
+
+    std::ofstream json("BENCH_sharding.json");
+    json << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      json << "    {\"name\": \"" << rows[i].name
+           << "\", \"seconds_per_iteration\": "
+           << rows[i].seconds_per_iteration
+           << ", \"wan_ipl_bytes_per_step\": "
+           << rows[i].wan_ipl_bytes_per_step
+           << ", \"items_per_second\": " << rows[i].items_per_second << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n";
+    json << "  \"workers4_speedup_over_workers1\": " << speedup4 << ",\n";
+    json << "  \"f32_bytes_ratio_f64_over_f32\": " << f32_saving << "\n}\n";
+    std::printf("\nwrote BENCH_sharding.json (%zu rows)\n", rows.size());
+    benchmark::ConsoleReporter::Finalize();
+  }
+};
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ShardingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -27,6 +27,21 @@ void merge_field(util::ByteReader& reader, std::vector<T>& into) {
   into.assign(values.begin(), values.end());
 }
 
+/// Decode an f32-truncated position span (fp32_positions was requested) and
+/// widen into the f64 cache. The worker pads odd counts to keep whatever
+/// span follows 8-byte aligned; consume the pad here.
+void merge_positions_fp32(util::ByteReader& reader, std::vector<Vec3>& into) {
+  auto packed = reader.get_vector<float>();
+  const std::size_t count = packed.size() / 3;
+  into.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    into[i] = Vec3{static_cast<double>(packed[3 * i]),
+                   static_cast<double>(packed[3 * i + 1]),
+                   static_cast<double>(packed[3 * i + 2])};
+  }
+  if (count % 2 != 0) reader.get<std::uint32_t>();  // realign pad
+}
+
 /// Shared request/merge halves of the delta exchange.
 util::ByteWriter state_request(const DeltaCacheInfo& info,
                                std::uint64_t want_mask) {
@@ -106,7 +121,13 @@ Future GravityClient::evolve_async(double t_end) {
 }
 
 Future GravityClient::request_state(std::uint64_t want_mask) {
-  return rpc_->call(Fn::grav_get_state, state_request(info_, want_mask));
+  // The fp32 modifier rides only on the wire request; the cache mask and
+  // commit bookkeeping stay in terms of real fields.
+  std::uint64_t wire_mask = want_mask;
+  if (fp32_positions_ && (want_mask & state_field::position)) {
+    wire_mask |= state_field::fp32_positions;
+  }
+  return rpc_->call(Fn::grav_get_state, state_request(info_, wire_mask));
 }
 
 const GravityState& GravityClient::finish_state(Future& reply,
@@ -115,12 +136,16 @@ const GravityState& GravityClient::finish_state(Future& reply,
   DeltaHeader header = read_delta_header(reader, info_);
   if (header.sent_mask & state_field::mass) merge_field(reader, cache_.mass);
   if (header.sent_mask & state_field::position) {
-    merge_field(reader, cache_.position);
+    if (fp32_positions_) {
+      merge_positions_fp32(reader, cache_.position);
+    } else {
+      merge_field(reader, cache_.position);
+    }
   }
   if (header.sent_mask & state_field::velocity) {
     merge_field(reader, cache_.velocity);
   }
-  commit_delta(info_, header, want_mask);
+  commit_delta(info_, header, want_mask & ~state_field::fp32_positions);
   return cache_;
 }
 
@@ -176,6 +201,41 @@ void GravityClient::set_dynamics(std::span<const Vec3> acc,
   put_span_of(args, acc);
   put_span_of(args, jerk);
   rpc_->call_sync(Fn::grav_set_dynamics, std::move(args));
+}
+
+void GravityClient::reset_model() {
+  rpc_->call_sync(Fn::grav_reset, {});
+}
+
+void GravityClient::set_shard(std::size_t lo, std::size_t hi) {
+  util::ByteWriter args = RpcClient::request();
+  args.put<std::uint64_t>(lo);
+  args.put<std::uint64_t>(hi);
+  rpc_->call_sync(Fn::grav_set_shard, std::move(args));
+}
+
+Future GravityClient::ghost_update_async(std::size_t base,
+                                         std::span<const Vec3> positions,
+                                         std::span<const Vec3> velocities,
+                                         bool fp32) {
+  util::ByteWriter args = RpcClient::request();
+  args.put<std::uint64_t>(base);
+  args.put<std::uint64_t>(fp32 ? 1 : 0);
+  if (fp32) {
+    std::vector<float> packed;
+    packed.reserve(positions.size() * 3);
+    for (const Vec3& p : positions) {
+      packed.push_back(static_cast<float>(p.x));
+      packed.push_back(static_cast<float>(p.y));
+      packed.push_back(static_cast<float>(p.z));
+    }
+    args.put_vector(packed);
+    if (positions.size() % 2 != 0) args.put<std::uint32_t>(0);  // realign
+  } else {
+    put_span_of(args, positions);
+  }
+  put_span_of(args, velocities);
+  return rpc_->call(Fn::grav_ghost_update, std::move(args));
 }
 
 void FieldClient::set_sources(std::span<const double> masses,
@@ -275,7 +335,11 @@ Future HydroClient::evolve_async(double t_end) {
 }
 
 Future HydroClient::request_state(std::uint64_t want_mask) {
-  return rpc_->call(Fn::hydro_get_state, state_request(info_, want_mask));
+  std::uint64_t wire_mask = want_mask;
+  if (fp32_positions_ && (want_mask & state_field::position)) {
+    wire_mask |= state_field::fp32_positions;
+  }
+  return rpc_->call(Fn::hydro_get_state, state_request(info_, wire_mask));
 }
 
 const HydroState& HydroClient::finish_state(Future& reply,
@@ -284,7 +348,11 @@ const HydroState& HydroClient::finish_state(Future& reply,
   DeltaHeader header = read_delta_header(reader, info_);
   if (header.sent_mask & state_field::mass) merge_field(reader, cache_.mass);
   if (header.sent_mask & state_field::position) {
-    merge_field(reader, cache_.position);
+    if (fp32_positions_) {
+      merge_positions_fp32(reader, cache_.position);
+    } else {
+      merge_field(reader, cache_.position);
+    }
   }
   if (header.sent_mask & state_field::velocity) {
     merge_field(reader, cache_.velocity);
@@ -295,7 +363,7 @@ const HydroState& HydroClient::finish_state(Future& reply,
   if (header.sent_mask & state_field::density) {
     merge_field(reader, cache_.density);
   }
-  commit_delta(info_, header, want_mask);
+  commit_delta(info_, header, want_mask & ~state_field::fp32_positions);
   return cache_;
 }
 

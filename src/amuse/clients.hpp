@@ -84,6 +84,11 @@ class DynamicsClient {
   void kick(std::span<const Vec3> delta_v) { kick_async(delta_v, 1.0).get(); }
 
   virtual double model_time() = 0;
+  /// Opt-in wire truncation: request position arrays as f32 (half the bytes
+  /// of the dominant coupling field) — set by the runner when the model sits
+  /// across a link flagged `fp_truncate` in the topology. Default off; the
+  /// cached state is still held as f64, only the wire format narrows.
+  virtual void set_fp32_positions(bool enabled) = 0;
   virtual void set_delta_exchange(bool enabled) = 0;
   /// Forget everything the delta protocol believes the *worker* holds —
   /// called after a supervised in-place worker restart (cause=
@@ -93,26 +98,33 @@ class DynamicsClient {
   /// stale ids unmatchable; this clears the client half explicitly.)
   virtual void reset_delta_caches() = 0;
   virtual RpcClient& rpc() = 0;
+  /// The RPC whose death/liveness the fault machinery should watch. For a
+  /// plain client this is rpc(); a sharded facade reports the first dead
+  /// shard's RPC so death_cause/try_revive see the actual casualty.
+  virtual RpcClient& fault_rpc() { return rpc(); }
   virtual void close() = 0;
 };
 
-/// GravitationalDynamics interface (phiGRAPE worker).
+/// GravitationalDynamics interface (phiGRAPE worker). The bulk operations
+/// are virtual so ShardedGravityClient can present K shard workers as one
+/// logical model behind the same typed surface.
 class GravityClient : public DynamicsClient {
  public:
   explicit GravityClient(std::unique_ptr<RpcClient> rpc)
       : rpc_(std::move(rpc)) {}
 
-  void set_params(double eps2, double eta);
-  void add_particles(std::span<const double> masses,
-                     std::span<const Vec3> positions,
-                     std::span<const Vec3> velocities);
+  virtual void set_params(double eps2, double eta);
+  virtual void add_particles(std::span<const double> masses,
+                             std::span<const Vec3> positions,
+                             std::span<const Vec3> velocities);
   Future evolve_async(double t_end) override;
 
   /// Sync full-state fetch (delta-aware: only changed fields travel).
   GravityState get_state();
   Future request_state(std::uint64_t want_mask) override;
   Future request_state() { return request_state(state_field::gravity_all); }
-  const GravityState& finish_state(Future& reply, std::uint64_t want_mask);
+  virtual const GravityState& finish_state(Future& reply,
+                                           std::uint64_t want_mask);
   void merge_state(Future& reply, std::uint64_t want_mask) override {
     finish_state(reply, want_mask);
   }
@@ -127,25 +139,30 @@ class GravityClient : public DynamicsClient {
   StateId position_id() const override { return info_.field_ids[1]; }
 
   /// (kinetic, potential) in N-body units.
-  std::pair<double, double> energies();
+  virtual std::pair<double, double> energies();
   using DynamicsClient::kick;
   Future kick_async(std::span<const Vec3> accel, double dt) override;
   Future kick_async(std::span<const Vec3> delta_v) {
     return kick_async(delta_v, 1.0);
   }
-  void set_masses(std::span<const double> masses);
+  virtual void set_masses(std::span<const double> masses);
   /// Delta-compressed mass channel: update only the listed particles.
-  void set_masses_sparse(std::span<const std::int32_t> indices,
-                         std::span<const double> masses);
+  virtual void set_masses_sparse(std::span<const std::int32_t> indices,
+                                 std::span<const double> masses);
   double model_time() override;
   /// Fetch the integrator's dynamic state — corrector-stage forces plus the
   /// absolute model time — for checkpointing.
-  void get_dynamics(std::vector<Vec3>& acc, std::vector<Vec3>& jerk,
-                    double& model_time);
+  virtual void get_dynamics(std::vector<Vec3>& acc, std::vector<Vec3>& jerk,
+                            double& model_time);
   /// Install checkpointed dynamics into a fresh worker: the replayed step
   /// then resumes the checkpointed integrator's exact substep sequence.
-  void set_dynamics(std::span<const Vec3> acc, std::span<const Vec3> jerk,
-                    double model_time);
+  virtual void set_dynamics(std::span<const Vec3> acc,
+                            std::span<const Vec3> jerk, double model_time);
+
+  void set_fp32_positions(bool enabled) override {
+    fp32_positions_ = enabled;
+  }
+  bool fp32_positions() const noexcept { return fp32_positions_; }
 
   void set_delta_exchange(bool enabled) override {
     info_.delta_enabled = enabled;
@@ -163,12 +180,28 @@ class GravityClient : public DynamicsClient {
   RpcClient& rpc() noexcept override { return *rpc_; }
   void close() override { rpc_->close(); }
 
- private:
+  // -- shard-worker primitives (used by ShardedGravityClient) --
+  /// Drop the worker's particles/clock/owned range (params survive).
+  void reset_model();
+  /// Assign the worker its owned row range of the Morton-ordered arrays.
+  void set_shard(std::size_t lo, std::size_t hi);
+  /// Push fresh ghost rows [base, base+positions.size()): the other shards'
+  /// positions/velocities from the coordinator's merged view. `fp32`
+  /// truncates positions to f32 on the wire.
+  Future ghost_update_async(std::size_t base, std::span<const Vec3> positions,
+                            std::span<const Vec3> velocities, bool fp32);
+
+ protected:
+  /// For facades (ShardedGravityClient) that have no single worker RPC of
+  /// their own; every member that touches rpc_ is virtual in that case.
+  GravityClient() = default;
+
   std::unique_ptr<RpcClient> rpc_;
   GravityState cache_;
   DeltaCacheInfo info_;
   std::vector<Vec3> last_kick_;
   bool kick_primed_ = false;
+  bool fp32_positions_ = false;
 };
 
 /// GravityField interface (Octgrav / Fi worker) — the coupling kernel.
@@ -270,6 +303,10 @@ class HydroClient : public DynamicsClient {
   /// replaces.
   void set_time(double model_time);
 
+  void set_fp32_positions(bool enabled) override {
+    fp32_positions_ = enabled;
+  }
+
   void set_delta_exchange(bool enabled) override {
     info_.delta_enabled = enabled;
     kick_primed_ = false;
@@ -292,6 +329,7 @@ class HydroClient : public DynamicsClient {
   DeltaCacheInfo info_;
   std::vector<Vec3> last_kick_;
   bool kick_primed_ = false;
+  bool fp32_positions_ = false;
 };
 
 /// StellarEvolution interface (SSE worker). The mass channel is

@@ -28,6 +28,14 @@ inline constexpr std::uint64_t hydro_all =
 inline constexpr std::uint64_t coupling = mass | position;
 
 inline constexpr int kCount = 5;
+
+/// Modifier bit in a request's want_mask (not a field): the client asks for
+/// the position span truncated to f32 on the wire — half the bytes of the
+/// dominant field, for couplings crossing a low-bandwidth link that opted in
+/// via `fp_truncate` on the topology link. The reply's sent/stale masks and
+/// per-field StateIds never carry the bit; precision loss is confined to the
+/// wire format of one reply.
+inline constexpr std::uint64_t fp32_positions = 32;
 }  // namespace state_field
 
 /// 64-bit content identity: a worker-instance nonce in the top half, the

@@ -10,6 +10,8 @@
 #include "amuse/faultpoint.hpp"
 #include "amuse/faults.hpp"
 #include "amuse/ic.hpp"
+#include "amuse/sharded.hpp"
+#include "kernels/morton.hpp"
 #include "obs/metrics.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -211,6 +213,21 @@ void ExperimentSpec::validate() const {
     }
     if (is_dynamic(model.role)) any_dynamic = true;
 
+    if (model.workers < 1) {
+      fail("model '" + model.name + "': workers must be >= 1, got " +
+           std::to_string(model.workers));
+    }
+    if (model.workers > 1 && model.role != Role::gravity) {
+      fail("model '" + model.name + "': workers = " +
+           std::to_string(model.workers) +
+           " but only gravity models shard (domain decomposition)");
+    }
+    if (model.workers > 1 && model.kernel == "phigrape-gpu") {
+      fail("model '" + model.name +
+           "': sharding is CPU-only (kernel phigrape-gpu cannot split "
+           "across workers)");
+    }
+
     if (model.role == Role::stellar) {
       int target = find(model.of);
       if (model.of.empty() || target < 0) {
@@ -330,6 +347,7 @@ sched::Workload ExperimentSpec::workload() const {
     entry.n = model.n;
     entry.kernel = model.kernel == "auto" ? "" : model.kernel;
     entry.nranks = model.nranks;
+    entry.workers = model.workers;
     if (model.role == Role::stellar) {
       entry.of = find(model.of);
       load.with_stellar_evolution = true;
@@ -450,6 +468,8 @@ ExperimentSpec ExperimentSpec::from_config(const util::Config& config) {
       model.nranks =
           static_cast<int>(config.get_int_or(section, "nranks", 0));
       model.nodes = static_cast<int>(config.get_int_or(section, "nodes", 1));
+      model.workers =
+          static_cast<int>(config.get_int_or(section, "workers", 1));
       model.eps2 = config.get_double_or(section, "eps2", model.eps2);
       model.eta = config.get_double_or(section, "eta", model.eta);
       model.theta = config.get_double_or(section, "theta", model.theta);
@@ -616,9 +636,11 @@ struct ModelRuntime {
     if (gravity) return gravity.get();
     return hydro.get();
   }
+  /// The RPC the fault machinery watches: a sharded facade reports the
+  /// first dead shard so death_cause/revive act on the actual casualty.
   RpcClient& rpc() {
-    if (gravity) return gravity->rpc();
-    if (hydro) return hydro->rpc();
+    if (gravity) return gravity->fault_rpc();
+    if (hydro) return hydro->fault_rpc();
     if (field) return field->rpc();
     return stellar->rpc();
   }
@@ -676,11 +698,48 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
     DaemonClient daemon_client(bed.sockets(), client);
     std::vector<ModelRuntime> models(n_models);
 
-    // Start every model's worker in declaration order.
+    // A model whose state exchanges cross a link flagged `fp_truncate`
+    // narrows its position wire format to f32 (the cost model priced the
+    // placement at the narrowed volume).
+    auto apply_fp_truncation = [&](std::size_t i) {
+      DynamicsClient* dynamics = models[i].dynamics();
+      const sim::Host* host = plan.roles[i].host;
+      if (dynamics == nullptr || host == nullptr) return;
+      if (bed.network().path_fp_truncate(client, *host)) {
+        dynamics->set_fp32_positions(true);
+      }
+    };
+
+    // Start every model's worker in declaration order. A sharded gravity
+    // model (workers > 1) starts K single-node workers — the cluster queue
+    // hands each its own node — and wraps them in the ShardedGravityClient
+    // facade, so the bridge/couplings/fault machinery see one model.
     auto start_model = [&](std::size_t i) {
       const ModelSpec& model = spec.models[i];
       obs::trace::Span spawn =
           obs::trace::span("spawn:" + model.name, "deploy");
+      if (model.role == Role::gravity && model.workers > 1) {
+        std::vector<std::unique_ptr<GravityClient>> shards;
+        shards.reserve(static_cast<std::size_t>(model.workers));
+        for (int k = 0; k < model.workers; ++k) {
+          sched::Assignment shard = plan.roles[i];
+          shard.nodes = 1;
+          // Shard 0 carries the model's meter name so calibration reads
+          // worker.<name>.compute_s ~ total/K, matching the modeled
+          // compute / K; the others are distinguishable in traces.
+          std::string meter =
+              k == 0 ? model.name : model.name + "#" + std::to_string(k);
+          shard.spec.meter = meter;
+          auto rpc = start_assignment(bed, client, daemon_client, shard);
+          rpc->set_call_timeout(spec.rpc_timeout);
+          rpc->set_meter(meter);
+          shards.push_back(std::make_unique<GravityClient>(std::move(rpc)));
+        }
+        models[i].gravity =
+            std::make_unique<ShardedGravityClient>(std::move(shards));
+        apply_fp_truncation(i);
+        return;
+      }
       auto rpc = start_assignment(bed, client, daemon_client, plan.roles[i]);
       rpc->set_call_timeout(spec.rpc_timeout);
       // Client-side RPC metrics under the model name, matching the
@@ -700,6 +759,7 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
           models[i].stellar = std::make_unique<StellarClient>(std::move(rpc));
           break;
       }
+      apply_fp_truncation(i);
     };
     bool fault_tolerant = spec.checkpointing;
 
@@ -876,6 +936,19 @@ Result run_experiment(JungleTestbed& bed, const ExperimentSpec& spec) {
               model.bulk_velocity.norm2() > 0.0) {
             for (Vec3& p : body.position) p = p + model.offset;
             for (Vec3& v : body.velocity) v = v + model.bulk_velocity;
+          }
+          if (model.workers > 1) {
+            // Domain decomposition: order the particles along the Morton
+            // curve so each shard's contiguous index range is a spatially
+            // compact block. Checkpoints store the permuted arrays, so
+            // restores and rollbacks replay the same decomposition.
+            auto order = kernels::morton_order(body.position);
+            body.mass = kernels::permute(
+                std::span<const double>(body.mass), order);
+            body.position = kernels::permute(
+                std::span<const Vec3>(body.position), order);
+            body.velocity = kernels::permute(
+                std::span<const Vec3>(body.velocity), order);
           }
           models[i].gravity->add_particles(body.mass, body.position,
                                            body.velocity);

@@ -45,6 +45,12 @@ struct ModelSpec {
   std::size_t n = 0;       // particles (gravity/hydro) or stars (stellar)
   int nranks = 0;          // hydro MPI width (0 = scheduler-sized)
   int nodes = 1;           // nodes a pinned deployment occupies
+  /// Domain decomposition (gravity only): shard across this many workers,
+  /// each integrating a contiguous Morton range of the particle set with
+  /// per-step ghost exchanges. 1 = the classic single-worker model; the
+  /// bridge, couplings and fault machinery see one logical model either
+  /// way (ShardedGravityClient).
+  int workers = 1;
   double eps2 = 1e-4;
   double eta = 0.02;       // phigrape accuracy
   double theta = 0.6;      // tree opening angle

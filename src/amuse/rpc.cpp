@@ -63,6 +63,8 @@ bool retry_safe(Fn fn) noexcept {
     case Fn::grav_get_time:
     case Fn::grav_get_dynamics:
     case Fn::grav_kick_all:  // repeat-kick: replay cache makes it exactly-once
+    case Fn::grav_set_shard:     // last-write-wins range assignment
+    case Fn::grav_ghost_update:  // absolute-index overwrite, replay-cached
     case Fn::field_accel_at:
     case Fn::field_accel_for:
     case Fn::hydro_get_state:
@@ -95,6 +97,9 @@ const char* fn_name(Fn fn) noexcept {
     case Fn::grav_set_masses_sparse: return "grav_set_masses_sparse";
     case Fn::grav_get_dynamics: return "grav_get_dynamics";
     case Fn::grav_set_dynamics: return "grav_set_dynamics";
+    case Fn::grav_reset: return "grav_reset";
+    case Fn::grav_set_shard: return "grav_set_shard";
+    case Fn::grav_ghost_update: return "grav_ghost_update";
     case Fn::field_set_sources: return "field_set_sources";
     case Fn::field_accel_at: return "field_accel_at";
     case Fn::field_accel_for: return "field_accel_for";

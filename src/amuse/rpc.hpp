@@ -48,6 +48,18 @@ enum class Fn : std::uint16_t {
   /// sequence instead of re-deriving forces (and diverging by roundoff).
   grav_get_dynamics = 19,
   grav_set_dynamics = 20,
+  /// Drop all particles and reset the model clock/owned range (params and
+  /// meters survive). Shard (re)priming: reset + add_particles + set_shard.
+  grav_reset = 21,
+  /// Domain decomposition: [u64 lo][u64 hi] — this worker holds all N
+  /// particles but integrates only rows [lo, hi) of the Morton-ordered
+  /// arrays. The delta-state reply then serves the owned slice only.
+  grav_set_shard = 22,
+  /// Ghost refresh from the coordinating client: [u64 base][u64 flags]
+  /// [pos span][vel span] written at index `base`. flags bit 0 = positions
+  /// arrive as f32 (truncated on a low-bandwidth link). No epoch bump —
+  /// ghosts are not this shard's state to publish.
+  grav_ghost_update = 23,
 
   // GravityField (Octgrav / Fi)
   field_set_sources = 30,

@@ -38,12 +38,35 @@ std::vector<Vec3> read_vec3s(util::ByteReader& reader) {
 
 /// One field of a delta get_state reply: its bit, its index in the epochs
 /// table, and a writer that frames the current content (as a borrowed view
-/// where the kernel exposes stable storage).
+/// where the kernel exposes stable storage). The writer receives the
+/// request's modifier bits (state_field::fp32_positions et al.) so a field
+/// can pick a truncated wire format.
 struct StateFieldWriter {
   std::uint64_t bit;
   int index;
-  std::function<void(util::ByteWriter&)> write;
+  std::function<void(util::ByteWriter&, std::uint64_t)> write;
 };
+
+/// Frame a position array, full f64 by default or truncated to f32 when the
+/// request carried the fp32_positions modifier (opt-in on low-bandwidth
+/// links). The f32 form is padded to an 8-byte boundary so any following
+/// span stays alignment-safe for zero-copy reads.
+void put_positions(util::ByteWriter& out, std::span<const Vec3> positions,
+                   std::uint64_t modifiers) {
+  if (modifiers & state_field::fp32_positions) {
+    std::vector<float> packed;
+    packed.reserve(positions.size() * 3);
+    for (const Vec3& p : positions) {
+      packed.push_back(static_cast<float>(p.x));
+      packed.push_back(static_cast<float>(p.y));
+      packed.push_back(static_cast<float>(p.z));
+    }
+    out.put_vector(packed);
+    if (positions.size() % 2 != 0) out.put<std::uint32_t>(0);  // realign
+  } else {
+    out.put_span_view(positions);
+  }
+}
 
 /// Serve a delta get_state: reply only the requested fields that changed
 /// since the client's cached id, and tell it which cached fields went stale.
@@ -55,6 +78,8 @@ util::ByteWriter delta_state_reply(const StateEpochs& epochs,
   auto have_id = args.get<StateId>();
   auto have_mask = args.get<std::uint64_t>();
   auto want_mask = args.get<std::uint64_t>();
+  const std::uint64_t modifiers = want_mask & state_field::fp32_positions;
+  want_mask &= ~state_field::fp32_positions;
 
   std::uint64_t sent_mask = 0;
   std::uint64_t stale_mask = 0;
@@ -76,7 +101,7 @@ util::ByteWriter delta_state_reply(const StateEpochs& epochs,
     result.put<StateId>(epochs.field_id(i));
   }
   for (const StateFieldWriter& field : fields) {
-    if (sent_mask & field.bit) field.write(result);
+    if (sent_mask & field.bit) field.write(result, modifiers);
   }
   return result;
 }
@@ -146,20 +171,30 @@ Dispatcher make_gravity_dispatcher(
         return result;
       }
       case Fn::grav_get_state: {
+        // A sharded worker publishes only its owned slice: the coordinating
+        // client owns the merged full-size view and the ghost rows here are
+        // its property, not ours to re-export.
+        const std::size_t lo = integrator->owned_lo();
+        const std::size_t count = integrator->owned_count();
         const StateFieldWriter fields[] = {
             {state_field::mass, 0,
-             [&](util::ByteWriter& out) {
-               out.put_span_view(std::span<const double>(integrator->masses()));
+             [&](util::ByteWriter& out, std::uint64_t) {
+               out.put_span_view(
+                   std::span<const double>(integrator->masses())
+                       .subspan(lo, count));
              }},
             {state_field::position, 1,
-             [&](util::ByteWriter& out) {
-               out.put_span_view(
-                   std::span<const Vec3>(integrator->positions()));
+             [&](util::ByteWriter& out, std::uint64_t modifiers) {
+               put_positions(out,
+                             std::span<const Vec3>(integrator->positions())
+                                 .subspan(lo, count),
+                             modifiers);
              }},
             {state_field::velocity, 2,
-             [&](util::ByteWriter& out) {
+             [&](util::ByteWriter& out, std::uint64_t) {
                out.put_span_view(
-                   std::span<const Vec3>(integrator->velocities()));
+                   std::span<const Vec3>(integrator->velocities())
+                       .subspan(lo, count));
              }},
         };
         return delta_state_reply(*epochs, args, fields);
@@ -173,9 +208,13 @@ Dispatcher make_gravity_dispatcher(
         return result;
       }
       case Fn::grav_kick_all: {
+        // Sharded: the frame carries the owned slice of the full accel
+        // array, applied at the owned offset.
         KickFrame kick = read_kick(args, *kick_cache);
+        const std::size_t base = integrator->owned_lo();
         for (std::size_t i = 0; i < kick.accel.size(); ++i) {
-          integrator->kick(static_cast<int>(i), kick.accel[i] * kick.dt);
+          integrator->kick(static_cast<int>(base + i),
+                           kick.accel[i] * kick.dt);
         }
         epochs->bump(state_field::velocity);
         return result;
@@ -207,17 +246,84 @@ Dispatcher make_gravity_dispatcher(
         return result;
       }
       case Fn::grav_get_dynamics: {
+        const std::size_t lo = integrator->owned_lo();
+        const std::size_t count = integrator->owned_count();
         result.put<double>(integrator->time());
         result.put_span_view(
-            std::span<const Vec3>(integrator->accelerations()));
-        result.put_span_view(std::span<const Vec3>(integrator->jerks()));
+            std::span<const Vec3>(integrator->accelerations())
+                .subspan(lo, count));
+        result.put_span_view(
+            std::span<const Vec3>(integrator->jerks()).subspan(lo, count));
         return result;
       }
       case Fn::grav_set_dynamics: {
         double time = args.get<double>();
         auto acc = args.get_vector<Vec3>();
         auto jerk = args.get_vector<Vec3>();
+        if (integrator->sharded()) {
+          // A running shard keeps zero acc/jerk in ghost rows (the force
+          // pass never fills them); a restored shard must match, or the
+          // ghost drift between updates would differ from the original's
+          // and break bit-exact replay.
+          const std::size_t lo = integrator->owned_lo();
+          const std::size_t hi = integrator->owned_hi();
+          for (std::size_t i = 0; i < acc.size(); ++i) {
+            if (i < lo || i >= hi) {
+              acc[i] = Vec3{};
+              jerk[i] = Vec3{};
+            }
+          }
+        }
         integrator->restore_dynamics(std::move(acc), std::move(jerk), time);
+        return result;
+      }
+      case Fn::grav_reset: {
+        integrator->clear();
+        epochs->bump(state_field::gravity_all);
+        return result;
+      }
+      case Fn::grav_set_shard: {
+        auto lo = args.get<std::uint64_t>();
+        auto hi = args.get<std::uint64_t>();
+        integrator->set_owned_range(static_cast<std::size_t>(lo),
+                                    static_cast<std::size_t>(hi));
+        return result;
+      }
+      case Fn::grav_ghost_update: {
+        // Ghost refresh: overwrite [base, base+count) positions/velocities
+        // with the coordinator's merged view. No epoch bump — ghosts are
+        // not this shard's state to publish; set_position/velocity mark the
+        // forces dirty so the next evolve sees the new neighbours.
+        auto base = args.get<std::uint64_t>();
+        auto flags = args.get<std::uint64_t>();
+        if (flags & 1) {  // f32-truncated positions (low-bandwidth link)
+          auto packed = args.get_vector<float>();
+          const std::size_t count = packed.size() / 3;
+          if (count % 2 != 0) args.get<std::uint32_t>();  // realign pad
+          for (std::size_t i = 0; i < count; ++i) {
+            integrator->set_position(
+                static_cast<int>(base + i),
+                Vec3{static_cast<double>(packed[3 * i]),
+                     static_cast<double>(packed[3 * i + 1]),
+                     static_cast<double>(packed[3 * i + 2])});
+          }
+          auto velocities = args.get_vector<Vec3>();
+          for (std::size_t i = 0; i < velocities.size(); ++i) {
+            integrator->set_velocity(static_cast<int>(base + i),
+                                     velocities[i]);
+          }
+        } else {
+          auto positions = args.get_span<Vec3>();
+          auto velocities = args.get_span<Vec3>();
+          for (std::size_t i = 0; i < positions.size(); ++i) {
+            integrator->set_position(static_cast<int>(base + i),
+                                     positions[i]);
+          }
+          for (std::size_t i = 0; i < velocities.size(); ++i) {
+            integrator->set_velocity(static_cast<int>(base + i),
+                                     velocities[i]);
+          }
+        }
         return result;
       }
       default:
@@ -428,23 +534,24 @@ util::ByteWriter hydro_common(kernels::SphSystem& sph, Fn fn,
       std::vector<double> energies = sph.internal_energies();
       const StateFieldWriter fields[] = {
           {state_field::mass, 0,
-           [&](util::ByteWriter& out) {
+           [&](util::ByteWriter& out, std::uint64_t) {
              out.put_span_view(std::span<const double>(sph.masses()));
            }},
           {state_field::position, 1,
-           [&](util::ByteWriter& out) {
-             out.put_span_view(std::span<const Vec3>(sph.positions()));
+           [&](util::ByteWriter& out, std::uint64_t modifiers) {
+             put_positions(out, std::span<const Vec3>(sph.positions()),
+                           modifiers);
            }},
           {state_field::velocity, 2,
-           [&](util::ByteWriter& out) {
+           [&](util::ByteWriter& out, std::uint64_t) {
              out.put_span_view(std::span<const Vec3>(sph.velocities()));
            }},
           {state_field::internal_energy, 3,
-           [&](util::ByteWriter& out) {
+           [&](util::ByteWriter& out, std::uint64_t) {
              out.put_span(std::span<const double>(energies));
            }},
           {state_field::density, 4,
-           [&](util::ByteWriter& out) {
+           [&](util::ByteWriter& out, std::uint64_t) {
              out.put_span_view(std::span<const double>(sph.densities()));
            }},
       };

@@ -55,10 +55,14 @@ void build_topology(const util::Config& config, sim::Network& net) {
       if (stream_Bps < 0.0) {
         throw ConfigError("[" + section + "] stream_mbit must be >= 0");
       }
-      net.add_link(fields[1], fields[2],
-                   config.get_double_or(section, "latency_ms", 1.0) * ms,
-                   config.get_double_or(section, "gbit", 1.0) * gbit,
-                   config.get_or(section, "name", ""), stream_Bps);
+      sim::Link& link =
+          net.add_link(fields[1], fields[2],
+                       config.get_double_or(section, "latency_ms", 1.0) * ms,
+                       config.get_double_or(section, "gbit", 1.0) * gbit,
+                       config.get_or(section, "name", ""), stream_Bps);
+      // Low-bandwidth links can opt into f32 position truncation: clients
+      // whose exchanges cross this link narrow the dominant coupling field.
+      link.fp_truncate = config.get_bool_or(section, "fp_truncate", false);
     }
   }
 }

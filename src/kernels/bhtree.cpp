@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernels/simd.hpp"
 #include "util/parallel.hpp"
 
 namespace jungle::kernels {
@@ -124,6 +125,10 @@ void BarnesHutTree::build(std::span<const Vec3> positions,
   cell_body_begin_.clear();
   cell_body_count_.clear();
   leaf_bodies_.clear();
+  leaf_x_.clear();
+  leaf_y_.clear();
+  leaf_z_.clear();
+  leaf_m_.clear();
   if (src_pos_.empty()) return;
 
   Vec3 lo = src_pos_[0], hi = src_pos_[0];
@@ -177,6 +182,10 @@ void BarnesHutTree::build(std::span<const Vec3> positions,
       cell_body_count_.push_back(node.count);
       for (int body = node.head; body >= 0; body = builder.next[body]) {
         leaf_bodies_.push_back(body);
+        leaf_x_.push_back(src_pos_[body].x);
+        leaf_y_.push_back(src_pos_[body].y);
+        leaf_z_.push_back(src_pos_[body].z);
+        leaf_m_.push_back(src_mass_[body]);
       }
     } else {
       cell_first_child_.push_back(static_cast<std::int32_t>(order.size()));
@@ -227,7 +236,37 @@ void BarnesHutTree::field_at(const Vec3& point, Vec3* accel, double* phi,
       std::int32_t begin = cell_body_begin_[cell];
       std::int32_t n = cell_body_count_[cell];
       count += static_cast<std::uint64_t>(n);
-      for (std::int32_t k = 0; k < n; ++k) {
+      std::int32_t k = 0;
+      if constexpr (!Potential) {
+        if (simd_ && simd::kWidth > 1 &&
+            n >= static_cast<std::int32_t>(simd::kWidth)) {
+          namespace sd = simd;
+          constexpr std::int32_t W = static_cast<std::int32_t>(sd::kWidth);
+          sd::VecD axv = sd::zero(), ayv = sd::zero(), azv = sd::zero();
+          const sd::VecD px = sd::set1(point.x), py = sd::set1(point.y),
+                         pz = sd::set1(point.z);
+          const sd::VecD eps2v = sd::set1(eps2_), zerov = sd::zero();
+          for (; k + W <= n; k += W) {
+            sd::VecD dx = sd::load(&leaf_x_[begin + k]) - px;
+            sd::VecD dy = sd::load(&leaf_y_[begin + k]) - py;
+            sd::VecD dz = sd::load(&leaf_z_[begin + k]) - pz;
+            sd::VecD d2 = dx * dx + dy * dy + dz * dz + eps2v;
+            sd::VecD d = sd::sqrt(d2);
+            sd::VecD w = sd::load(&leaf_m_[begin + k]) / (d2 * d);
+            // d2 == 0 (coincident source, softening-free): the lane's w is
+            // inf/NaN but the direction vanishes; the bitwise select drops
+            // the whole lane, matching the scalar d2 > 0 guard.
+            sd::VecD mask = sd::less(zerov, d2);
+            axv = axv + sd::select(mask, w * dx, zerov);
+            ayv = ayv + sd::select(mask, w * dy, zerov);
+            azv = azv + sd::select(mask, w * dz, zerov);
+          }
+          accel->x += sd::hsum(axv);
+          accel->y += sd::hsum(ayv);
+          accel->z += sd::hsum(azv);
+        }
+      }
+      for (; k < n; ++k) {
         std::int32_t body = leaf_bodies_[begin + k];
         Vec3 db = src_pos_[body] - point;
         double b2 = db.norm2();

@@ -63,6 +63,13 @@ class BarnesHutTree {
   /// Pool for the batch evaluations; nullptr (default) = ThreadPool::global().
   void set_thread_pool(util::ThreadPool* pool) noexcept { pool_ = pool; }
 
+  /// Vectorized near-leaf acceleration sums (simd.hpp lanes) over the packed
+  /// leaf SoA. Off = the scalar body-by-body loop, the reference the vector
+  /// path is benched against. The potential path is always scalar (it is a
+  /// diagnostics path with exact self-exclusion semantics).
+  void set_simd(bool enabled) noexcept { simd_ = enabled; }
+  bool simd_enabled() const noexcept { return simd_; }
+
   double theta() const noexcept { return std::sqrt(theta2_); }
   double eps2() const noexcept { return eps2_; }
 
@@ -87,6 +94,7 @@ class BarnesHutTree {
 
   double theta2_;
   double eps2_;
+  bool simd_ = true;
   util::ThreadPool* pool_ = nullptr;
 
   // Packed cells (SoA, breadth-first, children contiguous). A cell is a
@@ -100,6 +108,10 @@ class BarnesHutTree {
   std::vector<std::int32_t> cell_body_begin_;
   std::vector<std::int32_t> cell_body_count_;
   std::vector<std::int32_t> leaf_bodies_;
+  // Leaf body coordinates/masses packed parallel to leaf_bodies_, so the
+  // near-leaf loop reads contiguous lanes instead of gathering through the
+  // body index indirection.
+  std::vector<double> leaf_x_, leaf_y_, leaf_z_, leaf_m_;
 
   std::vector<Vec3> src_pos_;
   std::vector<double> src_mass_;

@@ -4,6 +4,7 @@
 #include <array>
 #include <limits>
 
+#include "kernels/simd.hpp"
 #include "util/parallel.hpp"
 
 namespace jungle::kernels {
@@ -36,9 +37,13 @@ void HermiteIntegrator::compute_forces(const std::vector<Vec3>& positions,
   const std::size_t n = mass_.size();
   acc.assign(n, {});
   jerk.assign(n, {});
+  const std::size_t rlo = owned_lo();
+  const std::size_t rhi = owned_hi();
+  const bool partial = rlo > 0 || rhi < n;
   util::ThreadPool& pool = pool_ ? *pool_ : util::ThreadPool::global();
-  if (n < kParallelThreshold || pool.lanes() == 1) {
+  if (!partial && (n < kParallelThreshold || pool.lanes() == 1)) {
     // Sequential path: Newton's-third-law symmetric update, half the work.
+    // Always scalar — this is the bit-exactness reference.
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
         Vec3 dr = positions[j] - positions[i];
@@ -61,10 +66,12 @@ void HermiteIntegrator::compute_forces(const std::vector<Vec3>& positions,
     return;
   }
 
-  // Parallel path: each i-block owns its acc/jerk rows outright (no
-  // symmetric write to row j, so no contention), and walks the sources in
-  // L1-sized j-tiles of SoA arrays. For a fixed i the j order is 0..n-1
-  // regardless of lane count, so results are independent of threading.
+  // Tiled path: each i-block owns its acc/jerk rows outright (no symmetric
+  // write to row j, so no contention), and walks the sources in L1-sized
+  // j-tiles of SoA arrays. For a fixed i the j order is 0..n-1 regardless
+  // of lane count, so results are independent of threading. A sharded
+  // integrator restricts the i rows to its owned range; the j sources
+  // always span the full system.
   sx_.resize(n);
   sy_.resize(n);
   sz_.resize(n);
@@ -80,8 +87,9 @@ void HermiteIntegrator::compute_forces(const std::vector<Vec3>& positions,
     svz_[i] = velocities[i].z;
   }
   const double eps2 = params_.eps2;
-  pool.parallel_for(0, n, kIBlock, [&](std::size_t lo, std::size_t hi,
-                                       unsigned /*lane*/) {
+  const bool vectorize = simd_ && simd::kWidth > 1;
+  pool.parallel_for(rlo, rhi, kIBlock, [&](std::size_t lo, std::size_t hi,
+                                           unsigned /*lane*/) {
     std::array<double, kIBlock> ax{}, ay{}, az{}, jx{}, jy{}, jz{};
     for (std::size_t jb = 0; jb < n; jb += kJTile) {
       std::size_t jend = std::min(n, jb + kJTile);
@@ -90,27 +98,81 @@ void HermiteIntegrator::compute_forces(const std::vector<Vec3>& positions,
         double vxi = svx_[i], vyi = svy_[i], vzi = svz_[i];
         double axi = 0.0, ayi = 0.0, azi = 0.0;
         double jxi = 0.0, jyi = 0.0, jzi = 0.0;
-        for (std::size_t j = jb; j < jend; ++j) {
-          if (j == i) continue;
-          double dx = sx_[j] - xi;
-          double dy = sy_[j] - yi;
-          double dz = sz_[j] - zi;
-          double dvx = svx_[j] - vxi;
-          double dvy = svy_[j] - vyi;
-          double dvz = svz_[j] - vzi;
-          double r2 = dx * dx + dy * dy + dz * dz + eps2;
-          double inv_r = 1.0 / std::sqrt(r2);
-          double inv_r2 = inv_r * inv_r;
-          double inv_r3 = inv_r2 * inv_r;
-          double rv = dx * dvx + dy * dvy + dz * dvz;
-          double alpha = 3.0 * rv * inv_r2;
-          double m_r3 = mass_[j] * inv_r3;
-          axi += m_r3 * dx;
-          ayi += m_r3 * dy;
-          azi += m_r3 * dz;
-          jxi += m_r3 * (dvx - alpha * dx);
-          jyi += m_r3 * (dvy - alpha * dy);
-          jzi += m_r3 * (dvz - alpha * dz);
+        // Scalar j-accumulation: the reference loop (also the tail and the
+        // self-lane block of the vector path).
+        auto scalar_range = [&](std::size_t a, std::size_t b) {
+          for (std::size_t j = a; j < b; ++j) {
+            if (j == i) continue;
+            double dx = sx_[j] - xi;
+            double dy = sy_[j] - yi;
+            double dz = sz_[j] - zi;
+            double dvx = svx_[j] - vxi;
+            double dvy = svy_[j] - vyi;
+            double dvz = svz_[j] - vzi;
+            double r2 = dx * dx + dy * dy + dz * dz + eps2;
+            double inv_r = 1.0 / std::sqrt(r2);
+            double inv_r2 = inv_r * inv_r;
+            double inv_r3 = inv_r2 * inv_r;
+            double rv = dx * dvx + dy * dvy + dz * dvz;
+            double alpha = 3.0 * rv * inv_r2;
+            double m_r3 = mass_[j] * inv_r3;
+            axi += m_r3 * dx;
+            ayi += m_r3 * dy;
+            azi += m_r3 * dz;
+            jxi += m_r3 * (dvx - alpha * dx);
+            jyi += m_r3 * (dvy - alpha * dy);
+            jzi += m_r3 * (dvz - alpha * dz);
+          }
+        };
+        if (!vectorize) {
+          scalar_range(jb, jend);
+        } else {
+          namespace sd = simd;
+          constexpr std::size_t W = sd::kWidth;
+          sd::VecD axv = sd::zero(), ayv = sd::zero(), azv = sd::zero();
+          sd::VecD jxv = sd::zero(), jyv = sd::zero(), jzv = sd::zero();
+          const sd::VecD xiv = sd::set1(xi), yiv = sd::set1(yi),
+                         ziv = sd::set1(zi);
+          const sd::VecD vxiv = sd::set1(vxi), vyiv = sd::set1(vyi),
+                         vziv = sd::set1(vzi);
+          const sd::VecD eps2v = sd::set1(eps2);
+          const sd::VecD onev = sd::set1(1.0), threev = sd::set1(3.0);
+          std::size_t j = jb;
+          for (; j + W <= jend; j += W) {
+            if (i >= j && i < j + W) {
+              // The vector block containing i: take the scalar loop so the
+              // j == i self-interaction is skipped exactly, softening-free
+              // configurations included.
+              scalar_range(j, j + W);
+              continue;
+            }
+            sd::VecD dx = sd::load(&sx_[j]) - xiv;
+            sd::VecD dy = sd::load(&sy_[j]) - yiv;
+            sd::VecD dz = sd::load(&sz_[j]) - ziv;
+            sd::VecD dvx = sd::load(&svx_[j]) - vxiv;
+            sd::VecD dvy = sd::load(&svy_[j]) - vyiv;
+            sd::VecD dvz = sd::load(&svz_[j]) - vziv;
+            sd::VecD r2 = dx * dx + dy * dy + dz * dz + eps2v;
+            sd::VecD inv_r = onev / sd::sqrt(r2);
+            sd::VecD inv_r2 = inv_r * inv_r;
+            sd::VecD inv_r3 = inv_r2 * inv_r;
+            sd::VecD rv = dx * dvx + dy * dvy + dz * dvz;
+            sd::VecD alpha = threev * rv * inv_r2;
+            sd::VecD m_r3 = sd::load(&mass_[j]) * inv_r3;
+            axv = axv + m_r3 * dx;
+            ayv = ayv + m_r3 * dy;
+            azv = azv + m_r3 * dz;
+            jxv = jxv + m_r3 * (dvx - alpha * dx);
+            jyv = jyv + m_r3 * (dvy - alpha * dy);
+            jzv = jzv + m_r3 * (dvz - alpha * dz);
+          }
+          scalar_range(j, jend);  // tail
+          axi += sd::hsum(axv);
+          ayi += sd::hsum(ayv);
+          azi += sd::hsum(azv);
+          jxi += sd::hsum(jxv);
+          jyi += sd::hsum(jyv);
+          jzi += sd::hsum(jzv);
         }
         ax[i - lo] += axi;
         ay[i - lo] += ayi;
@@ -125,12 +187,16 @@ void HermiteIntegrator::compute_forces(const std::vector<Vec3>& positions,
       jerk[i] = {jx[i - lo], jy[i - lo], jz[i - lo]};
     }
   });
-  pairs_ += static_cast<std::uint64_t>(n) * (n - 1);
+  pairs_ += static_cast<std::uint64_t>(rhi - rlo) * (n - 1);
 }
 
 double HermiteIntegrator::shared_timestep() const {
+  // Sharded integrators derive the step from their owned rows only (ghost
+  // rows carry zero forces); the client-level protocol does not require the
+  // shards to agree on dt — each shard advances its owned rows to the same
+  // t_end on its own substep sequence.
   double dt = params_.dt_max;
-  for (std::size_t i = 0; i < mass_.size(); ++i) {
+  for (std::size_t i = owned_lo(); i < owned_hi(); ++i) {
     double a = acc_[i].norm();
     double j = jerk_[i].norm();
     if (j > 0.0 && a > 0.0) {
@@ -150,27 +216,38 @@ void HermiteIntegrator::evolve(double t_end) {
     compute_forces(pos_, vel_, acc_, jerk_);
     dirty_ = false;
   }
+  const std::size_t rlo = owned_lo();
+  const std::size_t rhi = owned_hi();
   std::vector<Vec3> pred_pos(n), pred_vel(n), new_acc(n), new_jerk(n);
   while (time_ < t_end - 1e-15) {
     double dt = std::min(shared_timestep(), t_end - time_);
     double dt2 = dt * dt / 2.0;
     double dt3 = dt2 * dt / 3.0;
-    // Predictor (Taylor expansion to 3rd order in position).
+    // Predictor (Taylor expansion to 3rd order in position). Ghost rows of a
+    // sharded integrator carry zero acc/jerk, so the same expression drifts
+    // them ballistically on their last-exchanged velocity; with the default
+    // full owned range the branch below is always the Hermite one and the
+    // arithmetic is identical to the unsharded integrator.
     for (std::size_t i = 0; i < n; ++i) {
       pred_pos[i] = pos_[i] + dt * vel_[i] + dt2 * acc_[i] + dt3 * jerk_[i];
       pred_vel[i] = vel_[i] + dt * acc_[i] + dt2 * jerk_[i];
     }
     compute_forces(pred_pos, pred_vel, new_acc, new_jerk);
-    // Hermite corrector.
+    // Hermite corrector for owned rows; ghosts keep the drifted prediction.
     for (std::size_t i = 0; i < n; ++i) {
-      Vec3 vel_corr = vel_[i] + dt / 2.0 * (acc_[i] + new_acc[i]) +
-                      dt * dt / 12.0 * (jerk_[i] - new_jerk[i]);
-      Vec3 pos_corr = pos_[i] + dt / 2.0 * (vel_[i] + vel_corr) +
-                      dt * dt / 12.0 * (acc_[i] - new_acc[i]);
-      pos_[i] = pos_corr;
-      vel_[i] = vel_corr;
-      acc_[i] = new_acc[i];
-      jerk_[i] = new_jerk[i];
+      if (i >= rlo && i < rhi) {
+        Vec3 vel_corr = vel_[i] + dt / 2.0 * (acc_[i] + new_acc[i]) +
+                        dt * dt / 12.0 * (jerk_[i] - new_jerk[i]);
+        Vec3 pos_corr = pos_[i] + dt / 2.0 * (vel_[i] + vel_corr) +
+                        dt * dt / 12.0 * (acc_[i] - new_acc[i]);
+        pos_[i] = pos_corr;
+        vel_[i] = vel_corr;
+        acc_[i] = new_acc[i];
+        jerk_[i] = new_jerk[i];
+      } else {
+        pos_[i] = pred_pos[i];
+        vel_[i] = pred_vel[i];
+      }
     }
     time_ += dt;
     ++substeps_;

@@ -80,6 +80,52 @@ class HermiteIntegrator {
   void set_thread_pool(util::ThreadPool* pool) noexcept { pool_ = pool; }
   static constexpr std::size_t kParallelThreshold = 256;
 
+  /// Vectorized j-accumulation in the tiled force path (simd.hpp lanes).
+  /// Off = the scalar loop, the bit-exactness reference the vector path is
+  /// benched against. Ignored by the sequential symmetric path, which is
+  /// always scalar.
+  void set_simd(bool enabled) noexcept { simd_ = enabled; }
+  bool simd_enabled() const noexcept { return simd_; }
+
+  /// Domain-decomposed (sharded) operation: this instance holds *all* N
+  /// particles but integrates only the owned rows [lo, hi) — forces for
+  /// owned i over all j sources, shared timestep from owned rows only.
+  /// Ghost rows (everything outside the range) drift ballistically on their
+  /// last-exchanged velocity between ghost updates. The default range
+  /// covers everything, and a full range takes the exact unsharded code
+  /// path — that is what makes a 1-shard model bit-identical to the plain
+  /// worker.
+  void set_owned_range(std::size_t lo, std::size_t hi) noexcept {
+    owned_lo_ = lo;
+    owned_hi_ = hi;
+    dirty_ = true;
+  }
+  std::size_t owned_lo() const noexcept {
+    return owned_lo_ < mass_.size() ? owned_lo_ : mass_.size();
+  }
+  std::size_t owned_hi() const noexcept {
+    return owned_hi_ < mass_.size() ? owned_hi_ : mass_.size();
+  }
+  std::size_t owned_count() const noexcept { return owned_hi() - owned_lo(); }
+  bool sharded() const noexcept {
+    return owned_lo() > 0 || owned_hi() < mass_.size();
+  }
+
+  /// Drop all particles and reset the clock/owned range (params and the
+  /// cumulative pair/substep meters survive). Used by shard (re)priming:
+  /// restore-into-a-shard is reset + add_particles + set_owned_range.
+  void clear() {
+    mass_.clear();
+    pos_.clear();
+    vel_.clear();
+    acc_.clear();
+    jerk_.clear();
+    time_ = 0.0;
+    dirty_ = true;
+    owned_lo_ = 0;
+    owned_hi_ = static_cast<std::size_t>(-1);
+  }
+
   /// Pair force evaluations since construction — the honest input to the
   /// compute-cost model (flops = pairs * kFlopsPerPair).
   std::uint64_t pair_evaluations() const noexcept { return pairs_; }
@@ -100,6 +146,9 @@ class HermiteIntegrator {
   std::vector<double> mass_;
   std::vector<Vec3> pos_, vel_, acc_, jerk_;
   bool dirty_ = true;  // forces need a fresh evaluation
+  bool simd_ = true;
+  std::size_t owned_lo_ = 0;
+  std::size_t owned_hi_ = static_cast<std::size_t>(-1);
   std::uint64_t pairs_ = 0;
   std::uint64_t substeps_ = 0;
   util::ThreadPool* pool_ = nullptr;

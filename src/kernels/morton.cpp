@@ -1,0 +1,80 @@
+#include "kernels/morton.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace jungle::kernels {
+
+namespace {
+
+/// Spread the low 21 bits of v so there are two zero bits between each
+/// (the classic magic-number dilation).
+std::uint64_t dilate21(std::uint64_t v) noexcept {
+  v &= 0x1fffff;
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+std::uint64_t quantize(double x, double lo, double hi) noexcept {
+  constexpr double kMax = 2097151.0;  // 2^21 - 1
+  if (!(hi > lo)) return 0;
+  double t = (x - lo) / (hi - lo);
+  if (t < 0.0) t = 0.0;
+  if (t > 1.0) t = 1.0;
+  return static_cast<std::uint64_t>(t * kMax);
+}
+
+}  // namespace
+
+std::uint64_t morton_key(const Vec3& p, const Vec3& lo, const Vec3& hi) {
+  std::uint64_t kx = dilate21(quantize(p.x, lo.x, hi.x));
+  std::uint64_t ky = dilate21(quantize(p.y, lo.y, hi.y));
+  std::uint64_t kz = dilate21(quantize(p.z, lo.z, hi.z));
+  return kx | (ky << 1) | (kz << 2);
+}
+
+std::vector<std::size_t> morton_order(std::span<const Vec3> positions) {
+  std::vector<std::size_t> order(positions.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (positions.empty()) return order;
+  Vec3 lo = positions[0], hi = positions[0];
+  for (const Vec3& p : positions) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  std::vector<std::uint64_t> keys(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    keys[i] = morton_key(positions[i], lo, hi);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return keys[a] < keys[b];
+                   });
+  return order;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(std::size_t n,
+                                                              int k) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  if (k < 1) k = 1;
+  std::size_t shards = static_cast<std::size_t>(k);
+  std::size_t base = n / shards;
+  std::size_t extra = n % shards;
+  std::size_t lo = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    std::size_t count = base + (s < extra ? 1 : 0);
+    ranges.emplace_back(lo, lo + count);
+    lo += count;
+  }
+  return ranges;
+}
+
+}  // namespace jungle::kernels

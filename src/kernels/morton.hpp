@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "kernels/vec3.hpp"
+
+namespace jungle::kernels {
+
+/// Space-filling-curve domain decomposition for sharded models: particles
+/// are ordered along a Morton (Z-order) curve so that a contiguous index
+/// range [lo, hi) of the reordered arrays is a spatially compact block of
+/// the domain. Shards own contiguous ranges, which keeps the ghost-exchange
+/// frames contiguous slices (span views, no gather on the wire) and gives
+/// each shard a cache-friendly working set — the SoA iteration playbook.
+
+/// 63-bit Morton key of a point inside `lo..hi` (21 bits per axis).
+std::uint64_t morton_key(const Vec3& p, const Vec3& lo, const Vec3& hi);
+
+/// Permutation that sorts `positions` by Morton key (ties broken by index,
+/// so the permutation is deterministic). permutation[k] = original index of
+/// the particle that lands at position k.
+std::vector<std::size_t> morton_order(std::span<const Vec3> positions);
+
+/// Apply `order` to an array: out[k] = values[order[k]].
+template <typename T>
+std::vector<T> permute(std::span<const T> values,
+                       std::span<const std::size_t> order) {
+  std::vector<T> out;
+  out.reserve(values.size());
+  for (std::size_t index : order) out.push_back(values[index]);
+  return out;
+}
+
+/// Contiguous owned ranges [lo, hi) of `n` particles over `k` shards:
+/// near-equal block sizes, the first n % k shards one larger. k = 1 yields
+/// the full range.
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(std::size_t n,
+                                                              int k);
+
+}  // namespace jungle::kernels

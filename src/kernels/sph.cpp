@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "kernels/simd.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -11,6 +12,11 @@ namespace jungle::kernels {
 
 namespace {
 constexpr double kPi = 3.14159265358979323846;
+
+// Gather buffers for the vectorized density pass (neighbour positions and
+// masses as SoA lanes). Thread-local so the parallel density pass needs no
+// per-call allocation and no sharing.
+thread_local std::vector<double> tl_gx, tl_gy, tl_gz, tl_gm;
 }
 
 SphSystem::SphSystem() : SphSystem(Params{}) {}
@@ -169,9 +175,64 @@ void SphSystem::density_at(std::size_t i, std::vector<int>& scratch,
     scratch.clear();
     neighbours(pos_[i], 2.0 * h_[i], scratch);
     ngb += scratch.size();
-    for (int j : scratch) {
-      double r = (pos_[j] - pos_[i]).norm();
-      rho += mass_[j] * kernel_w(r, h_[i]);
+    const std::size_t m = scratch.size();
+    std::size_t k = 0;
+    // The gather (4 SoA copies per neighbour) only pays for itself once the
+    // list is a few vectors long; short lists stay on the scalar loop.
+    constexpr std::size_t kGatherMin = 4 * simd::kWidth;
+    if (simd_ && simd::kWidth > 1 && m >= kGatherMin) {
+      // Gather the neighbour SoA, then evaluate the cubic spline on whole
+      // lanes with the piecewise branches folded into bitwise selects. The
+      // per-lane arithmetic mirrors kernel_w() exactly; only the summation
+      // order across neighbours differs from the scalar loop.
+      namespace sd = simd;
+      constexpr std::size_t W = sd::kWidth;
+      tl_gx.resize(m);
+      tl_gy.resize(m);
+      tl_gz.resize(m);
+      tl_gm.resize(m);
+      for (std::size_t g = 0; g < m; ++g) {
+        int j = scratch[g];
+        tl_gx[g] = pos_[j].x;
+        tl_gy[g] = pos_[j].y;
+        tl_gz[g] = pos_[j].z;
+        tl_gm[g] = mass_[j];
+      }
+      const double h = h_[i];
+      const sd::VecD px = sd::set1(pos_[i].x), py = sd::set1(pos_[i].y),
+                     pz = sd::set1(pos_[i].z);
+      const sd::VecD inv_h = sd::set1(1.0 / h);
+      const sd::VecD sigma = sd::set1(1.0 / (kPi * h * h * h));
+      const sd::VecD onev = sd::set1(1.0), twov = sd::set1(2.0);
+      const sd::VecD c15 = sd::set1(1.5), c075 = sd::set1(0.75),
+                     c025 = sd::set1(0.25);
+      const sd::VecD zerov = sd::zero();
+      sd::VecD rhov = sd::zero();
+      for (; k + W <= m; k += W) {
+        sd::VecD dx = sd::load(&tl_gx[k]) - px;
+        sd::VecD dy = sd::load(&tl_gy[k]) - py;
+        sd::VecD dz = sd::load(&tl_gz[k]) - pz;
+        sd::VecD r = sd::sqrt(dx * dx + dy * dy + dz * dz);
+        sd::VecD q = r * inv_h;
+        sd::VecD q2 = q * q;
+        sd::VecD inner = sigma * (onev - c15 * q2 + c075 * q2 * q);
+        sd::VecD t = twov - q;
+        sd::VecD outer = sigma * c025 * t * t * t;
+        sd::VecD w = sd::select(sd::less(q, onev), inner,
+                                sd::select(sd::less(q, twov), outer, zerov));
+        rhov = rhov + sd::load(&tl_gm[k]) * w;
+      }
+      rho += sd::hsum(rhov);
+      for (; k < m; ++k) {
+        int j = scratch[k];
+        double r = (pos_[j] - pos_[i]).norm();
+        rho += mass_[j] * kernel_w(r, h_[i]);
+      }
+    } else {
+      for (int j : scratch) {
+        double r = (pos_[j] - pos_[i]).norm();
+        rho += mass_[j] * kernel_w(r, h_[i]);
+      }
     }
     rho_[i] = std::max(rho, 1e-12);
     h_[i] = params_.eta_h * std::cbrt(mass_[i] / rho_[i]);
@@ -202,10 +263,9 @@ void SphSystem::compute_density(std::size_t lo, std::size_t hi) {
 void SphSystem::force_at(std::size_t i, double h_max,
                          std::vector<int>& scratch, std::uint64_t& ngb,
                          std::uint64_t& tree) {
-  const double gamma = params_.gamma;
   Vec3 accel{};
-  double p_i = entropy_[i] * std::pow(rho_[i], gamma);
-  double c_i = std::sqrt(gamma * p_i / rho_[i]);
+  double p_i = pressure_[i];
+  double c_i = csound_[i];
   scratch.clear();
   // Symmetric pair rule: i and j interact iff r < h_i + h_j (the support
   // of W(r, h_mean)). Using 2 h_i here would drop one direction of a pair
@@ -219,7 +279,7 @@ void SphSystem::force_at(std::size_t i, double h_max,
     double r = dr.norm();
     if (r <= 0.0) continue;
     if (r >= 0.5 * (h_[i] + h_[j]) * 2.0) continue;  // outside W support
-    double p_j = entropy_[j] * std::pow(rho_[j], gamma);
+    double p_j = pressure_[j];
     double h_mean = 0.5 * (h_[i] + h_[j]);
     double dw = kernel_dw(r, h_mean);
     // Artificial viscosity (Monaghan 1992).
@@ -227,7 +287,7 @@ void SphSystem::force_at(std::size_t i, double h_max,
     double visc = 0.0;
     double rv = dv.dot(dr);
     if (rv < 0.0) {
-      double c_j = std::sqrt(gamma * p_j / rho_[j]);
+      double c_j = csound_[j];
       double mu = h_mean * rv / (r * r + 0.01 * h_mean * h_mean);
       double rho_mean = 0.5 * (rho_[i] + rho_[j]);
       visc = (-params_.alpha_visc * 0.5 * (c_i + c_j) * mu +
@@ -247,6 +307,18 @@ void SphSystem::force_at(std::size_t i, double h_max,
 void SphSystem::compute_forces(std::size_t lo, std::size_t hi) {
   double h_max = 0.0;
   for (double h : h_) h_max = std::max(h_max, h);
+  // Hoist pressure and sound speed out of the pair loop: they depend only
+  // on per-particle entropy/density, which are fixed for the whole force
+  // pass, and the pow() per pair dominated the non-neighbour-search cost.
+  // Full-range fill — the pair rule reaches neighbours outside [lo, hi).
+  const double gamma = params_.gamma;
+  const std::size_t n = mass_.size();
+  pressure_.resize(n);
+  csound_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    pressure_[j] = entropy_[j] * std::pow(rho_[j], gamma);
+    csound_[j] = std::sqrt(gamma * pressure_[j] / rho_[j]);
+  }
   util::ThreadPool& pool = resolve_pool();
   util::PerLane<std::vector<int>> scratch(pool);
   util::PerLane<std::uint64_t> ngb(pool, 0);

@@ -93,6 +93,15 @@ class SphSystem {
     tree_.set_thread_pool(pool);
   }
 
+  /// Vectorized density accumulation (simd.hpp lanes) over a gathered
+  /// neighbour SoA, plus the tree's vector path. Off = the scalar loops,
+  /// the reference the vector path is benched against.
+  void set_simd(bool enabled) noexcept {
+    simd_ = enabled;
+    tree_.set_simd(enabled);
+  }
+  bool simd_enabled() const noexcept { return simd_; }
+
   /// Neighbour indices of particle `i` within `radius`, sorted ascending.
   /// Requires prepare_step() to have built the grid for current positions.
   /// Test/diagnostic helper — the hot paths use the buffer-reusing search.
@@ -126,7 +135,11 @@ class SphSystem {
   std::vector<double> entropy_;  // A in P = A rho^gamma
   std::vector<double> pending_u_;  // u awaiting first density (-1 = done)
   std::vector<double> h_, rho_;
+  // Per-pass caches: pressure and sound speed from the entropy formulation,
+  // computed once per compute_forces call instead of pow()-per-pair.
+  std::vector<double> pressure_, csound_;
   BarnesHutTree tree_;
+  bool simd_ = true;
   util::ThreadPool* pool_ = nullptr;
 
   // Uniform hash grid for neighbour search, CSR layout: the particles of

@@ -38,6 +38,7 @@ LinkCost link_between(const sim::Network& net, const sim::Host& client,
   // overlay (ssh tunnels of Fig 10): same wire, extra forwarding hop.
   link.tunneled = !net.can_connect(client, host);
   if (link.tunneled) link.rtt_s *= kTunnelRttFactor;
+  link.fp_truncate = net.path_fp_truncate(client, host);
   return link;
 }
 
@@ -61,6 +62,30 @@ double state_fetch_bytes(std::size_t n) {
   // velocities not requested by the coupling mask): 24 B/particle + span
   // framing, on top of the per-call overhead.
   return kCallOverheadBytes + static_cast<double>(n) * 24.0;
+}
+
+double state_fetch_bytes(std::size_t n, bool fp_truncate) {
+  if (!fp_truncate) return state_fetch_bytes(n);
+  // Positions narrowed to f32 on the wire: 12 B/particle (+ a realign pad
+  // absorbed in the call overhead).
+  return kCallOverheadBytes + static_cast<double>(n) * 12.0;
+}
+
+double ghost_pull_bytes(std::size_t n, int workers) {
+  // All shards' owned position+velocity slices (48 B/particle, n total),
+  // one concurrent get_state per shard.
+  return static_cast<double>(n) * 48.0 +
+         static_cast<double>(std::max(1, workers)) * kCallOverheadBytes;
+}
+
+double ghost_push_bytes(std::size_t n, int workers, bool fp_truncate) {
+  int k = std::max(1, workers);
+  if (k == 1) return 0.0;  // one shard owns everything: no ghosts travel
+  // Each shard receives its (K-1)/K ghost rows as two contiguous frames:
+  // (K-1)*n particles total, positions optionally narrowed to f32.
+  double per_particle = fp_truncate ? (12.0 + 24.0) : (24.0 + 24.0);
+  return static_cast<double>(k - 1) * static_cast<double>(n) * per_particle +
+         2.0 * static_cast<double>(k) * kCallOverheadBytes;
 }
 
 double coupling_upload_bytes(std::size_t n_a, std::size_t n_b) {

@@ -30,6 +30,11 @@ struct ModelLoad {
   std::string kernel;
   /// Explicit MPI width for hydro (0 = let the scheduler size it).
   int nranks = 0;
+  /// Domain decomposition (gravity only): shard the model across this many
+  /// workers, each integrating a contiguous Morton range. Candidates need
+  /// that many live CPU nodes on one resource; compute divides by the shard
+  /// count and the per-step ghost exchange is priced on the client wire.
+  int workers = 1;
 };
 
 /// One pairwise coupling of the graph: `field` (an index into models, role
@@ -104,6 +109,10 @@ struct LinkCost {
   std::array<double, kMaxStreams> bandwidth_by_streams{};
   bool tunneled = false;
   bool reachable = true;
+  /// The path crosses a link flagged `fp_truncate`: position arrays travel
+  /// as f32 (12 B/particle instead of 24 B) — state fetches and ghost
+  /// pushes are priced at the narrowed volume.
+  bool fp_truncate = false;
 
   /// Duration of one synchronous RPC moving `bytes` (request + reply),
   /// priced at the stripe count the transport would actually use for this
@@ -133,6 +142,8 @@ inline constexpr double kKickHeaderBytes = 16.0;
 // Per-call payload volumes, mirroring the frame layouts in
 // amuse/clients.cpp. `n_a`/`n_b` are the two coupled systems' sizes.
 double state_fetch_bytes(std::size_t n);                    // changed positions
+/// Same fetch when the path opted into f32 truncation (12 B/particle).
+double state_fetch_bytes(std::size_t n, bool fp_truncate);
 double coupling_upload_bytes(std::size_t n_a, std::size_t n_b);
 double coupling_reply_bytes(std::size_t n_a, std::size_t n_b);
 double kick_bytes(std::size_t n);                           // accel + dt
@@ -151,6 +162,14 @@ struct DatapathBytes {
 /// Payload-per-call volumes of one steady-state bridge iteration of the
 /// classic embedded-cluster graph.
 DatapathBytes datapath_bytes(const Workload& load);
+
+/// Per-iteration ghost-exchange wire volume of a `workers`-shard gravity
+/// model, both halves priced on the coordinating client's wire: the pull
+/// (every shard's owned position+velocity slice, n particles total) and the
+/// push (each shard's (K-1)/K ghost rows, (K-1)*n particles total, with
+/// positions narrowed when the path opted into f32 truncation).
+double ghost_pull_bytes(std::size_t n, int workers);
+double ghost_push_bytes(std::size_t n, int workers, bool fp_truncate);
 
 /// Mean Barnes-Hut interactions per evaluation point against `n_sources`.
 double tree_interactions_per_target(std::size_t n_sources);

@@ -172,11 +172,16 @@ std::vector<Assignment> Scheduler::candidates(const ModelLoad& model) const {
     options.push_back(std::move(a));
   };
 
-  // The client machine itself, over a local channel (no deployment).
+  // The client machine itself, over a local channel (no deployment). A
+  // sharded gravity model wants K distinct nodes — the client box offers no
+  // parallelism to shard over, so it is not a candidate (a pin can still
+  // force it for testing).
   if (usable(client_)) {
     switch (model.role) {
       case Role::gravity:
-        add("", &client_, gravity_spec(client_.gpu().has_value()), 1);
+        if (model.workers <= 1) {
+          add("", &client_, gravity_spec(client_.gpu().has_value()), 1);
+        }
         break;
       case Role::coupler:
         add("", &client_, coupler_spec(client_.gpu().has_value()), 1);
@@ -206,6 +211,18 @@ std::vector<Assignment> Scheduler::candidates(const ModelLoad& model) const {
     switch (model.role) {
       case Role::gravity:
       case Role::coupler: {
+        if (model.role == Role::gravity && model.workers > 1) {
+          // Domain decomposition: K plain phigrape shards on K distinct CPU
+          // nodes of one resource. LAN-dense resources (many live nodes,
+          // short intra-site hops) are the natural winners — co-location
+          // keeps every shard one queue away and the ghost all-to-all on
+          // one wire.
+          if (static_cast<int>(live.size()) >= model.workers) {
+            add(resource.name, first_cpu(live), gravity_spec(false),
+                model.workers);
+          }
+          break;
+        }
         auto spec_for =
             model.role == Role::gravity ? gravity_spec : coupler_spec;
         if (const sim::Host* gpu_node = first_gpu(live)) {
@@ -302,9 +319,23 @@ double Scheduler::score_graph(const Workload& load,
   for (int i = 0; i < slots; ++i) {
     const ModelLoad& model = models[static_cast<std::size_t>(i)];
     Assignment& a = placement.roles[static_cast<std::size_t>(i)];
+    double ghost_seconds = 0.0;
     if (model.role == Role::gravity) {
+      int workers = std::max(1, model.workers);
       a.compute_seconds = calibration_.scale_for(model.name) *
-                          gravity_compute_seconds(model.n, load.dt, rate(i));
+                          gravity_compute_seconds(model.n, load.dt, rate(i)) /
+                          workers;
+      if (workers > 1) {
+        // The ghost exchange rides the coordinating client's wire every
+        // step, serialized before the evolve fan-out: pull all owned
+        // slices, push every shard its ghost rows.
+        const LinkCost& link = wire[static_cast<std::size_t>(i)];
+        ghost_seconds =
+            link.call_seconds(ghost_pull_bytes(model.n, workers)) +
+            link.call_seconds(
+                ghost_push_bytes(model.n, workers, link.fp_truncate));
+        a.comm_seconds += ghost_seconds;
+      }
     } else if (model.role == Role::hydro) {
       LinkCost interconnect{};
       if (a.host != nullptr) {
@@ -329,8 +360,8 @@ double Scheduler::score_graph(const Workload& load,
     } else {
       continue;
     }
-    evolve = std::max(evolve,
-                      a.compute_seconds + wire[static_cast<std::size_t>(i)].rtt_s);
+    evolve = std::max(evolve, ghost_seconds + a.compute_seconds +
+                                  wire[static_cast<std::size_t>(i)].rtt_s);
   }
 
   // --- coupling phases: the pipelined cross-kick, twice per step ---
@@ -360,7 +391,8 @@ double Scheduler::score_graph(const Workload& load,
       const ModelLoad& model = models[static_cast<std::size_t>(i)];
       const LinkCost& link = wire[static_cast<std::size_t>(i)];
       double w = freq[static_cast<std::size_t>(i)];
-      double fetch = link.call_seconds(state_fetch_bytes(model.n));
+      double fetch =
+          link.call_seconds(state_fetch_bytes(model.n, link.fp_truncate));
       double kick = link.call_seconds(kick_bytes(model.n));
       double idle = link.call_seconds(kCallOverheadBytes);
       double repeat =

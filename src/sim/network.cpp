@@ -200,6 +200,16 @@ double Network::path_bandwidth(const Host& from, const Host& to,
   return narrowest;
 }
 
+bool Network::path_fp_truncate(const Host& from, const Host& to) const {
+  if (&from == &to || from.site() == to.site()) return false;
+  auto wan = route(from.site(), to.site());
+  if (!wan) return false;
+  for (std::size_t index : *wan) {
+    if (wan_links_[index]->fp_truncate) return true;
+  }
+  return false;
+}
+
 std::optional<double> Network::send(const Host& from, const Host& to,
                                     double bytes, TrafficClass cls,
                                     std::function<void()> on_delivery,

@@ -53,6 +53,12 @@ struct Link {
   /// (throughput drops, nothing is torn down) — the graceful-degradation
   /// tier between "healthy" and "link down".
   int failed_streams = 0;
+  /// Opt-in wire truncation advice for this link: clients whose state
+  /// exchanges cross it request position arrays as f32 (half the bytes of
+  /// the dominant coupling field). Purely advisory — the transport does not
+  /// change; the AMUSE layer honours it per model and the scheduler prices
+  /// flagged paths at the narrowed volume.
+  bool fp_truncate = false;
   std::array<double, kTrafficClasses> bytes_by_class{};
   std::uint64_t messages = 0;
 
@@ -123,6 +129,11 @@ class Network {
   /// aggregate, see Link::effective_bandwidth).
   double path_bandwidth(const Host& from, const Host& to,
                         int streams = 1) const;
+
+  /// True when any WAN link on the routed path is flagged `fp_truncate`
+  /// (low-bandwidth links that opted into f32 position truncation). False
+  /// for loopback, same-site paths and unreachable pairs.
+  bool path_fp_truncate(const Host& from, const Host& to) const;
 
   /// One-way message: advances link occupancy, accounts traffic, schedules
   /// `on_delivery` at the arrival time. Returns the arrival time, or
